@@ -1,0 +1,262 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (see DESIGN.md §3 and EXPERIMENTS.md for recorded outputs):
+//
+//	BenchmarkFig2*   — Figure 2: TTL-expiry C′_S vs staleness bound
+//	BenchmarkFig3*   — Figure 3: TTL-polling C′_F vs staleness bound
+//	BenchmarkFig5*   — Figure 5: seven-policy comparison per workload
+//	BenchmarkFig6*   — Figure 6: sketch latency/accuracy/storage
+//	BenchmarkTable1  — Table 1: measured c_m/c_i/c_u breakdown
+//
+// plus throughput benchmarks for the simulator, the policy engine and the
+// live TCP system. Benchmark metrics are reported via b.ReportMetric so
+// `go test -bench=. -benchmem` prints the same quantities the paper
+// plots. Run cmd/freshbench for full-scale, human-readable tables.
+package freshcache_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/experiments"
+	"freshcache/internal/model"
+)
+
+// benchOpts shrinks the experiments so a full -bench=. pass stays fast
+// while preserving every curve's shape; cmd/freshbench uses full scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Duration: 60,
+		Seed:     1,
+		Bounds:   []float64{0.3, 1, 3, 10},
+		T:        0.5,
+	}
+}
+
+func BenchmarkFig2TTLExpiryStaleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				b.ReportMetric(p.Sim*100, fmt.Sprintf("CS%%/%s/T=%g", p.Workload, p.T))
+			}
+		}
+	}
+}
+
+func BenchmarkFig3TTLPollingFreshness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				b.ReportMetric(p.Sim, fmt.Sprintf("CFx/%s/T=%g", p.Workload, p.T))
+			}
+		}
+	}
+}
+
+func BenchmarkFig5PolicyComparison(b *testing.B) {
+	for _, wl := range freshcache.StandardWorkloadNames() {
+		b.Run(wl, func(b *testing.B) {
+			tr, err := freshcache.StandardWorkload(wl, 60, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				for _, pl := range []freshcache.Policy{
+					freshcache.TTLExpiry, freshcache.TTLPolling, freshcache.Invalidate,
+					freshcache.Update, freshcache.Adaptive, freshcache.AdaptiveCS,
+					freshcache.Optimal,
+				} {
+					res, err := freshcache.Simulate(freshcache.SimConfig{
+						T: 0.5, Capacity: tr.NumKeys * 6 / 10, Policy: pl,
+						DisableFreshnessCheck: true,
+					}, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == b.N-1 {
+						b.ReportMetric(res.CFNorm, "CFx/"+pl.String())
+						b.ReportMetric(res.CSNorm*100, "CS%/"+pl.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6Sketches(b *testing.B) {
+	o := benchOpts()
+	o.Duration = 30
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.LatencyUS, "us/"+r.Workload+"/"+r.Sketch)
+				b.ReportMetric(r.Accuracy*100, "acc%/"+r.Workload+"/"+r.Sketch)
+				b.ReportMetric(r.StorageSaving, "save/"+r.Workload+"/"+r.Sketch)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1CostBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(16, 256)
+		if i == b.N-1 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Total, row.Parameter+"-us")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulated requests/second —
+// how fast the evaluation engine chews through traces.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := freshcache.StandardWorkload("poisson", 120, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		_, err := freshcache.Simulate(freshcache.SimConfig{
+			T: 1, Capacity: 80, Policy: freshcache.Adaptive,
+			DisableFreshnessCheck: true,
+		}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += tr.Len()
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkEngineObserveFlush measures the live policy engine's hot path.
+func BenchmarkEngineObserveFlush(b *testing.B) {
+	eng := freshcache.NewEngine(freshcache.EngineConfig{})
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&511]
+		eng.ObserveRead(k)
+		eng.ObserveWrite(k)
+		if i&8191 == 8191 {
+			eng.Flush()
+		}
+	}
+}
+
+// BenchmarkLiveGet measures end-to-end GET latency through a real TCP
+// cache node on loopback (hit path).
+func BenchmarkLiveGet(b *testing.B) {
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Second})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	defer st.Close()
+	ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+		StoreAddr: sln.Addr().String(), T: time.Second, Name: "bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	defer ca.Close()
+
+	c := freshcache.NewClient(cln.Addr().String(), freshcache.ClientOptions{MaxConns: 1})
+	defer c.Close()
+	if _, err := c.Put("bench-key", make([]byte, 128)); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := c.Get("bench-key"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get("bench-key"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLivePut measures end-to-end write latency through the cache
+// node to the store.
+func BenchmarkLivePut(b *testing.B) {
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Second})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	defer st.Close()
+	c := freshcache.NewClient(sln.Addr().String(), freshcache.ClientOptions{MaxConns: 1})
+	defer c.Close()
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put("bench-key", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticalModel measures the closed-form evaluation itself.
+func BenchmarkAnalyticalModel(b *testing.B) {
+	p := freshcache.Params{Lambda: 10, R: 0.9, T: 0.5, Cm: 2, Ci: 0.25, Cu: 1}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, pl := range []freshcache.Policy{
+			model.TTLExpiry, model.TTLPolling, model.Invalidate,
+			model.Update, model.Adaptive, model.Optimal,
+		} {
+			c, err := p.PolicyCosts(pl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += c.CF
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkWorkloadGeneration measures trace synthesis speed.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, name := range freshcache.StandardWorkloadNames() {
+		b.Run(name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				tr, err := freshcache.StandardWorkload(name, 20, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				n += tr.Len()
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}

@@ -1,0 +1,47 @@
+// Command cacheserver runs a freshcache cache node: a cache-aside LRU
+// cache that fills misses from the store, subscribes to its batched
+// invalidate/update pushes, and reports read statistics back for the
+// adaptive policy (Figure 4 of the paper).
+//
+// Usage:
+//
+//	cacheserver -addr :7101 -store 127.0.0.1:7001 -t 500ms -capacity 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"freshcache"
+)
+
+func main() {
+	addr := flag.String("addr", ":7101", "listen address")
+	storeAddr := flag.String("store", "127.0.0.1:7001", "backing store address")
+	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
+	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
+	name := flag.String("name", "", "cache name in subscriptions (default addr)")
+	flag.Parse()
+
+	if *name == "" {
+		*name = "cache@" + *addr
+	}
+	srv, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+		StoreAddr: *storeAddr,
+		Capacity:  *capacity,
+		T:         *t,
+		Name:      *name,
+	})
+	if err != nil {
+		log.Fatalf("cacheserver: %v", err)
+	}
+	log.Printf("cacheserver %s: listening on %s, store %s, T=%v, capacity %d",
+		*name, *addr, *storeAddr, *t, *capacity)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(1)
+	}
+}

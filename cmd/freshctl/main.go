@@ -1,0 +1,118 @@
+// Command freshctl is the interactive client for freshcache nodes.
+//
+// Usage:
+//
+//	freshctl -addr 127.0.0.1:7101 get <key>
+//	freshctl -addr 127.0.0.1:7101 put <key> <value>
+//	freshctl -addr 127.0.0.1:7101 stats
+//	freshctl -addr 127.0.0.1:7101 ping
+//	freshctl -addr 127.0.0.1:7101 watch <key>      # poll a key once per second
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"freshcache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7101", "node address (cache, store or lb)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c := freshcache.NewClient(*addr, freshcache.ClientOptions{})
+	defer c.Close()
+
+	var err error
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		err = get(c, args[1])
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		var ver uint64
+		ver, err = c.Put(args[1], []byte(args[2]))
+		if err == nil {
+			fmt.Printf("OK version=%d\n", ver)
+		}
+	case "stats":
+		err = printStats(c)
+	case "ping":
+		start := time.Now()
+		if err = c.Ping(); err == nil {
+			fmt.Printf("PONG %v\n", time.Since(start))
+		}
+	case "watch":
+		if len(args) != 2 {
+			usage()
+		}
+		err = watch(c, args[1])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "freshctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key>")
+	os.Exit(2)
+}
+
+func get(c *freshcache.Client, key string) error {
+	v, ver, err := c.Get(key)
+	if errors.Is(err, freshcache.ErrNotFound) {
+		fmt.Println("(not found)")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  (version %d)\n", v, ver)
+	return nil
+}
+
+func printStats(c *freshcache.Client) error {
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-24s %d\n", k, st[k])
+	}
+	return nil
+}
+
+func watch(c *freshcache.Client, key string) error {
+	for {
+		v, ver, err := c.Get(key)
+		switch {
+		case errors.Is(err, freshcache.ErrNotFound):
+			fmt.Printf("%s  (not found)\n", time.Now().Format("15:04:05.000"))
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("%s  %s (version %d)\n", time.Now().Format("15:04:05.000"), v, ver)
+		}
+		time.Sleep(time.Second)
+	}
+}

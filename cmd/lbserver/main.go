@@ -1,0 +1,38 @@
+// Command lbserver runs the freshcache load balancer: reads route to a
+// cache chosen by key affinity, writes route to the store (Figure 4).
+//
+// Usage:
+//
+//	lbserver -addr :7201 -store 127.0.0.1:7001 \
+//	         -caches 127.0.0.1:7101,127.0.0.1:7102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"freshcache"
+)
+
+func main() {
+	addr := flag.String("addr", ":7201", "listen address")
+	storeAddr := flag.String("store", "127.0.0.1:7001", "backing store address")
+	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
+	flag.Parse()
+
+	srv, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		StoreAddr:  *storeAddr,
+		CacheAddrs: strings.Split(*caches, ","),
+	})
+	if err != nil {
+		log.Fatalf("lbserver: %v", err)
+	}
+	log.Printf("lbserver: listening on %s, store %s, caches %s", *addr, *storeAddr, *caches)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "lbserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command storeserver runs the freshcache backing store: the
+// authoritative KV plus the write-reactive freshness flusher that pushes
+// batched invalidates/updates to subscribed caches once per staleness
+// bound T (Figure 4 of the paper).
+//
+// Usage:
+//
+//	storeserver -addr :7001 -t 500ms [-slo 0.05] [-cm 2 -ci 0.25 -cu 1]
+//	            [-bottleneck auto|cpu|network|disk] [-keysize 16 -valsize 256]
+//
+// With -bottleneck auto the server samples /proc twice at startup and
+// derives the c_m/c_i/c_u parameters from the detected bottleneck (§3.3);
+// explicit -cm/-ci/-cu flags override everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/core"
+	"freshcache/internal/costmodel"
+	"freshcache/internal/sysprobe"
+)
+
+func main() {
+	addr := flag.String("addr", ":7001", "listen address")
+	t := flag.Duration("t", 500*time.Millisecond, "staleness bound / batching interval")
+	slo := flag.Float64("slo", 0, "staleness-miss-ratio SLO (0 disables)")
+	cm := flag.Float64("cm", 0, "miss cost c_m (0 = derive)")
+	ci := flag.Float64("ci", 0, "invalidate cost c_i (0 = derive)")
+	cu := flag.Float64("cu", 0, "update cost c_u (0 = derive)")
+	bottleneck := flag.String("bottleneck", "", "auto|cpu|network|disk: derive costs from a bottleneck")
+	keySize := flag.Int("keysize", 16, "representative key size for derived costs")
+	valSize := flag.Int("valsize", 256, "representative value size for derived costs")
+	topk := flag.Int("topk", 1024, "exact slots in the Top-K E[W] tracker")
+	flag.Parse()
+
+	costs, err := resolveCosts(*cm, *ci, *cu, *bottleneck, *keySize, *valSize)
+	if err != nil {
+		log.Fatalf("storeserver: %v", err)
+	}
+	log.Printf("storeserver: T=%v costs: cm=%.4g ci=%.4g cu=%.4g slo=%g",
+		*t, costs.Cm, costs.Ci, costs.Cu, *slo)
+
+	tracker, err := freshcache.NewTopK(*topk, *topk*16, 4)
+	if err != nil {
+		log.Fatalf("storeserver: %v", err)
+	}
+	srv := freshcache.NewStoreServer(freshcache.StoreConfig{
+		T: *t,
+		Engine: core.Config{
+			Costs:   costs,
+			SLO:     *slo,
+			Tracker: tracker,
+		},
+	})
+	log.Printf("storeserver: listening on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "storeserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func resolveCosts(cm, ci, cu float64, bottleneck string, keySize, valSize int) (freshcache.Costs, error) {
+	if cm > 0 && ci > 0 && cu > 0 {
+		return freshcache.FixedCosts(cm, ci, cu), nil
+	}
+	prims := freshcache.MeasuredPrimitives(0)
+	switch bottleneck {
+	case "":
+		return freshcache.DefaultSimCosts(), nil
+	case "auto":
+		var p sysprobe.Prober
+		a, err := p.Snapshot()
+		if err != nil {
+			return freshcache.Costs{}, fmt.Errorf("probing: %w", err)
+		}
+		time.Sleep(500 * time.Millisecond)
+		b, err := p.Snapshot()
+		if err != nil {
+			return freshcache.Costs{}, fmt.Errorf("probing: %w", err)
+		}
+		u, err := sysprobe.Delta(a, b)
+		if err != nil {
+			return freshcache.Costs{}, err
+		}
+		bn := sysprobe.Classify(u, sysprobe.Capacities{NetBytesPerSec: 1.25e9, DiskBytesPerSec: 5e8})
+		log.Printf("storeserver: detected bottleneck: %v", bn)
+		return prims.For(bn, keySize, valSize), nil
+	default:
+		bn, err := costmodel.ParseBottleneck(bottleneck)
+		if err != nil {
+			return freshcache.Costs{}, err
+		}
+		return prims.For(bn, keySize, valSize), nil
+	}
+}

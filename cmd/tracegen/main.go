@@ -1,0 +1,98 @@
+// Command tracegen synthesizes the evaluation workloads and writes them
+// to disk in the binary or CSV trace format, for replay by cmd/loadgen,
+// offline analysis, or sharing a fixed trace across experiments.
+//
+// Usage:
+//
+//	tracegen -workload twitter-like -duration 300 -seed 7 -o twitter.fct
+//	tracegen -workload poisson -format csv -o - | head
+//	tracegen -stats -workload meta-like -duration 60        # summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"freshcache"
+)
+
+func main() {
+	wl := flag.String("workload", "poisson", "poisson|poisson-mix|meta-like|twitter-like")
+	duration := flag.Float64("duration", 300, "trace length in virtual seconds")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output path ('-' = stdout)")
+	format := flag.String("format", "binary", "binary|csv")
+	statsOnly := flag.Bool("stats", false, "print a summary instead of the trace")
+	flag.Parse()
+
+	if err := run(*wl, *duration, *seed, *out, *format, *statsOnly); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, duration float64, seed uint64, out, format string, statsOnly bool) error {
+	tr, err := freshcache.StandardWorkload(wl, duration, seed)
+	if err != nil {
+		return err
+	}
+	if statsOnly {
+		return printStats(tr)
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "binary":
+		return tr.WriteBinary(w)
+	case "csv":
+		return tr.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q (binary|csv)", format)
+	}
+}
+
+func printStats(tr *freshcache.Trace) error {
+	reads, writes := tr.Counts()
+	fmt.Printf("trace: %s\n", tr.Name)
+	fmt.Printf("requests: %d over %.0fs virtual (%.0f req/s)\n",
+		tr.Len(), tr.Duration, float64(tr.Len())/tr.Duration)
+	fmt.Printf("reads: %d  writes: %d  read ratio: %.3f\n", reads, writes, tr.ReadRatio())
+	fmt.Printf("key universe: %d (keysize %dB, valsize %dB)\n", tr.NumKeys, tr.KeySize, tr.ValSize)
+	stats := tr.PerKeyStats()
+	fmt.Printf("keys touched: %d\n", len(stats))
+	if len(stats) > 0 {
+		top := stats
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		fmt.Println("hottest keys:")
+		for _, s := range top {
+			fmt.Printf("  key %6d: %7d reads %7d writes (r=%.3f, %.1f req/s)\n",
+				s.Key, s.Reads, s.Writes, s.ReadRatio(), s.Rate(tr.Duration))
+		}
+		// Read-ratio distribution across busy keys, the property the
+		// adaptive policy exploits.
+		var ratios []float64
+		for _, s := range stats {
+			if s.Reads+s.Writes >= 20 {
+				ratios = append(ratios, s.ReadRatio())
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			fmt.Printf("per-key read ratio (keys with ≥20 events): min=%.2f p50=%.2f max=%.2f\n",
+				ratios[0], ratios[len(ratios)/2], ratios[len(ratios)-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Stockticker: the paper's motivating financial scenario (§1). A feed
+// writes quotes continuously; analysts need prices no staler than 250ms.
+//
+// Hot symbols (read constantly) and cold symbols (written constantly,
+// read rarely) stress the update-vs-invalidate trade-off in opposite
+// directions: the adaptive engine learns to push value updates for hot
+// symbols (readers always hit fresh data) while merely invalidating cold
+// ones (no bandwidth wasted shipping prices nobody reads). This example
+// runs the live system and prints the per-class decision split.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/xrand"
+)
+
+const (
+	T           = 250 * time.Millisecond
+	hotSymbols  = 8   // read-heavy: AAPL, GOOG, ...
+	coldSymbols = 200 // written by the feed, almost never read
+	runFor      = 4 * time.Second
+)
+
+func main() {
+	store := freshcache.NewStoreServer(freshcache.StoreConfig{T: T})
+	storeLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go store.Serve(storeLn) //nolint:errcheck
+	defer store.Close()
+
+	cache, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+		StoreAddr: storeLn.Addr().String(), T: T, Name: "ticker-cache",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cacheLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go cache.Serve(cacheLn) //nolint:errcheck
+	defer cache.Close()
+
+	symbol := func(i int) string {
+		if i < hotSymbols {
+			return fmt.Sprintf("HOT%02d", i)
+		}
+		return fmt.Sprintf("COLD%03d", i-hotSymbols)
+	}
+
+	var wg sync.WaitGroup
+	stop := time.Now().Add(runFor)
+
+	// The market data feed: writes every symbol's price continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := freshcache.NewClient(storeLn.Addr().String(), freshcache.ClientOptions{})
+		defer c.Close()
+		rng := xrand.New(7, 1)
+		price := 100.0
+		for time.Now().Before(stop) {
+			i := rng.Intn(hotSymbols + coldSymbols)
+			price += rng.Float64() - 0.5
+			if _, err := c.Put(symbol(i), []byte(fmt.Sprintf("%.2f", price))); err != nil {
+				log.Printf("feed: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Analysts: hammer the hot symbols through the cache.
+	var staleReads, totalReads int64
+	var mu sync.Mutex
+	for a := 0; a < 4; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			c := freshcache.NewClient(cacheLn.Addr().String(), freshcache.ClientOptions{MaxConns: 2})
+			defer c.Close()
+			rng := xrand.New(11, uint64(a))
+			for time.Now().Before(stop) {
+				sym := symbol(rng.Intn(hotSymbols))
+				before := cache.StatsMap()["stale_misses"]
+				if _, _, err := c.Get(sym); err != nil && err != freshcache.ErrNotFound {
+					log.Printf("analyst: %v", err)
+					continue
+				}
+				after := cache.StatsMap()["stale_misses"]
+				mu.Lock()
+				totalReads++
+				staleReads += int64(after - before)
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	sm := cache.StatsMap()
+	sc := freshcache.NewClient(storeLn.Addr().String(), freshcache.ClientOptions{})
+	defer sc.Close()
+	ss, err := sc.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("staleness bound: %v over %v\n\n", T, runFor)
+	fmt.Printf("cache:  hits=%d stale-misses=%d cold-misses=%d\n",
+		sm["hits"], sm["stale_misses"], sm["cold_misses"])
+	fmt.Printf("        updates-applied=%d (hot symbols refreshed by push)\n", sm["updates_applied"])
+	fmt.Printf("        invalidates-applied=%d\n", sm["invalidates_applied"])
+	fmt.Printf("store:  updates-sent=%d invalidates-sent=%d dedup-skipped=%d\n",
+		ss["engine_upd_sent"], ss["engine_inv_sent"], ss["engine_inv_skipped"])
+	fmt.Printf("\nanalyst reads: %d (stale-miss rate %.2f%%)\n",
+		totalReads, pct(staleReads, totalReads))
+	fmt.Println("\nthe adaptive engine pushes updates for the read-hot symbols and")
+	fmt.Println("invalidates (deduplicated) for the cold tail the feed keeps writing")
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

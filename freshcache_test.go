@@ -1,0 +1,178 @@
+package freshcache_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"freshcache"
+)
+
+// TestPublicAPISimulation exercises the paper's core result through the
+// public facade only: at a real-time staleness bound, the adaptive
+// write-reactive policy beats both TTL policies on freshness cost.
+func TestPublicAPISimulation(t *testing.T) {
+	tr, err := freshcache.StandardWorkload("poisson", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pl freshcache.Policy) freshcache.SimResult {
+		res, err := freshcache.Simulate(freshcache.SimConfig{
+			T: 0.5, Capacity: 80, Policy: pl,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	adaptive := run(freshcache.Adaptive)
+	polling := run(freshcache.TTLPolling)
+	expiry := run(freshcache.TTLExpiry)
+	if adaptive.CFNorm >= polling.CFNorm {
+		t.Errorf("adaptive C'_F %v >= ttl-polling %v", adaptive.CFNorm, polling.CFNorm)
+	}
+	if adaptive.CFNorm >= expiry.CFNorm {
+		t.Errorf("adaptive C'_F %v >= ttl-expiry %v", adaptive.CFNorm, expiry.CFNorm)
+	}
+	if adaptive.FreshnessViolations != 0 {
+		t.Errorf("%d freshness violations", adaptive.FreshnessViolations)
+	}
+	// Theory is reachable through the facade too.
+	cf, _, err := freshcache.SimTheory(tr, 0.5, freshcache.DefaultSimCosts(), freshcache.TTLPolling)
+	if err != nil || cf <= 0 {
+		t.Errorf("SimTheory: cf=%v err=%v", cf, err)
+	}
+}
+
+// TestPublicAPILiveSystem boots a full store+cache+lb cluster through the
+// facade and checks the end-to-end read/write path.
+func TestPublicAPILiveSystem(t *testing.T) {
+	const T = 40 * time.Millisecond
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: T})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	defer st.Close()
+
+	ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+		StoreAddr: sln.Addr().String(), T: T, Name: "api-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	defer ca.Close()
+
+	balancer, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		StoreAddr:  sln.Addr().String(),
+		CacheAddrs: []string{cln.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go balancer.Serve(bln) //nolint:errcheck
+	defer balancer.Close()
+
+	c := freshcache.NewClient(bln.Addr().String(), freshcache.ClientOptions{})
+	defer c.Close()
+
+	if _, err := c.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c.Get("k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q %v", v, err)
+	}
+	if _, _, err := c.Get("missing"); !errors.Is(err, freshcache.ErrNotFound) {
+		t.Errorf("missing key: %v", err)
+	}
+	// Freshness within the bound: write, wait > T + delivery slack, read.
+	if _, err := c.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * T)
+	v, _, err = c.Get("k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("after bound: %q %v", v, err)
+	}
+}
+
+// TestPublicAPIEngineAndSketches drives the policy engine directly.
+func TestPublicAPIEngineAndSketches(t *testing.T) {
+	tk, err := freshcache.NewTopK(16, 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := freshcache.NewEngine(freshcache.EngineConfig{
+		Costs:   freshcache.FixedCosts(2, 0.25, 1),
+		Tracker: tk,
+	})
+	eng.ObserveRead("hot")
+	eng.ObserveWrite("hot")
+	ds := eng.Flush()
+	if len(ds) != 1 || ds[0].Key != "hot" {
+		t.Fatalf("decisions: %v", ds)
+	}
+	if ds[0].Action != freshcache.ActionUpdate && ds[0].Action != freshcache.ActionInvalidate {
+		t.Errorf("action: %v", ds[0].Action)
+	}
+	if !freshcache.ShouldUpdateEW(1, 1, 0.25, 2) {
+		t.Error("E[W]=1 rule wrong")
+	}
+	if freshcache.HashKey("a") == freshcache.HashKey("b") {
+		t.Error("hash collision")
+	}
+	if _, err := freshcache.NewCountMin(0, 0); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	if _, err := freshcache.ParsePolicy("adaptive"); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPublicAPIComposites exercises the §5 many-to-many extension through
+// the facade: a write to one fragment invalidates the page built from it.
+func TestPublicAPIComposites(t *testing.T) {
+	eng := freshcache.NewEngine(freshcache.EngineConfig{})
+	deps := freshcache.NewComposites()
+	if err := deps.Register("page:home", []string{"frag:feed", "frag:header"}); err != nil {
+		t.Fatal(err)
+	}
+	eng.ObserveWrite("frag:feed")
+	ds := eng.FlushExpanded(deps)
+	if len(ds) != 2 || ds[1].Key != "page:home" || ds[1].Action != freshcache.ActionInvalidate {
+		t.Fatalf("composite fan-out: %v", ds)
+	}
+}
+
+// TestPublicAPIModel checks the analytical model facade.
+func TestPublicAPIModel(t *testing.T) {
+	p := freshcache.Params{Lambda: 1, R: 0.9, T: 0.1, Cm: 1, Ci: 1, Cu: 1}
+	inv, err := p.PolicyCosts(freshcache.Invalidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := p.PolicyCosts(freshcache.TTLExpiry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.CF >= exp.CF {
+		t.Errorf("§3.1: invalidation C_F %v should beat ttl-expiry %v", inv.CF, exp.CF)
+	}
+	prims := freshcache.MeasuredPrimitives(1 << 10)
+	costs := prims.For(freshcache.BottleneckCPU, 16, 1024)
+	if !(costs.Cu < costs.Cm) {
+		t.Errorf("measured costs violate cu < cm: %+v", costs)
+	}
+}

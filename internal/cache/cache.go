@@ -1,0 +1,446 @@
+// Package cache implements the cache node of Figures 1 and 4: a
+// capacity-bounded, LRU-evicting, cache-aside cache that
+//
+//   - serves GETs from its resident set, filling misses from the store;
+//   - forwards PUTs to the store (writes bypass the cache);
+//   - subscribes to the store's batched invalidate/update pushes and
+//     applies them, detecting lost epochs and resynchronizing;
+//   - reports its read counts back to the store once per staleness bound
+//     so the store-side policy engine sees the full request stream.
+//
+// Bounded staleness is preserved across failures: while the subscription
+// is down every resident entry carries a hard deadline of
+// disconnect-time + T (serve until then, miss afterwards), and an epoch
+// gap on reconnect conservatively invalidates the whole resident set.
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/kv"
+	"freshcache/internal/proto"
+	"freshcache/internal/stats"
+)
+
+// Config configures a cache node.
+type Config struct {
+	// StoreAddr is the backing store's address. Required.
+	StoreAddr string
+	// Capacity bounds the resident set in objects; 0 means unbounded.
+	Capacity int
+	// T is the staleness bound, used for the disconnect fallback
+	// deadline and the read-report cadence. Defaults to 1s.
+	T time.Duration
+	// Name identifies this cache in its subscription.
+	Name string
+	// RetryInterval paces subscription reconnects; defaults to T/2
+	// capped to [10ms, 1s].
+	RetryInterval time.Duration
+	// Logger receives diagnostics; nil uses the standard logger.
+	Logger *log.Logger
+}
+
+func (c *Config) fill() error {
+	if c.StoreAddr == "" {
+		return errors.New("cache: Config.StoreAddr is required")
+	}
+	if c.T <= 0 {
+		c.T = time.Second
+	}
+	if c.Name == "" {
+		c.Name = "cache"
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = c.T / 2
+		if c.RetryInterval < 10*time.Millisecond {
+			c.RetryInterval = 10 * time.Millisecond
+		}
+		if c.RetryInterval > time.Second {
+			c.RetryInterval = time.Second
+		}
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return nil
+}
+
+// Counters is the cache's observable state.
+type Counters struct {
+	Gets, Hits, StaleMisses, ColdMisses stats.Counter
+	Puts                                stats.Counter
+	InvalidatesApplied, UpdatesApplied  stats.Counter
+	UpdatesIgnored                      stats.Counter // pushed for non-resident keys
+	BatchesApplied, EpochGaps           stats.Counter
+	Resyncs, Disconnects                stats.Counter
+	ReadReportsSent                     stats.Counter
+	MalformedFrames                     stats.Counter
+}
+
+// Server is a live cache node.
+type Server struct {
+	cfg   Config
+	kv    *kv.Cache
+	store *client.Client
+	c     Counters
+
+	readMu     sync.Mutex
+	readCounts map[string]uint32
+
+	mu     sync.Mutex
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a cache node.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		kv:         kv.NewCache(cfg.Capacity),
+		store:      client.New(cfg.StoreAddr, client.Options{}),
+		readCounts: make(map[string]uint32),
+	}, nil
+}
+
+// KV exposes the resident set for tests and tooling.
+func (s *Server) KV() *kv.Cache { return s.kv }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cache: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts client connections on ln until Close, running the
+// subscription and read-report loops in the background.
+func (s *Server) Serve(ln net.Listener) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.ln = ln
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	s.wg.Add(2)
+	go s.subscriptionLoop(ctx)
+	go s.reportLoop(ctx)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			cancel()
+			return fmt.Errorf("cache: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go s.handleConn(ctx, conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the node.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln, cancel := s.ln, s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.store.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Get serves one read with cache-aside semantics. It is exported so the
+// node can be embedded in-process (the examples do this) as well as
+// served over TCP.
+func (s *Server) Get(key string) ([]byte, uint64, error) {
+	s.c.Gets.Inc()
+	s.noteRead(key)
+	now := time.Now()
+	e, found, fresh := s.kv.Get(key, now)
+	if fresh {
+		s.c.Hits.Inc()
+		return e.Value, e.Version, nil
+	}
+	if found {
+		s.c.StaleMisses.Inc()
+	} else {
+		s.c.ColdMisses.Inc()
+	}
+	value, version, err := s.store.Fill(key)
+	if err != nil {
+		if errors.Is(err, client.ErrNotFound) && found {
+			// Deleted upstream; drop our stale copy.
+			s.kv.Delete(key)
+		}
+		return nil, 0, err
+	}
+	s.kv.Put(key, kv.Entry{Value: value, Version: version})
+	return value, version, nil
+}
+
+// Put forwards a write to the store (writes bypass the cache).
+func (s *Server) Put(key string, value []byte) (uint64, error) {
+	s.c.Puts.Inc()
+	return s.store.Put(key, value)
+}
+
+// noteRead accumulates the per-key read counts reported to the store.
+func (s *Server) noteRead(key string) {
+	s.readMu.Lock()
+	s.readCounts[key]++
+	s.readMu.Unlock()
+}
+
+// reportLoop ships accumulated read counts to the store once per T.
+func (s *Server) reportLoop(ctx context.Context) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.T)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.flushReports()
+		}
+	}
+}
+
+func (s *Server) flushReports() {
+	s.readMu.Lock()
+	if len(s.readCounts) == 0 {
+		s.readMu.Unlock()
+		return
+	}
+	reports := make([]proto.ReadReport, 0, len(s.readCounts))
+	for k, n := range s.readCounts {
+		reports = append(reports, proto.ReadReport{Key: k, Count: n})
+	}
+	s.readCounts = make(map[string]uint32)
+	s.readMu.Unlock()
+	if err := s.store.ReadReport(reports); err != nil {
+		s.cfg.Logger.Printf("cache %s: read report failed: %v", s.cfg.Name, err)
+		// Intentionally dropped rather than retried: read statistics are
+		// advisory for the policy engine and stale counts are worse than
+		// missing ones.
+	} else {
+		s.c.ReadReportsSent.Inc()
+	}
+}
+
+// subscriptionLoop maintains the push channel from the store, applying
+// batches and resynchronizing after failures.
+func (s *Server) subscriptionLoop(ctx context.Context) {
+	defer s.wg.Done()
+	lastEpoch := uint64(0)
+	subscribedOnce := false
+	for ctx.Err() == nil {
+		err := s.runSubscription(ctx, &lastEpoch, &subscribedOnce)
+		if ctx.Err() != nil {
+			return
+		}
+		s.c.Disconnects.Inc()
+		if err != nil {
+			s.cfg.Logger.Printf("cache %s: subscription: %v", s.cfg.Name, err)
+		}
+		// The push channel is down: resident data was fresh at
+		// disconnect, so it may serve for at most T more.
+		s.kv.ExpireAllBy(time.Now().Add(s.cfg.T))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(s.cfg.RetryInterval):
+		}
+	}
+}
+
+func (s *Server) runSubscription(ctx context.Context, lastEpoch *uint64, subscribedOnce *bool) error {
+	d := net.Dialer{Timeout: 5 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", s.cfg.StoreAddr)
+	if err != nil {
+		return fmt.Errorf("dialing store: %w", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	w := proto.NewWriter(conn)
+	r := proto.NewReader(conn)
+	if err := w.WriteMsg(&proto.Msg{Type: proto.MsgSubscribe, Seq: 1, Key: s.cfg.Name}); err != nil {
+		return fmt.Errorf("subscribing: %w", err)
+	}
+	resp, err := r.ReadMsg()
+	if err != nil {
+		return fmt.Errorf("reading subscribe response: %w", err)
+	}
+	if resp.Type != proto.MsgSubResp {
+		return fmt.Errorf("unexpected subscribe response %v", resp.Type)
+	}
+	if *subscribedOnce && resp.Epoch != *lastEpoch {
+		// Epochs advanced while we were away: we missed batches.
+		s.resync()
+	}
+	*lastEpoch = resp.Epoch
+	*subscribedOnce = true
+
+	// Heartbeat deadline: the store pushes every T (even empty batches),
+	// so silence for several T means the channel is dead.
+	idle := 3 * s.cfg.T
+	if idle < time.Second {
+		idle = time.Second
+	}
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return fmt.Errorf("setting read deadline: %w", err)
+		}
+		m, err := r.ReadMsg()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return errors.New("store closed the subscription")
+			}
+			return fmt.Errorf("reading push: %w", err)
+		}
+		if m.Type != proto.MsgBatch {
+			s.c.MalformedFrames.Inc()
+			continue
+		}
+		if m.Epoch != *lastEpoch+1 {
+			s.c.EpochGaps.Inc()
+			s.resync()
+		}
+		*lastEpoch = m.Epoch
+		s.applyBatch(m)
+	}
+}
+
+// resync conservatively invalidates the entire resident set after lost
+// pushes: every read refetches once, restoring bounded staleness.
+func (s *Server) resync() {
+	s.c.Resyncs.Inc()
+	s.kv.InvalidateAll()
+}
+
+func (s *Server) applyBatch(m *proto.Msg) {
+	for _, op := range m.Ops {
+		switch op.Kind {
+		case proto.BatchInvalidate:
+			if s.kv.Invalidate(op.Key) {
+				s.c.InvalidatesApplied.Inc()
+			}
+		case proto.BatchUpdate:
+			// Copy: op.Value aliases the reader buffer.
+			v := make([]byte, len(op.Value))
+			copy(v, op.Value)
+			if s.kv.Update(op.Key, v, op.Version) {
+				s.c.UpdatesApplied.Inc()
+			} else {
+				s.c.UpdatesIgnored.Inc()
+			}
+		}
+	}
+	s.c.BatchesApplied.Inc()
+}
+
+// handleConn serves one client connection.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := proto.NewReader(conn)
+	w := proto.NewWriter(conn)
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.c.MalformedFrames.Inc()
+				s.cfg.Logger.Printf("cache %s: conn %s: %v", s.cfg.Name, conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(m)
+		if err := w.WriteMsg(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
+	switch m.Type {
+	case proto.MsgGet:
+		value, version, err := s.Get(m.Key)
+		switch {
+		case err == nil:
+			return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusOK,
+				Version: version, Value: value}
+		case errors.Is(err, client.ErrNotFound):
+			return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusNotFound}
+		default:
+			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+		}
+	case proto.MsgPut:
+		version, err := s.Put(m.Key, m.Value)
+		if err != nil {
+			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+		}
+		return &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+	case proto.MsgPing:
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgStats:
+		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: s.StatsMap()}
+	default:
+		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
+			Err: fmt.Sprintf("cache: unexpected message %v", m.Type)}
+	}
+}
+
+// StatsMap snapshots the node's counters.
+func (s *Server) StatsMap() map[string]uint64 {
+	return map[string]uint64{
+		"gets":                s.c.Gets.Value(),
+		"hits":                s.c.Hits.Value(),
+		"stale_misses":        s.c.StaleMisses.Value(),
+		"cold_misses":         s.c.ColdMisses.Value(),
+		"puts":                s.c.Puts.Value(),
+		"invalidates_applied": s.c.InvalidatesApplied.Value(),
+		"updates_applied":     s.c.UpdatesApplied.Value(),
+		"updates_ignored":     s.c.UpdatesIgnored.Value(),
+		"batches_applied":     s.c.BatchesApplied.Value(),
+		"epoch_gaps":          s.c.EpochGaps.Value(),
+		"resyncs":             s.c.Resyncs.Value(),
+		"disconnects":         s.c.Disconnects.Value(),
+		"read_reports_sent":   s.c.ReadReportsSent.Value(),
+		"malformed_frames":    s.c.MalformedFrames.Value(),
+		"resident":            uint64(s.kv.Len()),
+		"evictions":           s.kv.Evictions(),
+	}
+}

@@ -1,0 +1,414 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/core"
+	"freshcache/internal/costmodel"
+	"freshcache/internal/store"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// harness wires one store and one cache node on ephemeral ports.
+type harness struct {
+	store *store.Server
+	cache *Server
+	// storeAddr is the real store; cacheAddr the cache's client port.
+	storeAddr, cacheAddr string
+}
+
+func startHarness(t *testing.T, T time.Duration, engineCosts costmodel.Costs, capacity int) *harness {
+	t.Helper()
+	st := store.New(store.Config{T: T, Engine: core.Config{Costs: engineCosts}, Logger: quietLogger()})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	t.Cleanup(func() { st.Close() })
+
+	ca, err := New(Config{
+		StoreAddr: sln.Addr().String(),
+		Capacity:  capacity,
+		T:         T,
+		Name:      "test-cache",
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	t.Cleanup(func() { ca.Close() })
+
+	return &harness{
+		store:     st,
+		cache:     ca,
+		storeAddr: sln.Addr().String(),
+		cacheAddr: cln.Addr().String(),
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestCacheAsideFlow(t *testing.T) {
+	h := startHarness(t, 50*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+
+	// Write through the cache: forwarded to the store.
+	if _, err := c.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// First read: cold miss, filled from store.
+	val, _, err := c.Get("k")
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("read 1: %q %v", val, err)
+	}
+	// Second read: hit.
+	if _, _, err := c.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	sm := h.cache.StatsMap()
+	if sm["cold_misses"] != 1 || sm["hits"] != 1 {
+		t.Errorf("cold=%d hits=%d", sm["cold_misses"], sm["hits"])
+	}
+	if _, _, err := c.Get("absent"); !errors.Is(err, client.ErrNotFound) {
+		t.Errorf("absent key: %v", err)
+	}
+}
+
+func TestUpdatePushRefreshesCache(t *testing.T) {
+	// Update-leaning costs: writes propagate as value pushes.
+	h := startHarness(t, 30*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+
+	c.Put("k", []byte("v1")) //nolint:errcheck
+	c.Get("k")               //nolint:errcheck // make resident
+	c.Put("k", []byte("v2")) //nolint:errcheck
+
+	waitFor(t, 5*time.Second, func() bool {
+		return h.cache.StatsMap()["updates_applied"] > 0
+	}, "update push")
+
+	val, _, err := c.Get("k")
+	if err != nil || string(val) != "v2" {
+		t.Fatalf("after update push: %q %v", val, err)
+	}
+	// That read must have been a hit: the push refreshed the copy.
+	sm := h.cache.StatsMap()
+	if sm["stale_misses"] != 0 {
+		t.Errorf("stale_misses = %d, update push should avoid misses", sm["stale_misses"])
+	}
+}
+
+func TestInvalidatePushForcesRefetch(t *testing.T) {
+	// Invalidate-leaning costs (cu huge).
+	h := startHarness(t, 30*time.Millisecond, costmodel.Fixed(2, 0.25, 100), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+
+	c.Put("k", []byte("v1")) //nolint:errcheck
+	c.Get("k")               //nolint:errcheck
+	c.Put("k", []byte("v2")) //nolint:errcheck
+
+	waitFor(t, 5*time.Second, func() bool {
+		return h.cache.StatsMap()["invalidates_applied"] > 0
+	}, "invalidate push")
+
+	val, _, err := c.Get("k")
+	if err != nil || string(val) != "v2" {
+		t.Fatalf("after invalidate: %q %v", val, err)
+	}
+	sm := h.cache.StatsMap()
+	if sm["stale_misses"] == 0 {
+		t.Error("expected a stale miss after invalidation")
+	}
+}
+
+// TestBoundedStalenessEndToEnd is the live-system counterpart of the
+// simulator's freshness audit: any read issued more than T (plus
+// scheduling slack) after a write must return that write's value.
+func TestBoundedStalenessEndToEnd(t *testing.T) {
+	const T = 40 * time.Millisecond
+	h := startHarness(t, T, costmodel.Fixed(2, 0.25, 1), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if _, err := c.Put("k", []byte(want)); err != nil {
+			t.Fatal(err)
+		}
+		c.Get("k") //nolint:errcheck // keep the key resident
+		// Wait well past the bound: batch interval + delivery slack.
+		time.Sleep(3 * T)
+		val, _, err := c.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(val) != want {
+			t.Fatalf("iteration %d: read %q more than T after writing %q", i, val, want)
+		}
+	}
+}
+
+// proxy is a byte-level TCP forwarder whose connections can be severed to
+// inject subscription failures.
+type proxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	conns  []net.Conn
+	paused bool
+	done   chan struct{}
+}
+
+func newProxy(t *testing.T, target string) *proxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proxy{ln: ln, target: target, done: make(chan struct{})}
+	go p.run()
+	t.Cleanup(p.stop)
+	return p
+}
+
+func (p *proxy) addr() string { return p.ln.Addr().String() }
+
+func (p *proxy) run() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		paused := p.paused
+		p.mu.Unlock()
+		if paused {
+			c.Close() // refuse while the outage is injected
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, c, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, c); up.Close() }() //nolint:errcheck
+		go func() { io.Copy(c, up); c.Close() }()  //nolint:errcheck
+	}
+}
+
+// sever kills all live proxied connections (the listener stays up, so
+// reconnects succeed once unpaused).
+func (p *proxy) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// setPaused toggles connection refusal.
+func (p *proxy) setPaused(v bool) {
+	p.mu.Lock()
+	p.paused = v
+	p.mu.Unlock()
+}
+
+func (p *proxy) stop() {
+	p.ln.Close()
+	p.sever()
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+}
+
+func TestSubscriptionLossTriggersResync(t *testing.T) {
+	const T = 30 * time.Millisecond
+	st := store.New(store.Config{T: T, Engine: core.Config{Costs: costmodel.Fixed(2, 0.25, 1)}, Logger: quietLogger()})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	defer st.Close()
+
+	px := newProxy(t, sln.Addr().String())
+	ca, err := New(Config{
+		StoreAddr: px.addr(), T: T, Name: "flaky", Logger: quietLogger(),
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	defer ca.Close()
+
+	c := client.New(cln.Addr().String(), client.Options{})
+	defer c.Close()
+
+	// Establish a resident, fresh entry and a live subscription.
+	c.Put("k", []byte("v1")) //nolint:errcheck
+	c.Get("k")               //nolint:errcheck
+	waitFor(t, 5*time.Second, func() bool {
+		return ca.StatsMap()["batches_applied"] > 0
+	}, "initial subscription")
+
+	// Inject an outage long enough for epochs to advance, so the
+	// reconnecting cache must detect the gap and resynchronize.
+	px.setPaused(true)
+	px.sever()
+	// Meanwhile a write happens that the cache cannot hear about.
+	c2 := client.New(sln.Addr().String(), client.Options{})
+	defer c2.Close()
+	c2.Put("k", []byte("v2")) //nolint:errcheck
+	time.Sleep(5 * T)         // several flush epochs pass
+	px.setPaused(false)
+
+	waitFor(t, 10*time.Second, func() bool {
+		sm := ca.StatsMap()
+		return sm["resyncs"] > 0 && sm["batches_applied"] > 1
+	}, "resync after reconnect")
+
+	// After the resync the resident copy was conservatively invalidated,
+	// so the next read refetches v2.
+	val, _, err := c.Get("k")
+	if err != nil || string(val) != "v2" {
+		t.Fatalf("after resync: %q %v", val, err)
+	}
+	if ca.StatsMap()["disconnects"] == 0 {
+		t.Error("disconnect not recorded")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	h := startHarness(t, 50*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 128)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Put(key, []byte("v")) //nolint:errcheck
+		c.Get(key)              //nolint:errcheck
+	}
+	sm := h.cache.StatsMap()
+	if sm["evictions"] == 0 {
+		t.Error("no evictions under capacity pressure")
+	}
+	if sm["resident"] > 256 {
+		t.Errorf("resident = %d exceeds capacity slack", sm["resident"])
+	}
+}
+
+func TestReadReportsFlow(t *testing.T) {
+	h := startHarness(t, 25*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+
+	c.Put("k", []byte("v")) //nolint:errcheck
+	for i := 0; i < 20; i++ {
+		c.Get("k") //nolint:errcheck
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return h.cache.StatsMap()["read_reports_sent"] > 0
+	}, "read report")
+	// The store must have registered the report.
+	sc := client.New(h.storeAddr, client.Options{})
+	defer sc.Close()
+	st, err := sc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["read_reports"] == 0 {
+		t.Error("store saw no read reports")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty StoreAddr accepted")
+	}
+}
+
+func TestCacheStatsAndPing(t *testing.T) {
+	h := startHarness(t, 50*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 0)
+	c := client.New(h.cacheAddr, client.Options{})
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sm["hits"]; !ok {
+		t.Errorf("stats missing hits: %v", sm)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h := startHarness(t, 30*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := client.New(h.cacheAddr, client.Options{MaxConns: 2})
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%20)
+				if i%5 == 0 {
+					if _, err := c.Put(key, []byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, _, err := c.Get(key); err != nil && !errors.Is(err, client.ErrNotFound) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

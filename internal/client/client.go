@@ -1,0 +1,295 @@
+// Package client is the connection-pooled client library for freshcache
+// nodes. It speaks the proto wire format and offers typed Get/Put/Stats
+// calls plus the cache-internal Fill and ReadReport verbs.
+//
+// One Client owns a pool of TCP connections to a single address; each
+// request checks a connection out, performs one request/response
+// exchange, and returns it. Responses are copied out of the framing
+// buffers, so returned values remain valid after the next call.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freshcache/internal/proto"
+)
+
+// Errors surfaced by client calls.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("client: key not found")
+	// ErrClosed reports a call on a closed client.
+	ErrClosed = errors.New("client: closed")
+)
+
+// Options configures a Client.
+type Options struct {
+	// MaxConns bounds the pool; defaults to 8.
+	MaxConns int
+	// DialTimeout bounds connection establishment; defaults to 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip; defaults
+	// to 10s.
+	RequestTimeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 8
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+}
+
+// Client is a pooled connection to one freshcache node.
+type Client struct {
+	addr string
+	opts Options
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	free   []*pconn
+	total  int
+	closed bool
+	// waiters wake when a connection is returned.
+	cond *sync.Cond
+}
+
+type pconn struct {
+	c net.Conn
+	r *proto.Reader
+	w *proto.Writer
+}
+
+// New builds a client for addr. No connection is made until first use.
+func New(addr string, opts Options) *Client {
+	opts.fill()
+	c := &Client{addr: addr, opts: opts}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+// checkout returns a connection and whether it was reused from the pool
+// (a reused connection may have gone stale; callers retry transport
+// failures on reused connections but not on fresh ones).
+func (c *Client) checkout() (pc *pconn, reused bool, err error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false, ErrClosed
+		}
+		if n := len(c.free); n > 0 {
+			pc := c.free[n-1]
+			c.free = c.free[:n-1]
+			c.mu.Unlock()
+			return pc, true, nil
+		}
+		if c.total < c.opts.MaxConns {
+			c.total++
+			c.mu.Unlock()
+			pc, err := c.dial()
+			if err != nil {
+				c.mu.Lock()
+				c.total--
+				c.cond.Signal()
+				c.mu.Unlock()
+				return nil, false, err
+			}
+			return pc, false, nil
+		}
+		c.cond.Wait()
+	}
+}
+
+func (c *Client) dial() (*pconn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", c.addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck // best-effort latency tweak
+	}
+	return &pconn{c: conn, r: proto.NewReader(conn), w: proto.NewWriter(conn)}, nil
+}
+
+// checkin returns a healthy connection to the pool; broken ones are
+// discarded so the pool re-dials lazily.
+func (c *Client) checkin(pc *pconn, healthy bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !healthy || c.closed {
+		pc.c.Close()
+		c.total--
+	} else {
+		c.free = append(c.free, pc)
+	}
+	c.cond.Signal()
+}
+
+// do performs one request/response exchange, retrying transport failures
+// that occurred on reused pool connections (they may simply have gone
+// stale since checkin). A failure on a freshly dialed connection is
+// returned to the caller.
+func (c *Client) do(req *proto.Msg) (*proto.Msg, error) {
+	for {
+		resp, reused, err := c.doOnce(req)
+		if err != nil && reused {
+			continue // stale pooled connection: try another
+		}
+		return resp, err
+	}
+}
+
+func (c *Client) doOnce(req *proto.Msg) (*proto.Msg, bool, error) {
+	req.Seq = c.seq.Add(1)
+	pc, reused, err := c.checkout()
+	if err != nil {
+		return nil, false, err
+	}
+	deadline := time.Now().Add(c.opts.RequestTimeout)
+	if err := pc.c.SetDeadline(deadline); err != nil {
+		c.checkin(pc, false)
+		return nil, reused, fmt.Errorf("client: setting deadline: %w", err)
+	}
+	if err := pc.w.WriteMsg(req); err != nil {
+		c.checkin(pc, false)
+		return nil, reused, err
+	}
+	resp, err := pc.r.ReadMsg()
+	if err != nil {
+		c.checkin(pc, false)
+		return nil, reused, err
+	}
+	if resp.Seq != req.Seq {
+		// Connection state is unrecoverable (a stray push or a lost
+		// response); drop it and report — retrying could double-apply.
+		c.checkin(pc, false)
+		return nil, false, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	// Copy buffer-aliasing fields before the conn (and its read buffer)
+	// is reused.
+	if resp.Value != nil {
+		v := make([]byte, len(resp.Value))
+		copy(v, resp.Value)
+		resp.Value = v
+	}
+	c.checkin(pc, true)
+	if resp.Type == proto.MsgErr {
+		return nil, false, fmt.Errorf("client: server error: %s", resp.Err)
+	}
+	return resp, false, nil
+}
+
+// Get fetches key's value and version. It reports ErrNotFound for
+// missing keys.
+func (c *Client) Get(key string) ([]byte, uint64, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgGet, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	return getResult(resp, key)
+}
+
+// Fill is the cache-internal read used to service a miss: like Get but
+// the store records a cache fill rather than a client read.
+func (c *Client) Fill(key string) ([]byte, uint64, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgFill, Key: key})
+	if err != nil {
+		return nil, 0, err
+	}
+	return getResult(resp, key)
+}
+
+func getResult(resp *proto.Msg, key string) ([]byte, uint64, error) {
+	if resp.Type != proto.MsgGetResp {
+		return nil, 0, fmt.Errorf("client: unexpected response %v to GET", resp.Type)
+	}
+	switch resp.Status {
+	case proto.StatusOK:
+		return resp.Value, resp.Version, nil
+	case proto.StatusNotFound:
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	default:
+		return nil, 0, fmt.Errorf("client: GET %q failed with status %v", key, resp.Status)
+	}
+}
+
+// Put writes value under key and returns the assigned version.
+func (c *Client) Put(key string, value []byte) (uint64, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgPut, Key: key, Value: value})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != proto.MsgPutResp || resp.Status != proto.StatusOK {
+		return 0, fmt.Errorf("client: PUT %q failed: %v/%v", key, resp.Type, resp.Status)
+	}
+	return resp.Version, nil
+}
+
+// ReadReport ships per-key read counts to the store's policy engine.
+func (c *Client) ReadReport(reports []proto.ReadReport) error {
+	if len(reports) == 0 {
+		return nil
+	}
+	resp, err := c.do(&proto.Msg{Type: proto.MsgReadReport, Reports: reports})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to READREPORT", resp.Type)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgPing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to PING", resp.Type)
+	}
+	return nil
+}
+
+// Stats fetches the node's counter map.
+func (c *Client) Stats() (map[string]uint64, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != proto.MsgStatsResp {
+		return nil, fmt.Errorf("client: unexpected response %v to STATS", resp.Type)
+	}
+	return resp.Stats, nil
+}
+
+// Close tears down pooled connections; in-flight requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, pc := range c.free {
+		pc.c.Close()
+	}
+	c.free = nil
+	c.cond.Broadcast()
+	return nil
+}

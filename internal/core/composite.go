@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Composites implements the paper's §5 "many-to-many caching
+// relationship" extension: a cached object (a rendered page, a joined
+// view) is assembled from several backend keys, and "a cached object has
+// bounded staleness if its constituent parts satisfy the staleness
+// bound". A write to any part therefore dirties every composite built
+// from it.
+//
+// Composites are always propagated as invalidates: the store holds the
+// parts, not the rendered object, so it cannot push a new composite value
+// — the next read re-renders it (the paper's web-page example). Part keys
+// keep their usual per-key update-vs-invalidate decision; composite
+// fan-out adds invalidations on top.
+//
+// Composites is safe for concurrent use and is composed with Engine via
+// Engine.Expand or used standalone by a proxy.
+type Composites struct {
+	mu sync.RWMutex
+	// parts maps composite -> its constituent part keys.
+	parts map[string][]string
+	// rdeps maps part key -> composites that depend on it.
+	rdeps map[string]map[string]struct{}
+}
+
+// NewComposites returns an empty dependency index.
+func NewComposites() *Composites {
+	return &Composites{
+		parts: make(map[string][]string),
+		rdeps: make(map[string]map[string]struct{}),
+	}
+}
+
+// Register declares that composite is assembled from parts, replacing any
+// previous registration. A composite with no parts is an error, as is a
+// composite key that is itself a part of another composite (one level of
+// composition keeps staleness reasoning tractable; the paper's examples
+// — pages from fragments — are one level).
+func (c *Composites) Register(composite string, parts []string) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("core: composite %q needs at least one part", composite)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, isPart := c.rdeps[composite]; isPart {
+		return fmt.Errorf("core: %q is a part of another composite; nesting is not supported", composite)
+	}
+	for _, p := range parts {
+		if _, isComposite := c.parts[p]; isComposite {
+			return fmt.Errorf("core: part %q is itself a composite; nesting is not supported", p)
+		}
+	}
+	c.unregisterLocked(composite)
+	cp := make([]string, len(parts))
+	copy(cp, parts)
+	c.parts[composite] = cp
+	for _, p := range cp {
+		set := c.rdeps[p]
+		if set == nil {
+			set = make(map[string]struct{})
+			c.rdeps[p] = set
+		}
+		set[composite] = struct{}{}
+	}
+	return nil
+}
+
+// Unregister removes a composite.
+func (c *Composites) Unregister(composite string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.unregisterLocked(composite)
+}
+
+func (c *Composites) unregisterLocked(composite string) {
+	for _, p := range c.parts[composite] {
+		if set := c.rdeps[p]; set != nil {
+			delete(set, composite)
+			if len(set) == 0 {
+				delete(c.rdeps, p)
+			}
+		}
+	}
+	delete(c.parts, composite)
+}
+
+// Parts returns the registered parts of composite (nil if unknown).
+func (c *Composites) Parts(composite string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ps := c.parts[composite]
+	if ps == nil {
+		return nil
+	}
+	out := make([]string, len(ps))
+	copy(out, ps)
+	return out
+}
+
+// DependentsOf returns the composites that contain the given part key.
+func (c *Composites) DependentsOf(part string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := c.rdeps[part]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expand fans a flush's part-level decisions out to composite
+// invalidations: any part that received an update or an invalidate this
+// interval renders every dependent composite stale. Composite
+// invalidations are deduplicated within the returned batch (a composite
+// with three dirty parts is invalidated once) and appended, sorted, after
+// the original decisions.
+func (c *Composites) Expand(decisions []Decision) []Decision {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, d := range decisions {
+		if d.Action == ActionNone {
+			// The part's cached copy was already invalid — its
+			// composites were invalidated when it first went stale.
+			continue
+		}
+		for comp := range c.rdeps[d.Key] {
+			seen[comp] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return decisions
+	}
+	extra := make([]Decision, 0, len(seen))
+	for comp := range seen {
+		extra = append(extra, Decision{Key: comp, Action: ActionInvalidate})
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Key < extra[j].Key })
+	return append(decisions, extra...)
+}
+
+// FlushExpanded runs e.Flush and fans the result out through the
+// dependency index — the drop-in composite-aware flush for a store or
+// proxy.
+func (e *Engine) FlushExpanded(c *Composites) []Decision {
+	return c.Expand(e.Flush())
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"freshcache/internal/costmodel"
+)
+
+func TestCompositeRegisterAndLookup(t *testing.T) {
+	c := NewComposites()
+	if err := c.Register("page:home", []string{"frag:header", "frag:feed", "frag:footer"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Parts("page:home"); len(got) != 3 || got[1] != "frag:feed" {
+		t.Errorf("Parts = %v", got)
+	}
+	if got := c.DependentsOf("frag:feed"); !reflect.DeepEqual(got, []string{"page:home"}) {
+		t.Errorf("DependentsOf = %v", got)
+	}
+	if c.Parts("unknown") != nil {
+		t.Error("unknown composite has parts")
+	}
+	if c.DependentsOf("unknown") != nil {
+		t.Error("unknown part has dependents")
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	c := NewComposites()
+	if err := c.Register("empty", nil); err == nil {
+		t.Error("empty parts accepted")
+	}
+	if err := c.Register("page", []string{"frag"}); err != nil {
+		t.Fatal(err)
+	}
+	// A composite cannot become a part, nor a part a composite.
+	if err := c.Register("super", []string{"page"}); err == nil {
+		t.Error("nested composite accepted")
+	}
+	if err := c.Register("frag", []string{"x"}); err == nil {
+		t.Error("part re-registered as composite")
+	}
+}
+
+func TestCompositeReRegisterReplaces(t *testing.T) {
+	c := NewComposites()
+	if err := c.Register("page", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("page", []string{"b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DependentsOf("a"); got != nil {
+		t.Errorf("stale rdep survived: %v", got)
+	}
+	if got := c.DependentsOf("c"); len(got) != 1 {
+		t.Errorf("new rdep missing: %v", got)
+	}
+	c.Unregister("page")
+	if c.Parts("page") != nil || c.DependentsOf("b") != nil {
+		t.Error("unregister incomplete")
+	}
+}
+
+func TestExpandFansOutInvalidations(t *testing.T) {
+	c := NewComposites()
+	mustRegister(t, c, "page:1", "frag:a", "frag:b")
+	mustRegister(t, c, "page:2", "frag:b", "frag:c")
+
+	in := []Decision{
+		{Key: "frag:b", Action: ActionUpdate},
+		{Key: "other", Action: ActionInvalidate},
+	}
+	out := c.Expand(in)
+	// Original decisions preserved, both pages invalidated, sorted.
+	if len(out) != 4 {
+		t.Fatalf("expanded to %d decisions: %v", len(out), out)
+	}
+	if out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("original decisions disturbed: %v", out[:2])
+	}
+	if out[2].Key != "page:1" || out[3].Key != "page:2" {
+		t.Errorf("composite fan-out wrong: %v", out[2:])
+	}
+	for _, d := range out[2:] {
+		if d.Action != ActionInvalidate {
+			t.Errorf("composite got %v, want invalidate", d.Action)
+		}
+	}
+}
+
+func TestExpandDeduplicatesComposites(t *testing.T) {
+	c := NewComposites()
+	mustRegister(t, c, "page", "a", "b", "c")
+	out := c.Expand([]Decision{
+		{Key: "a", Action: ActionUpdate},
+		{Key: "b", Action: ActionInvalidate},
+		{Key: "c", Action: ActionUpdate},
+	})
+	if len(out) != 4 {
+		t.Fatalf("composite invalidated more than once: %v", out)
+	}
+}
+
+func TestExpandSkipsActionNone(t *testing.T) {
+	c := NewComposites()
+	mustRegister(t, c, "page", "a")
+	out := c.Expand([]Decision{{Key: "a", Action: ActionNone}})
+	if len(out) != 1 {
+		t.Errorf("ActionNone fanned out: %v", out)
+	}
+	// And no dependents at all: input returned unchanged.
+	in := []Decision{{Key: "zzz", Action: ActionUpdate}}
+	if got := c.Expand(in); len(got) != 1 {
+		t.Errorf("independent key fanned out: %v", got)
+	}
+}
+
+func TestFlushExpandedEndToEnd(t *testing.T) {
+	eng := NewEngine(Config{Costs: costmodel.Fixed(2, 0.25, 1)})
+	deps := NewComposites()
+	mustRegister(t, deps, "page:profile", "user:1", "avatar:1")
+
+	eng.ObserveRead("user:1")
+	eng.ObserveWrite("user:1")
+	ds := eng.FlushExpanded(deps)
+	if len(ds) != 2 {
+		t.Fatalf("decisions: %v", ds)
+	}
+	if ds[0].Key != "user:1" {
+		t.Errorf("part decision missing: %v", ds)
+	}
+	if ds[1].Key != "page:profile" || ds[1].Action != ActionInvalidate {
+		t.Errorf("composite decision wrong: %v", ds[1])
+	}
+	// A write to an unrelated key does not touch the composite.
+	eng.ObserveWrite("unrelated")
+	ds = eng.FlushExpanded(deps)
+	if len(ds) != 1 || ds[0].Key != "unrelated" {
+		t.Errorf("unrelated flush: %v", ds)
+	}
+}
+
+func TestCompositesConcurrent(t *testing.T) {
+	c := NewComposites()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				comp := fmt.Sprintf("page:%d-%d", g, i%10)
+				part := fmt.Sprintf("frag:%d", i%20)
+				if err := c.Register(comp, []string{part}); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Expand([]Decision{{Key: part, Action: ActionUpdate}})
+				c.DependentsOf(part)
+				if i%3 == 0 {
+					c.Unregister(comp)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func mustRegister(t *testing.T, c *Composites, comp string, parts ...string) {
+	t.Helper()
+	if err := c.Register(comp, parts); err != nil {
+		t.Fatal(err)
+	}
+}

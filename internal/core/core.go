@@ -1,0 +1,285 @@
+// Package core implements the paper's primary contribution: the adaptive,
+// per-object freshness policy that reacts to writes with either an update
+// (push the new value to the cache) or an invalidate (mark the cached copy
+// stale), chosen per key from the measured ratio of writes to reads.
+//
+// The decision rule (§3.2–§3.3) is
+//
+//	update   iff  E[W]·c_u < c_m + c_i
+//
+// where E[W] is the expected number of writes between consecutive reads of
+// the key (estimated by a sketch.Tracker), c_u is the cost of an update,
+// c_i of an invalidate, and c_m of a cache miss. A run of E[W] writes
+// costs E[W]·c_u under updating, versus a single invalidate plus one
+// eventual miss (c_i + c_m) under invalidation.
+//
+// Two layers are exported:
+//
+//   - Decider: the stateless-per-call decision rule over a Tracker, used
+//     directly by the simulator (uint64 key identities).
+//   - Engine: a concurrency-safe, string-keyed batching engine for live
+//     deployments: writes are buffered and flushed once per staleness
+//     bound T, already-invalidated keys are deduplicated, and decisions
+//     are emitted as a batch the store pushes to its caches (Figure 4).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"freshcache/internal/costmodel"
+	"freshcache/internal/sketch"
+)
+
+// Action is a freshness decision for one written key.
+type Action int
+
+// Possible decisions. ActionNone means the key needs no message this
+// interval (it is already invalidated in the cache).
+const (
+	ActionNone Action = iota
+	ActionInvalidate
+	ActionUpdate
+)
+
+// String returns "none", "invalidate" or "update".
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionInvalidate:
+		return "invalidate"
+	case ActionUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Decider applies the §3.2/§3.3 decision rules over a Tracker.
+// Decider is not safe for concurrent use.
+type Decider struct {
+	// Tracker estimates per-key E[W]; required.
+	Tracker sketch.Tracker
+	// Costs supplies c_m, c_i, c_u. Cm = +Inf forces updates always
+	// (the read-latency-first mode of §3.3).
+	Costs costmodel.Costs
+	// SLO, when positive, is the maximum tolerable stale-read miss ratio
+	// C′_S. Keys whose estimated write fraction 1−r̂ exceeds the SLO are
+	// updated even when invalidation wins on throughput (§3.2).
+	SLO float64
+}
+
+// ObserveRead records a read of key into the tracker.
+func (d *Decider) ObserveRead(key uint64) { d.Tracker.ObserveRead(key) }
+
+// ObserveWrite records a write of key into the tracker.
+func (d *Decider) ObserveWrite(key uint64) { d.Tracker.ObserveWrite(key) }
+
+// Update reports whether a write to key should be propagated as an update
+// (true) or an invalidate (false).
+func (d *Decider) Update(key uint64) bool {
+	if math.IsInf(d.Costs.Cm, 1) {
+		return true
+	}
+	ew := d.Tracker.EW(key)
+	if ew*d.Costs.Cu < d.Costs.Cm+d.Costs.Ci {
+		return true
+	}
+	if d.SLO > 0 {
+		// Estimate the key's write fraction; invalidation's limiting
+		// stale-miss ratio is 1−r̂ (§3.2), so breach of the SLO forces
+		// updates regardless of throughput cost.
+		r, w := d.Tracker.Reads(key), d.Tracker.Writes(key)
+		if r+w > 0 {
+			writeFrac := float64(w) / float64(r+w)
+			if writeFrac > d.SLO {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Decision pairs a key with the action chosen for it at a flush.
+type Decision struct {
+	Key    string
+	Action Action
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Costs supplies the decision-rule parameters; zero value is replaced
+	// by costmodel.DefaultSim().
+	Costs costmodel.Costs
+	// Tracker estimates E[W]; nil selects a Top-K tracker with 1024 hot
+	// slots over a 16384×4 count-min tail.
+	Tracker sketch.Tracker
+	// SLO is the optional staleness-miss-ratio bound (see Decider.SLO).
+	SLO float64
+	// MaxInvalidated bounds the store-side invalidated-key set; beyond
+	// it the oldest entries are forgotten (a forgotten key at worst
+	// receives one redundant invalidate). Defaults to 1<<16.
+	MaxInvalidated int
+}
+
+// Engine is the store-side (or proxy-side) policy engine of Figure 4:
+// it observes the request stream, buffers written keys, and at each
+// staleness interval emits one batched decision per dirty key.
+// Engine is safe for concurrent use.
+type Engine struct {
+	mu          sync.Mutex
+	decider     Decider
+	dirty       map[string]struct{}
+	invalidated map[string]uint64 // key -> epoch of invalidation, for LRU-ish eviction
+	epoch       uint64
+	maxInv      int
+
+	flushes     uint64
+	invSent     uint64
+	updSent     uint64
+	skippedInv  uint64
+	evictedInvs uint64
+}
+
+// NewEngine builds an Engine from cfg.
+func NewEngine(cfg Config) *Engine {
+	costs := cfg.Costs
+	if costs == (costmodel.Costs{}) {
+		costs = costmodel.DefaultSim()
+	}
+	tr := cfg.Tracker
+	if tr == nil {
+		tr = sketch.MustTopK(1024, 16384, 4)
+	}
+	maxInv := cfg.MaxInvalidated
+	if maxInv <= 0 {
+		maxInv = 1 << 16
+	}
+	return &Engine{
+		decider:     Decider{Tracker: tr, Costs: costs, SLO: cfg.SLO},
+		dirty:       make(map[string]struct{}),
+		invalidated: make(map[string]uint64),
+		maxInv:      maxInv,
+	}
+}
+
+// ObserveRead records a read of key (seen by the proxy/LB, or reported by
+// the cache; see internal/store for the piggyback channel).
+func (e *Engine) ObserveRead(key string) {
+	e.mu.Lock()
+	e.decider.ObserveRead(sketch.Hash(key))
+	e.mu.Unlock()
+}
+
+// ObserveWrite records a write of key and marks it dirty for the next
+// flush.
+func (e *Engine) ObserveWrite(key string) {
+	e.mu.Lock()
+	e.decider.ObserveWrite(sketch.Hash(key))
+	e.dirty[key] = struct{}{}
+	e.mu.Unlock()
+}
+
+// NoteFilled tells the engine the cache re-fetched key (a miss was
+// served), so the cache's copy is fresh again and future writes must send
+// a fresh invalidate rather than being deduplicated away.
+func (e *Engine) NoteFilled(key string) {
+	e.mu.Lock()
+	delete(e.invalidated, key)
+	e.mu.Unlock()
+}
+
+// DirtyCount returns the number of keys written since the last flush.
+func (e *Engine) DirtyCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.dirty)
+}
+
+// Flush drains the dirty set and returns one decision per dirty key,
+// sorted by key for deterministic output. Keys decided as invalidate are
+// remembered so later writes do not re-invalidate them until the cache
+// refills (NoteFilled).
+func (e *Engine) Flush() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushes++
+	if len(e.dirty) == 0 {
+		return nil
+	}
+	out := make([]Decision, 0, len(e.dirty))
+	for key := range e.dirty {
+		out = append(out, Decision{Key: key, Action: e.decideLocked(key)})
+	}
+	e.dirty = make(map[string]struct{})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (e *Engine) decideLocked(key string) Action {
+	if e.decider.Update(sketch.Hash(key)) {
+		delete(e.invalidated, key)
+		e.updSent++
+		return ActionUpdate
+	}
+	if _, already := e.invalidated[key]; already {
+		e.skippedInv++
+		return ActionNone
+	}
+	e.rememberInvalidatedLocked(key)
+	e.invSent++
+	return ActionInvalidate
+}
+
+// rememberInvalidatedLocked adds key to the invalidated set, evicting the
+// oldest ~10% when the bound is hit. Forgetting is safe: the only effect
+// is a possible redundant invalidate later.
+func (e *Engine) rememberInvalidatedLocked(key string) {
+	if len(e.invalidated) >= e.maxInv {
+		type kv struct {
+			k  string
+			ep uint64
+		}
+		victims := make([]kv, 0, len(e.invalidated))
+		for k, ep := range e.invalidated {
+			victims = append(victims, kv{k, ep})
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].ep < victims[j].ep })
+		drop := len(victims)/10 + 1
+		for _, v := range victims[:drop] {
+			delete(e.invalidated, v.k)
+			e.evictedInvs++
+		}
+	}
+	e.epoch++
+	e.invalidated[key] = e.epoch
+}
+
+// EngineStats is a point-in-time snapshot of engine counters.
+type EngineStats struct {
+	Flushes, InvalidatesSent, UpdatesSent uint64
+	SkippedInvalidates                    uint64
+	InvalidatedTracked                    int
+	EvictedInvalidations                  uint64
+	TrackerBytes                          int
+	TrackerName                           string
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		Flushes:              e.flushes,
+		InvalidatesSent:      e.invSent,
+		UpdatesSent:          e.updSent,
+		SkippedInvalidates:   e.skippedInv,
+		InvalidatedTracked:   len(e.invalidated),
+		EvictedInvalidations: e.evictedInvs,
+		TrackerBytes:         e.decider.Tracker.Bytes(),
+		TrackerName:          e.decider.Tracker.Name(),
+	}
+}

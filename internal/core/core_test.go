@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"freshcache/internal/costmodel"
+	"freshcache/internal/sketch"
+)
+
+func newDecider(costs costmodel.Costs) *Decider {
+	return &Decider{Tracker: sketch.NewExact(), Costs: costs}
+}
+
+func TestDeciderFollowsEWRule(t *testing.T) {
+	// cm=2, ci=0.5, cu=1 ⇒ update iff E[W] < 2.5.
+	d := newDecider(costmodel.Fixed(2, 0.5, 1))
+	// Key 1: 1 write per read ⇒ E[W]=1 ⇒ update.
+	for i := 0; i < 20; i++ {
+		d.ObserveWrite(1)
+		d.ObserveRead(1)
+	}
+	if !d.Update(1) {
+		t.Error("E[W]=1: want update")
+	}
+	// Key 2: 5 writes per read ⇒ E[W]=5 ⇒ invalidate.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 5; j++ {
+			d.ObserveWrite(2)
+		}
+		d.ObserveRead(2)
+	}
+	if d.Update(2) {
+		t.Error("E[W]=5: want invalidate")
+	}
+}
+
+func TestDeciderInfiniteMissCost(t *testing.T) {
+	d := newDecider(costmodel.Costs{Cm: math.Inf(1), Ci: 1, Cu: 1})
+	for j := 0; j < 100; j++ {
+		d.ObserveWrite(1) // extremely write-heavy
+	}
+	d.ObserveRead(1)
+	if !d.Update(1) {
+		t.Error("Cm=+Inf must force updates")
+	}
+}
+
+func TestDeciderSLOForcesUpdates(t *testing.T) {
+	d := newDecider(costmodel.Fixed(2, 0.5, 1))
+	d.SLO = 0.10
+	// Write-heavy key: E[W]=4 ⇒ throughput rule says invalidate
+	// (4·1 > 2.5), but write fraction 0.8 > SLO 0.1 ⇒ update.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 4; j++ {
+			d.ObserveWrite(9)
+		}
+		d.ObserveRead(9)
+	}
+	if !d.Update(9) {
+		t.Error("SLO breach must force update")
+	}
+	// Loose SLO lets the throughput decision through.
+	d.SLO = 0.95
+	if d.Update(9) {
+		t.Error("loose SLO should keep invalidate decision")
+	}
+}
+
+func TestDeciderUnseenKeyUsesPrior(t *testing.T) {
+	// DefaultEW = 1: update iff cu < cm+ci.
+	d := newDecider(costmodel.Fixed(2, 0.5, 1))
+	if !d.Update(777) {
+		t.Error("prior E[W]=1 with cu=1 < 2.5: want update")
+	}
+	d2 := newDecider(costmodel.Fixed(0.5, 0.1, 1))
+	if d2.Update(777) {
+		t.Error("prior E[W]=1 with cu=1 > 0.6: want invalidate")
+	}
+}
+
+func TestEngineFlushBasics(t *testing.T) {
+	e := NewEngine(Config{Costs: costmodel.Fixed(2, 0.5, 1)})
+	if got := e.Flush(); got != nil {
+		t.Errorf("empty flush returned %v", got)
+	}
+	e.ObserveWrite("b")
+	e.ObserveWrite("a")
+	e.ObserveRead("a")
+	if e.DirtyCount() != 2 {
+		t.Errorf("DirtyCount = %d", e.DirtyCount())
+	}
+	ds := e.Flush()
+	if len(ds) != 2 {
+		t.Fatalf("flush returned %d decisions", len(ds))
+	}
+	if ds[0].Key != "a" || ds[1].Key != "b" {
+		t.Errorf("decisions not sorted: %v", ds)
+	}
+	if e.DirtyCount() != 0 {
+		t.Error("flush did not drain dirty set")
+	}
+	// Nothing dirty ⇒ next flush empty.
+	if got := e.Flush(); got != nil {
+		t.Errorf("second flush returned %v", got)
+	}
+}
+
+func TestEngineInvalidateDeduplication(t *testing.T) {
+	// Costs chosen so everything invalidates: cu=10 ≥ cm+ci=2.5 even at
+	// the E[W]=1 prior.
+	e := NewEngine(Config{Costs: costmodel.Fixed(2, 0.5, 10)})
+	e.ObserveWrite("k")
+	ds := e.Flush()
+	if len(ds) != 1 || ds[0].Action != ActionInvalidate {
+		t.Fatalf("first flush: %v", ds)
+	}
+	// Write again without a fill: the cache already has it invalid.
+	e.ObserveWrite("k")
+	ds = e.Flush()
+	if len(ds) != 1 || ds[0].Action != ActionNone {
+		t.Fatalf("second flush should skip, got %v", ds)
+	}
+	// After the cache refills, invalidates flow again.
+	e.NoteFilled("k")
+	e.ObserveWrite("k")
+	ds = e.Flush()
+	if len(ds) != 1 || ds[0].Action != ActionInvalidate {
+		t.Fatalf("post-fill flush: %v", ds)
+	}
+	st := e.Stats()
+	if st.InvalidatesSent != 2 || st.SkippedInvalidates != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestEngineUpdateClearsInvalidated(t *testing.T) {
+	// Exact tracker so we can steer per-key decisions.
+	tr := sketch.NewExact()
+	e := NewEngine(Config{Costs: costmodel.Fixed(2, 0.5, 1), Tracker: tr})
+	// Make key write-heavy ⇒ invalidate.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 5; j++ {
+			e.ObserveWrite("k")
+		}
+		e.ObserveRead("k")
+	}
+	e.ObserveWrite("k")
+	if ds := e.Flush(); ds[0].Action != ActionInvalidate {
+		t.Fatalf("want invalidate, got %v", ds)
+	}
+	// Now make it read-heavy ⇒ decision flips to update, which must also
+	// clear the invalidated mark.
+	for i := 0; i < 400; i++ {
+		e.ObserveRead("k")
+	}
+	e.ObserveWrite("k")
+	ds := e.Flush()
+	if ds[0].Action != ActionUpdate {
+		t.Fatalf("want update after flip, got %v", ds)
+	}
+	// Invalidate again: must send (the update cleared the mark).
+	for i := 0; i < 5000; i++ {
+		e.ObserveWrite("k")
+	}
+	e.ObserveRead("k") // sample the huge run
+	e.ObserveWrite("k")
+	ds = e.Flush()
+	if ds[0].Action != ActionInvalidate {
+		t.Fatalf("want invalidate after re-flip, got %v", ds)
+	}
+}
+
+func TestEngineInvalidatedSetBounded(t *testing.T) {
+	e := NewEngine(Config{
+		Costs:          costmodel.Fixed(2, 0.5, 10), // always invalidate
+		MaxInvalidated: 100,
+	})
+	for i := 0; i < 1000; i++ {
+		e.ObserveWrite(keyOf(i))
+		if i%50 == 49 {
+			e.Flush()
+		}
+	}
+	e.Flush()
+	st := e.Stats()
+	if st.InvalidatedTracked > 100 {
+		t.Errorf("invalidated set grew to %d > bound 100", st.InvalidatedTracked)
+	}
+	if st.EvictedInvalidations == 0 {
+		t.Error("expected evictions from the bounded set")
+	}
+}
+
+func keyOf(i int) string {
+	return string([]byte{'k', byte(i >> 8), byte(i)})
+}
+
+func TestEngineConcurrent(t *testing.T) {
+	e := NewEngine(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.ObserveWrite(keyOf(g*1000 + i))
+				e.ObserveRead(keyOf(g*1000 + i))
+				if i%100 == 0 {
+					e.Flush()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.Flush()
+	st := e.Stats()
+	if st.InvalidatesSent+st.UpdatesSent+st.SkippedInvalidates == 0 {
+		t.Error("no decisions recorded")
+	}
+	if st.TrackerName == "" || st.TrackerBytes == 0 {
+		t.Errorf("tracker stats empty: %+v", st)
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e := NewEngine(Config{})
+	e.ObserveWrite("x")
+	ds := e.Flush()
+	if len(ds) != 1 {
+		t.Fatalf("flush: %v", ds)
+	}
+	// Default costs (2, .25, 1) with prior E[W]=1: 1 < 2.25 ⇒ update.
+	if ds[0].Action != ActionUpdate {
+		t.Errorf("default decision = %v, want update", ds[0].Action)
+	}
+	if e.Stats().TrackerName != "top-k" {
+		t.Errorf("default tracker = %q", e.Stats().TrackerName)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionNone.String() != "none" || ActionInvalidate.String() != "invalidate" ||
+		ActionUpdate.String() != "update" {
+		t.Error("action names wrong")
+	}
+	if Action(9).String() == "" {
+		t.Error("unknown action should stringify")
+	}
+}

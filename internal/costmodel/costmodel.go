@@ -1,0 +1,198 @@
+// Package costmodel derives the freshness cost parameters c_m (miss),
+// c_i (invalidate) and c_u (update) used by the adaptive policy, following
+// §3.3 and Table 1 of the paper.
+//
+// Costs are composed from primitive operations — serialization and
+// deserialization of keys and values, a backend read, a cache update, a
+// cache delete — and scaled by the actual key and value sizes. Which
+// primitives matter depends on the system bottleneck: under a CPU
+// bottleneck the ser/deser cycles dominate; under a network bottleneck the
+// bytes on the wire dominate; a user can also pin c_m = +Inf to force an
+// update-only policy when read latency is paramount ("the policy can set
+// c_m = ∞ and only send updates").
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bottleneck identifies which resource limits the system (§3.3).
+type Bottleneck int
+
+// Recognized bottlenecks. BottleneckNone falls back to CPU-style costs.
+const (
+	BottleneckNone Bottleneck = iota
+	BottleneckCPU
+	BottleneckNetwork
+	BottleneckDisk
+)
+
+var bottleneckNames = [...]string{"none", "cpu", "network", "disk"}
+
+// String returns the lowercase name.
+func (b Bottleneck) String() string {
+	if b < 0 || int(b) >= len(bottleneckNames) {
+		return fmt.Sprintf("bottleneck(%d)", int(b))
+	}
+	return bottleneckNames[b]
+}
+
+// ParseBottleneck maps a name back to a Bottleneck.
+func ParseBottleneck(s string) (Bottleneck, error) {
+	for i, n := range bottleneckNames {
+		if n == s {
+			return Bottleneck(i), nil
+		}
+	}
+	return 0, fmt.Errorf("costmodel: unknown bottleneck %q", s)
+}
+
+// Primitives holds the per-operation cost constants in abstract cost units
+// (the harness uses microseconds of CPU or bytes on the wire; the policy
+// only ever compares ratios, so the unit cancels).
+type Primitives struct {
+	// SerFixed/SerPerByte: cost to serialize a buffer of n bytes is
+	// SerFixed + n·SerPerByte. Deser likewise.
+	SerFixed, SerPerByte     float64
+	DeserFixed, DeserPerByte float64
+	// ReadFixed is the backend point-read cost (index walk + copy).
+	ReadFixed float64
+	// UpdateFixed is the cache in-place update cost.
+	UpdateFixed float64
+	// DeleteFixed is the cache delete/mark-invalid cost.
+	DeleteFixed float64
+	// WireHeader is the per-message framing overhead in bytes, used when
+	// the network is the bottleneck.
+	WireHeader float64
+}
+
+// DefaultCPUPrimitives models a CPU-bottlenecked deployment in
+// microseconds, calibrated against the in-process measurements of
+// MeasurePrimitives on commodity x86 (≈0.5 ns/byte ser, ≈1 ns/byte deser,
+// sub-microsecond map ops). Absolute values matter less than ratios.
+func DefaultCPUPrimitives() Primitives {
+	return Primitives{
+		SerFixed: 0.05, SerPerByte: 0.0005,
+		DeserFixed: 0.06, DeserPerByte: 0.001,
+		ReadFixed:   0.30,
+		UpdateFixed: 0.15,
+		DeleteFixed: 0.10,
+		WireHeader:  16,
+	}
+}
+
+// DefaultNetworkPrimitives models a network-bottlenecked deployment where
+// cost is bytes on the wire: ser/deser are free, message size is all.
+func DefaultNetworkPrimitives() Primitives {
+	return Primitives{WireHeader: 16}
+}
+
+// ser returns the serialization cost of n bytes.
+func (p Primitives) ser(n int) float64 { return p.SerFixed + float64(n)*p.SerPerByte }
+
+// deser returns the deserialization cost of n bytes.
+func (p Primitives) deser(n int) float64 { return p.DeserFixed + float64(n)*p.DeserPerByte }
+
+// Costs carries the three policy parameters, plus the side (cache/store)
+// breakdown that Table 1 itemizes.
+type Costs struct {
+	Cm, Ci, Cu float64
+	// Breakdown rows, for the Table 1 report.
+	MissCache, MissStore             float64
+	InvalidateCache, InvalidateStore float64
+	UpdateCache, UpdateStore         float64
+}
+
+// ForCPU composes Table 1 under a compute bottleneck for the given key and
+// value sizes (bytes):
+//
+//	c_m: cache  ser(K) + deser(K+V) + update
+//	     store  deser(K) + read + ser(K+V)
+//	c_i: cache  deser(K) + delete
+//	     store  ser(K)
+//	c_u: cache  deser(K+V) + update
+//	     store  ser(K+V)
+func (p Primitives) ForCPU(keySize, valSize int) Costs {
+	kv := keySize + valSize
+	c := Costs{
+		MissCache:       p.ser(keySize) + p.deser(kv) + p.UpdateFixed,
+		MissStore:       p.deser(keySize) + p.ReadFixed + p.ser(kv),
+		InvalidateCache: p.deser(keySize) + p.DeleteFixed,
+		InvalidateStore: p.ser(keySize),
+		UpdateCache:     p.deser(kv) + p.UpdateFixed,
+		UpdateStore:     p.ser(kv),
+	}
+	c.Cm = c.MissCache + c.MissStore
+	c.Ci = c.InvalidateCache + c.InvalidateStore
+	c.Cu = c.UpdateCache + c.UpdateStore
+	return c
+}
+
+// ForNetwork composes costs under a bandwidth bottleneck: each message
+// costs its bytes. A miss moves K up and K+V down; an invalidate moves K;
+// an update moves K+V.
+func (p Primitives) ForNetwork(keySize, valSize int) Costs {
+	k := float64(keySize) + p.WireHeader
+	kv := float64(keySize+valSize) + p.WireHeader
+	c := Costs{
+		MissCache: k, MissStore: kv, // request up, fill down
+		InvalidateStore: k,
+		UpdateStore:     kv,
+	}
+	c.Cm = c.MissCache + c.MissStore
+	c.Ci = c.InvalidateStore
+	c.Cu = c.UpdateStore
+	return c
+}
+
+// ForDisk composes costs under a backend-I/O bottleneck: only operations
+// that touch the store's storage engine cost anything. A miss forces a
+// backend read; invalidates and updates are served from the write path
+// that already ran, so their marginal disk cost is ≈0 (modeled as a small
+// constant to keep the decision rule well-defined).
+func (p Primitives) ForDisk(keySize, valSize int) Costs {
+	read := p.ReadFixed + float64(keySize+valSize)*p.DeserPerByte
+	c := Costs{
+		MissStore:       read,
+		InvalidateStore: 0.01 * read,
+		UpdateStore:     0.02 * read,
+	}
+	c.Cm = read
+	c.Ci = c.InvalidateStore
+	c.Cu = c.UpdateStore
+	return c
+}
+
+// For dispatches on the bottleneck. BottleneckNone uses the CPU breakdown
+// (the paper's Table 1 default).
+func (p Primitives) For(b Bottleneck, keySize, valSize int) Costs {
+	switch b {
+	case BottleneckNetwork:
+		return p.ForNetwork(keySize, valSize)
+	case BottleneckDisk:
+		return p.ForDisk(keySize, valSize)
+	default:
+		return p.ForCPU(keySize, valSize)
+	}
+}
+
+// UpdateOnly returns costs with c_m = +Inf, forcing the decision rule to
+// always update — the §3.3 "prioritize read latency / overprovisioned"
+// mode.
+func UpdateOnly(keySize, valSize int) Costs {
+	c := DefaultCPUPrimitives().ForCPU(keySize, valSize)
+	c.Cm = math.Inf(1)
+	return c
+}
+
+// Fixed returns a Costs with the three parameters pinned directly, for
+// simulations that sweep abstract cost ratios.
+func Fixed(cm, ci, cu float64) Costs { return Costs{Cm: cm, Ci: ci, Cu: cu} }
+
+// DefaultSim is the abstract cost vector used throughout the simulator and
+// the experiment harness when no bottleneck is profiled: a miss costs a
+// round trip plus a backend read (2.0), an update ships a value one way
+// (1.0 < c_m, per the paper's assumption c_u < c_m), and an invalidate
+// ships only a key (0.25).
+func DefaultSim() Costs { return Fixed(2.0, 0.25, 1.0) }

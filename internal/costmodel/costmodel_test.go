@@ -1,0 +1,182 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1CPUBreakdown(t *testing.T) {
+	p := DefaultCPUPrimitives()
+	c := p.ForCPU(16, 256)
+	// Every Table 1 row must be positive and sum to its column.
+	if c.MissCache <= 0 || c.MissStore <= 0 || c.InvalidateCache <= 0 ||
+		c.InvalidateStore <= 0 || c.UpdateCache <= 0 || c.UpdateStore <= 0 {
+		t.Fatalf("non-positive breakdown: %+v", c)
+	}
+	if math.Abs(c.Cm-(c.MissCache+c.MissStore)) > 1e-12 {
+		t.Errorf("Cm != cache+store: %+v", c)
+	}
+	if math.Abs(c.Ci-(c.InvalidateCache+c.InvalidateStore)) > 1e-12 {
+		t.Errorf("Ci != cache+store: %+v", c)
+	}
+	if math.Abs(c.Cu-(c.UpdateCache+c.UpdateStore)) > 1e-12 {
+		t.Errorf("Cu != cache+store: %+v", c)
+	}
+}
+
+// The paper's standing assumptions: c_u < c_m (cheaper to push an update
+// than to take a miss) and c_i < c_u (a key is smaller than a key+value).
+func TestPropCostOrdering(t *testing.T) {
+	p := DefaultCPUPrimitives()
+	f := func(k8, v16 uint16) bool {
+		keySize := int(k8%256) + 1
+		valSize := int(v16) + keySize // value at least as big as key
+		for _, b := range []Bottleneck{BottleneckCPU, BottleneckNetwork, BottleneckNone} {
+			c := p.For(b, keySize, valSize)
+			if !(c.Cu < c.Cm) || !(c.Ci < c.Cu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostsScaleWithValueSize(t *testing.T) {
+	p := DefaultCPUPrimitives()
+	small := p.ForCPU(16, 64)
+	big := p.ForCPU(16, 64*1024)
+	if big.Cu <= small.Cu || big.Cm <= small.Cm {
+		t.Errorf("costs must grow with value size: small=%+v big=%+v", small, big)
+	}
+	// Invalidates carry only the key: value size must not affect c_i.
+	if big.Ci != small.Ci {
+		t.Errorf("c_i depends on value size: %v vs %v", small.Ci, big.Ci)
+	}
+}
+
+func TestNetworkCostsAreBytes(t *testing.T) {
+	p := DefaultNetworkPrimitives()
+	c := p.ForNetwork(10, 90)
+	// invalidate: key + header = 26; update: key+value+header = 116.
+	if c.Ci != 26 {
+		t.Errorf("Ci = %v, want 26", c.Ci)
+	}
+	if c.Cu != 116 {
+		t.Errorf("Cu = %v, want 116", c.Cu)
+	}
+	// miss: request (26) + fill (116).
+	if c.Cm != 142 {
+		t.Errorf("Cm = %v, want 142", c.Cm)
+	}
+}
+
+func TestDiskCostsFavorAvoidingMisses(t *testing.T) {
+	p := DefaultCPUPrimitives()
+	c := p.ForDisk(16, 1024)
+	if !(c.Ci < c.Cu && c.Cu < c.Cm) {
+		t.Errorf("disk ordering wrong: %+v", c)
+	}
+	if c.Cm < 100*c.Ci {
+		t.Errorf("disk misses should dwarf invalidates: cm=%v ci=%v", c.Cm, c.Ci)
+	}
+}
+
+func TestUpdateOnly(t *testing.T) {
+	c := UpdateOnly(16, 256)
+	if !math.IsInf(c.Cm, 1) {
+		t.Errorf("Cm = %v, want +Inf", c.Cm)
+	}
+	if c.Cu <= 0 || math.IsInf(c.Cu, 0) {
+		t.Errorf("Cu = %v", c.Cu)
+	}
+}
+
+func TestFixedAndDefaultSim(t *testing.T) {
+	c := Fixed(3, 1, 2)
+	if c.Cm != 3 || c.Ci != 1 || c.Cu != 2 {
+		t.Errorf("Fixed: %+v", c)
+	}
+	d := DefaultSim()
+	if !(d.Cu < d.Cm && d.Ci < d.Cu) {
+		t.Errorf("DefaultSim violates paper assumptions: %+v", d)
+	}
+}
+
+func TestBottleneckNames(t *testing.T) {
+	for _, b := range []Bottleneck{BottleneckNone, BottleneckCPU, BottleneckNetwork, BottleneckDisk} {
+		got, err := ParseBottleneck(b.String())
+		if err != nil || got != b {
+			t.Errorf("round trip %v: got %v err %v", b, got, err)
+		}
+	}
+	if _, err := ParseBottleneck("gpu"); err == nil {
+		t.Error("accepted unknown bottleneck")
+	}
+	if Bottleneck(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}
+
+func TestMeasuredPrimitivesSane(t *testing.T) {
+	p := MeasuredPrimitives(1 << 12)
+	if p.SerFixed <= 0 || p.DeserFixed <= 0 {
+		t.Errorf("non-positive fixed costs: %+v", p)
+	}
+	if p.SerPerByte < 0 || p.DeserPerByte < 0 {
+		t.Errorf("negative per-byte costs: %+v", p)
+	}
+	if p.ReadFixed <= 0 || p.UpdateFixed <= 0 || p.DeleteFixed <= 0 {
+		t.Errorf("non-positive map op costs: %+v", p)
+	}
+	// Everything should be well under a microsecond per op on any modern
+	// machine; 100µs is a generous upper bound that still catches a
+	// broken timer path.
+	for name, v := range map[string]float64{
+		"ser": p.SerFixed, "deser": p.DeserFixed,
+		"read": p.ReadFixed, "update": p.UpdateFixed, "delete": p.DeleteFixed,
+	} {
+		if v > 100 {
+			t.Errorf("%s = %vµs, implausibly slow", name, v)
+		}
+	}
+	// The measured primitives must still honor the paper's assumptions
+	// when plugged into Table 1.
+	c := p.ForCPU(16, 1024)
+	if !(c.Cu < c.Cm) {
+		t.Errorf("measured c_u (%v) >= c_m (%v)", c.Cu, c.Cm)
+	}
+	// Defaulting iters must work too.
+	p2 := MeasuredPrimitives(0)
+	if p2.SerFixed <= 0 {
+		t.Errorf("default-iters measurement broken: %+v", p2)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	key, val := []byte("user:42"), []byte("some-value-bytes")
+	frame(&buf, key, val)
+	k, v, err := unframe(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(k) != string(key) || string(v) != string(val) {
+		t.Errorf("round trip: k=%q v=%q", k, v)
+	}
+}
+
+func TestUnframeErrors(t *testing.T) {
+	if _, _, err := unframe([]byte{1, 2, 3}); err == nil {
+		t.Error("short frame accepted")
+	}
+	// Claimed key length longer than the frame.
+	bad := []byte{0, 0, 0, 10, 0xFF, 0xFF, 'k'}
+	if _, _, err := unframe(bad); err == nil {
+		t.Error("oversized key length accepted")
+	}
+}

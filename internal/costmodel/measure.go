@@ -1,0 +1,172 @@
+package costmodel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// MeasuredPrimitives calibrates Primitives by timing real Go
+// serialization, deserialization, and map operations in-process. It is
+// the measured counterpart to DefaultCPUPrimitives, used by the Table 1
+// harness so the reported breakdown reflects the machine it runs on.
+//
+// iters controls the calibration loop length; 1<<14 finishes in a few
+// milliseconds and is stable to ~10%.
+func MeasuredPrimitives(iters int) Primitives {
+	if iters <= 0 {
+		iters = 1 << 14
+	}
+	const small, large = 16, 4096
+	serSmall := timeSer(small, iters)
+	serLarge := timeSer(large, iters)
+	deserSmall := timeDeser(small, iters)
+	deserLarge := timeDeser(large, iters)
+
+	perByteSer := (serLarge - serSmall) / float64(large-small)
+	if perByteSer < 0 {
+		perByteSer = 0
+	}
+	perByteDeser := (deserLarge - deserSmall) / float64(large-small)
+	if perByteDeser < 0 {
+		perByteDeser = 0
+	}
+	update := timeMapWrite(iters)
+	p := Primitives{
+		SerFixed:     maxf(serSmall-perByteSer*small, 0.001),
+		SerPerByte:   perByteSer,
+		DeserFixed:   maxf(deserSmall-perByteDeser*small, 0.001),
+		DeserPerByte: perByteDeser,
+		ReadFixed:    timeMapRead(iters),
+		UpdateFixed:  update,
+		DeleteFixed:  timeMapDelete(iters, update),
+		WireHeader:   16,
+	}
+	return p
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// frame mimics the live protocol encoding: 4-byte length, 2-byte key
+// length, key bytes, value bytes.
+func frame(buf *bytes.Buffer, key, val []byte) {
+	buf.Reset()
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(2+len(key)+len(val)))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(key)))
+	buf.Write(hdr[:])
+	buf.Write(key)
+	buf.Write(val)
+}
+
+func unframe(b []byte) (key, val []byte, err error) {
+	if len(b) < 6 {
+		return nil, nil, fmt.Errorf("costmodel: short frame (%d bytes)", len(b))
+	}
+	klen := int(binary.BigEndian.Uint16(b[4:6]))
+	if 6+klen > len(b) {
+		return nil, nil, fmt.Errorf("costmodel: key length %d exceeds frame", klen)
+	}
+	return b[6 : 6+klen], b[6+klen:], nil
+}
+
+// timeSer returns the mean time, in microseconds, to frame a payload of n
+// bytes.
+func timeSer(n, iters int) float64 {
+	key := bytes.Repeat([]byte{'k'}, 16)
+	val := bytes.Repeat([]byte{'v'}, n)
+	var buf bytes.Buffer
+	frame(&buf, key, val) // warm
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		frame(&buf, key, val)
+	}
+	return us(time.Since(start), iters)
+}
+
+// timeDeser returns the mean time, in microseconds, to parse a frame with
+// an n-byte value and touch every value byte (simulating a copy into the
+// cache).
+func timeDeser(n, iters int) float64 {
+	key := bytes.Repeat([]byte{'k'}, 16)
+	val := bytes.Repeat([]byte{'v'}, n)
+	var buf bytes.Buffer
+	frame(&buf, key, val)
+	raw := buf.Bytes()
+	dst := make([]byte, n)
+	start := time.Now()
+	var sink int
+	for i := 0; i < iters; i++ {
+		k, v, err := unframe(raw)
+		if err != nil {
+			panic(err)
+		}
+		sink += copy(dst, v) + len(k)
+	}
+	_ = sink
+	return us(time.Since(start), iters)
+}
+
+func timeMapRead(iters int) float64 {
+	m := benchMap()
+	start := time.Now()
+	var sink int
+	for i := 0; i < iters; i++ {
+		sink += len(m[keyName(i&1023)])
+	}
+	_ = sink
+	return us(time.Since(start), iters)
+}
+
+func timeMapWrite(iters int) float64 {
+	m := benchMap()
+	v := []byte("value")
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		m[keyName(i&1023)] = v
+	}
+	return us(time.Since(start), iters)
+}
+
+// timeMapDelete times delete+reinsert pairs and subtracts the separately
+// measured insert cost, so refilling the map is not charged to deletion.
+func timeMapDelete(iters int, insertCost float64) float64 {
+	m := benchMap()
+	v := []byte("value")
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		k := keyName(i & 1023)
+		delete(m, k)
+		m[k] = v
+	}
+	pair := us(time.Since(start), iters)
+	return maxf(pair-insertCost, 0.001)
+}
+
+func benchMap() map[string][]byte {
+	m := make(map[string][]byte, 1024)
+	for i := 0; i < 1024; i++ {
+		m[keyName(i)] = []byte("value")
+	}
+	return m
+}
+
+var keyNames = func() []string {
+	ks := make([]string, 1024)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return ks
+}()
+
+func keyName(i int) string { return keyNames[i&1023] }
+
+func us(d time.Duration, iters int) float64 {
+	return float64(d.Nanoseconds()) / 1e3 / float64(iters)
+}

@@ -1,0 +1,326 @@
+// Package kv provides the in-memory storage engines used by the live
+// freshcache nodes:
+//
+//   - Cache: a sharded, capacity-bounded LRU map with per-entry version,
+//     staleness flag and optional expiry deadline — the cache node's
+//     resident set.
+//   - Authority: the backing store's unbounded versioned map with a
+//     monotone per-store version counter and write timestamps.
+//
+// Both are safe for concurrent use. Sharding keeps lock contention off
+// the hot read path; versions order update pushes against miss fills so
+// a stale fill can never clobber a newer pushed value.
+package kv
+
+import (
+	"sync"
+	"time"
+
+	"freshcache/internal/sketch"
+)
+
+// numShards is a power of two so shard selection is a mask.
+const numShards = 64
+
+// Entry is one cached object.
+type Entry struct {
+	Value []byte
+	// Version is the store version this copy reflects.
+	Version uint64
+	// Stale marks the copy invalidated; reads must treat it as a miss.
+	Stale bool
+	// ExpireAt, when nonzero, is a hard freshness deadline (the TTL
+	// fallback used after subscription gaps); reads past it are misses.
+	ExpireAt time.Time
+}
+
+// fresh reports whether the entry may be served at time now.
+func (e *Entry) fresh(now time.Time) bool {
+	if e.Stale {
+		return false
+	}
+	return e.ExpireAt.IsZero() || now.Before(e.ExpireAt)
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*node
+	// Intrusive LRU list; head is most recent.
+	head, tail *node
+	capacity   int // per-shard
+	evictions  uint64
+}
+
+type node struct {
+	key        string
+	e          Entry
+	prev, next *node
+}
+
+// Cache is the sharded LRU described in the package comment.
+type Cache struct {
+	shards [numShards]cacheShard
+}
+
+// NewCache builds a cache bounded to roughly capacity objects (rounded up
+// to a multiple of the shard count). capacity <= 0 means unbounded.
+func NewCache(capacity int) *Cache {
+	c := &Cache{}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + numShards - 1) / numShards
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*node)
+		c.shards[i].capacity = per
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[sketch.Hash(key)&(numShards-1)]
+}
+
+// Get returns a copy of the entry and whether it was fresh at now.
+// found reports residency (fresh or stale); fresh implies found.
+func (c *Cache) Get(key string, now time.Time) (e Entry, found, fresh bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[key]
+	if n == nil {
+		return Entry{}, false, false
+	}
+	s.touch(n)
+	return n.e, true, n.e.fresh(now)
+}
+
+// Put inserts or overwrites the entry for key, evicting LRU residents of
+// the same shard if needed. It returns false (and does not store) when
+// the resident copy has a version strictly newer than e.Version —
+// protecting a pushed update from being clobbered by a slower miss fill.
+func (c *Cache) Put(key string, e Entry) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.m[key]; n != nil {
+		if n.e.Version > e.Version {
+			return false
+		}
+		n.e = e
+		s.touch(n)
+		return true
+	}
+	if s.capacity > 0 && len(s.m) >= s.capacity {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.evictions++
+	}
+	n := &node{key: key, e: e}
+	s.m[key] = n
+	s.pushFront(n)
+	return true
+}
+
+// Update applies a pushed update: it overwrites value and version only if
+// the key is resident (the paper's update semantics: "does nothing if the
+// object is not in the cache") and the version is not older than the
+// resident one. It reports whether the key was resident.
+func (c *Cache) Update(key string, value []byte, version uint64) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[key]
+	if n == nil {
+		return false
+	}
+	if version >= n.e.Version {
+		n.e = Entry{Value: value, Version: version}
+	}
+	return true
+}
+
+// Invalidate marks the resident copy stale; it reports residency.
+func (c *Cache) Invalidate(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[key]
+	if n == nil {
+		return false
+	}
+	n.e.Stale = true
+	return true
+}
+
+// Delete removes key; it reports whether it was resident.
+func (c *Cache) Delete(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[key]
+	if n == nil {
+		return false
+	}
+	s.unlink(n)
+	delete(s.m, key)
+	return true
+}
+
+// InvalidateAll marks every resident entry stale — the conservative
+// resynchronization after a lost batch epoch: every future read refetches,
+// so bounded staleness is restored at the price of one miss storm.
+func (c *Cache) InvalidateAll() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, n := range s.m {
+			n.e.Stale = true
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ExpireAllBy sets a hard freshness deadline on every resident entry
+// that does not already have an earlier one — the TTL fallback a cache
+// engages when its subscription to the store drops: data already resident
+// was fresh at disconnect time, so it may be served until disconnect+T
+// and must be treated as a miss afterwards.
+func (c *Cache) ExpireAllBy(at time.Time) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, n := range s.m {
+			if n.e.ExpireAt.IsZero() || n.e.ExpireAt.After(at) {
+				n.e.ExpireAt = at
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// SetExpiry overwrites the resident entry's hard deadline.
+func (c *Cache) SetExpiry(key string, at time.Time) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[key]
+	if n == nil {
+		return false
+	}
+	n.e.ExpireAt = at
+	return true
+}
+
+// Len returns the number of resident entries (including stale ones).
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Evictions returns the cumulative LRU eviction count.
+func (c *Cache) Evictions() uint64 {
+	var total uint64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.evictions
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (s *cacheShard) touch(n *node) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *cacheShard) pushFront(n *node) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *cacheShard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Authority is the backing store's authoritative versioned map.
+type Authority struct {
+	mu      sync.RWMutex
+	m       map[string]authEntry
+	version uint64
+}
+
+type authEntry struct {
+	value   []byte
+	version uint64
+	written time.Time
+}
+
+// NewAuthority returns an empty authority.
+func NewAuthority() *Authority { return &Authority{m: make(map[string]authEntry)} }
+
+// Put stores value under key and returns the assigned version (monotone
+// across all keys, so any two writes are ordered).
+func (a *Authority) Put(key string, value []byte, now time.Time) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.version++
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	a.m[key] = authEntry{value: cp, version: a.version, written: now}
+	return a.version
+}
+
+// Get returns the value and version for key.
+func (a *Authority) Get(key string) (value []byte, version uint64, ok bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	e, ok := a.m[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.value, e.version, true
+}
+
+// LastWrite returns when key was last written.
+func (a *Authority) LastWrite(key string) (time.Time, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	e, ok := a.m[key]
+	return e.written, ok
+}
+
+// Len returns the number of stored keys.
+func (a *Authority) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.m)
+}

@@ -1,0 +1,195 @@
+// Package lb implements the load balancer in front of the caches and the
+// store (Figure 4): reads are routed to a cache chosen by key affinity
+// (so each key's read traffic concentrates on one cache and hit ratios
+// stay high), writes go to the store, and everything else is answered
+// locally. It is a message-level proxy built on the same client pools
+// the caches use.
+package lb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"freshcache/internal/client"
+	"freshcache/internal/proto"
+	"freshcache/internal/sketch"
+	"freshcache/internal/stats"
+)
+
+// Config configures the balancer.
+type Config struct {
+	// StoreAddr is the write path. Required.
+	StoreAddr string
+	// CacheAddrs are the read path targets. At least one is required.
+	CacheAddrs []string
+	// Logger receives diagnostics; nil uses the standard logger.
+	Logger *log.Logger
+}
+
+// Counters is the balancer's observable state.
+type Counters struct {
+	Reads, Writes, Errors stats.Counter
+	MalformedFrames       stats.Counter
+}
+
+// Server is a live load balancer.
+type Server struct {
+	cfg    Config
+	store  *client.Client
+	caches []*client.Client
+	c      Counters
+
+	mu     sync.Mutex
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a balancer.
+func New(cfg Config) (*Server, error) {
+	if cfg.StoreAddr == "" {
+		return nil, errors.New("lb: Config.StoreAddr is required")
+	}
+	if len(cfg.CacheAddrs) == 0 {
+		return nil, errors.New("lb: at least one cache address is required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.Default()
+	}
+	s := &Server{cfg: cfg, store: client.New(cfg.StoreAddr, client.Options{})}
+	for _, addr := range cfg.CacheAddrs {
+		s.caches = append(s.caches, client.New(addr, client.Options{}))
+	}
+	return s, nil
+}
+
+// cacheFor picks the cache by key affinity.
+func (s *Server) cacheFor(key string) *client.Client {
+	return s.caches[sketch.Hash(key)%uint64(len(s.caches))]
+}
+
+// ListenAndServe listens on addr and proxies until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("lb: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.ln = ln
+	s.cancel = cancel
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			cancel()
+			return fmt.Errorf("lb: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go s.handleConn(ctx, conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the balancer.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln, cancel := s.ln, s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.store.Close()
+	for _, c := range s.caches {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := proto.NewReader(conn)
+	w := proto.NewWriter(conn)
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.c.MalformedFrames.Inc()
+				s.cfg.Logger.Printf("lb: conn %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.route(m)
+		resp.Seq = m.Seq
+		if err := w.WriteMsg(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) route(m *proto.Msg) *proto.Msg {
+	switch m.Type {
+	case proto.MsgGet:
+		s.c.Reads.Inc()
+		value, version, err := s.cacheFor(m.Key).Get(m.Key)
+		switch {
+		case err == nil:
+			return &proto.Msg{Type: proto.MsgGetResp, Status: proto.StatusOK,
+				Version: version, Value: value}
+		case errors.Is(err, client.ErrNotFound):
+			return &proto.Msg{Type: proto.MsgGetResp, Status: proto.StatusNotFound}
+		default:
+			s.c.Errors.Inc()
+			return &proto.Msg{Type: proto.MsgErr, Err: err.Error()}
+		}
+	case proto.MsgPut:
+		s.c.Writes.Inc()
+		version, err := s.store.Put(m.Key, m.Value)
+		if err != nil {
+			s.c.Errors.Inc()
+			return &proto.Msg{Type: proto.MsgErr, Err: err.Error()}
+		}
+		return &proto.Msg{Type: proto.MsgPutResp, Status: proto.StatusOK, Version: version}
+	case proto.MsgPing:
+		return &proto.Msg{Type: proto.MsgPong}
+	case proto.MsgStats:
+		return &proto.Msg{Type: proto.MsgStatsResp, Stats: map[string]uint64{
+			"reads":            s.c.Reads.Value(),
+			"writes":           s.c.Writes.Value(),
+			"errors":           s.c.Errors.Value(),
+			"malformed_frames": s.c.MalformedFrames.Value(),
+			"caches":           uint64(len(s.caches)),
+		}}
+	default:
+		s.c.MalformedFrames.Inc()
+		return &proto.Msg{Type: proto.MsgErr, Err: fmt.Sprintf("lb: unexpected message %v", m.Type)}
+	}
+}

@@ -1,0 +1,319 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestSection31WorkedExample reproduces the worked example in §3.1:
+// λ=1, r=0.9, T=0.1, T′=T ⇒ invalidation C_F = 0.00892·(c_i+c_m) and
+// TTL-expiry C_F = 0.086·c_m.
+func TestSection31WorkedExample(t *testing.T) {
+	p := Params{Lambda: 1, R: 0.9, T: 0.1, Cm: 1, Ci: 1, Cu: 1}
+	inv := p.InvalidateCosts()
+	// C_F = coeff·(cm+ci) with cm=ci=1 ⇒ coeff = CF/2.
+	coeff := inv.CF / 2
+	if !almostEqual(coeff, 0.00892, 2e-3) {
+		t.Errorf("invalidation coefficient = %.5f, paper says 0.00892", coeff)
+	}
+	exp := p.TTLExpiryCosts()
+	if !almostEqual(exp.CF, 0.086, 2e-2) {
+		t.Errorf("ttl-expiry C_F = %.5f·cm, paper says 0.086·cm", exp.CF)
+	}
+	if inv.CF >= exp.CF {
+		t.Errorf("invalidation C_F (%.5f) should be significantly lower than ttl-expiry (%.5f)", inv.CF, exp.CF)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{Lambda: 1, R: 0.5, T: 1, Cm: 2, Ci: 0.5, Cu: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Lambda: 0, R: 0.5, T: 1},
+		{Lambda: -1, R: 0.5, T: 1},
+		{Lambda: 1, R: -0.1, T: 1},
+		{Lambda: 1, R: 1.1, T: 1},
+		{Lambda: 1, R: 0.5, T: 0},
+		{Lambda: 1, R: 0.5, T: 1, Cm: -1},
+		{Lambda: 1, R: 0.5, T: 1, Horizon: -2},
+		{Lambda: math.Inf(1), R: 0.5, T: 1},
+		{Lambda: 1, R: math.NaN(), T: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params %+v accepted", i, p)
+		}
+	}
+}
+
+func TestProbabilityBasics(t *testing.T) {
+	p := Params{Lambda: 10, R: 0.9, T: 1}
+	if got, want := p.PR(), 1-math.Exp(-9.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("PR = %v want %v", got, want)
+	}
+	if got, want := p.PW(), 1-math.Exp(-1.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("PW = %v want %v", got, want)
+	}
+	// r=1 means no writes ever.
+	p.R = 1
+	if p.PW() != 0 {
+		t.Errorf("PW with r=1 = %v, want 0", p.PW())
+	}
+	// r=0 means no reads ever.
+	p.R = 0
+	if p.PR() != 0 {
+		t.Errorf("PR with r=0 = %v, want 0", p.PR())
+	}
+}
+
+// clampParams maps arbitrary quick-generated floats into the model domain.
+func clampParams(lambda, r, tt, cm, ci, cu float64) Params {
+	abs := func(x float64) float64 {
+		x = math.Abs(x)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return x
+	}
+	return Params{
+		Lambda: 0.01 + math.Mod(abs(lambda), 100),
+		R:      math.Mod(abs(r), 1),
+		T:      0.001 + math.Mod(abs(tt), 1000),
+		Cm:     math.Mod(abs(cm), 10),
+		Ci:     math.Mod(abs(ci), 10),
+		Cu:     math.Mod(abs(cu), 10),
+	}
+}
+
+func TestPropProbabilitiesInUnitRange(t *testing.T) {
+	f := func(l, r, tt float64) bool {
+		p := clampParams(l, r, tt, 1, 1, 1)
+		pr, pw := p.PR(), p.PW()
+		return pr >= 0 && pr <= 1 && pw >= 0 && pw <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Invalidation's staleness cost is strictly lower than TTL-expiry's
+// whenever there is any chance of a write-free interval (§3.1).
+func TestPropInvalidateBeatsTTLExpiryOnStaleness(t *testing.T) {
+	f := func(l, r, tt float64) bool {
+		p := clampParams(l, r, tt, 2, 0.5, 1)
+		inv, exp := p.InvalidateCosts(), p.TTLExpiryCosts()
+		return inv.CS <= exp.CS+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Updates always beat TTL-polling on freshness cost when cu < cm (§3.1).
+func TestPropUpdateBeatsTTLPolling(t *testing.T) {
+	f := func(l, r, tt float64) bool {
+		p := clampParams(l, r, tt, 2, 0.5, 1) // cu=1 < cm=2
+		up, poll := p.UpdateCosts(), p.TTLPollingCosts()
+		return up.CF <= poll.CF+1e-12 && up.CS == 0 && poll.CS == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The §3.2 decision rule is exactly "update iff update's C_F is lower".
+func TestPropShouldUpdateMatchesCostComparison(t *testing.T) {
+	f := func(l, r, tt, cm, ci, cu float64) bool {
+		p := clampParams(l, r, tt, cm, ci, cu)
+		if p.PW() == 0 || p.PR() == 0 {
+			return true // degenerate: both CFs are 0 or one policy is idle
+		}
+		up, inv := p.UpdateCosts(), p.InvalidateCosts()
+		if math.Abs(up.CF-inv.CF) < 1e-12 {
+			return true // tie: either answer acceptable
+		}
+		return p.ShouldUpdate() == (up.CF < inv.CF)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adaptive equals min(update, invalidate) on C_F by construction.
+func TestPropAdaptiveIsMin(t *testing.T) {
+	f := func(l, r, tt, cm, ci, cu float64) bool {
+		p := clampParams(l, r, tt, cm, ci, cu)
+		a, u, i := p.AdaptiveCosts(), p.UpdateCosts(), p.InvalidateCosts()
+		return a.CF <= math.Min(u.CF, i.CF)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The omniscient bound never exceeds the adaptive policy's cost.
+func TestPropOptimalLowerBound(t *testing.T) {
+	f := func(l, r, tt, cm, ci, cu float64) bool {
+		p := clampParams(l, r, tt, cm, ci, cu)
+		o, a := p.OptimalCosts(), p.AdaptiveCosts()
+		return o.CF <= a.CF+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShouldUpdateLimit(t *testing.T) {
+	// As T→0 the full rule converges to the r·(cm+ci) rule.
+	p := Params{Lambda: 50, R: 0.8, T: 1e-9, Cm: 2, Ci: 0.5, Cu: 1}
+	if p.ShouldUpdate() != p.ShouldUpdateLimit() {
+		t.Errorf("T→0: full rule %v != limit rule %v", p.ShouldUpdate(), p.ShouldUpdateLimit())
+	}
+	// cu < r(cm+ci): 1 < 0.8·2.5 = 2 ⇒ update.
+	if !p.ShouldUpdateLimit() {
+		t.Error("expected update decision")
+	}
+	p.Cu = 3 // 3 > 2 ⇒ invalidate
+	if p.ShouldUpdateLimit() {
+		t.Error("expected invalidate decision")
+	}
+}
+
+func TestShouldUpdateSLO(t *testing.T) {
+	p := Params{Lambda: 1, R: 0.5, T: 0.01, Cm: 1, Ci: 0.2, Cu: 10}
+	// Throughput alone says invalidate (10 > 0.5·1.2), but with a 10% SLO
+	// and 1−r = 0.5 > 0.1 the policy must update.
+	if p.ShouldUpdateLimit() {
+		t.Fatal("setup broken: throughput rule should say invalidate")
+	}
+	if !p.ShouldUpdateSLO(0.10) {
+		t.Error("SLO 10%: want update (1−r=0.5 violates SLO)")
+	}
+	if p.ShouldUpdateSLO(0.60) {
+		t.Error("SLO 60%: want invalidate (1−r=0.5 meets SLO, cu too high)")
+	}
+}
+
+func TestCSNormLimitIsOneMinusR(t *testing.T) {
+	// §3.2: as T→0, C′_S of invalidation → 1−r.
+	for _, r := range []float64{0.1, 0.5, 0.9, 0.99} {
+		p := Params{Lambda: 100, R: r, T: 1e-7, Cm: 1, Ci: 1, Cu: 1}
+		inv := p.InvalidateCosts()
+		if !almostEqual(inv.CSNorm, 1-r, 1e-3) {
+			t.Errorf("r=%v: C'_S=%v want ≈ %v", r, inv.CSNorm, 1-r)
+		}
+		if !almostEqual(p.CSNormLimit(), 1-r, 1e-12) {
+			t.Errorf("CSNormLimit(r=%v) = %v", r, p.CSNormLimit())
+		}
+	}
+}
+
+func TestEW(t *testing.T) {
+	p := Params{Lambda: 1, R: 0.25, T: 1}
+	if got, want := p.EWExpected(), 3.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("E[W] = %v want %v", got, want)
+	}
+	p.R = 0
+	if !math.IsInf(p.EWExpected(), 1) {
+		t.Error("E[W] with r=0 should be +Inf")
+	}
+	// Decision: update iff E[W]·cu < cm+ci.
+	if !ShouldUpdateEW(1, 1, 0.5, 2) { // 1 < 2.5
+		t.Error("E[W]=1: want update")
+	}
+	if ShouldUpdateEW(5, 1, 0.5, 2) { // 5 > 2.5
+		t.Error("E[W]=5: want invalidate")
+	}
+}
+
+func TestTTLExpiryNormalizedApproachesOneAsTShrinks(t *testing.T) {
+	// §2.2: as T→0 the miss ratio due to staleness approaches 1.
+	p := Params{Lambda: 10, R: 0.9, Cm: 1, Ci: 1, Cu: 1, Horizon: 1000}
+	prev := -1.0
+	for _, T := range []float64{100, 10, 1, 0.1, 0.01, 0.001} {
+		p.T = T
+		cs := p.TTLExpiryCosts().CSNorm
+		if cs < prev-1e-12 {
+			t.Errorf("C'_S should grow as T shrinks: T=%v gives %v after %v", T, cs, prev)
+		}
+		prev = cs
+	}
+	if prev < 0.99 {
+		t.Errorf("C'_S at T=0.001 = %v, want ≈ 1", prev)
+	}
+}
+
+func TestTTLPollingNormalizedGrowsAsTShrinks(t *testing.T) {
+	p := Params{Lambda: 10, R: 0.9, Cm: 1, Ci: 1, Cu: 1, Horizon: 1000}
+	p.T = 1
+	c1 := p.TTLPollingCosts().CFNorm
+	p.T = 0.01
+	c2 := p.TTLPollingCosts().CFNorm
+	if c2 < 90*c1 {
+		t.Errorf("C'_F should scale ~1/T: T=1 gives %v, T=0.01 gives %v", c1, c2)
+	}
+}
+
+func TestPolicyCostsDispatchAndNames(t *testing.T) {
+	p := Params{Lambda: 2, R: 0.8, T: 0.5, Cm: 2, Ci: 0.3, Cu: 1}
+	for _, pl := range []Policy{TTLExpiry, TTLPolling, Invalidate, Update, Adaptive, AdaptiveCS, Optimal} {
+		c, err := p.PolicyCosts(pl)
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		if c.CF < 0 || c.CS < 0 || math.IsNaN(c.CF) || math.IsNaN(c.CS) {
+			t.Errorf("%v: bad costs %+v", pl, c)
+		}
+		back, err := ParsePolicy(pl.String())
+		if err != nil || back != pl {
+			t.Errorf("round-trip %v -> %q -> %v (%v)", pl, pl.String(), back, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+	if _, err := p.PolicyCosts(Policy(99)); err == nil {
+		t.Error("PolicyCosts accepted unknown policy")
+	}
+	bad := p
+	bad.T = -1
+	if _, err := bad.PolicyCosts(Update); err == nil {
+		t.Error("PolicyCosts accepted invalid params")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	p := Params{Lambda: 10, R: 0.5, T: 1, Horizon: 100, Cm: 2, Ci: 1, Cu: 1}
+	c := p.TTLPollingCosts()
+	// C_F = (T'/T)·cm = 100·2 = 200; N_R = λ·r·T' = 500; C'_F = 200/(500·2).
+	if !almostEqual(c.CF, 200, 1e-12) {
+		t.Errorf("CF = %v want 200", c.CF)
+	}
+	if !almostEqual(c.CFNorm, 0.2, 1e-12) {
+		t.Errorf("CFNorm = %v want 0.2", c.CFNorm)
+	}
+	e := p.TTLExpiryCosts()
+	if !almostEqual(e.CSNorm, e.CS/500, 1e-12) {
+		t.Errorf("CSNorm = %v want %v", e.CSNorm, e.CS/500)
+	}
+}
+
+func TestHorizonDefaultsToT(t *testing.T) {
+	p := Params{Lambda: 1, R: 0.5, T: 7, Cm: 1, Ci: 1, Cu: 1}
+	if got := p.horizon(); got != 7 {
+		t.Errorf("horizon = %v want 7 (defaults to T)", got)
+	}
+	if got := p.intervals(); got != 1 {
+		t.Errorf("intervals = %v want 1", got)
+	}
+}

@@ -1,0 +1,545 @@
+// Package proto defines the binary wire protocol spoken between
+// freshcache clients, cache nodes, the backing store, and the load
+// balancer (Figure 4 of the paper).
+//
+// Every message is one length-prefixed frame:
+//
+//	u32  payload length (big-endian, excludes itself)
+//	u8   message type
+//	u64  sequence number (echoed in responses; 0 on pushes)
+//	...  type-specific payload
+//
+// Strings and byte blobs are u16/u32 length-prefixed. The protocol is
+// deliberately request/response plus one server-push stream (BATCH frames
+// on subscribed connections) so a cache can apply invalidates and updates
+// without polling. Frames are capped at MaxFrame to bound memory; a peer
+// violating the cap is disconnected.
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgGet is a client read: Key set. The store observes it as a read
+	// for the policy engine.
+	MsgGet MsgType = iota + 1
+	// MsgGetResp answers MsgGet/MsgFill: Status, Value, Version set.
+	MsgGetResp
+	// MsgPut is a client write: Key, Value set.
+	MsgPut
+	// MsgPutResp answers MsgPut: Status, Version set.
+	MsgPutResp
+	// MsgFill is a cache miss fill: like MsgGet but the store records a
+	// cache fill (NoteFilled) instead of a client read, so read
+	// statistics are not double counted with MsgReadReport.
+	MsgFill
+	// MsgSubscribe registers the connection for BATCH pushes: Key holds
+	// the subscriber name. Answered with MsgSubResp carrying the current
+	// epoch in Epoch.
+	MsgSubscribe
+	// MsgSubResp acknowledges a subscription.
+	MsgSubResp
+	// MsgBatch is a store→cache push with one interval's freshness
+	// decisions: Epoch and Ops set.
+	MsgBatch
+	// MsgReadReport is a cache→store piggyback carrying per-key read
+	// counts observed at the cache since the last report: Reports set.
+	MsgReadReport
+	// MsgStats requests counters; MsgStatsResp returns Stats.
+	MsgStats
+	MsgStatsResp
+	// MsgPing/MsgPong are liveness probes.
+	MsgPing
+	MsgPong
+	// MsgErr reports a request-level failure: Err set.
+	MsgErr
+)
+
+var msgNames = map[MsgType]string{
+	MsgGet: "GET", MsgGetResp: "GETRESP", MsgPut: "PUT", MsgPutResp: "PUTRESP",
+	MsgFill: "FILL", MsgSubscribe: "SUBSCRIBE", MsgSubResp: "SUBRESP",
+	MsgBatch: "BATCH", MsgReadReport: "READREPORT",
+	MsgStats: "STATS", MsgStatsResp: "STATSRESP",
+	MsgPing: "PING", MsgPong: "PONG", MsgErr: "ERR",
+}
+
+// String returns the wire name of the message type.
+func (t MsgType) String() string {
+	if n, ok := msgNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MSG(%d)", uint8(t))
+}
+
+// Status codes for responses.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusError
+)
+
+// String returns "ok", "not-found" or "error".
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// BatchKind discriminates ops inside a MsgBatch.
+type BatchKind uint8
+
+// Batch operation kinds: an invalidate carries only the key; an update
+// carries the new value and version.
+const (
+	BatchInvalidate BatchKind = iota + 1
+	BatchUpdate
+)
+
+// BatchOp is one freshness decision inside a batch push.
+type BatchOp struct {
+	Kind    BatchKind
+	Key     string
+	Value   []byte // updates only
+	Version uint64 // updates only
+}
+
+// ReadReport carries one key's read count observed at a cache.
+type ReadReport struct {
+	Key   string
+	Count uint32
+}
+
+// Msg is the decoded form of any protocol frame. Only the fields
+// relevant to Type are meaningful; the rest are zero.
+type Msg struct {
+	Type    MsgType
+	Seq     uint64
+	Key     string
+	Value   []byte
+	Version uint64
+	Status  Status
+	Epoch   uint64
+	Ops     []BatchOp
+	Reports []ReadReport
+	Stats   map[string]uint64
+	Err     string
+}
+
+// Limits enforced on both sides of every connection.
+const (
+	// MaxFrame bounds one frame's payload.
+	MaxFrame = 16 << 20
+	// MaxKey bounds key length.
+	MaxKey = 1 << 16
+	// MaxBatchOps bounds the operations in one batch frame.
+	MaxBatchOps = 1 << 20
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrame")
+	ErrMalformed     = errors.New("proto: malformed frame")
+)
+
+// Writer encodes frames onto an io.Writer with an internal buffer.
+// Writer is not safe for concurrent use.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// WriteMsg encodes m and flushes it.
+func (w *Writer) WriteMsg(m *Msg) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, byte(m.Type))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, m.Seq)
+	var err error
+	w.buf, err = appendPayload(w.buf, m)
+	if err != nil {
+		return err
+	}
+	if len(w.buf) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(w.buf))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: writing frame header: %w", err)
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("proto: writing frame body: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("proto: flushing frame: %w", err)
+	}
+	return nil
+}
+
+func appendString16(b []byte, s string) ([]byte, error) {
+	if len(s) > MaxKey {
+		return b, fmt.Errorf("%w: key length %d", ErrMalformed, len(s))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+func appendBytes32(b, v []byte) ([]byte, error) {
+	if len(v) > MaxFrame/2 {
+		return b, fmt.Errorf("%w: value length %d", ErrMalformed, len(v))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...), nil
+}
+
+func appendPayload(b []byte, m *Msg) ([]byte, error) {
+	var err error
+	switch m.Type {
+	case MsgGet, MsgFill, MsgSubscribe:
+		return appendString16(b, m.Key)
+	case MsgGetResp:
+		b = append(b, byte(m.Status))
+		b = binary.BigEndian.AppendUint64(b, m.Version)
+		return appendBytes32(b, m.Value)
+	case MsgPut:
+		if b, err = appendString16(b, m.Key); err != nil {
+			return b, err
+		}
+		return appendBytes32(b, m.Value)
+	case MsgPutResp:
+		b = append(b, byte(m.Status))
+		return binary.BigEndian.AppendUint64(b, m.Version), nil
+	case MsgSubResp:
+		return binary.BigEndian.AppendUint64(b, m.Epoch), nil
+	case MsgBatch:
+		if len(m.Ops) > MaxBatchOps {
+			return b, fmt.Errorf("%w: %d batch ops", ErrMalformed, len(m.Ops))
+		}
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Ops)))
+		for _, op := range m.Ops {
+			b = append(b, byte(op.Kind))
+			if b, err = appendString16(b, op.Key); err != nil {
+				return b, err
+			}
+			if op.Kind == BatchUpdate {
+				b = binary.BigEndian.AppendUint64(b, op.Version)
+				if b, err = appendBytes32(b, op.Value); err != nil {
+					return b, err
+				}
+			}
+		}
+		return b, nil
+	case MsgReadReport:
+		if len(m.Reports) > MaxBatchOps {
+			return b, fmt.Errorf("%w: %d reports", ErrMalformed, len(m.Reports))
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Reports)))
+		for _, r := range m.Reports {
+			if b, err = appendString16(b, r.Key); err != nil {
+				return b, err
+			}
+			b = binary.BigEndian.AppendUint32(b, r.Count)
+		}
+		return b, nil
+	case MsgStats, MsgPing, MsgPong:
+		return b, nil
+	case MsgStatsResp:
+		if len(m.Stats) > MaxBatchOps {
+			return b, fmt.Errorf("%w: %d stats", ErrMalformed, len(m.Stats))
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Stats)))
+		for k, v := range m.Stats {
+			if b, err = appendString16(b, k); err != nil {
+				return b, err
+			}
+			b = binary.BigEndian.AppendUint64(b, v)
+		}
+		return b, nil
+	case MsgErr:
+		return appendString16(b, m.Err)
+	default:
+		return b, fmt.Errorf("%w: unknown type %v", ErrMalformed, m.Type)
+	}
+}
+
+// Reader decodes frames from an io.Reader.
+// Reader is not safe for concurrent use.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// ReadMsg reads and decodes the next frame. The returned Msg's byte
+// slices alias the Reader's internal buffer and are invalidated by the
+// next ReadMsg; callers keeping data must copy (the cache node does).
+func (r *Reader) ReadMsg() (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < 9 {
+		return nil, fmt.Errorf("%w: frame too short (%d bytes)", ErrMalformed, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, fmt.Errorf("proto: reading frame body: %w", err)
+	}
+	m := &Msg{Type: MsgType(r.buf[0]), Seq: binary.BigEndian.Uint64(r.buf[1:9])}
+	if err := parsePayload(m, r.buf[9:]); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// cursor is a bounds-checked little parse helper.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) need(n int) ([]byte, error) {
+	if c.off+n > len(c.b) {
+		return nil, fmt.Errorf("%w: truncated payload (need %d past %d/%d)",
+			ErrMalformed, n, c.off, len(c.b))
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, nil
+}
+
+func (c *cursor) u8() (uint8, error) {
+	b, err := c.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	b, err := c.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (c *cursor) str16() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := c.need(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (c *cursor) bytes32() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame/2 {
+		return nil, fmt.Errorf("%w: value length %d", ErrMalformed, n)
+	}
+	return c.need(int(n))
+}
+
+func (c *cursor) done() error {
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(c.b)-c.off)
+	}
+	return nil
+}
+
+func parsePayload(m *Msg, payload []byte) error {
+	c := &cursor{b: payload}
+	var err error
+	switch m.Type {
+	case MsgGet, MsgFill, MsgSubscribe:
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+	case MsgGetResp:
+		st, err := c.u8()
+		if err != nil {
+			return err
+		}
+		m.Status = Status(st)
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Value, err = c.bytes32(); err != nil {
+			return err
+		}
+	case MsgPut:
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+		if m.Value, err = c.bytes32(); err != nil {
+			return err
+		}
+	case MsgPutResp:
+		st, err := c.u8()
+		if err != nil {
+			return err
+		}
+		m.Status = Status(st)
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+	case MsgSubResp:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+	case MsgBatch:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return err
+		}
+		if n > MaxBatchOps {
+			return fmt.Errorf("%w: %d batch ops", ErrMalformed, n)
+		}
+		m.Ops = make([]BatchOp, 0, min64(uint64(n), 4096))
+		for i := uint32(0); i < n; i++ {
+			var op BatchOp
+			kind, err := c.u8()
+			if err != nil {
+				return err
+			}
+			op.Kind = BatchKind(kind)
+			if op.Kind != BatchInvalidate && op.Kind != BatchUpdate {
+				return fmt.Errorf("%w: batch op kind %d", ErrMalformed, kind)
+			}
+			if op.Key, err = c.str16(); err != nil {
+				return err
+			}
+			if op.Kind == BatchUpdate {
+				if op.Version, err = c.u64(); err != nil {
+					return err
+				}
+				if op.Value, err = c.bytes32(); err != nil {
+					return err
+				}
+			}
+			m.Ops = append(m.Ops, op)
+		}
+	case MsgReadReport:
+		n, err := c.u32()
+		if err != nil {
+			return err
+		}
+		if n > MaxBatchOps {
+			return fmt.Errorf("%w: %d reports", ErrMalformed, n)
+		}
+		m.Reports = make([]ReadReport, 0, min64(uint64(n), 4096))
+		for i := uint32(0); i < n; i++ {
+			var rp ReadReport
+			if rp.Key, err = c.str16(); err != nil {
+				return err
+			}
+			if rp.Count, err = c.u32(); err != nil {
+				return err
+			}
+			m.Reports = append(m.Reports, rp)
+		}
+	case MsgStats, MsgPing, MsgPong:
+	case MsgStatsResp:
+		n, err := c.u32()
+		if err != nil {
+			return err
+		}
+		if n > MaxBatchOps {
+			return fmt.Errorf("%w: %d stats", ErrMalformed, n)
+		}
+		m.Stats = make(map[string]uint64, min64(uint64(n), 4096))
+		for i := uint32(0); i < n; i++ {
+			k, err := c.str16()
+			if err != nil {
+				return err
+			}
+			v, err := c.u64()
+			if err != nil {
+				return err
+			}
+			m.Stats[k] = v
+		}
+	case MsgErr:
+		if m.Err, err = c.str16(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unknown type %d", ErrMalformed, uint8(m.Type))
+	}
+	return c.done()
+}
+
+func min64(a, b uint64) int {
+	if a < b {
+		return int(a)
+	}
+	if b > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(b)
+}

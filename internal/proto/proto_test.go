@@ -1,0 +1,284 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteMsg(m); err != nil {
+		t.Fatalf("write %v: %v", m.Type, err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadMsg()
+	if err != nil {
+		t.Fatalf("read %v: %v", m.Type, err)
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []*Msg{
+		{Type: MsgGet, Seq: 1, Key: "user:42"},
+		{Type: MsgFill, Seq: 2, Key: "page:home"},
+		{Type: MsgSubscribe, Seq: 3, Key: "cache-a"},
+		{Type: MsgGetResp, Seq: 4, Status: StatusOK, Version: 99, Value: []byte("hello")},
+		{Type: MsgGetResp, Seq: 5, Status: StatusNotFound, Value: []byte{}},
+		{Type: MsgPut, Seq: 6, Key: "k", Value: []byte("v")},
+		{Type: MsgPutResp, Seq: 7, Status: StatusOK, Version: 100},
+		{Type: MsgSubResp, Seq: 8, Epoch: 41},
+		{Type: MsgBatch, Seq: 0, Epoch: 42, Ops: []BatchOp{
+			{Kind: BatchInvalidate, Key: "a"},
+			{Kind: BatchUpdate, Key: "b", Version: 7, Value: []byte("new")},
+		}},
+		{Type: MsgReadReport, Seq: 9, Reports: []ReadReport{
+			{Key: "a", Count: 3}, {Key: "b", Count: 1},
+		}},
+		{Type: MsgStats, Seq: 10},
+		{Type: MsgStatsResp, Seq: 11, Stats: map[string]uint64{"hits": 5, "misses": 2}},
+		{Type: MsgPing, Seq: 12},
+		{Type: MsgPong, Seq: 13},
+		{Type: MsgErr, Seq: 14, Err: "boom"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		// Normalize empty-vs-nil slices for comparison.
+		if len(got.Value) == 0 {
+			got.Value = nil
+		}
+		want := *m
+		if len(want.Value) == 0 {
+			want.Value = nil
+		}
+		gotCopy := *got
+		if !reflect.DeepEqual(&gotCopy, &want) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", m.Type, gotCopy, want)
+		}
+	}
+}
+
+func TestMultipleFramesOnOneConnection(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := uint64(0); i < 10; i++ {
+		if err := w.WriteMsg(&Msg{Type: MsgPing, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := uint64(0); i < 10; i++ {
+		m, err := r.ReadMsg()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != i {
+			t.Errorf("frame %d has seq %d", i, m.Seq)
+		}
+	}
+	if _, err := r.ReadMsg(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	r := NewReader(bytes.NewReader(hdr[:]))
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestShortFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3) // < 9 byte minimum
+	buf.Write(hdr[:])
+	buf.Write([]byte{1, 2, 3})
+	r := NewReader(&buf)
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestTruncatedPayloadRejected(t *testing.T) {
+	// A GET whose declared key length exceeds the payload.
+	var buf bytes.Buffer
+	payload := []byte{byte(MsgGet), 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	r := NewReader(&buf)
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteMsg(&Msg{Type: MsgPing, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Extend the ping frame with garbage and fix the length.
+	raw := buf.Bytes()
+	raw = append(raw, 0xAB)
+	binary.BigEndian.PutUint32(raw[0:4], uint32(len(raw)-4))
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{250, 0, 0, 0, 0, 0, 0, 0, 1}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	r := NewReader(&buf)
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+	w := NewWriter(io.Discard)
+	if err := w.WriteMsg(&Msg{Type: MsgType(250)}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("write err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestBadBatchKindRejected(t *testing.T) {
+	// Hand-encode a batch with kind 9.
+	payload := []byte{byte(MsgBatch), 0, 0, 0, 0, 0, 0, 0, 0}
+	payload = binary.BigEndian.AppendUint64(payload, 1) // epoch
+	payload = binary.BigEndian.AppendUint32(payload, 1) // one op
+	payload = append(payload, 9)                        // bad kind
+	payload = append(payload, 0, 1, 'k')
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	r := NewReader(&buf)
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestKeyTooLongRejected(t *testing.T) {
+	w := NewWriter(io.Discard)
+	err := w.WriteMsg(&Msg{Type: MsgGet, Key: strings.Repeat("k", MaxKey+1)})
+	if !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestLargeBatch(t *testing.T) {
+	ops := make([]BatchOp, 10000)
+	for i := range ops {
+		if i%2 == 0 {
+			ops[i] = BatchOp{Kind: BatchInvalidate, Key: "key-inv"}
+		} else {
+			ops[i] = BatchOp{Kind: BatchUpdate, Key: "key-upd", Version: uint64(i), Value: []byte("value-bytes")}
+		}
+	}
+	got := roundTrip(t, &Msg{Type: MsgBatch, Epoch: 3, Ops: ops})
+	if len(got.Ops) != len(ops) {
+		t.Fatalf("got %d ops", len(got.Ops))
+	}
+	if got.Ops[1].Version != 1 || string(got.Ops[1].Value) != "value-bytes" {
+		t.Errorf("op[1] = %+v", got.Ops[1])
+	}
+}
+
+// Any Get/Put message round-trips losslessly.
+func TestPropRoundTrip(t *testing.T) {
+	f := func(seq uint64, key string, value []byte) bool {
+		if len(key) > MaxKey {
+			key = key[:MaxKey]
+		}
+		m := &Msg{Type: MsgPut, Seq: seq, Key: key, Value: value}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteMsg(m); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadMsg()
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Key == key && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fuzz-ish robustness: random byte soup must never panic the reader.
+func TestPropReaderNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		r := NewReader(bytes.NewReader(raw))
+		for {
+			_, err := r.ReadMsg()
+			if err != nil {
+				return true
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeAndStatusStrings(t *testing.T) {
+	if MsgGet.String() != "GET" || MsgBatch.String() != "BATCH" {
+		t.Error("message names wrong")
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type should stringify")
+	}
+	if StatusOK.String() != "ok" || StatusNotFound.String() != "not-found" ||
+		StatusError.String() != "error" || Status(9).String() == "" {
+		t.Error("status names wrong")
+	}
+}
+
+func BenchmarkWriteGet(b *testing.B) {
+	w := NewWriter(io.Discard)
+	m := &Msg{Type: MsgGet, Seq: 1, Key: "user:123456"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteMsg(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundTripBatch(b *testing.B) {
+	ops := make([]BatchOp, 100)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: BatchUpdate, Key: "key", Version: 1, Value: make([]byte, 128)}
+	}
+	m := &Msg{Type: MsgBatch, Epoch: 1, Ops: ops}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.WriteMsg(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewReader(&buf).ReadMsg(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package simulate
+
+// entry is one resident object in the simulated cache.
+type entry struct {
+	key uint64
+	// stale marks the copy invalidated (or, for TTL-expiry, is implied
+	// by freshUntil); a read of a stale resident entry is a staleness
+	// miss, the cost the paper calls C_S.
+	stale bool
+	// versionTime is the virtual time of the store state this copy
+	// reflects: all writes at or before versionTime are included.
+	versionTime float64
+	// freshUntil is the TTL deadline (TTL-expiry policy); +Inf elsewhere.
+	freshUntil float64
+
+	prev, next *entry // LRU list, most recent at head
+}
+
+// lru is a capacity-bounded map+list cache keyed by uint64. Capacity 0
+// means unbounded. Not safe for concurrent use (the simulator is
+// single-goroutine by design).
+type lru struct {
+	capacity   int
+	m          map[uint64]*entry
+	head, tail *entry
+	evictions  uint64
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{capacity: capacity, m: make(map[uint64]*entry)}
+}
+
+func (l *lru) len() int { return len(l.m) }
+
+// get returns the entry without touching recency (callers decide whether
+// an access counts as a use).
+func (l *lru) get(key uint64) *entry { return l.m[key] }
+
+// touch moves e to the most-recently-used position.
+func (l *lru) touch(e *entry) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}
+
+// insert adds a new entry for key, evicting the least recently used
+// resident if at capacity. It returns the new entry and the evicted key
+// (evicted == false when nothing was displaced).
+func (l *lru) insert(key uint64) (e *entry, evictedKey uint64, evicted bool) {
+	if old := l.m[key]; old != nil {
+		l.touch(old)
+		return old, 0, false
+	}
+	if l.capacity > 0 && len(l.m) >= l.capacity {
+		victim := l.tail
+		l.unlink(victim)
+		delete(l.m, victim.key)
+		l.evictions++
+		evictedKey, evicted = victim.key, true
+	}
+	e = &entry{key: key}
+	l.m[key] = e
+	l.pushFront(e)
+	return e, evictedKey, evicted
+}
+
+// remove deletes key if resident.
+func (l *lru) remove(key uint64) {
+	if e := l.m[key]; e != nil {
+		l.unlink(e)
+		delete(l.m, key)
+	}
+}
+
+// each calls fn for every resident entry. fn must not insert or remove.
+func (l *lru) each(fn func(*entry)) {
+	for e := l.head; e != nil; e = e.next {
+		fn(e)
+	}
+}
+
+func (l *lru) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,145 @@
+package simulate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLRUInsertGetTouch(t *testing.T) {
+	l := newLRU(2)
+	a, _, ev := l.insert(1)
+	if ev || a == nil {
+		t.Fatal("first insert evicted")
+	}
+	l.insert(2)
+	// Touch 1 so 2 becomes the LRU victim.
+	l.touch(l.get(1))
+	_, victim, ev := l.insert(3)
+	if !ev || victim != 2 {
+		t.Errorf("evicted %d (ev=%v), want 2", victim, ev)
+	}
+	if l.get(2) != nil {
+		t.Error("evicted key still resident")
+	}
+	if l.get(1) == nil || l.get(3) == nil {
+		t.Error("resident keys missing")
+	}
+	if l.len() != 2 {
+		t.Errorf("len = %d", l.len())
+	}
+	if l.evictions != 1 {
+		t.Errorf("evictions = %d", l.evictions)
+	}
+}
+
+func TestLRUReinsertTouches(t *testing.T) {
+	l := newLRU(2)
+	l.insert(1)
+	l.insert(2)
+	// Re-inserting 1 must refresh recency, not duplicate.
+	_, _, ev := l.insert(1)
+	if ev {
+		t.Error("reinsert evicted")
+	}
+	if l.len() != 2 {
+		t.Fatalf("len = %d", l.len())
+	}
+	_, victim, _ := l.insert(3)
+	if victim != 2 {
+		t.Errorf("victim = %d, want 2", victim)
+	}
+}
+
+func TestLRUUnbounded(t *testing.T) {
+	l := newLRU(0)
+	for i := uint64(0); i < 1000; i++ {
+		if _, _, ev := l.insert(i); ev {
+			t.Fatal("unbounded cache evicted")
+		}
+	}
+	if l.len() != 1000 {
+		t.Errorf("len = %d", l.len())
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := newLRU(3)
+	l.insert(1)
+	l.insert(2)
+	l.insert(3)
+	l.remove(2)
+	if l.get(2) != nil || l.len() != 2 {
+		t.Error("remove failed")
+	}
+	l.remove(99) // absent: no-op
+	if l.len() != 2 {
+		t.Error("removing absent key changed size")
+	}
+	// List stays consistent: iterate.
+	seen := 0
+	l.each(func(*entry) { seen++ })
+	if seen != 2 {
+		t.Errorf("each visited %d", seen)
+	}
+}
+
+func TestLRUEachOrder(t *testing.T) {
+	l := newLRU(0)
+	l.insert(1)
+	l.insert(2)
+	l.insert(3) // head=3,2,1=tail
+	var order []uint64
+	l.each(func(e *entry) { order = append(order, e.key) })
+	if len(order) != 3 || order[0] != 3 || order[2] != 1 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// Property: capacity is never exceeded and evictions strike the least
+// recently used key.
+func TestPropLRUCapacityInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const cap = 4
+		l := newLRU(cap)
+		// Model: slice ordered most→least recent.
+		var mru []uint64
+		find := func(k uint64) int {
+			for i, v := range mru {
+				if v == k {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, op := range ops {
+			k := uint64(op % 8)
+			if op >= 128 {
+				// Access (insert or touch).
+				_, victim, ev := l.insert(k)
+				if i := find(k); i >= 0 {
+					mru = append(mru[:i], mru[i+1:]...)
+				} else if len(mru) == cap {
+					want := mru[len(mru)-1]
+					if !ev || victim != want {
+						return false
+					}
+					mru = mru[:len(mru)-1]
+				}
+				mru = append([]uint64{k}, mru...)
+			} else if e := l.get(k); e != nil {
+				l.touch(e)
+				if i := find(k); i >= 0 {
+					mru = append(mru[:i], mru[i+1:]...)
+					mru = append([]uint64{k}, mru...)
+				}
+			}
+			if l.len() > cap || l.len() != len(mru) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

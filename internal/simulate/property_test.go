@@ -1,0 +1,97 @@
+package simulate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"freshcache/internal/model"
+	"freshcache/internal/workload"
+	"freshcache/internal/xrand"
+)
+
+// randomTrace builds a small arbitrary-but-valid trace from fuzz inputs.
+func randomTrace(seed uint64, nKeys, nReqs uint8, readBias float64) *workload.Trace {
+	keys := int(nKeys%16) + 1
+	reqs := int(nReqs) + 1
+	rng := xrand.New(seed, 42)
+	tr := &workload.Trace{Name: "fuzz", NumKeys: keys, Duration: float64(reqs) * 0.1}
+	at := 0.0
+	for i := 0; i < reqs; i++ {
+		at += rng.Exp(10)
+		if at >= tr.Duration {
+			break
+		}
+		op := workload.OpWrite
+		if rng.Bool(readBias) {
+			op = workload.OpRead
+		}
+		tr.Requests = append(tr.Requests, workload.Request{
+			At: at, Key: uint64(rng.Intn(keys)), Op: op,
+		})
+	}
+	return tr
+}
+
+// TestPropAllPoliciesSafeOnRandomTraces fuzzes small traces across every
+// policy × several staleness bounds × several capacities and asserts the
+// simulator's safety invariants: bounded staleness is never violated,
+// read accounting conserves, and costs are non-negative.
+func TestPropAllPoliciesSafeOnRandomTraces(t *testing.T) {
+	f := func(seed uint64, nKeys, nReqs uint8, biasRaw uint8) bool {
+		tr := randomTrace(seed, nKeys, nReqs, float64(biasRaw)/255)
+		if tr.Validate() != nil {
+			return false
+		}
+		for _, pl := range allPolicies {
+			for _, T := range []float64{0.05, 0.5, 5} {
+				for _, cap := range []int{0, 2} {
+					res, err := Run(Config{T: T, Capacity: cap, Policy: pl}, tr)
+					if err != nil {
+						return false
+					}
+					if res.FreshnessViolations != 0 {
+						t.Logf("%v T=%v cap=%d: %d violations on seed %d",
+							pl, T, cap, res.FreshnessViolations, seed)
+						return false
+					}
+					if res.Hits+res.StaleMisses+res.ColdMisses != res.Reads {
+						return false
+					}
+					if res.CF < 0 || res.CS < 0 || res.CFNorm < 0 || res.CSNorm < 0 {
+						return false
+					}
+					if res.CSNorm > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropEWModeSafeOnRandomTraces repeats the safety fuzz for the E[W]
+// tracker variants of the adaptive policy.
+func TestPropEWModeSafeOnRandomTraces(t *testing.T) {
+	f := func(seed uint64, nKeys, nReqs uint8) bool {
+		tr := randomTrace(seed, nKeys, nReqs, 0.7)
+		for _, pl := range []model.Policy{model.Adaptive, model.AdaptiveCS} {
+			res, err := Run(Config{T: 0.3, Capacity: 4, Policy: pl, UseEWTracker: true}, tr)
+			if err != nil || res.FreshnessViolations != 0 {
+				return false
+			}
+			// With an SLO the adaptive policy must also be safe.
+			res, err = Run(Config{T: 0.3, Policy: pl, SLO: 0.05}, tr)
+			if err != nil || res.FreshnessViolations != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

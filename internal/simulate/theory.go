@@ -1,0 +1,58 @@
+package simulate
+
+import (
+	"fmt"
+
+	"freshcache/internal/costmodel"
+	"freshcache/internal/model"
+	"freshcache/internal/workload"
+)
+
+// Theory applies the analytical model of §2–§3 to a whole trace: each
+// key's empirical arrival rate λ̂ and read ratio r̂ parameterize the
+// per-object closed form, and per-key costs are summed under the paper's
+// additivity assumption (§2.1). The result is normalized exactly like
+// simulator output, so theory and simulation are directly comparable —
+// this is the "Theoretical" line of Figures 2 and 3.
+func Theory(tr *workload.Trace, T float64, costs costmodel.Costs, pl model.Policy) (cfNorm, csNorm float64, err error) {
+	if !(T > 0) {
+		return 0, 0, fmt.Errorf("simulate: theory needs T > 0, got %v", T)
+	}
+	if costs == (costmodel.Costs{}) {
+		costs = costmodel.DefaultSim()
+	}
+	if tr.Duration <= 0 {
+		return 0, 0, fmt.Errorf("simulate: theory needs a positive trace duration")
+	}
+	var cf, cs float64
+	var totalReads uint64
+	for _, st := range tr.PerKeyStats() {
+		totalReads += st.Reads
+		lambda := st.Rate(tr.Duration)
+		if lambda <= 0 {
+			continue
+		}
+		p := model.Params{
+			Lambda:  lambda,
+			R:       st.ReadRatio(),
+			T:       T,
+			Horizon: tr.Duration,
+			Cm:      costs.Cm, Ci: costs.Ci, Cu: costs.Cu,
+		}
+		c, err := p.PolicyCosts(pl)
+		if err != nil {
+			return 0, 0, fmt.Errorf("simulate: theory for key %d: %w", st.Key, err)
+		}
+		cf += c.CF
+		cs += c.CS
+	}
+	if totalReads == 0 {
+		return 0, 0, nil
+	}
+	den := float64(totalReads)
+	if costs.Cm > 0 {
+		cfNorm = cf / (den * costs.Cm)
+	}
+	csNorm = cs / den
+	return cfNorm, csNorm, nil
+}

@@ -1,0 +1,67 @@
+package sketch
+
+import "sync"
+
+// Locked wraps any Tracker with a mutex, making it safe for concurrent
+// use by the live servers. The simulator uses unwrapped trackers — it is
+// single-goroutine and the lock would only distort the Figure 6 latency
+// measurements.
+type Locked struct {
+	mu sync.Mutex
+	t  Tracker
+}
+
+// NewLocked wraps t.
+func NewLocked(t Tracker) *Locked { return &Locked{t: t} }
+
+// Name implements Tracker.
+func (l *Locked) Name() string { return l.t.Name() }
+
+// ObserveRead implements Tracker.
+func (l *Locked) ObserveRead(key uint64) {
+	l.mu.Lock()
+	l.t.ObserveRead(key)
+	l.mu.Unlock()
+}
+
+// ObserveWrite implements Tracker.
+func (l *Locked) ObserveWrite(key uint64) {
+	l.mu.Lock()
+	l.t.ObserveWrite(key)
+	l.mu.Unlock()
+}
+
+// EW implements Tracker.
+func (l *Locked) EW(key uint64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.EW(key)
+}
+
+// Reads implements Tracker.
+func (l *Locked) Reads(key uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Reads(key)
+}
+
+// Writes implements Tracker.
+func (l *Locked) Writes(key uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Writes(key)
+}
+
+// Bytes implements Tracker.
+func (l *Locked) Bytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Bytes()
+}
+
+// Reset implements Tracker.
+func (l *Locked) Reset() {
+	l.mu.Lock()
+	l.t.Reset()
+	l.mu.Unlock()
+}

@@ -1,0 +1,387 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"freshcache/internal/xrand"
+)
+
+// driveWWR feeds "w writes then one read" cycles for key into tr.
+func driveWWR(tr Tracker, key uint64, writesPerRead, cycles int) {
+	for c := 0; c < cycles; c++ {
+		for w := 0; w < writesPerRead; w++ {
+			tr.ObserveWrite(key)
+		}
+		tr.ObserveRead(key)
+	}
+}
+
+func TestExactEWSimplePattern(t *testing.T) {
+	e := NewExact()
+	driveWWR(e, 1, 3, 10) // 3 writes per read
+	if got := e.EW(1); got != 3 {
+		t.Errorf("E[W] = %v, want 3", got)
+	}
+	if e.Reads(1) != 10 || e.Writes(1) != 30 {
+		t.Errorf("counts: r=%d w=%d, want 10/30", e.Reads(1), e.Writes(1))
+	}
+}
+
+func TestExactEWZeroRunsCounted(t *testing.T) {
+	// r r r w r → runs between reads: 0,0,0,1 → E[W] = 0.25.
+	e := NewExact()
+	e.ObserveRead(1)
+	e.ObserveRead(1)
+	e.ObserveRead(1)
+	e.ObserveWrite(1)
+	e.ObserveRead(1)
+	if got := e.EW(1); got != 0.25 {
+		t.Errorf("E[W] = %v, want 0.25", got)
+	}
+}
+
+func TestExactDefaultPrior(t *testing.T) {
+	e := NewExact()
+	if got := e.EW(42); got != DefaultEW {
+		t.Errorf("unseen key E[W] = %v, want DefaultEW", got)
+	}
+	// A write-only key's estimate grows with the open run, so the
+	// decision rule can flip never-read keys to invalidation.
+	for i := 1; i <= 5; i++ {
+		e.ObserveWrite(42)
+		if got := e.EW(42); got != float64(i) {
+			t.Errorf("after %d unread writes E[W] = %v, want %d", i, got, i)
+		}
+	}
+	// A read closes the run: mean becomes 5/1, and the next write opens
+	// a pending sample: (5+1)/(1+1) = 3.
+	e.ObserveRead(42)
+	if got := e.EW(42); got != 5 {
+		t.Errorf("after closing run E[W] = %v, want 5", got)
+	}
+	e.ObserveWrite(42)
+	if got := e.EW(42); got != 3 {
+		t.Errorf("with pending run E[W] = %v, want 3", got)
+	}
+}
+
+func TestExactPerKeyIsolation(t *testing.T) {
+	e := NewExact()
+	driveWWR(e, 1, 5, 4)
+	driveWWR(e, 2, 1, 4)
+	if e.EW(1) != 5 || e.EW(2) != 1 {
+		t.Errorf("keys not isolated: EW(1)=%v EW(2)=%v", e.EW(1), e.EW(2))
+	}
+	if e.Keys() != 2 {
+		t.Errorf("Keys = %d", e.Keys())
+	}
+	e.Reset()
+	if e.Keys() != 0 || e.Reads(1) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+// Count-min never undercounts: property test against an exact shadow.
+func TestPropCountMinOverestimates(t *testing.T) {
+	f := func(events []bool, keys []uint8) bool {
+		cm := MustCountMin(64, 4)
+		exact := map[uint64][2]uint64{}
+		n := len(events)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		for i := 0; i < n; i++ {
+			k := uint64(keys[i] % 16)
+			c := exact[k]
+			if events[i] {
+				cm.ObserveRead(k)
+				c[0]++
+			} else {
+				cm.ObserveWrite(k)
+				c[1]++
+			}
+			exact[k] = c
+		}
+		for k, c := range exact {
+			if cm.Reads(k) < c[0] || cm.Writes(k) < c[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinExactWhenNoCollisions(t *testing.T) {
+	cm := MustCountMin(1024, 4)
+	driveWWR(cm, 7, 3, 100)
+	if cm.Reads(7) != 100 || cm.Writes(7) != 300 {
+		t.Errorf("counts r=%d w=%d, want 100/300", cm.Reads(7), cm.Writes(7))
+	}
+	if got := cm.EW(7); math.Abs(got-3) > 1e-9 {
+		t.Errorf("E[W] = %v, want 3", got)
+	}
+}
+
+func TestCountMinCollisionsInflateButStayFinite(t *testing.T) {
+	cm := MustCountMin(8, 2) // tiny: force collisions
+	r := xrand.New(1, 0)
+	for i := 0; i < 10000; i++ {
+		k := uint64(r.Intn(1000))
+		if r.Bool(0.5) {
+			cm.ObserveRead(k)
+		} else {
+			cm.ObserveWrite(k)
+		}
+	}
+	ew := cm.EW(3)
+	if math.IsNaN(ew) || math.IsInf(ew, 0) || ew < 0 {
+		t.Errorf("E[W] under collisions = %v", ew)
+	}
+}
+
+func TestCountMinGeometryErrors(t *testing.T) {
+	if _, err := NewCountMin(0, 4); err == nil {
+		t.Error("accepted width 0")
+	}
+	if _, err := NewCountMin(16, -1); err == nil {
+		t.Error("accepted negative depth")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCountMin did not panic")
+		}
+	}()
+	MustCountMin(0, 0)
+}
+
+func TestCountMinResetAndBytes(t *testing.T) {
+	cm := MustCountMin(32, 3)
+	cm.ObserveRead(1)
+	cm.ObserveWrite(1)
+	if cm.Bytes() != 32*3*4*2+3*8 {
+		t.Errorf("Bytes = %d", cm.Bytes())
+	}
+	cm.Reset()
+	if cm.Reads(1) != 0 || cm.Writes(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTopKExactForHotKeys(t *testing.T) {
+	tk := MustTopK(4, 64, 4)
+	driveWWR(tk, 1, 3, 50)
+	driveWWR(tk, 2, 1, 50)
+	if !tk.Hot(1) || !tk.Hot(2) {
+		t.Fatal("hot keys not resident")
+	}
+	if got := tk.EW(1); got != 3 {
+		t.Errorf("EW(1) = %v, want 3 (exact)", got)
+	}
+	if got := tk.EW(2); got != 1 {
+		t.Errorf("EW(2) = %v, want 1 (exact)", got)
+	}
+}
+
+func TestTopKPromotionDemotion(t *testing.T) {
+	tk := MustTopK(2, 256, 4)
+	driveWWR(tk, 1, 1, 10) // heat up keys 1,2 into the exact set
+	driveWWR(tk, 2, 1, 10)
+	if tk.HotCount() != 2 {
+		t.Fatalf("HotCount = %d, want 2", tk.HotCount())
+	}
+	// Key 3 becomes much hotter than the coldest resident.
+	driveWWR(tk, 3, 1, 100)
+	if !tk.Hot(3) {
+		t.Error("hot key 3 was not promoted")
+	}
+	if tk.HotCount() != 2 {
+		t.Errorf("HotCount = %d, want 2 after promotion", tk.HotCount())
+	}
+	// One of 1,2 was demoted; its counts must survive in the tail.
+	demoted := uint64(1)
+	if tk.Hot(1) {
+		demoted = 2
+	}
+	if tk.Reads(demoted) == 0 {
+		t.Errorf("demoted key %d lost its read counts", demoted)
+	}
+}
+
+func TestTopKTailFallback(t *testing.T) {
+	tk := MustTopK(1, 128, 4)
+	driveWWR(tk, 1, 1, 100) // occupies the single exact slot
+	driveWWR(tk, 9, 4, 3)   // cold key: tail only
+	if tk.Hot(9) {
+		t.Fatal("cold key should not be resident")
+	}
+	// Tail estimate: writes/reads = 12/3 = 4.
+	if got := tk.EW(9); math.Abs(got-4) > 1.0 {
+		t.Errorf("tail E[W] = %v, want ≈ 4", got)
+	}
+}
+
+func TestTopKZipfAccuracy(t *testing.T) {
+	// Under a skewed workload, Top-K should give exact E[W] for the
+	// hottest keys even with a tiny exact set.
+	tk := MustTopK(16, 512, 4)
+	ex := NewExact()
+	rng := xrand.New(99, 0)
+	z := xrand.NewZipf(rng, 1.3, 1000)
+	for i := 0; i < 200000; i++ {
+		k := uint64(z.Sample())
+		if rng.Bool(0.8) {
+			tk.ObserveRead(k)
+			ex.ObserveRead(k)
+		} else {
+			tk.ObserveWrite(k)
+			ex.ObserveWrite(k)
+		}
+	}
+	for k := uint64(0); k < 5; k++ {
+		if !tk.Hot(k) {
+			t.Errorf("rank-%d key not in top-K", k)
+			continue
+		}
+		// Promotion happens almost immediately for rank-0..4 keys, so the
+		// post-promotion run statistics track the exact tracker closely.
+		if diff := math.Abs(tk.EW(k) - ex.EW(k)); diff > 0.1 {
+			t.Errorf("key %d: topk E[W]=%v exact=%v", k, tk.EW(k), ex.EW(k))
+		}
+	}
+	if tk.Bytes() >= ex.Bytes() {
+		t.Errorf("top-k (%dB) should be smaller than exact (%dB)", tk.Bytes(), ex.Bytes())
+	}
+}
+
+func TestTopKParamErrors(t *testing.T) {
+	if _, err := NewTopK(0, 16, 2); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewTopK(4, 0, 2); err == nil {
+		t.Error("accepted bad tail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTopK did not panic")
+		}
+	}()
+	MustTopK(-1, 4, 4)
+}
+
+func TestTopKReset(t *testing.T) {
+	tk := MustTopK(2, 64, 2)
+	driveWWR(tk, 1, 1, 5)
+	tk.Reset()
+	if tk.HotCount() != 0 || tk.Reads(1) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	if Hash("user:123") != Hash("user:123") {
+		t.Error("Hash not deterministic")
+	}
+	if Hash("a") == Hash("b") {
+		t.Error("trivial collision")
+	}
+	if Hash("") == 0 {
+		// FNV offset basis: empty string hashes to the basis, not zero.
+		t.Error("empty string should hash to FNV offset basis")
+	}
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	l := NewLocked(NewExact())
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				k := uint64(g)
+				l.ObserveWrite(k)
+				l.ObserveRead(k)
+				_ = l.EW(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	for g := uint64(0); g < 8; g++ {
+		if l.Reads(g) != 1000 || l.Writes(g) != 1000 {
+			t.Errorf("goroutine %d counts: r=%d w=%d", g, l.Reads(g), l.Writes(g))
+		}
+	}
+	if l.Name() != "exact" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if l.Bytes() == 0 {
+		t.Error("Bytes = 0")
+	}
+	l.Reset()
+	if l.Reads(0) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// All trackers agree on E[W] for a collision-free deterministic pattern.
+func TestTrackersAgreeWithoutCollisions(t *testing.T) {
+	trackers := []Tracker{NewExact(), MustCountMin(4096, 4), MustTopK(64, 4096, 4)}
+	for _, tr := range trackers {
+		driveWWR(tr, 5, 2, 20)
+	}
+	for _, tr := range trackers {
+		got := tr.EW(5)
+		// CountMin estimates from totals (40/20 = 2); exact from runs (2).
+		if math.Abs(got-2) > 1e-9 {
+			t.Errorf("%s: E[W] = %v, want 2", tr.Name(), got)
+		}
+	}
+}
+
+func BenchmarkExactObserve(b *testing.B) {
+	e := NewExact()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 1024)
+		e.ObserveWrite(k)
+		e.ObserveRead(k)
+	}
+}
+
+func BenchmarkCountMinObserve(b *testing.B) {
+	cm := MustCountMin(4096, 4)
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 1024)
+		cm.ObserveWrite(k)
+		cm.ObserveRead(k)
+	}
+}
+
+func BenchmarkTopKObserve(b *testing.B) {
+	tk := MustTopK(128, 4096, 4)
+	for i := 0; i < b.N; i++ {
+		k := uint64(i % 1024)
+		tk.ObserveWrite(k)
+		tk.ObserveRead(k)
+	}
+}
+
+func BenchmarkEWLookup(b *testing.B) {
+	tk := MustTopK(128, 4096, 4)
+	for i := 0; i < 100000; i++ {
+		k := uint64(i % 1024)
+		tk.ObserveWrite(k)
+		tk.ObserveRead(k)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tk.EW(uint64(i % 1024))
+	}
+	_ = sink
+}

@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TopK keeps exact E[W] counters for the K most-accessed keys and falls
+// back to a CountMin tail for everything else (§3.3's "modified Top-K
+// sketch"). A cold-tail key whose estimated total access count exceeds the
+// coldest resident's exact count is promoted; the displaced resident is
+// demoted by folding its exact counts into the tail sketch.
+type TopK struct {
+	k    int
+	tail *CountMin
+	hot  map[uint64]*topkEntry
+	h    topkHeap
+}
+
+type topkEntry struct {
+	key   uint64
+	cell  exactCell
+	total uint64 // reads + writes, the heat metric
+	idx   int    // position in the heap
+}
+
+// topkHeap is a min-heap over total access count, so the coolest resident
+// is always at the root, ready for demotion.
+type topkHeap []*topkEntry
+
+func (h topkHeap) Len() int            { return len(h) }
+func (h topkHeap) Less(i, j int) bool  { return h[i].total < h[j].total }
+func (h topkHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *topkHeap) Push(x interface{}) { e := x.(*topkEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *topkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewTopK builds a Top-K tracker holding exact state for up to k keys with
+// a count-min tail of the given geometry.
+func NewTopK(k, tailWidth, tailDepth int) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sketch: top-k size must be positive, got %d", k)
+	}
+	tail, err := NewCountMin(tailWidth, tailDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{k: k, tail: tail, hot: make(map[uint64]*topkEntry, k)}, nil
+}
+
+// MustTopK is NewTopK that panics on bad parameters.
+func MustTopK(k, tailWidth, tailDepth int) *TopK {
+	t, err := NewTopK(k, tailWidth, tailDepth)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements Tracker.
+func (t *TopK) Name() string { return "top-k" }
+
+// observe routes one event (read or write) for key.
+func (t *TopK) observe(key uint64, isRead bool) {
+	if e, ok := t.hot[key]; ok {
+		t.observeHot(e, isRead)
+		return
+	}
+	// With room in the exact set, promote before recording so the event's
+	// position in the current write run is tracked exactly from the start.
+	if len(t.hot) < t.k {
+		e := t.promote(key, t.tail.Reads(key)+t.tail.Writes(key))
+		t.observeHot(e, isRead)
+		return
+	}
+	// Cold path: record in the tail, then consider displacing the coldest
+	// resident if this key has become hotter than it.
+	if isRead {
+		t.tail.ObserveRead(key)
+	} else {
+		t.tail.ObserveWrite(key)
+	}
+	est := t.tail.Reads(key) + t.tail.Writes(key)
+	if coldest := t.h[0]; est > coldest.total {
+		t.demote(coldest)
+		t.promote(key, est)
+	}
+}
+
+// observeHot updates an exact entry in place.
+func (t *TopK) observeHot(e *topkEntry, isRead bool) {
+	if isRead {
+		e.cell.c1 += e.cell.c3
+		e.cell.c2++
+		e.cell.c3 = 0
+		e.cell.r++
+	} else {
+		e.cell.c3++
+		e.cell.w++
+	}
+	e.total++
+	heap.Fix(&t.h, e.idx)
+}
+
+// promote moves key into the exact set, seeding its totals from the tail
+// estimate. Per-run E[W] state starts fresh (the tail cannot reconstruct
+// run structure); totals keep the heap honest about heat.
+func (t *TopK) promote(key uint64, est uint64) *topkEntry {
+	e := &topkEntry{
+		key:   key,
+		total: est,
+		cell: exactCell{
+			r: t.tail.Reads(key),
+			w: t.tail.Writes(key),
+		},
+	}
+	t.hot[key] = e
+	heap.Push(&t.h, e)
+	return e
+}
+
+// demote evicts the coldest exact entry, folding its exact counts back
+// into the tail so the key's history is not lost outright.
+func (t *TopK) demote(e *topkEntry) {
+	heap.Remove(&t.h, e.idx)
+	delete(t.hot, e.key)
+	// Replay the excess of exact counts over what the tail already holds;
+	// the tail is an overestimate, so only add the positive difference.
+	tr, tw := t.tail.Reads(e.key), t.tail.Writes(e.key)
+	for i := tr; i < e.cell.r; i++ {
+		t.tail.ObserveRead(e.key)
+	}
+	for i := tw; i < e.cell.w; i++ {
+		t.tail.ObserveWrite(e.key)
+	}
+}
+
+// ObserveRead implements Tracker.
+func (t *TopK) ObserveRead(key uint64) { t.observe(key, true) }
+
+// ObserveWrite implements Tracker.
+func (t *TopK) ObserveWrite(key uint64) { t.observe(key, false) }
+
+// EW implements Tracker: exact run statistics for hot keys, writes/reads
+// for the tail.
+func (t *TopK) EW(key uint64) float64 {
+	if e, ok := t.hot[key]; ok {
+		if e.cell.c2 == 0 && e.cell.c3 == 0 {
+			// No post-promotion run state yet: fall back to totals.
+			if e.cell.r == 0 {
+				if e.cell.w > 0 {
+					return float64(e.cell.w)
+				}
+				return DefaultEW
+			}
+			return float64(e.cell.w) / float64(e.cell.r)
+		}
+		return ewOf(e.cell.c1, e.cell.c2, e.cell.c3)
+	}
+	return t.tail.EW(key)
+}
+
+// Reads implements Tracker.
+func (t *TopK) Reads(key uint64) uint64 {
+	if e, ok := t.hot[key]; ok {
+		return e.cell.r
+	}
+	return t.tail.Reads(key)
+}
+
+// Writes implements Tracker.
+func (t *TopK) Writes(key uint64) uint64 {
+	if e, ok := t.hot[key]; ok {
+		return e.cell.w
+	}
+	return t.tail.Writes(key)
+}
+
+// Hot reports whether key currently has exact (top-K) state.
+func (t *TopK) Hot(key uint64) bool { _, ok := t.hot[key]; return ok }
+
+// HotCount returns the number of keys currently tracked exactly.
+func (t *TopK) HotCount() int { return len(t.hot) }
+
+// Bytes implements Tracker: exact entries (~104 bytes each with map and
+// heap overhead) plus the tail sketch.
+func (t *TopK) Bytes() int { return len(t.hot)*(48+56+8) + t.tail.Bytes() }
+
+// Reset implements Tracker.
+func (t *TopK) Reset() {
+	t.tail.Reset()
+	t.hot = make(map[uint64]*topkEntry, t.k)
+	t.h = t.h[:0]
+}

@@ -1,0 +1,409 @@
+// Package store implements the backing data store of Figure 4: the
+// authoritative versioned KV, the write intake, and the write-reactive
+// freshness machinery — a core.Engine that buffers written keys and, once
+// per staleness bound T, pushes one batched frame of invalidates and
+// updates to every subscribed cache.
+//
+// Delivery is epoch-numbered: every flush (even an empty one) increments
+// the epoch and is pushed as a heartbeat, so a cache that misses a frame
+// detects the gap from the next frame's epoch and resynchronizes. A
+// subscriber that cannot keep up (full push queue) is disconnected rather
+// than buffered without bound; it will reconnect and resynchronize.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"freshcache/internal/core"
+	"freshcache/internal/kv"
+	"freshcache/internal/proto"
+	"freshcache/internal/stats"
+)
+
+// Config configures a store server.
+type Config struct {
+	// T is the staleness bound: the batching interval of the freshness
+	// flusher. Defaults to 1s.
+	T time.Duration
+	// Engine configures the adaptive policy engine (costs, tracker,
+	// SLO). The zero value uses the engine defaults.
+	Engine core.Config
+	// SubscriberQueue bounds the per-subscriber push queue; defaults
+	// to 64 frames.
+	SubscriberQueue int
+	// MaxReportCount caps one key's count in a read report (defense
+	// against a misbehaving cache flooding the tracker); defaults 65536.
+	MaxReportCount uint32
+	// Logger receives connection-level diagnostics; nil uses the
+	// standard logger.
+	Logger *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.T <= 0 {
+		c.T = time.Second
+	}
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 64
+	}
+	if c.MaxReportCount == 0 {
+		c.MaxReportCount = 1 << 16
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// Counters is the store's observable state, served over MsgStats.
+type Counters struct {
+	Gets, Fills, Puts       stats.Counter
+	ReadReports             stats.Counter
+	BatchesSent, OpsSent    stats.Counter
+	InvalidatesSent         stats.Counter
+	UpdatesSent             stats.Counter
+	SubscribersDropped      stats.Counter
+	MalformedFrames         stats.Counter
+	ConnectionsAccepted     stats.Counter
+	ConnectionsClosed       stats.Counter
+	FlushesWithoutSubscribe stats.Counter
+}
+
+// Server is a live store node.
+type Server struct {
+	cfg    Config
+	auth   *kv.Authority
+	engine *core.Engine
+	c      Counters
+
+	mu    sync.Mutex
+	subs  map[*subscriber]struct{}
+	epoch uint64
+
+	ln     net.Listener
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type subscriber struct {
+	name string
+	out  chan *proto.Msg
+	conn net.Conn
+}
+
+// New builds a store server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		cfg:    cfg,
+		auth:   kv.NewAuthority(),
+		engine: core.NewEngine(cfg.Engine),
+		subs:   make(map[*subscriber]struct{}),
+		closed: make(chan struct{}),
+	}
+}
+
+// Authority exposes the underlying KV for tests and tooling.
+func (s *Server) Authority() *kv.Authority { return s.auth }
+
+// Engine exposes the policy engine for tests and tooling.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Epoch returns the current batch epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("store: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.ln = ln
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.flusher(ctx)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			cancel()
+			return fmt.Errorf("store: accept: %w", err)
+		}
+		s.c.ConnectionsAccepted.Inc()
+		s.wg.Add(1)
+		go s.handleConn(ctx, conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the server and waits for connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln, cancel := s.ln, s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	return err
+}
+
+// flusher runs the paper's interval-T batching loop: drain the policy
+// engine, build one batch frame, push it to every subscriber.
+func (s *Server) flusher(ctx context.Context) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.T)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.flushOnce()
+		}
+	}
+}
+
+// flushOnce performs one epoch flush. Exported through TestFlush for
+// deterministic tests.
+func (s *Server) flushOnce() {
+	decisions := s.engine.Flush()
+	ops := make([]proto.BatchOp, 0, len(decisions))
+	for _, d := range decisions {
+		switch d.Action {
+		case core.ActionInvalidate:
+			ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: d.Key})
+			s.c.InvalidatesSent.Inc()
+		case core.ActionUpdate:
+			value, version, ok := s.auth.Get(d.Key)
+			if !ok {
+				// Deleted between write and flush; invalidate instead.
+				ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: d.Key})
+				s.c.InvalidatesSent.Inc()
+				continue
+			}
+			ops = append(ops, proto.BatchOp{
+				Kind: proto.BatchUpdate, Key: d.Key, Value: value, Version: version,
+			})
+			s.c.UpdatesSent.Inc()
+		}
+	}
+
+	s.mu.Lock()
+	s.epoch++
+	msg := &proto.Msg{Type: proto.MsgBatch, Epoch: s.epoch, Ops: ops}
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+
+	if len(subs) == 0 {
+		s.c.FlushesWithoutSubscribe.Inc()
+		return
+	}
+	for _, sub := range subs {
+		select {
+		case sub.out <- msg:
+			s.c.BatchesSent.Inc()
+			s.c.OpsSent.Add(uint64(len(ops)))
+		default:
+			// Queue full: the subscriber is stuck. Cut it loose; it
+			// will reconnect and resynchronize by epoch gap.
+			s.c.SubscribersDropped.Inc()
+			s.dropSubscriber(sub)
+		}
+	}
+}
+
+// TestFlush triggers one synchronous flush; exported for tests and the
+// benchmark harness (the production path is the ticker).
+func (s *Server) TestFlush() { s.flushOnce() }
+
+func (s *Server) dropSubscriber(sub *subscriber) {
+	s.mu.Lock()
+	_, present := s.subs[sub]
+	delete(s.subs, sub)
+	s.mu.Unlock()
+	if present {
+		sub.conn.Close()
+	}
+}
+
+// handleConn serves one connection: a read loop dispatching requests and
+// a writer goroutine draining the outgoing queue (responses and, for
+// subscribers, pushed batches).
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer s.wg.Done()
+	defer s.c.ConnectionsClosed.Inc()
+
+	out := make(chan *proto.Msg, s.cfg.SubscriberQueue)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := proto.NewWriter(conn)
+		for m := range out {
+			if err := w.WriteMsg(m); err != nil {
+				conn.Close() // unblocks the read loop
+				// Drain the channel so the sender never blocks.
+				for range out {
+					continue
+				}
+				return
+			}
+		}
+	}()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	var sub *subscriber
+	r := proto.NewReader(conn)
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.c.MalformedFrames.Inc()
+				s.cfg.Logger.Printf("store: conn %s: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		resp := s.dispatch(m, conn, &sub, out)
+		if resp != nil {
+			select {
+			case out <- resp:
+			case <-ctx.Done():
+			}
+		}
+	}
+	if sub != nil {
+		s.dropSubscriber(sub)
+	}
+	close(out)
+	<-writerDone
+	conn.Close()
+}
+
+func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out chan *proto.Msg) *proto.Msg {
+	switch m.Type {
+	case proto.MsgGet:
+		s.c.Gets.Inc()
+		s.engine.ObserveRead(m.Key)
+		return s.getResp(m)
+	case proto.MsgFill:
+		s.c.Fills.Inc()
+		// A fill means the cache is re-fetching: its copy becomes fresh,
+		// so future writes need a fresh invalidate (§3.3's tracked
+		// invalidation state).
+		s.engine.NoteFilled(m.Key)
+		return s.getResp(m)
+	case proto.MsgPut:
+		s.c.Puts.Inc()
+		version := s.auth.Put(m.Key, m.Value, time.Now())
+		s.engine.ObserveWrite(m.Key)
+		return &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+	case proto.MsgSubscribe:
+		ns := &subscriber{name: m.Key, out: out, conn: conn}
+		s.mu.Lock()
+		s.subs[ns] = struct{}{}
+		epoch := s.epoch
+		s.mu.Unlock()
+		*sub = ns
+		return &proto.Msg{Type: proto.MsgSubResp, Seq: m.Seq, Epoch: epoch}
+	case proto.MsgReadReport:
+		s.c.ReadReports.Inc()
+		for _, rp := range m.Reports {
+			n := rp.Count
+			if n > s.cfg.MaxReportCount {
+				n = s.cfg.MaxReportCount
+			}
+			for i := uint32(0); i < n; i++ {
+				s.engine.ObserveRead(rp.Key)
+			}
+		}
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgPing:
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgStats:
+		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: s.statsMap()}
+	default:
+		s.c.MalformedFrames.Inc()
+		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
+			Err: fmt.Sprintf("store: unexpected message %v", m.Type)}
+	}
+}
+
+func (s *Server) getResp(m *proto.Msg) *proto.Msg {
+	value, version, ok := s.auth.Get(m.Key)
+	if !ok {
+		return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusNotFound}
+	}
+	return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusOK,
+		Version: version, Value: value}
+}
+
+func (s *Server) statsMap() map[string]uint64 {
+	es := s.engine.Stats()
+	s.mu.Lock()
+	nsubs := uint64(len(s.subs))
+	epoch := s.epoch
+	s.mu.Unlock()
+	return map[string]uint64{
+		"gets":                s.c.Gets.Value(),
+		"fills":               s.c.Fills.Value(),
+		"puts":                s.c.Puts.Value(),
+		"read_reports":        s.c.ReadReports.Value(),
+		"batches_sent":        s.c.BatchesSent.Value(),
+		"ops_sent":            s.c.OpsSent.Value(),
+		"invalidates_sent":    s.c.InvalidatesSent.Value(),
+		"updates_sent":        s.c.UpdatesSent.Value(),
+		"subscribers_dropped": s.c.SubscribersDropped.Value(),
+		"malformed_frames":    s.c.MalformedFrames.Value(),
+		"subscribers":         nsubs,
+		"epoch":               epoch,
+		"keys":                uint64(s.auth.Len()),
+		"engine_flushes":      es.Flushes,
+		"engine_inv_sent":     es.InvalidatesSent,
+		"engine_upd_sent":     es.UpdatesSent,
+		"engine_inv_skipped":  es.SkippedInvalidates,
+		"tracker_bytes":       uint64(es.TrackerBytes),
+	}
+}

@@ -1,0 +1,285 @@
+// Package sysprobe detects system bottlenecks from the same Linux proc
+// files the paper names in §3.3: CPU utilization from /proc/stat, network
+// throughput from /proc/net/dev, and disk I/O from /proc/diskstats. The
+// classification feeds costmodel so the adaptive policy's c_u/c_i/c_m
+// reflect the resource that is actually scarce.
+//
+// The filesystem is injectable (see Prober.ReadFile) so tests and
+// non-Linux hosts can replay captured snapshots; on a real Linux host the
+// zero-value Prober reads the live /proc.
+package sysprobe
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"freshcache/internal/costmodel"
+)
+
+// ErrUnparsable reports a proc file whose shape was not understood.
+var ErrUnparsable = errors.New("sysprobe: unparsable proc data")
+
+// Prober reads and interprets proc-style telemetry.
+type Prober struct {
+	// Root is prepended to proc paths; it defaults to "/proc".
+	Root string
+	// ReadFile overrides file access for tests. When nil, os.ReadFile is
+	// used.
+	ReadFile func(path string) ([]byte, error)
+}
+
+func (p *Prober) root() string {
+	if p.Root != "" {
+		return p.Root
+	}
+	return "/proc"
+}
+
+func (p *Prober) read(name string) ([]byte, error) {
+	path := p.root() + "/" + name
+	if p.ReadFile != nil {
+		return p.ReadFile(path)
+	}
+	return os.ReadFile(path)
+}
+
+// CPUSample holds cumulative jiffies from the aggregate cpu line of
+// /proc/stat.
+type CPUSample struct {
+	User, Nice, System, Idle, IOWait, IRQ, SoftIRQ, Steal uint64
+}
+
+// Total returns all jiffies including idle.
+func (c CPUSample) Total() uint64 {
+	return c.User + c.Nice + c.System + c.Idle + c.IOWait + c.IRQ + c.SoftIRQ + c.Steal
+}
+
+// Busy returns non-idle jiffies (idle and iowait are treated as idle).
+func (c CPUSample) Busy() uint64 { return c.Total() - c.Idle - c.IOWait }
+
+// CPU parses the aggregate cpu line of /proc/stat.
+func (p *Prober) CPU() (CPUSample, error) {
+	data, err := p.read("stat")
+	if err != nil {
+		return CPUSample{}, fmt.Errorf("sysprobe: reading stat: %w", err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) >= 9 && f[0] == "cpu" {
+			var vals [8]uint64
+			for i := 0; i < 8; i++ {
+				v, err := strconv.ParseUint(f[i+1], 10, 64)
+				if err != nil {
+					return CPUSample{}, fmt.Errorf("%w: stat field %d: %v", ErrUnparsable, i+1, err)
+				}
+				vals[i] = v
+			}
+			return CPUSample{vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6], vals[7]}, nil
+		}
+	}
+	return CPUSample{}, fmt.Errorf("%w: no aggregate cpu line in stat", ErrUnparsable)
+}
+
+// NetSample holds cumulative bytes across all non-loopback interfaces
+// from /proc/net/dev.
+type NetSample struct {
+	RxBytes, TxBytes uint64
+}
+
+// Net parses /proc/net/dev, summing every interface except lo.
+func (p *Prober) Net() (NetSample, error) {
+	data, err := p.read("net/dev")
+	if err != nil {
+		return NetSample{}, fmt.Errorf("sysprobe: reading net/dev: %w", err)
+	}
+	var s NetSample
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue // header lines
+		}
+		iface := strings.TrimSpace(line[:colon])
+		if iface == "lo" {
+			continue
+		}
+		f := strings.Fields(line[colon+1:])
+		if len(f) < 16 {
+			return NetSample{}, fmt.Errorf("%w: net/dev line %q", ErrUnparsable, line)
+		}
+		rx, err1 := strconv.ParseUint(f[0], 10, 64)
+		tx, err2 := strconv.ParseUint(f[8], 10, 64)
+		if err1 != nil || err2 != nil {
+			return NetSample{}, fmt.Errorf("%w: net/dev counters on %q", ErrUnparsable, iface)
+		}
+		s.RxBytes += rx
+		s.TxBytes += tx
+		lines++
+	}
+	return s, nil
+}
+
+// DiskSample holds cumulative sector counts and IO time summed over
+// physical block devices from /proc/diskstats.
+type DiskSample struct {
+	SectorsRead, SectorsWritten uint64
+	IOMillis                    uint64
+}
+
+// Disk parses /proc/diskstats, summing whole devices (partitions —
+// names ending in a digit following a known prefix like sda1 — are
+// included too; modern kernels double-count either way so callers should
+// care about deltas, not absolutes).
+func (p *Prober) Disk() (DiskSample, error) {
+	data, err := p.read("diskstats")
+	if err != nil {
+		return DiskSample{}, fmt.Errorf("sysprobe: reading diskstats: %w", err)
+	}
+	var s DiskSample
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 14 {
+			continue
+		}
+		name := f[2]
+		if strings.HasPrefix(name, "loop") || strings.HasPrefix(name, "ram") {
+			continue
+		}
+		rd, err1 := strconv.ParseUint(f[5], 10, 64)  // sectors read
+		wr, err2 := strconv.ParseUint(f[9], 10, 64)  // sectors written
+		io, err3 := strconv.ParseUint(f[12], 10, 64) // ms doing IO
+		if err1 != nil || err2 != nil || err3 != nil {
+			return DiskSample{}, fmt.Errorf("%w: diskstats line for %q", ErrUnparsable, name)
+		}
+		s.SectorsRead += rd
+		s.SectorsWritten += wr
+		s.IOMillis += io
+	}
+	return s, nil
+}
+
+// Snapshot bundles one reading of all three sources with its timestamp.
+type Snapshot struct {
+	At   time.Time
+	CPU  CPUSample
+	Net  NetSample
+	Disk DiskSample
+}
+
+// Snapshot reads all three proc sources. Sources that fail to parse are
+// zero-valued in the result; the first error is returned alongside the
+// partially filled snapshot so a caller can still use the sources that
+// worked.
+func (p *Prober) Snapshot() (Snapshot, error) {
+	s := Snapshot{At: time.Now()}
+	var firstErr error
+	var err error
+	if s.CPU, err = p.CPU(); err != nil {
+		firstErr = err
+	}
+	if s.Net, err = p.Net(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if s.Disk, err = p.Disk(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return s, firstErr
+}
+
+// Utilization is the rate-form delta between two snapshots.
+type Utilization struct {
+	// CPUFrac is busy/total jiffies in [0,1].
+	CPUFrac float64
+	// NetBytesPerSec is rx+tx throughput.
+	NetBytesPerSec float64
+	// DiskBytesPerSec is read+write throughput (sectors × 512).
+	DiskBytesPerSec float64
+	// DiskBusyFrac is the fraction of wall time the disk had IO in
+	// flight, in [0,1].
+	DiskBusyFrac float64
+	// Elapsed is the wall time between snapshots.
+	Elapsed time.Duration
+}
+
+// Delta computes utilization between an earlier snapshot a and a later
+// snapshot b. It returns an error if b does not follow a.
+func Delta(a, b Snapshot) (Utilization, error) {
+	el := b.At.Sub(a.At)
+	if el <= 0 {
+		return Utilization{}, fmt.Errorf("sysprobe: snapshots out of order (%v)", el)
+	}
+	u := Utilization{Elapsed: el}
+	if dt := b.CPU.Total() - a.CPU.Total(); dt > 0 {
+		u.CPUFrac = float64(b.CPU.Busy()-a.CPU.Busy()) / float64(dt)
+	}
+	secs := el.Seconds()
+	u.NetBytesPerSec = float64((b.Net.RxBytes-a.Net.RxBytes)+(b.Net.TxBytes-a.Net.TxBytes)) / secs
+	sectors := (b.Disk.SectorsRead - a.Disk.SectorsRead) + (b.Disk.SectorsWritten - a.Disk.SectorsWritten)
+	u.DiskBytesPerSec = float64(sectors) * 512 / secs
+	u.DiskBusyFrac = float64(b.Disk.IOMillis-a.Disk.IOMillis) / float64(el.Milliseconds())
+	if u.DiskBusyFrac > 1 {
+		u.DiskBusyFrac = 1 // multiple devices can sum past wall time
+	}
+	return u, nil
+}
+
+// Capacities states the provisioned limits used to turn raw rates into
+// relative utilizations for classification.
+type Capacities struct {
+	// NetBytesPerSec is the NIC capacity (e.g. 1.25e9 for 10 GbE).
+	NetBytesPerSec float64
+	// DiskBytesPerSec is the storage bandwidth budget.
+	DiskBytesPerSec float64
+	// Threshold is the relative utilization above which a resource is
+	// considered the bottleneck; defaults to 0.7 when zero.
+	Threshold float64
+}
+
+// Classify returns the most-utilized resource above threshold, or
+// BottleneckNone if nothing is saturated. Ties break toward CPU, then
+// network, then disk (cheapest to confirm first).
+func Classify(u Utilization, caps Capacities) costmodel.Bottleneck {
+	thr := caps.Threshold
+	if thr == 0 {
+		thr = 0.7
+	}
+	rel := []struct {
+		b costmodel.Bottleneck
+		v float64
+	}{
+		{costmodel.BottleneckCPU, u.CPUFrac},
+		{costmodel.BottleneckNetwork, relOf(u.NetBytesPerSec, caps.NetBytesPerSec)},
+		{costmodel.BottleneckDisk, maxf(relOf(u.DiskBytesPerSec, caps.DiskBytesPerSec), u.DiskBusyFrac)},
+	}
+	best := costmodel.BottleneckNone
+	bestV := thr
+	for _, r := range rel {
+		if r.v > bestV {
+			best, bestV = r.b, r.v
+		}
+	}
+	return best
+}
+
+func relOf(v, cap float64) float64 {
+	if cap <= 0 {
+		return 0
+	}
+	return v / cap
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

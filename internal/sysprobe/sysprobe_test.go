@@ -1,0 +1,235 @@
+package sysprobe
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"freshcache/internal/costmodel"
+)
+
+// fakeFS returns a Prober that serves canned proc files.
+func fakeFS(files map[string]string) *Prober {
+	return &Prober{
+		Root: "/proc",
+		ReadFile: func(path string) ([]byte, error) {
+			name := strings.TrimPrefix(path, "/proc/")
+			if body, ok := files[name]; ok {
+				return []byte(body), nil
+			}
+			return nil, os.ErrNotExist
+		},
+	}
+}
+
+const statA = `cpu  1000 50 300 8000 200 10 40 0 0 0
+cpu0 500 25 150 4000 100 5 20 0 0 0
+intr 12345
+`
+
+const statB = `cpu  1800 50 500 8400 220 10 60 0 0 0
+cpu0 900 25 250 4200 110 5 30 0 0 0
+`
+
+const netDevA = `Inter-|   Receive                                                |  Transmit
+ face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed
+    lo: 9999999    9999    0    0    0     0          0         0  9999999    9999    0    0    0     0       0          0
+  eth0: 1000000    5000    0    0    0     0          0         0   500000    4000    0    0    0     0       0          0
+`
+
+const netDevB = `Inter-|   Receive                                                |  Transmit
+ face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed
+    lo: 9999999    9999    0    0    0     0          0         0  9999999    9999    0    0    0     0       0          0
+  eth0: 3000000    9000    0    0    0     0          0         0  1500000    8000    0    0    0     0       0          0
+`
+
+const diskA = `   8       0 sda 1000 0 80000 500 2000 0 160000 900 0 700 1400
+   8       1 sda1 900 0 70000 450 1900 0 150000 850 0 650 1300
+   7       0 loop0 10 0 80 1 0 0 0 0 0 1 1
+`
+
+const diskB = `   8       0 sda 1200 0 96000 600 2600 0 208000 1100 0 1100 1800
+   8       1 sda1 1100 0 86000 550 2500 0 198000 1050 0 1050 1700
+   7       0 loop0 10 0 80 1 0 0 0 0 0 1 1
+`
+
+func TestCPUParsing(t *testing.T) {
+	p := fakeFS(map[string]string{"stat": statA})
+	c, err := p.CPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.User != 1000 || c.Idle != 8000 || c.SoftIRQ != 40 {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.Total() != 1000+50+300+8000+200+10+40 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Busy() != c.Total()-8000-200 {
+		t.Errorf("Busy = %d", c.Busy())
+	}
+}
+
+func TestNetParsingSkipsLoopback(t *testing.T) {
+	p := fakeFS(map[string]string{"net/dev": netDevA})
+	n, err := p.Net()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.RxBytes != 1000000 || n.TxBytes != 500000 {
+		t.Errorf("parsed %+v (loopback must be excluded)", n)
+	}
+}
+
+func TestDiskParsingSkipsLoopDevices(t *testing.T) {
+	p := fakeFS(map[string]string{"diskstats": diskA})
+	d, err := p.Disk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sda + sda1, loop0 excluded.
+	if d.SectorsRead != 80000+70000 {
+		t.Errorf("SectorsRead = %d", d.SectorsRead)
+	}
+	if d.SectorsWritten != 160000+150000 {
+		t.Errorf("SectorsWritten = %d", d.SectorsWritten)
+	}
+	if d.IOMillis != 700+650 {
+		t.Errorf("IOMillis = %d", d.IOMillis)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]map[string]string{
+		"no cpu line":   {"stat": "intr 5\n"},
+		"bad cpu field": {"stat": "cpu a b c d e f g h\n"},
+		"bad net line":  {"net/dev": "header\nheader\n eth0: 1 2\n"},
+		"bad net num":   {"net/dev": "h\nh\n eth0: x 0 0 0 0 0 0 0 y 0 0 0 0 0 0 0\n"},
+		"bad disk num":  {"diskstats": "8 0 sda a 0 b 0 c 0 d 0 0 e 0 0\n"},
+	}
+	for name, files := range cases {
+		p := fakeFS(files)
+		var err error
+		switch {
+		case strings.Contains(name, "cpu"):
+			_, err = p.CPU()
+		case strings.Contains(name, "net"):
+			_, err = p.Net()
+		default:
+			_, err = p.Disk()
+		}
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		} else if !errors.Is(err, ErrUnparsable) {
+			t.Errorf("%s: error %v not ErrUnparsable", name, err)
+		}
+	}
+}
+
+func TestMissingFiles(t *testing.T) {
+	p := fakeFS(map[string]string{})
+	if _, err := p.CPU(); err == nil {
+		t.Error("missing stat: no error")
+	}
+	if _, err := p.Net(); err == nil {
+		t.Error("missing net/dev: no error")
+	}
+	if _, err := p.Disk(); err == nil {
+		t.Error("missing diskstats: no error")
+	}
+	if _, err := p.Snapshot(); err == nil {
+		t.Error("Snapshot with no files: no error")
+	}
+}
+
+func snapshots(t *testing.T) (Snapshot, Snapshot) {
+	t.Helper()
+	pa := fakeFS(map[string]string{"stat": statA, "net/dev": netDevA, "diskstats": diskA})
+	pb := fakeFS(map[string]string{"stat": statB, "net/dev": netDevB, "diskstats": diskB})
+	a, err := pa.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.At = time.Unix(100, 0)
+	b.At = time.Unix(101, 0) // 1s apart
+	return a, b
+}
+
+func TestDelta(t *testing.T) {
+	a, b := snapshots(t)
+	u, err := Delta(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU: busy delta = (1800+50+500+10+60)−(1000+50+300+10+40) = 1020;
+	// total delta = (1800+50+500+8400+220+10+60)−(1000+50+300+8000+200+10+40) = 1440.
+	want := 1020.0 / 1440.0
+	if diff := u.CPUFrac - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("CPUFrac = %v want %v", u.CPUFrac, want)
+	}
+	// Net: (3e6−1e6)+(1.5e6−0.5e6) = 3e6 bytes over 1s.
+	if u.NetBytesPerSec != 3000000 {
+		t.Errorf("NetBytesPerSec = %v", u.NetBytesPerSec)
+	}
+	// Disk: sectors (96000+86000−80000−70000)+(208000+198000−160000−150000) = 128000; ×512.
+	if u.DiskBytesPerSec != 128000*512 {
+		t.Errorf("DiskBytesPerSec = %v", u.DiskBytesPerSec)
+	}
+	if u.DiskBusyFrac <= 0 || u.DiskBusyFrac > 1 {
+		t.Errorf("DiskBusyFrac = %v", u.DiskBusyFrac)
+	}
+}
+
+func TestDeltaOutOfOrder(t *testing.T) {
+	a, b := snapshots(t)
+	if _, err := Delta(b, a); err == nil {
+		t.Error("reversed snapshots accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	caps := Capacities{NetBytesPerSec: 1.25e8, DiskBytesPerSec: 5e8}
+	cases := []struct {
+		name string
+		u    Utilization
+		want costmodel.Bottleneck
+	}{
+		{"idle", Utilization{CPUFrac: 0.1, NetBytesPerSec: 1e6, DiskBytesPerSec: 1e6}, costmodel.BottleneckNone},
+		{"cpu", Utilization{CPUFrac: 0.95, NetBytesPerSec: 1e6}, costmodel.BottleneckCPU},
+		{"net", Utilization{CPUFrac: 0.2, NetBytesPerSec: 1.2e8}, costmodel.BottleneckNetwork},
+		{"disk-bw", Utilization{CPUFrac: 0.2, DiskBytesPerSec: 4.9e8}, costmodel.BottleneckDisk},
+		{"disk-busy", Utilization{CPUFrac: 0.2, DiskBusyFrac: 0.99}, costmodel.BottleneckDisk},
+		{"cpu beats net on tie-ish", Utilization{CPUFrac: 0.96, NetBytesPerSec: 1.1875e8}, costmodel.BottleneckCPU},
+	}
+	for _, c := range cases {
+		if got := Classify(c.u, caps); got != c.want {
+			t.Errorf("%s: Classify = %v want %v", c.name, got, c.want)
+		}
+	}
+	// Zero capacities: only CPU and disk-busy can classify.
+	if got := Classify(Utilization{NetBytesPerSec: 1e12}, Capacities{}); got != costmodel.BottleneckNone {
+		t.Errorf("unknown capacity should not classify network, got %v", got)
+	}
+}
+
+func TestLiveProcIfAvailable(t *testing.T) {
+	if _, err := os.Stat("/proc/stat"); err != nil {
+		t.Skip("no /proc on this host")
+	}
+	var p Prober
+	s, err := p.Snapshot()
+	if err != nil {
+		// Some sandboxes hide pieces of /proc; the parser error must be
+		// informative but the test should not fail the suite for it.
+		t.Skipf("live /proc incomplete: %v", err)
+	}
+	if s.CPU.Total() == 0 {
+		t.Error("live CPU sample empty")
+	}
+}

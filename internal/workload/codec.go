@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic "FCT1" | u32 name length | name bytes
+//	u32 numKeys | f64 duration | u32 keySize | u32 valSize | u64 count
+//	count × record:  f64 at | uvarint key | u8 op
+//
+// All integers big-endian except the varint key. The format is
+// self-describing enough for the loadgen and replayer tools and compact
+// enough that the 1M-request evaluation traces stay under 20 MB.
+
+const traceMagic = "FCT1"
+
+// ErrBadTrace reports a malformed serialized trace.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// WriteBinary serializes the trace to w.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return fmt.Errorf("workload: writing magic: %w", err)
+	}
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		bw.Write(b[:]) //nolint:errcheck // bufio defers errors to Flush
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		bw.Write(b[:]) //nolint:errcheck
+	}
+	if len(t.Name) > math.MaxUint16 {
+		return fmt.Errorf("%w: name too long (%d bytes)", ErrBadTrace, len(t.Name))
+	}
+	writeU32(uint32(len(t.Name)))
+	bw.WriteString(t.Name) //nolint:errcheck
+	writeU32(uint32(t.NumKeys))
+	writeU64(math.Float64bits(t.Duration))
+	writeU32(uint32(t.KeySize))
+	writeU32(uint32(t.ValSize))
+	writeU64(uint64(len(t.Requests)))
+	var varint [binary.MaxVarintLen64]byte
+	for _, r := range t.Requests {
+		writeU64(math.Float64bits(r.At))
+		n := binary.PutUvarint(varint[:], r.Key)
+		bw.Write(varint[:n]) //nolint:errcheck
+		bw.WriteByte(byte(r.Op))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flushing trace: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary deserializes a trace produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadTrace, err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(b[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint64(b[:]), nil
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: name length: %v", ErrBadTrace, err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible name length %d", ErrBadTrace, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadTrace, err)
+	}
+	t := &Trace{Name: string(name)}
+	nk, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: numKeys: %v", ErrBadTrace, err)
+	}
+	t.NumKeys = int(nk)
+	dur, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: duration: %v", ErrBadTrace, err)
+	}
+	t.Duration = math.Float64frombits(dur)
+	ks, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: keySize: %v", ErrBadTrace, err)
+	}
+	vs, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: valSize: %v", ErrBadTrace, err)
+	}
+	t.KeySize, t.ValSize = int(ks), int(vs)
+	count, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible request count %d", ErrBadTrace, count)
+	}
+	t.Requests = make([]Request, 0, count)
+	for i := uint64(0); i < count; i++ {
+		at, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d time: %v", ErrBadTrace, i, err)
+		}
+		key, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d key: %v", ErrBadTrace, i, err)
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d op: %v", ErrBadTrace, i, err)
+		}
+		if Op(op) != OpRead && Op(op) != OpWrite {
+			return nil, fmt.Errorf("%w: record %d bad op %d", ErrBadTrace, i, op)
+		}
+		t.Requests = append(t.Requests, Request{
+			At: math.Float64frombits(at), Key: key, Op: Op(op),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return t, nil
+}
+
+// WriteCSV writes "at,key,op" rows with a header, for ad-hoc analysis in
+// external tools.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace=%s keys=%d duration=%g keysize=%d valsize=%d\n",
+		t.Name, t.NumKeys, t.Duration, t.KeySize, t.ValSize); err != nil {
+		return fmt.Errorf("workload: writing csv header: %w", err)
+	}
+	fmt.Fprintln(bw, "at,key,op") //nolint:errcheck
+	for _, r := range t.Requests {
+		fmt.Fprintf(bw, "%.9f,%d,%s\n", r.At, r.Key, r.Op) //nolint:errcheck
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses the WriteCSV format. Metadata in the # header is
+// restored when present; otherwise NumKeys/Duration are inferred.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Name: "csv"}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			parseCSVHeader(t, text)
+			continue
+		}
+		if text == "at,key,op" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%w: csv line %d: %q", ErrBadTrace, line, text)
+		}
+		at, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d time: %v", ErrBadTrace, line, err)
+		}
+		key, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: csv line %d key: %v", ErrBadTrace, line, err)
+		}
+		var op Op
+		switch parts[2] {
+		case "read", "r":
+			op = OpRead
+		case "write", "w":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("%w: csv line %d op %q", ErrBadTrace, line, parts[2])
+		}
+		t.Requests = append(t.Requests, Request{At: at, Key: key, Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: scanning csv: %w", err)
+	}
+	// Infer metadata that the header did not provide.
+	for _, r := range t.Requests {
+		if int(r.Key) >= t.NumKeys {
+			t.NumKeys = int(r.Key) + 1
+		}
+		if r.At > t.Duration {
+			t.Duration = r.At
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return t, nil
+}
+
+func parseCSVHeader(t *Trace, text string) {
+	for _, field := range strings.Fields(strings.TrimPrefix(text, "#")) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "trace":
+			t.Name = kv[1]
+		case "keys":
+			if v, err := strconv.Atoi(kv[1]); err == nil {
+				t.NumKeys = v
+			}
+		case "duration":
+			if v, err := strconv.ParseFloat(kv[1], 64); err == nil {
+				t.Duration = v
+			}
+		case "keysize":
+			if v, err := strconv.Atoi(kv[1]); err == nil {
+				t.KeySize = v
+			}
+		case "valsize":
+			if v, err := strconv.Atoi(kv[1]); err == nil {
+				t.ValSize = v
+			}
+		}
+	}
+}

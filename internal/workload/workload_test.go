@@ -1,0 +1,398 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonBasics(t *testing.T) {
+	tr, err := Poisson(DefaultPoisson(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "poisson" || tr.NumKeys != 100 {
+		t.Errorf("metadata: %+v", tr)
+	}
+	// Rate 1000 over 50s ⇒ ≈ 50000 requests (±5%).
+	n := float64(tr.Len())
+	if math.Abs(n-50000) > 2500 {
+		t.Errorf("request count = %v, want ≈ 50000", n)
+	}
+	// Read ratio ≈ 0.9.
+	if rr := tr.ReadRatio(); math.Abs(rr-0.9) > 0.01 {
+		t.Errorf("read ratio = %v", rr)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	a, _ := Poisson(DefaultPoisson(10, 7))
+	b, _ := Poisson(DefaultPoisson(10, 7))
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	c, _ := Poisson(DefaultPoisson(10, 8))
+	if a.Len() == c.Len() {
+		// Same length is possible but all-equal is not.
+		same := true
+		for i := range a.Requests {
+			if a.Requests[i] != c.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestPoissonZipfSkew(t *testing.T) {
+	tr, _ := Poisson(DefaultPoisson(50, 3))
+	stats := tr.PerKeyStats()
+	if len(stats) < 10 {
+		t.Fatalf("only %d keys touched", len(stats))
+	}
+	// Hottest key should dominate the 20th hottest under s=1.3.
+	hot, cold := stats[0], stats[19]
+	if hot.Reads+hot.Writes < 5*(cold.Reads+cold.Writes) {
+		t.Errorf("insufficient skew: hot=%d cold=%d",
+			hot.Reads+hot.Writes, cold.Reads+cold.Writes)
+	}
+}
+
+func TestPoissonSpecValidation(t *testing.T) {
+	bad := []PoissonSpec{
+		{Rate: 0, Keys: 10, Duration: 1},
+		{Rate: 1, Keys: 0, Duration: 1},
+		{Rate: 1, Keys: 10, Zipf: -1, Duration: 1},
+		{Rate: 1, Keys: 10, ReadRatio: 1.5, Duration: 1},
+		{Rate: 1, Keys: 10, Duration: 0},
+	}
+	for i, s := range bad {
+		if _, err := Poisson(s); err == nil {
+			t.Errorf("case %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestMixHalvesDisjointAndBlended(t *testing.T) {
+	tr, err := Mix(DefaultMix(30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumKeys != 100 {
+		t.Errorf("NumKeys = %d", tr.NumKeys)
+	}
+	var loReads, loWrites, hiReads, hiWrites uint64
+	for _, r := range tr.Requests {
+		switch {
+		case r.Key < 50 && r.Op == OpRead:
+			loReads++
+		case r.Key < 50:
+			loWrites++
+		case r.Op == OpRead:
+			hiReads++
+		default:
+			hiWrites++
+		}
+	}
+	loR := float64(loReads) / float64(loReads+loWrites)
+	hiR := float64(hiReads) / float64(hiReads+hiWrites)
+	if math.Abs(loR-0.95) > 0.02 {
+		t.Errorf("read-heavy half ratio = %v", loR)
+	}
+	if math.Abs(hiR-0.25) > 0.02 {
+		t.Errorf("write-heavy half ratio = %v", hiR)
+	}
+}
+
+func TestMetaLike(t *testing.T) {
+	tr, err := MetaLike(DefaultMetaLike(20, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rr := tr.ReadRatio(); math.Abs(rr-0.97) > 0.01 {
+		t.Errorf("read ratio = %v", rr)
+	}
+	// Burst modulation must produce a mean rate above the base rate.
+	if mean := float64(tr.Len()) / tr.Duration; mean < 2000 {
+		t.Errorf("mean rate %v should exceed base 2000 due to bursts", mean)
+	}
+	if _, err := MetaLike(MetaLikeSpec{Rate: 1, Keys: 10, Duration: 1, BurstFactor: 0.5, MeanBurst: 1, MeanCalm: 1}); err == nil {
+		t.Error("burst factor < 1 accepted")
+	}
+}
+
+func TestTwitterLikeClasses(t *testing.T) {
+	tr, err := TwitterLike(DefaultTwitterLike(30, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-key read ratios must cluster around the three class values.
+	stats := tr.PerKeyStats()
+	var nearRead, nearBal, nearWrite, other int
+	for _, s := range stats {
+		if s.Reads+s.Writes < 50 {
+			continue // too few samples to classify
+		}
+		switch r := s.ReadRatio(); {
+		case math.Abs(r-0.99) < 0.05:
+			nearRead++
+		case math.Abs(r-0.70) < 0.12:
+			nearBal++
+		case math.Abs(r-0.20) < 0.12:
+			nearWrite++
+		default:
+			other++
+		}
+	}
+	total := nearRead + nearBal + nearWrite + other
+	if total == 0 {
+		t.Fatal("no keys with enough samples")
+	}
+	if float64(other)/float64(total) > 0.10 {
+		t.Errorf("%d/%d busy keys outside all classes", other, total)
+	}
+	if nearRead == 0 || nearBal == 0 || nearWrite == 0 {
+		t.Errorf("class mix missing: read=%d bal=%d write=%d", nearRead, nearBal, nearWrite)
+	}
+}
+
+func TestTwitterLikeValidation(t *testing.T) {
+	s := DefaultTwitterLike(1, 1)
+	s.Classes = nil
+	if _, err := TwitterLike(s); err == nil {
+		t.Error("no classes accepted")
+	}
+	s = DefaultTwitterLike(1, 1)
+	s.DiurnalAmplitude = 1.0
+	if _, err := TwitterLike(s); err == nil {
+		t.Error("amplitude 1.0 accepted")
+	}
+	s = DefaultTwitterLike(1, 1)
+	s.Classes = []KeyClass{{Weight: -1, ReadRatio: 0.5}}
+	if _, err := TwitterLike(s); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestStandardNames(t *testing.T) {
+	for _, name := range StandardNames() {
+		tr, err := Standard(name, 5, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tr.Name != name {
+			t.Errorf("Standard(%q).Name = %q", name, tr.Name)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", name)
+		}
+	}
+	if _, err := Standard("bogus", 5, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := &Trace{Name: "a", NumKeys: 2, Duration: 10,
+		Requests: []Request{{At: 1, Key: 0, Op: OpRead}, {At: 5, Key: 1, Op: OpWrite}}}
+	b := &Trace{Name: "b", NumKeys: 5, Duration: 8, KeySize: 64,
+		Requests: []Request{{At: 2, Key: 3, Op: OpRead}}}
+	m := Merge("ab", a, b)
+	if m.NumKeys != 5 || m.Duration != 10 || m.KeySize != 64 {
+		t.Errorf("merged metadata: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests[1].Key != 3 {
+		t.Errorf("merge order wrong: %+v", m.Requests)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []*Trace{
+		{NumKeys: 1, Duration: 10, Requests: []Request{{At: 5}, {At: 1}}},             // unordered
+		{NumKeys: 1, Duration: 1, Requests: []Request{{At: 5}}},                       // beyond duration
+		{NumKeys: 1, Duration: 10, Requests: []Request{{At: 1, Key: 9}}},              // key out of range
+		{NumKeys: 1, Duration: 10, Requests: []Request{{At: 1, Key: 0, Op: Op(9)}}},   // bad op
+		{NumKeys: 1, Duration: 10, Requests: []Request{{At: -1, Key: 0, Op: OpRead}}}, // negative time
+	}
+	for i, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig, _ := Poisson(DefaultPoisson(5, 21))
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.NumKeys != orig.NumKeys ||
+		got.Duration != orig.Duration || got.KeySize != orig.KeySize ||
+		got.ValSize != orig.ValSize || got.Len() != orig.Len() {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, orig)
+	}
+	for i := range orig.Requests {
+		if got.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("FCT1"),                   // truncated after magic
+		[]byte("FCT1\x00\x00\x00\x02ab"), // truncated after name
+		[]byte("FCT1\xFF\xFF\xFF\xFF"),   // absurd name length
+	}
+	for i, b := range cases {
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, _ := Poisson(PoissonSpec{Rate: 100, Keys: 10, Zipf: 1, ReadRatio: 0.8, Duration: 2, Seed: 4})
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "poisson" || got.NumKeys != 10 || got.Len() != orig.Len() {
+		t.Fatalf("csv metadata: name=%q keys=%d len=%d", got.Name, got.NumKeys, got.Len())
+	}
+	for i := range orig.Requests {
+		a, b := orig.Requests[i], got.Requests[i]
+		if a.Key != b.Key || a.Op != b.Op || math.Abs(a.At-b.At) > 1e-9 {
+			t.Fatalf("request %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"1.0,2\n",      // missing column
+		"x,2,read\n",   // bad time
+		"1.0,y,read\n", // bad key
+		"1.0,2,peek\n", // bad op
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+	// Short ops are accepted.
+	tr, err := ReadCSV(strings.NewReader("0.5,1,r\n0.6,2,w\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.Requests[1].Op != OpWrite {
+		t.Errorf("short ops parsed wrong: %+v", tr.Requests)
+	}
+}
+
+// Round-tripping any valid generated trace through the binary codec is
+// lossless.
+func TestPropBinaryCodecLossless(t *testing.T) {
+	f := func(seed uint64, rate8 uint8, dur8 uint8) bool {
+		spec := PoissonSpec{
+			Rate:      1 + float64(rate8%50),
+			Keys:      8,
+			Zipf:      1,
+			ReadRatio: 0.5,
+			Duration:  0.5 + float64(dur8%8),
+			Seed:      seed,
+		}
+		orig, err := Poisson(spec)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := orig.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || got.Len() != orig.Len() {
+			return false
+		}
+		for i := range orig.Requests {
+			if got.Requests[i] != orig.Requests[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerKeyStats(t *testing.T) {
+	tr := &Trace{NumKeys: 3, Duration: 10, Requests: []Request{
+		{At: 1, Key: 0, Op: OpRead},
+		{At: 2, Key: 0, Op: OpWrite},
+		{At: 3, Key: 0, Op: OpRead},
+		{At: 4, Key: 2, Op: OpWrite},
+	}}
+	stats := tr.PerKeyStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d keys", len(stats))
+	}
+	if stats[0].Key != 0 || stats[0].Reads != 2 || stats[0].Writes != 1 {
+		t.Errorf("hottest: %+v", stats[0])
+	}
+	if rr := stats[0].ReadRatio(); math.Abs(rr-2.0/3) > 1e-12 {
+		t.Errorf("ReadRatio = %v", rr)
+	}
+	if rate := stats[0].Rate(10); rate != 0.3 {
+		t.Errorf("Rate = %v", rate)
+	}
+	if (KeyStat{}).ReadRatio() != 0 || (KeyStat{}).Rate(0) != 0 {
+		t.Error("zero-stat helpers should return 0")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("op names wrong")
+	}
+	if Op(7).String() == "" {
+		t.Error("unknown op should stringify")
+	}
+}

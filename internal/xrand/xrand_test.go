@@ -1,0 +1,219 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42, 7), New(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1, 0), New(2, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical outputs", same)
+	}
+	c, d := New(1, 0), New(1, 1)
+	same = 0
+	for i := 0; i < 100; i++ {
+		if c.Uint32() == d.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different streams produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3, 0)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5, 0)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7, 0)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit %d/10 values in 1000 draws", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11, 0)
+	const lambda = 4.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.Exp(lambda)
+		if x < 0 {
+			t.Fatalf("Exp sample negative: %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Errorf("Exp(%v) mean = %v, want ≈ %v", lambda, mean, 1/lambda)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(13, 0)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestZipfSkewAndSupport(t *testing.T) {
+	r := New(17, 0)
+	z := NewZipf(r, 1.3, 100)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Sample()
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf sample out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Errorf("Zipf not skewed: c0=%d c10=%d c50=%d", counts[0], counts[10], counts[50])
+	}
+	// Empirical frequency of rank 0 should approximate Prob(0).
+	p0 := z.Prob(0)
+	emp := float64(counts[0]) / n
+	if math.Abs(emp-p0) > 0.01 {
+		t.Errorf("rank-0 frequency %v vs probability %v", emp, p0)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(19, 0)
+	z := NewZipf(r, 0, 10)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Errorf("s=0 rank %d prob = %v, want 0.1", i, z.Prob(i))
+		}
+	}
+	if z.N() != 10 {
+		t.Errorf("N = %d", z.N())
+	}
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(23, 0)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitMix64(t *testing.T) {
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Error("SplitMix64 collision on adjacent inputs")
+	}
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Error("SplitMix64 not deterministic")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(1, 0)
+	for _, fn := range []func(){
+		func() { NewZipf(r, 1, 0) },
+		func() { NewZipf(r, -1, 10) },
+		func() { r.Exp(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkPCGUint64(b *testing.B) {
+	r := New(1, 0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	r := New(1, 0)
+	z := NewZipf(r, 1.3, 100000)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample()
+	}
+	_ = sink
+}
