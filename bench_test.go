@@ -244,6 +244,72 @@ func BenchmarkAnalyticalModel(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkRingLookup measures consistent-hash routing throughput — the
+// per-request cost the LB and every cache pay to pick a key's store
+// shard.
+func BenchmarkRingLookup(b *testing.B) {
+	for _, nodes := range []int{2, 4, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			addrs := make([]string, nodes)
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("10.0.0.%d:7001", i+1)
+			}
+			r, err := freshcache.NewRing(addrs, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, 4096)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%06d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += r.Owner(keys[i&4095])
+			}
+			_ = sink
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+		})
+	}
+}
+
+// BenchmarkRingJoinKeyMovement measures ring construction plus the
+// consistent-hashing contract: the fraction of the keyspace that changes
+// owner when a node joins (ideal: 1/(n+1); modulo hashing moves ~100%).
+func BenchmarkRingJoinKeyMovement(b *testing.B) {
+	const keys = 1 << 16
+	for _, nodes := range []int{2, 4, 16} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			addrs := make([]string, nodes+1)
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("10.0.0.%d:7001", i+1)
+			}
+			before, err := freshcache.NewRing(addrs[:nodes], 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var movedFrac float64
+			for i := 0; i < b.N; i++ {
+				after, err := freshcache.NewRing(addrs, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				moved := 0
+				for k := 0; k < keys; k++ {
+					key := fmt.Sprintf("key-%06d", k)
+					if before.Owner(key) != after.Owner(key) {
+						moved++
+					}
+				}
+				movedFrac = float64(moved) / keys
+			}
+			b.ReportMetric(movedFrac, "moved-frac")
+			b.ReportMetric(1/float64(nodes+1), "ideal-frac")
+		})
+	}
+}
+
 // BenchmarkWorkloadGeneration measures trace synthesis speed.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	for _, name := range freshcache.StandardWorkloadNames() {

@@ -1,0 +1,257 @@
+package freshcache_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"freshcache"
+)
+
+// shardedCluster is a live 2-store / 2-cache / 1-LB deployment wired on
+// loopback through the public facade.
+type shardedCluster struct {
+	stores     []*freshcache.StoreServer
+	storeAddrs []string
+	caches     []*freshcache.CacheServer
+	lb         *freshcache.LoadBalancer
+	lbAddr     string
+	ring       *freshcache.Ring
+}
+
+func startShardedCluster(t *testing.T, T time.Duration, nStores, nCaches int) *shardedCluster {
+	t.Helper()
+	quiet := log.New(io.Discard, "", 0)
+	cl := &shardedCluster{}
+
+	for i := 0; i < nStores; i++ {
+		st := freshcache.NewStoreServer(freshcache.StoreConfig{
+			T: T, ShardID: fmt.Sprintf("shard-%d", i), Logger: quiet,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go st.Serve(ln) //nolint:errcheck
+		t.Cleanup(func() { st.Close() })
+		cl.stores = append(cl.stores, st)
+		cl.storeAddrs = append(cl.storeAddrs, ln.Addr().String())
+	}
+
+	var cacheAddrs []string
+	for i := 0; i < nCaches; i++ {
+		ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+			StoreAddrs:    cl.storeAddrs,
+			T:             T,
+			Name:          fmt.Sprintf("cache-%d", i),
+			Logger:        quiet,
+			RetryInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ca.Serve(ln) //nolint:errcheck
+		t.Cleanup(func() { ca.Close() })
+		cl.caches = append(cl.caches, ca)
+		cacheAddrs = append(cacheAddrs, ln.Addr().String())
+	}
+
+	balancer, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		StoreAddrs: cl.storeAddrs,
+		CacheAddrs: cacheAddrs,
+		Logger:     quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go balancer.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { balancer.Close() })
+	cl.lb = balancer
+	cl.lbAddr = ln.Addr().String()
+	cl.ring = cl.caches[0].Ring()
+
+	// Do not start the clock until every cache is subscribed to every
+	// store shard (nCaches subscribers at each store).
+	for i, st := range cl.stores {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			sm := storeStats(t, cl.storeAddrs[i])
+			if sm["subscribers"] >= uint64(nCaches) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("store %d never saw %d subscribers", i, nCaches)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		_ = st
+	}
+	return cl
+}
+
+func storeStats(t *testing.T, addr string) map[string]uint64 {
+	t.Helper()
+	c := freshcache.NewClient(addr, freshcache.ClientOptions{})
+	defer c.Close()
+	sm, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// TestShardedClusterEndToEnd is the acceptance test of the sharded
+// deployment: two store shards, two caches and one LB; reads and writes
+// route by the consistent-hash ring; killing one store invalidates only
+// that shard's keys while the surviving shard keeps serving fresh data
+// within the staleness bound.
+func TestShardedClusterEndToEnd(t *testing.T) {
+	const T = 500 * time.Millisecond
+	cl := startShardedCluster(t, T, 2, 2)
+
+	c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	defer c.Close()
+
+	// Writes and reads through the LB; the ring decides each key's owner.
+	var shard0Keys, shard1Keys []string
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if _, err := c.Put(key, []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		if v, _, err := c.Get(key); err != nil || string(v) != "v1" {
+			t.Fatalf("Get %q = %q %v", key, v, err)
+		}
+		if cl.ring.Owner(key) == 0 {
+			shard0Keys = append(shard0Keys, key)
+		} else {
+			shard1Keys = append(shard1Keys, key)
+		}
+	}
+	if len(shard0Keys) == 0 || len(shard1Keys) == 0 {
+		t.Fatalf("ring did not split the keyspace: %d/%d", len(shard0Keys), len(shard1Keys))
+	}
+
+	// Writes routed by ring: each store holds exactly the keys it owns.
+	if got := cl.stores[0].Authority().Len(); got != len(shard0Keys) {
+		t.Errorf("store 0 holds %d keys, ring owns %d", got, len(shard0Keys))
+	}
+	if got := cl.stores[1].Authority().Len(); got != len(shard1Keys) {
+		t.Errorf("store 1 holds %d keys, ring owns %d", got, len(shard1Keys))
+	}
+	// Reads spread across both caches by key affinity.
+	for i, ca := range cl.caches {
+		if ca.StatsMap()["gets"] == 0 {
+			t.Errorf("cache %d served no reads", i)
+		}
+	}
+
+	// Bounded staleness across shards while everything is healthy.
+	if _, err := c.Put(shard0Keys[0], []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(shard1Keys[0], []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * T)
+	for _, key := range []string{shard0Keys[0], shard1Keys[0]} {
+		if v, _, err := c.Get(key); err != nil || string(v) != "v2" {
+			t.Fatalf("after bound, %q = %q %v", key, v, err)
+		}
+	}
+
+	// Kill store 0: its keys ride the disconnect deadline, then go
+	// stale; the other shard must stay fully live.
+	killedAt := time.Now()
+	cl.stores[0].Close()
+
+	// Within the deadline the dead shard's resident keys still serve.
+	if time.Since(killedAt) < T {
+		if v, _, err := c.Get(shard0Keys[0]); err != nil || string(v) != "v2" {
+			t.Fatalf("dead shard key within deadline: %q %v", v, err)
+		}
+	}
+
+	// The surviving shard still honors writes within the bound.
+	if _, err := c.Put(shard1Keys[1], []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * T)
+	if v, _, err := c.Get(shard1Keys[1]); err != nil || string(v) != "v3" {
+		t.Fatalf("surviving shard after kill: %q %v", v, err)
+	}
+
+	// Past the deadline the dead shard's keys must not serve silently
+	// stale data: the cache misses and the fill fails.
+	if _, _, err := c.Get(shard0Keys[0]); err == nil {
+		t.Fatal("dead shard's key served past its deadline")
+	} else if errors.Is(err, freshcache.ErrNotFound) {
+		t.Fatalf("dead shard's key reported not-found instead of failing: %v", err)
+	}
+
+	// Only shard 0's resident keys were deadlined on each cache.
+	now := time.Now()
+	for i, ca := range cl.caches {
+		for _, key := range shard1Keys {
+			if e, found, _ := ca.KV().Get(key, now); found && !e.ExpireAt.IsZero() {
+				t.Errorf("cache %d: healthy shard key %q carries a disconnect deadline", i, key)
+			}
+		}
+	}
+
+	// LB stats reflect the sharded topology.
+	sm, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm["stores"] != 2 || sm["caches"] != 2 {
+		t.Errorf("lb topology stats: %v", sm)
+	}
+}
+
+// TestShardedClusterReadReportsReachOwners checks the read-report path
+// under sharding: each store's policy engine must see read counts only
+// for keys it owns.
+func TestShardedClusterReadReportsReachOwners(t *testing.T) {
+	const T = 60 * time.Millisecond
+	cl := startShardedCluster(t, T, 2, 1)
+
+	c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	defer c.Close()
+
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("rr-%03d", i)
+		if _, err := c.Put(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 5; j++ {
+			if _, _, err := c.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s0 := storeStats(t, cl.storeAddrs[0])["read_reports"]
+		s1 := storeStats(t, cl.storeAddrs[1])["read_reports"]
+		if s0 > 0 && s1 > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read reports not partitioned to both shards: %d/%d", s0, s1)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,11 +1,17 @@
 // Command cacheserver runs a freshcache cache node: a cache-aside LRU
-// cache that fills misses from the store, subscribes to its batched
-// invalidate/update pushes, and reports read statistics back for the
-// adaptive policy (Figure 4 of the paper).
+// cache that fills misses from the store shard owning each key,
+// subscribes to every shard's batched invalidate/update pushes, and
+// reports read statistics back to the owning shards for the adaptive
+// policy (Figure 4 of the paper).
 //
 // Usage:
 //
 //	cacheserver -addr :7101 -store 127.0.0.1:7001 -t 500ms -capacity 100000
+//	cacheserver -addr :7101 -stores 127.0.0.1:7001,127.0.0.1:7002 -t 500ms
+//
+// With -stores the authoritative keyspace is partitioned across the
+// listed store servers by consistent hashing; the cache maintains one
+// subscription (and per-shard bounded-staleness fallback) per store.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"freshcache"
@@ -20,7 +27,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7101", "listen address")
-	storeAddr := flag.String("store", "127.0.0.1:7001", "backing store address")
+	storeAddr := flag.String("store", "", "single backing store address")
+	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
 	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
 	name := flag.String("name", "", "cache name in subscriptions (default addr)")
@@ -29,17 +37,29 @@ func main() {
 	if *name == "" {
 		*name = "cache@" + *addr
 	}
-	srv, err := freshcache.NewCacheServer(freshcache.CacheConfig{
-		StoreAddr: *storeAddr,
-		Capacity:  *capacity,
-		T:         *t,
-		Name:      *name,
-	})
+	cfg := freshcache.CacheConfig{
+		Capacity: *capacity,
+		T:        *t,
+		Name:     *name,
+	}
+	switch {
+	case *stores != "":
+		cfg.StoreAddrs = strings.Split(*stores, ",")
+	case *storeAddr != "":
+		cfg.StoreAddr = *storeAddr
+	default:
+		cfg.StoreAddr = "127.0.0.1:7001"
+	}
+	srv, err := freshcache.NewCacheServer(cfg)
 	if err != nil {
 		log.Fatalf("cacheserver: %v", err)
 	}
-	log.Printf("cacheserver %s: listening on %s, store %s, T=%v, capacity %d",
-		*name, *addr, *storeAddr, *t, *capacity)
+	targets := cfg.StoreAddrs
+	if len(targets) == 0 {
+		targets = []string{cfg.StoreAddr}
+	}
+	log.Printf("cacheserver %s: listening on %s, stores %s, T=%v, capacity %d",
+		*name, *addr, strings.Join(targets, ","), *t, *capacity)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)

@@ -22,6 +22,7 @@
 //	-duration float   trace length in virtual seconds (default 300)
 //	-seed uint        workload seed (default 1)
 //	-t float          staleness bound for fig5/fig6/live (default 0.5)
+//	-stores int       store shards booted by live (default 1)
 package main
 
 import (
@@ -49,9 +50,11 @@ func main() {
 	duration := fs.Float64("duration", 300, "trace length in virtual seconds")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	tBound := fs.Float64("t", 0.5, "staleness bound (s) for fig5/fig6/live")
+	storesN := fs.Int("stores", 1, "store shards booted by the live experiment")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	o := experiments.Options{Duration: *duration, Seed: *seed, T: *tBound}
+	live := func(o experiments.Options) error { return liveCluster(o, *storesN) }
 
 	run := func(name string, fn func(experiments.Options) error) {
 		fmt.Printf("== %s ==\n", name)
@@ -210,23 +213,33 @@ func ablate(o experiments.Options) error {
 	return print("cache-state knowledge (Adpt vs Adpt+CS)", rows, err)
 }
 
-// live boots a real store + cache on loopback, replays a workload, and
-// validates bounded staleness with wall clocks.
-func live(o experiments.Options) error {
+// liveCluster boots nStores store shards + a cache on loopback, replays
+// a workload, and validates bounded staleness with wall clocks — per
+// shard when sharded.
+func liveCluster(o experiments.Options, nStores int) error {
 	T := time.Duration(o.T * float64(time.Second))
 	if T <= 0 {
 		T = 500 * time.Millisecond
 	}
-	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: T})
-	sln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return err
+	if nStores <= 0 {
+		nStores = 1
 	}
-	go st.Serve(sln) //nolint:errcheck
-	defer st.Close()
+	storeAddrs := make([]string, 0, nStores)
+	for i := 0; i < nStores; i++ {
+		st := freshcache.NewStoreServer(freshcache.StoreConfig{
+			T: T, ShardID: fmt.Sprintf("shard-%d", i),
+		})
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go st.Serve(sln) //nolint:errcheck
+		defer st.Close()
+		storeAddrs = append(storeAddrs, sln.Addr().String())
+	}
 
 	ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
-		StoreAddr: sln.Addr().String(), T: T, Name: "bench-cache",
+		StoreAddrs: storeAddrs, T: T, Name: "bench-cache",
 	})
 	if err != nil {
 		return err
@@ -285,7 +298,7 @@ func live(o experiments.Options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("T=%v  reads=%d writes=%d\n", T, reads, writesDone)
+	fmt.Printf("T=%v  stores=%d  reads=%d writes=%d\n", T, nStores, reads, writesDone)
 	fmt.Printf("cache: hits=%d stale-misses=%d cold-misses=%d inv-applied=%d upd-applied=%d\n",
 		sm["hits"], sm["stale_misses"], sm["cold_misses"],
 		sm["invalidates_applied"], sm["updates_applied"])

@@ -1,9 +1,12 @@
 // Command lbserver runs the freshcache load balancer: reads route to a
-// cache chosen by key affinity, writes route to the store (Figure 4).
+// cache chosen by consistent-hash key affinity, writes route to the
+// store shard owning the key (Figure 4).
 //
 // Usage:
 //
 //	lbserver -addr :7201 -store 127.0.0.1:7001 \
+//	         -caches 127.0.0.1:7101,127.0.0.1:7102
+//	lbserver -addr :7201 -stores 127.0.0.1:7001,127.0.0.1:7002 \
 //	         -caches 127.0.0.1:7101,127.0.0.1:7102
 package main
 
@@ -19,18 +22,30 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7201", "listen address")
-	storeAddr := flag.String("store", "127.0.0.1:7001", "backing store address")
+	storeAddr := flag.String("store", "", "single backing store address")
+	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
 	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
 	flag.Parse()
 
-	srv, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
-		StoreAddr:  *storeAddr,
-		CacheAddrs: strings.Split(*caches, ","),
-	})
+	cfg := freshcache.LBConfig{CacheAddrs: strings.Split(*caches, ",")}
+	switch {
+	case *stores != "":
+		cfg.StoreAddrs = strings.Split(*stores, ",")
+	case *storeAddr != "":
+		cfg.StoreAddr = *storeAddr
+	default:
+		cfg.StoreAddr = "127.0.0.1:7001"
+	}
+	srv, err := freshcache.NewLoadBalancer(cfg)
 	if err != nil {
 		log.Fatalf("lbserver: %v", err)
 	}
-	log.Printf("lbserver: listening on %s, store %s, caches %s", *addr, *storeAddr, *caches)
+	targets := cfg.StoreAddrs
+	if len(targets) == 0 {
+		targets = []string{cfg.StoreAddr}
+	}
+	log.Printf("lbserver: listening on %s, stores %s, caches %s",
+		*addr, strings.Join(targets, ","), *caches)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "lbserver: %v\n", err)
 		os.Exit(1)

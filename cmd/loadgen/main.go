@@ -7,6 +7,11 @@
 //
 //	loadgen -addr 127.0.0.1:7201 -workload poisson -duration 10s \
 //	        -rate 2000 -t 500ms -conns 8
+//	loadgen -addr 127.0.0.1:7201 -stores 127.0.0.1:7001,127.0.0.1:7002 ...
+//
+// With -stores, writes bypass -addr and route directly to the store
+// shard owning each key via the consistent-hash ring — the same routing
+// the caches and the LB use — while reads keep exercising -addr.
 //
 // The staleness check: every write's value encodes its wall-clock issue
 // time; a read that returns a value older than the latest write known to
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +36,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7201", "target node (lb, cache, or store)")
+	stores := flag.String("stores", "", "comma-separated store shard addresses; writes route by ring")
 	wl := flag.String("workload", "poisson", "poisson|poisson-mix|meta-like|twitter-like")
 	duration := flag.Duration("duration", 10*time.Second, "wall-clock run length")
 	rate := flag.Float64("rate", 2000, "target requests/second")
@@ -38,7 +45,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
-	if err := run(*addr, *wl, *duration, *rate, *tBound, *conns, *seed); err != nil {
+	var storeAddrs []string
+	if *stores != "" {
+		storeAddrs = strings.Split(*stores, ",")
+	}
+	if err := run(*addr, storeAddrs, *wl, *duration, *rate, *tBound, *conns, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -50,7 +61,7 @@ type keyState struct {
 	lastAt  time.Time
 }
 
-func run(addr, wl string, duration time.Duration, rate float64, tBound time.Duration, conns int, seed uint64) error {
+func run(addr string, storeAddrs []string, wl string, duration time.Duration, rate float64, tBound time.Duration, conns int, seed uint64) error {
 	// Pre-generate the request sequence shape from the chosen workload
 	// family (virtual inter-arrivals are replaced by the target rate).
 	tr, err := workload.Standard(wl, 30, seed)
@@ -64,6 +75,19 @@ func run(addr, wl string, duration time.Duration, rate float64, tBound time.Dura
 
 	c := freshcache.NewClient(addr, freshcache.ClientOptions{MaxConns: conns})
 	defer c.Close()
+
+	// put issues a write: to -addr by default, or directly to the owning
+	// store shard when -stores is given.
+	put := c.Put
+	if len(storeAddrs) > 0 {
+		sc, err := freshcache.NewShardedClient(storeAddrs, 0, freshcache.ClientOptions{MaxConns: conns})
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		log.Printf("loadgen: writes route by ring across %d store shards", sc.Len())
+		put = sc.Put
+	}
 
 	var (
 		lat        stats.Histogram
@@ -94,7 +118,7 @@ func run(addr, wl string, duration time.Duration, rate float64, tBound time.Dura
 				start := time.Now()
 				if req.Op == workload.OpWrite {
 					val := fmt.Sprintf("%d", start.UnixNano())
-					if _, err := c.Put(key, []byte(val)); err != nil {
+					if _, err := put(key, []byte(val)); err != nil {
 						errsC.Inc()
 						continue
 					}

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	storeserver -addr :7001 -t 500ms [-slo 0.05] [-cm 2 -ci 0.25 -cu 1]
+//	storeserver -addr :7001 -t 500ms [-shard shard-0] [-slo 0.05]
+//	            [-cm 2 -ci 0.25 -cu 1]
 //	            [-bottleneck auto|cpu|network|disk] [-keysize 16 -valsize 256]
+//
+// In a sharded deployment run one storeserver per shard, each with a
+// distinct -shard identity; caches and the LB partition the keyspace
+// across them by consistent hashing over their addresses.
 //
 // With -bottleneck auto the server samples /proc twice at startup and
 // derives the c_m/c_i/c_u parameters from the detected bottleneck (§3.3);
@@ -28,6 +33,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7001", "listen address")
+	shard := flag.String("shard", "", "shard identity echoed to subscribers (default shard@addr)")
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound / batching interval")
 	slo := flag.Float64("slo", 0, "staleness-miss-ratio SLO (0 disables)")
 	cm := flag.Float64("cm", 0, "miss cost c_m (0 = derive)")
@@ -39,19 +45,23 @@ func main() {
 	topk := flag.Int("topk", 1024, "exact slots in the Top-K E[W] tracker")
 	flag.Parse()
 
+	if *shard == "" {
+		*shard = "shard@" + *addr
+	}
 	costs, err := resolveCosts(*cm, *ci, *cu, *bottleneck, *keySize, *valSize)
 	if err != nil {
 		log.Fatalf("storeserver: %v", err)
 	}
-	log.Printf("storeserver: T=%v costs: cm=%.4g ci=%.4g cu=%.4g slo=%g",
-		*t, costs.Cm, costs.Ci, costs.Cu, *slo)
+	log.Printf("storeserver %s: T=%v costs: cm=%.4g ci=%.4g cu=%.4g slo=%g",
+		*shard, *t, costs.Cm, costs.Ci, costs.Cu, *slo)
 
 	tracker, err := freshcache.NewTopK(*topk, *topk*16, 4)
 	if err != nil {
 		log.Fatalf("storeserver: %v", err)
 	}
 	srv := freshcache.NewStoreServer(freshcache.StoreConfig{
-		T: *t,
+		ShardID: *shard,
+		T:       *t,
 		Engine: core.Config{
 			Costs:   costs,
 			SLO:     *slo,

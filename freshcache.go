@@ -21,7 +21,11 @@
 //     NewTwitterLike) standing in for the paper's production traces;
 //   - a live TCP deployment of Figure 4 (NewStoreServer, NewCacheServer,
 //     NewLoadBalancer, NewClient): a cache-aside cache cluster whose
-//     store pushes batched invalidates/updates to subscribed caches.
+//     store pushes batched invalidates/updates to subscribed caches. The
+//     authoritative keyspace can be sharded across N store servers by a
+//     consistent-hash ring (NewRing, NewShardedClient, the StoreAddrs
+//     fields): each cache runs one epoch stream per shard and bounded
+//     staleness holds per shard through disconnects and resyncs.
 //
 // # Quick start
 //
@@ -48,6 +52,7 @@ import (
 	"freshcache/internal/costmodel"
 	"freshcache/internal/lb"
 	"freshcache/internal/model"
+	"freshcache/internal/ring"
 	"freshcache/internal/simulate"
 	"freshcache/internal/sketch"
 	"freshcache/internal/store"
@@ -272,3 +277,29 @@ func NewClient(addr string, opts ClientOptions) *Client { return client.New(addr
 
 // ErrNotFound reports a missing key from Client.Get.
 var ErrNotFound = client.ErrNotFound
+
+// ---- Sharded authority (consistent-hash ring) ----
+
+// Ring is the immutable consistent-hash ring that partitions the
+// keyspace across store shards (and spreads read affinity across
+// caches).
+type Ring = ring.Ring
+
+// DefaultVirtualNodes is the per-node virtual point count used when a
+// ring is built with virtualNodes <= 0.
+const DefaultVirtualNodes = ring.DefaultVirtualNodes
+
+// NewRing builds a consistent-hash ring over nodes with virtualNodes
+// points per node (<= 0 uses DefaultVirtualNodes).
+func NewRing(nodes []string, virtualNodes int) (*Ring, error) {
+	return ring.New(nodes, virtualNodes)
+}
+
+// ShardedClient routes key-addressed requests across a ring of store
+// shards and fans aggregate requests out to all of them.
+type ShardedClient = client.Sharded
+
+// NewShardedClient builds a sharded client over addrs.
+func NewShardedClient(addrs []string, virtualNodes int, opts ClientOptions) (*ShardedClient, error) {
+	return client.NewSharded(addrs, virtualNodes, opts)
+}

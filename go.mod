@@ -1,0 +1,3 @@
+module freshcache
+
+go 1.24

@@ -1,17 +1,25 @@
 // Package cache implements the cache node of Figures 1 and 4: a
 // capacity-bounded, LRU-evicting, cache-aside cache that
 //
-//   - serves GETs from its resident set, filling misses from the store;
-//   - forwards PUTs to the store (writes bypass the cache);
-//   - subscribes to the store's batched invalidate/update pushes and
-//     applies them, detecting lost epochs and resynchronizing;
-//   - reports its read counts back to the store once per staleness bound
-//     so the store-side policy engine sees the full request stream.
+//   - serves GETs from its resident set, filling misses from the
+//     authoritative store shard that owns the key;
+//   - forwards PUTs to the owning store shard (writes bypass the cache);
+//   - subscribes to every store shard's batched invalidate/update pushes
+//     and applies them, detecting lost epochs per shard and
+//     resynchronizing only that shard's keys;
+//   - reports its read counts back to the owning shards once per
+//     staleness bound so each store-side policy engine sees the full
+//     request stream for the keys it owns.
 //
-// Bounded staleness is preserved across failures: while the subscription
-// is down every resident entry carries a hard deadline of
-// disconnect-time + T (serve until then, miss afterwards), and an epoch
-// gap on reconnect conservatively invalidates the whole resident set.
+// The authoritative keyspace may be partitioned across N store servers
+// by a consistent-hash ring (internal/ring); the cache runs one epoch
+// stream, one disconnect-deadline fallback, and one read-report slice
+// per shard. Bounded staleness is preserved per shard across failures:
+// while shard i's subscription is down, every resident entry owned by i
+// carries a hard deadline of disconnect-time + T (serve until then, miss
+// afterwards), and an epoch gap on reconnect conservatively invalidates
+// only the resident keys that shard owns — keys owned by healthy shards
+// keep their live push freshness throughout.
 package cache
 
 import (
@@ -27,19 +35,27 @@ import (
 	"freshcache/internal/client"
 	"freshcache/internal/kv"
 	"freshcache/internal/proto"
+	"freshcache/internal/ring"
 	"freshcache/internal/stats"
 )
 
 // Config configures a cache node.
 type Config struct {
-	// StoreAddr is the backing store's address. Required.
+	// StoreAddr is the backing store's address for a single-store
+	// deployment. Exactly one of StoreAddr and StoreAddrs must be set.
 	StoreAddr string
+	// StoreAddrs are the authority shards of a sharded deployment; keys
+	// route to shards by consistent hashing over this list.
+	StoreAddrs []string
+	// VirtualNodes sets the ring points per store shard; <= 0 uses
+	// ring.DefaultVirtualNodes.
+	VirtualNodes int
 	// Capacity bounds the resident set in objects; 0 means unbounded.
 	Capacity int
 	// T is the staleness bound, used for the disconnect fallback
 	// deadline and the read-report cadence. Defaults to 1s.
 	T time.Duration
-	// Name identifies this cache in its subscription.
+	// Name identifies this cache in its subscriptions.
 	Name string
 	// RetryInterval paces subscription reconnects; defaults to T/2
 	// capped to [10ms, 1s].
@@ -49,9 +65,11 @@ type Config struct {
 }
 
 func (c *Config) fill() error {
-	if c.StoreAddr == "" {
-		return errors.New("cache: Config.StoreAddr is required")
+	addrs, err := client.ResolveStoreAddrs(c.StoreAddr, c.StoreAddrs)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
 	}
+	c.StoreAddrs = addrs
 	if c.T <= 0 {
 		c.T = time.Second
 	}
@@ -73,7 +91,7 @@ func (c *Config) fill() error {
 	return nil
 }
 
-// Counters is the cache's observable state.
+// Counters is the cache's observable state, aggregated across shards.
 type Counters struct {
 	Gets, Hits, StaleMisses, ColdMisses stats.Counter
 	Puts                                stats.Counter
@@ -81,19 +99,47 @@ type Counters struct {
 	UpdatesIgnored                      stats.Counter // pushed for non-resident keys
 	BatchesApplied, EpochGaps           stats.Counter
 	Resyncs, Disconnects                stats.Counter
+	KeysResynced, KeysDeadlined         stats.Counter // scoped-invalidation touch counts
 	ReadReportsSent                     stats.Counter
 	MalformedFrames                     stats.Counter
 }
 
+// shardSub is the per-authority-shard subscription state, owned by that
+// shard's subscription goroutine.
+type shardSub struct {
+	idx  int
+	addr string
+	// owned scopes invalidation fallbacks to this shard's keys; nil for
+	// a single-shard deployment (scope: everything).
+	owned func(key string) bool
+
+	lastEpoch      uint64
+	subscribedOnce bool
+	identity       string // ShardID echoed by the store at this address
+}
+
 // Server is a live cache node.
 type Server struct {
-	cfg   Config
-	kv    *kv.Cache
-	store *client.Client
-	c     Counters
+	cfg    Config
+	kv     *kv.Cache
+	stores *client.Sharded
+	shards []*shardSub
+	c      Counters
 
 	readMu     sync.Mutex
 	readCounts map[string]uint32
+
+	// fillMu guards the fill/invalidate race: a batched invalidate (or a
+	// resync) that lands while a miss fill for the same key is in flight
+	// refers to a write the fill's response may predate. Without
+	// tracking, the fill would install that pre-write value as fresh —
+	// and because the store-side engine then believes the cache copy is
+	// already invalid, it deduplicates every later invalidate away,
+	// leaving the entry stale forever. Fills voided here are installed
+	// stale instead, so the next read refetches.
+	fillMu  sync.Mutex
+	filling map[string]int // in-flight fill count per key
+	voided  map[string]bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -106,16 +152,34 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Server{
+	stores, err := client.NewSharded(cfg.StoreAddrs, cfg.VirtualNodes, client.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s := &Server{
 		cfg:        cfg,
 		kv:         kv.NewCache(cfg.Capacity),
-		store:      client.New(cfg.StoreAddr, client.Options{}),
+		stores:     stores,
 		readCounts: make(map[string]uint32),
-	}, nil
+		filling:    make(map[string]int),
+		voided:     make(map[string]bool),
+	}
+	r := stores.Ring()
+	for i := 0; i < r.Len(); i++ {
+		sub := &shardSub{idx: i, addr: r.Node(i)}
+		if r.Len() > 1 {
+			sub.owned = r.OwnedBy(i)
+		}
+		s.shards = append(s.shards, sub)
+	}
+	return s, nil
 }
 
 // KV exposes the resident set for tests and tooling.
 func (s *Server) KV() *kv.Cache { return s.kv }
+
+// Ring exposes the store-shard routing ring for tests and tooling.
+func (s *Server) Ring() *ring.Ring { return s.stores.Ring() }
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -126,8 +190,9 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts client connections on ln until Close, running the
-// subscription and read-report loops in the background.
+// Serve accepts client connections on ln until Close, running one
+// subscription loop per store shard and the read-report loop in the
+// background.
 func (s *Server) Serve(ln net.Listener) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
@@ -135,8 +200,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.cancel = cancel
 	s.mu.Unlock()
 
-	s.wg.Add(2)
-	go s.subscriptionLoop(ctx)
+	s.wg.Add(1 + len(s.shards))
+	for _, sub := range s.shards {
+		go s.subscriptionLoop(ctx, sub)
+	}
 	go s.reportLoop(ctx)
 
 	for {
@@ -172,7 +239,7 @@ func (s *Server) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.store.Close()
+	s.stores.Close()
 	s.wg.Wait()
 	return err
 }
@@ -194,8 +261,10 @@ func (s *Server) Get(key string) ([]byte, uint64, error) {
 	} else {
 		s.c.ColdMisses.Inc()
 	}
-	value, version, err := s.store.Fill(key)
+	s.beginFill(key)
+	value, version, err := s.stores.Fill(key)
 	if err != nil {
+		s.endFill(key)
 		if errors.Is(err, client.ErrNotFound) && found {
 			// Deleted upstream; drop our stale copy.
 			s.kv.Delete(key)
@@ -203,23 +272,79 @@ func (s *Server) Get(key string) ([]byte, uint64, error) {
 		return nil, 0, err
 	}
 	s.kv.Put(key, kv.Entry{Value: value, Version: version})
+	if s.endFill(key) {
+		// An invalidate or resync raced this fill: the value may predate
+		// the write it announced. Serving it once is within the bound
+		// (the write is younger than T), but the copy must not stay
+		// fresh — mark it stale so the next read refetches.
+		s.kv.Invalidate(key)
+	}
 	return value, version, nil
 }
 
-// Put forwards a write to the store (writes bypass the cache).
-func (s *Server) Put(key string, value []byte) (uint64, error) {
-	s.c.Puts.Inc()
-	return s.store.Put(key, value)
+// beginFill registers an in-flight miss fill for key.
+func (s *Server) beginFill(key string) {
+	s.fillMu.Lock()
+	s.filling[key]++
+	s.fillMu.Unlock()
 }
 
-// noteRead accumulates the per-key read counts reported to the store.
+// endFill deregisters a fill and reports whether an invalidate or
+// resync landed while it was in flight.
+func (s *Server) endFill(key string) (voided bool) {
+	s.fillMu.Lock()
+	defer s.fillMu.Unlock()
+	n := s.filling[key] - 1
+	if n <= 0 {
+		delete(s.filling, key)
+	} else {
+		s.filling[key] = n
+	}
+	voided = s.voided[key]
+	if n <= 0 {
+		delete(s.voided, key)
+	}
+	return voided
+}
+
+// voidFill marks key's in-flight fills (if any) as overtaken by an
+// invalidation.
+func (s *Server) voidFill(key string) {
+	s.fillMu.Lock()
+	if s.filling[key] > 0 {
+		s.voided[key] = true
+	}
+	s.fillMu.Unlock()
+}
+
+// voidOwnedFills voids every in-flight fill owned by a resyncing shard
+// (owned nil means all).
+func (s *Server) voidOwnedFills(owned func(key string) bool) {
+	s.fillMu.Lock()
+	for key := range s.filling {
+		if owned == nil || owned(key) {
+			s.voided[key] = true
+		}
+	}
+	s.fillMu.Unlock()
+}
+
+// Put forwards a write to the store shard owning key (writes bypass the
+// cache).
+func (s *Server) Put(key string, value []byte) (uint64, error) {
+	s.c.Puts.Inc()
+	return s.stores.Put(key, value)
+}
+
+// noteRead accumulates the per-key read counts reported to the stores.
 func (s *Server) noteRead(key string) {
 	s.readMu.Lock()
 	s.readCounts[key]++
 	s.readMu.Unlock()
 }
 
-// reportLoop ships accumulated read counts to the store once per T.
+// reportLoop ships accumulated read counts to the owning store shards
+// once per T.
 func (s *Server) reportLoop(ctx context.Context) {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.T)
@@ -246,7 +371,7 @@ func (s *Server) flushReports() {
 	}
 	s.readCounts = make(map[string]uint32)
 	s.readMu.Unlock()
-	if err := s.store.ReadReport(reports); err != nil {
+	if err := s.stores.ReadReport(reports); err != nil {
 		s.cfg.Logger.Printf("cache %s: read report failed: %v", s.cfg.Name, err)
 		// Intentionally dropped rather than retried: read statistics are
 		// advisory for the policy engine and stale counts are worse than
@@ -256,24 +381,24 @@ func (s *Server) flushReports() {
 	}
 }
 
-// subscriptionLoop maintains the push channel from the store, applying
-// batches and resynchronizing after failures.
-func (s *Server) subscriptionLoop(ctx context.Context) {
+// subscriptionLoop maintains the push channel from one store shard,
+// applying batches and resynchronizing that shard's keys after failures.
+func (s *Server) subscriptionLoop(ctx context.Context, sub *shardSub) {
 	defer s.wg.Done()
-	lastEpoch := uint64(0)
-	subscribedOnce := false
 	for ctx.Err() == nil {
-		err := s.runSubscription(ctx, &lastEpoch, &subscribedOnce)
+		err := s.runSubscription(ctx, sub)
 		if ctx.Err() != nil {
 			return
 		}
 		s.c.Disconnects.Inc()
 		if err != nil {
-			s.cfg.Logger.Printf("cache %s: subscription: %v", s.cfg.Name, err)
+			s.cfg.Logger.Printf("cache %s: shard %d (%s) subscription: %v",
+				s.cfg.Name, sub.idx, sub.addr, err)
 		}
-		// The push channel is down: resident data was fresh at
-		// disconnect, so it may serve for at most T more.
-		s.kv.ExpireAllBy(time.Now().Add(s.cfg.T))
+		// This shard's push channel is down: its resident data was fresh
+		// at disconnect, so it may serve for at most T more. Keys owned
+		// by other shards keep their live freshness.
+		s.c.KeysDeadlined.Add(uint64(s.kv.ExpireOwnedBy(time.Now().Add(s.cfg.T), sub.owned)))
 		select {
 		case <-ctx.Done():
 			return
@@ -282,9 +407,9 @@ func (s *Server) subscriptionLoop(ctx context.Context) {
 	}
 }
 
-func (s *Server) runSubscription(ctx context.Context, lastEpoch *uint64, subscribedOnce *bool) error {
+func (s *Server) runSubscription(ctx context.Context, sub *shardSub) error {
 	d := net.Dialer{Timeout: 5 * time.Second}
-	conn, err := d.DialContext(ctx, "tcp", s.cfg.StoreAddr)
+	conn, err := d.DialContext(ctx, "tcp", sub.addr)
 	if err != nil {
 		return fmt.Errorf("dialing store: %w", err)
 	}
@@ -304,12 +429,14 @@ func (s *Server) runSubscription(ctx context.Context, lastEpoch *uint64, subscri
 	if resp.Type != proto.MsgSubResp {
 		return fmt.Errorf("unexpected subscribe response %v", resp.Type)
 	}
-	if *subscribedOnce && resp.Epoch != *lastEpoch {
-		// Epochs advanced while we were away: we missed batches.
-		s.resync()
+	if sub.subscribedOnce && (resp.Epoch != sub.lastEpoch || resp.Key != sub.identity) {
+		// Epochs advanced while we were away, or a different store now
+		// answers this address: we missed batches for this shard.
+		s.resync(sub)
 	}
-	*lastEpoch = resp.Epoch
-	*subscribedOnce = true
+	sub.lastEpoch = resp.Epoch
+	sub.identity = resp.Key
+	sub.subscribedOnce = true
 
 	// Heartbeat deadline: the store pushes every T (even empty batches),
 	// so silence for several T means the channel is dead.
@@ -332,26 +459,30 @@ func (s *Server) runSubscription(ctx context.Context, lastEpoch *uint64, subscri
 			s.c.MalformedFrames.Inc()
 			continue
 		}
-		if m.Epoch != *lastEpoch+1 {
+		if m.Epoch != sub.lastEpoch+1 {
 			s.c.EpochGaps.Inc()
-			s.resync()
+			s.resync(sub)
 		}
-		*lastEpoch = m.Epoch
+		sub.lastEpoch = m.Epoch
 		s.applyBatch(m)
 	}
 }
 
-// resync conservatively invalidates the entire resident set after lost
-// pushes: every read refetches once, restoring bounded staleness.
-func (s *Server) resync() {
+// resync conservatively invalidates the resident keys owned by the
+// gapped shard after lost pushes: every read of those keys refetches
+// once, restoring bounded staleness for that slice of the keyspace
+// without disturbing entries the other shards keep fresh.
+func (s *Server) resync(sub *shardSub) {
 	s.c.Resyncs.Inc()
-	s.kv.InvalidateAll()
+	s.voidOwnedFills(sub.owned)
+	s.c.KeysResynced.Add(uint64(s.kv.InvalidateOwned(sub.owned)))
 }
 
 func (s *Server) applyBatch(m *proto.Msg) {
 	for _, op := range m.Ops {
 		switch op.Kind {
 		case proto.BatchInvalidate:
+			s.voidFill(op.Key)
 			if s.kv.Invalidate(op.Key) {
 				s.c.InvalidatesApplied.Inc()
 			}
@@ -362,6 +493,12 @@ func (s *Server) applyBatch(m *proto.Msg) {
 			if s.kv.Update(op.Key, v, op.Version) {
 				s.c.UpdatesApplied.Inc()
 			} else {
+				// Not resident, so the update is dropped (the paper's
+				// update semantics) — but an in-flight fill for the key
+				// may predate this write and must not land fresh. (A
+				// fill completing after an applied update is already
+				// safe: the version guard rejects the older value.)
+				s.voidFill(op.Key)
 				s.c.UpdatesIgnored.Inc()
 			}
 		}
@@ -438,8 +575,11 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"epoch_gaps":          s.c.EpochGaps.Value(),
 		"resyncs":             s.c.Resyncs.Value(),
 		"disconnects":         s.c.Disconnects.Value(),
+		"keys_resynced":       s.c.KeysResynced.Value(),
+		"keys_deadlined":      s.c.KeysDeadlined.Value(),
 		"read_reports_sent":   s.c.ReadReportsSent.Value(),
 		"malformed_frames":    s.c.MalformedFrames.Value(),
+		"stores":              uint64(len(s.shards)),
 		"resident":            uint64(s.kv.Len()),
 		"evictions":           s.kv.Evictions(),
 	}

@@ -13,6 +13,7 @@ import (
 	"freshcache/internal/client"
 	"freshcache/internal/core"
 	"freshcache/internal/costmodel"
+	"freshcache/internal/proto"
 	"freshcache/internal/store"
 )
 
@@ -318,6 +319,201 @@ func TestSubscriptionLossTriggersResync(t *testing.T) {
 	}
 }
 
+// gateProxy forwards cache→store bytes freely but holds store→cache
+// bytes while gated, so a test can freeze a fill response in flight.
+type gateProxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	held   bool
+	cond   *sync.Cond
+}
+
+func newGateProxy(t *testing.T, target string) *gateProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gateProxy{ln: ln, target: target}
+	g.cond = sync.NewCond(&g.mu)
+	go g.run()
+	t.Cleanup(func() { g.release(); ln.Close() })
+	return g
+}
+
+func (g *gateProxy) addr() string { return g.ln.Addr().String() }
+
+func (g *gateProxy) hold() {
+	g.mu.Lock()
+	g.held = true
+	g.mu.Unlock()
+}
+
+func (g *gateProxy) release() {
+	g.mu.Lock()
+	g.held = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *gateProxy) wait() {
+	g.mu.Lock()
+	for g.held {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gateProxy) run() {
+	for {
+		c, err := g.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", g.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		go func() { io.Copy(up, c); up.Close() }() //nolint:errcheck
+		go func() {
+			defer c.Close()
+			buf := make([]byte, 4096)
+			for {
+				n, err := up.Read(buf)
+				if n > 0 {
+					g.wait() // hold store→cache bytes while gated
+					if _, werr := c.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestInvalidateRacingFillNotPoisoned reproduces the fill/invalidate
+// race: a miss fill's response is frozen in flight while a write and
+// its batched invalidate land. The late fill then installs a pre-write
+// value — and because the store-side engine dedups further invalidates
+// for the key until the next fill, nothing would ever repair the entry.
+// The cache must install such an overtaken fill as stale so the next
+// read refetches.
+func TestInvalidateRacingFillNotPoisoned(t *testing.T) {
+	st, sln := startShardedStore(t, 50*time.Millisecond, "shard-0")
+	t.Cleanup(func() { st.Close() })
+	gate := newGateProxy(t, sln.Addr().String())
+
+	// The cache is not Serve()d: no subscription loop runs, so the only
+	// batch traffic is what the test injects via applyBatch.
+	ca, err := New(Config{StoreAddr: gate.addr(), T: time.Second,
+		Name: "race-cache", Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ca.Close() })
+
+	direct := client.New(sln.Addr().String(), client.Options{})
+	defer direct.Close()
+	if _, err := direct.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the fill response in flight.
+	gate.hold()
+	type result struct {
+		v   []byte
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, _, err := ca.Get("k")
+		done <- result{v, err}
+	}()
+	// Wait until the store has served the fill (its response now sits at
+	// the gate).
+	waitFor(t, 5*time.Second, func() bool {
+		sm, err := direct.Stats()
+		return err == nil && sm["fills"] > 0
+	}, "store-side fill")
+
+	// The write and its invalidate overtake the frozen fill.
+	if _, err := direct.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	ca.applyBatch(&proto.Msg{Type: proto.MsgBatch, Epoch: 1, Ops: []proto.BatchOp{
+		{Kind: proto.BatchInvalidate, Key: "k"},
+	}})
+
+	gate.release()
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("racing fill: %v", r.err)
+	}
+	// The racing read may legitimately return v1 (the write is younger
+	// than T), but the copy must not stick: the next read refetches v2.
+	v, _, err := ca.Get("k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("after racing invalidate: %q %v (poisoned fill?)", v, err)
+	}
+}
+
+// TestUpdateRacingFillNotPoisoned is the update-policy variant of the
+// race above: an update push for a key that is not resident yet is
+// dropped (the paper's update semantics), so a fill frozen in flight
+// would install the pre-write value as fresh with nothing to repair it
+// until the key's next write.
+func TestUpdateRacingFillNotPoisoned(t *testing.T) {
+	st, sln := startShardedStore(t, 50*time.Millisecond, "shard-0")
+	t.Cleanup(func() { st.Close() })
+	gate := newGateProxy(t, sln.Addr().String())
+
+	ca, err := New(Config{StoreAddr: gate.addr(), T: time.Second,
+		Name: "race-cache-upd", Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ca.Close() })
+
+	direct := client.New(sln.Addr().String(), client.Options{})
+	defer direct.Close()
+	if _, err := direct.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	gate.hold()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ca.Get("k")
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		sm, err := direct.Stats()
+		return err == nil && sm["fills"] > 0
+	}, "store-side fill")
+
+	ver, err := direct.Put("k", []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.applyBatch(&proto.Msg{Type: proto.MsgBatch, Epoch: 1, Ops: []proto.BatchOp{
+		{Kind: proto.BatchUpdate, Key: "k", Value: []byte("v2"), Version: ver},
+	}})
+
+	gate.release()
+	if err := <-done; err != nil {
+		t.Fatalf("racing fill: %v", err)
+	}
+	v, _, err := ca.Get("k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("after racing update: %q %v (poisoned fill?)", v, err)
+	}
+}
+
 func TestCapacityEviction(t *testing.T) {
 	h := startHarness(t, 50*time.Millisecond, costmodel.Fixed(2, 0.25, 1), 128)
 	c := client.New(h.cacheAddr, client.Options{})
@@ -363,6 +559,228 @@ func TestReadReportsFlow(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("empty StoreAddr accepted")
+	}
+	if _, err := New(Config{StoreAddr: "a", StoreAddrs: []string{"b"}}); err == nil {
+		t.Error("both StoreAddr and StoreAddrs accepted")
+	}
+	if _, err := New(Config{StoreAddrs: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate store addresses accepted")
+	}
+}
+
+// waitSubscribed polls a store's stats until it reports a subscriber.
+func waitSubscribed(t *testing.T, storeAddr string) {
+	t.Helper()
+	sc := client.New(storeAddr, client.Options{})
+	defer sc.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		st, err := sc.Stats()
+		return err == nil && st["subscribers"] > 0
+	}, "subscriber at "+storeAddr)
+}
+
+// startShardedStore boots one store shard on an ephemeral port.
+func startShardedStore(t *testing.T, T time.Duration, shardID string) (*store.Server, net.Listener) {
+	t.Helper()
+	st := store.New(store.Config{T: T, ShardID: shardID,
+		Engine: core.Config{Costs: costmodel.Fixed(2, 0.25, 1)}, Logger: quietLogger()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(ln) //nolint:errcheck
+	return st, ln
+}
+
+// TestMultiShardStoreLossScopedInvalidation is the per-shard bounded
+// staleness contract: when one authority shard dies, only the resident
+// keys that shard owns fall back to the disconnect deadline (and go
+// stale past it); keys owned by the surviving shard keep serving under
+// live push freshness the whole time.
+func TestMultiShardStoreLossScopedInvalidation(t *testing.T) {
+	const T = 500 * time.Millisecond
+	st0, ln0 := startShardedStore(t, T, "shard-0")
+	t.Cleanup(func() { st0.Close() })
+	st1, ln1 := startShardedStore(t, T, "shard-1")
+	t.Cleanup(func() { st1.Close() })
+
+	ca, err := New(Config{
+		StoreAddrs:    []string{ln0.Addr().String(), ln1.Addr().String()},
+		T:             T,
+		Name:          "sharded-cache",
+		Logger:        quietLogger(),
+		RetryInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	t.Cleanup(func() { ca.Close() })
+
+	c := client.New(cln.Addr().String(), client.Options{})
+	defer c.Close()
+
+	// Make a spread of keys resident; the ring decides each key's owner.
+	r := ca.Ring()
+	var shard0Keys, shard1Keys []string
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if _, err := c.Put(key, []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(key); err != nil {
+			t.Fatal(err)
+		}
+		if r.Owner(key) == 0 {
+			shard0Keys = append(shard0Keys, key)
+		} else {
+			shard1Keys = append(shard1Keys, key)
+		}
+	}
+	if len(shard0Keys) == 0 || len(shard1Keys) == 0 {
+		t.Fatalf("ring did not split keys: %d/%d", len(shard0Keys), len(shard1Keys))
+	}
+	// Both shards' writes must land on their own store.
+	if st0.Authority().Len() != len(shard0Keys) || st1.Authority().Len() != len(shard1Keys) {
+		t.Fatalf("authority split %d/%d, want %d/%d",
+			st0.Authority().Len(), st1.Authority().Len(), len(shard0Keys), len(shard1Keys))
+	}
+	// Wait until both stores see the cache subscribed.
+	waitSubscribed(t, ln0.Addr().String())
+	waitSubscribed(t, ln1.Addr().String())
+
+	// Kill shard 0. The cache must deadline exactly that shard's keys.
+	killedAt := time.Now()
+	st0.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		return ca.StatsMap()["disconnects"] > 0 && ca.StatsMap()["keys_deadlined"] > 0
+	}, "shard-0 disconnect fallback")
+
+	now := time.Now()
+	for _, key := range shard0Keys {
+		e, found, _ := ca.KV().Get(key, now)
+		if !found || e.ExpireAt.IsZero() {
+			t.Fatalf("shard-0 key %q missing disconnect deadline (found=%v)", key, found)
+		}
+	}
+	for _, key := range shard1Keys {
+		e, found, fresh := ca.KV().Get(key, now)
+		if !found || !e.ExpireAt.IsZero() || !fresh {
+			t.Fatalf("shard-1 key %q was disturbed by shard-0 loss (found=%v fresh=%v exp=%v)",
+				key, found, fresh, e.ExpireAt)
+		}
+	}
+
+	// Within the deadline the dead shard's keys still serve from cache.
+	if time.Since(killedAt) < T {
+		if v, _, err := c.Get(shard0Keys[0]); err != nil || string(v) != "v1" {
+			t.Fatalf("shard-0 key within deadline: %q %v", v, err)
+		}
+	}
+
+	// The surviving shard still honors bounded staleness end to end.
+	if _, err := c.Put(shard1Keys[0], []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * T)
+	if v, _, err := c.Get(shard1Keys[0]); err != nil || string(v) != "v2" {
+		t.Fatalf("surviving shard after bound: %q %v", v, err)
+	}
+
+	// Past the deadline the dead shard's keys are misses (and the fill
+	// fails because its store is gone) — never silently stale data.
+	if _, _, err := c.Get(shard0Keys[1]); err == nil {
+		t.Fatal("shard-0 key served past its deadline with its store dead")
+	}
+}
+
+// TestMultiShardEpochGapResyncScoped drives the epoch-gap path with two
+// shards: one shard's subscription is severed while its epochs advance,
+// so the reconnecting cache must resynchronize — invalidating only that
+// shard's resident keys.
+func TestMultiShardEpochGapResyncScoped(t *testing.T) {
+	const T = 40 * time.Millisecond
+	st0, ln0 := startShardedStore(t, T, "shard-0")
+	t.Cleanup(func() { st0.Close() })
+	st1, ln1 := startShardedStore(t, T, "shard-1")
+	t.Cleanup(func() { st1.Close() })
+
+	// Shard 0 is reached through a severable proxy; shard 1 directly.
+	px := newProxy(t, ln0.Addr().String())
+	ca, err := New(Config{
+		StoreAddrs:    []string{px.addr(), ln1.Addr().String()},
+		T:             T,
+		Name:          "gap-cache",
+		Logger:        quietLogger(),
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	t.Cleanup(func() { ca.Close() })
+
+	c := client.New(cln.Addr().String(), client.Options{})
+	defer c.Close()
+
+	r := ca.Ring()
+	var shard0Keys, shard1Keys []string
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		c.Put(key, []byte("v1")) //nolint:errcheck
+		c.Get(key)               //nolint:errcheck
+		if r.Owner(key) == 0 {
+			shard0Keys = append(shard0Keys, key)
+		} else {
+			shard1Keys = append(shard1Keys, key)
+		}
+	}
+	if len(shard0Keys) == 0 || len(shard1Keys) == 0 {
+		t.Fatalf("ring did not split keys: %d/%d", len(shard0Keys), len(shard1Keys))
+	}
+	waitSubscribed(t, ln0.Addr().String())
+	waitSubscribed(t, ln1.Addr().String())
+
+	// Sever shard 0's channel and let several epochs pass so the
+	// reconnect sees a gap.
+	px.setPaused(true)
+	px.sever()
+	time.Sleep(5 * T)
+	px.setPaused(false)
+
+	waitFor(t, 10*time.Second, func() bool {
+		return ca.StatsMap()["resyncs"] > 0
+	}, "scoped resync after reconnect")
+
+	// The resync invalidated shard 0's keys only; shard 1's stay fresh
+	// (modulo any entries its own pushes legitimately invalidated, which
+	// the write-free workload here rules out).
+	now := time.Now()
+	stale0 := 0
+	for _, key := range shard0Keys {
+		if _, found, fresh := ca.KV().Get(key, now); found && !fresh {
+			stale0++
+		}
+	}
+	if stale0 == 0 {
+		t.Error("resync invalidated none of the gapped shard's keys")
+	}
+	for _, key := range shard1Keys {
+		if _, found, fresh := ca.KV().Get(key, now); !found || !fresh {
+			t.Fatalf("healthy shard's key %q invalidated by the other shard's resync", key)
+		}
+	}
+	sm := ca.StatsMap()
+	if got, want := sm["keys_resynced"], uint64(len(shard0Keys)); got > want {
+		t.Errorf("keys_resynced = %d, want <= %d (scoped to one shard)", got, want)
 	}
 }
 

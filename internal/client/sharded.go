@@ -1,0 +1,134 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"freshcache/internal/proto"
+	"freshcache/internal/ring"
+)
+
+// ResolveStoreAddrs folds the two store-address config forms — a single
+// address or a shard list — into one list. Exactly one form must be
+// set; the cache, the LB, and the cmds all share this rule.
+func ResolveStoreAddrs(addr string, addrs []string) ([]string, error) {
+	switch {
+	case len(addrs) == 0 && addr == "":
+		return nil, errors.New("a store address is required")
+	case len(addrs) > 0 && addr != "":
+		return nil, errors.New("set a single store address or a shard list, not both")
+	case len(addrs) == 0:
+		return []string{addr}, nil
+	default:
+		return addrs, nil
+	}
+}
+
+// Sharded routes requests across a consistent-hash ring of freshcache
+// nodes — the client-side view of a sharded authority (or a cache
+// fleet): key-addressed calls go to the ring owner, aggregate calls fan
+// out to every node.
+type Sharded struct {
+	r       *ring.Ring
+	clients []*Client
+}
+
+// NewSharded builds a sharded client over addrs with virtualNodes ring
+// points per node (<= 0 uses ring.DefaultVirtualNodes). All nodes share
+// opts.
+func NewSharded(addrs []string, virtualNodes int, opts Options) (*Sharded, error) {
+	r, err := ring.New(addrs, virtualNodes)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	s := &Sharded{r: r, clients: make([]*Client, r.Len())}
+	for i, addr := range r.Nodes() {
+		s.clients[i] = New(addr, opts)
+	}
+	return s, nil
+}
+
+// Ring exposes the routing ring (shared, read-only).
+func (s *Sharded) Ring() *ring.Ring { return s.r }
+
+// Len returns the number of shards.
+func (s *Sharded) Len() int { return len(s.clients) }
+
+// Owner returns the shard index owning key.
+func (s *Sharded) Owner(key string) int { return s.r.Owner(key) }
+
+// Shard returns the per-node client for shard i.
+func (s *Sharded) Shard(i int) *Client { return s.clients[i] }
+
+// For returns the client owning key.
+func (s *Sharded) For(key string) *Client { return s.clients[s.r.Owner(key)] }
+
+// Get fetches key from its owning shard.
+func (s *Sharded) Get(key string) ([]byte, uint64, error) { return s.For(key).Get(key) }
+
+// Fill performs a cache miss fill against key's owning shard.
+func (s *Sharded) Fill(key string) ([]byte, uint64, error) { return s.For(key).Fill(key) }
+
+// Put writes key to its owning shard.
+func (s *Sharded) Put(key string, value []byte) (uint64, error) { return s.For(key).Put(key, value) }
+
+// ReadReport partitions reports by ring owner and ships each slice to
+// its shard, so every store's policy engine sees exactly the read
+// traffic for the keys it owns. The first error is returned after all
+// shards are attempted.
+func (s *Sharded) ReadReport(reports []proto.ReadReport) error {
+	if len(s.clients) == 1 {
+		return s.clients[0].ReadReport(reports)
+	}
+	byShard := make([][]proto.ReadReport, len(s.clients))
+	for _, rp := range reports {
+		i := s.r.Owner(rp.Key)
+		byShard[i] = append(byShard[i], rp)
+	}
+	var firstErr error
+	for i, part := range byShard {
+		if len(part) == 0 {
+			continue
+		}
+		if err := s.clients[i].ReadReport(part); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+		}
+	}
+	return firstErr
+}
+
+// Ping probes every shard; the first failure is returned.
+func (s *Sharded) Ping() error {
+	for i, c := range s.clients {
+		if err := c.Ping(); err != nil {
+			return fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+		}
+	}
+	return nil
+}
+
+// Stats fetches and sums counter maps across all shards.
+func (s *Sharded) Stats() (map[string]uint64, error) {
+	total := make(map[string]uint64)
+	for i, c := range s.clients {
+		m, err := c.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+		}
+		for k, v := range m {
+			total[k] += v
+		}
+	}
+	return total, nil
+}
+
+// Close tears down every shard's pool.
+func (s *Sharded) Close() error {
+	var firstErr error
+	for _, c := range s.clients {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

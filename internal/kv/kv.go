@@ -172,14 +172,28 @@ func (c *Cache) Delete(key string) bool {
 // resynchronization after a lost batch epoch: every future read refetches,
 // so bounded staleness is restored at the price of one miss storm.
 func (c *Cache) InvalidateAll() {
+	c.InvalidateOwned(nil)
+}
+
+// InvalidateOwned marks stale every resident entry whose key satisfies
+// owned (nil means all) and returns how many it touched. This is the
+// shard-scoped resynchronization: when one authority shard's epoch
+// stream gaps, only the keys that shard owns lose their freshness
+// guarantee — entries owned by healthy shards keep serving.
+func (c *Cache) InvalidateOwned(owned func(key string) bool) int {
+	touched := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for _, n := range s.m {
-			n.e.Stale = true
+		for k, n := range s.m {
+			if owned == nil || owned(k) {
+				n.e.Stale = true
+				touched++
+			}
 		}
 		s.mu.Unlock()
 	}
+	return touched
 }
 
 // ExpireAllBy sets a hard freshness deadline on every resident entry
@@ -188,16 +202,31 @@ func (c *Cache) InvalidateAll() {
 // was fresh at disconnect time, so it may be served until disconnect+T
 // and must be treated as a miss afterwards.
 func (c *Cache) ExpireAllBy(at time.Time) {
+	c.ExpireOwnedBy(at, nil)
+}
+
+// ExpireOwnedBy sets the hard freshness deadline at on every resident
+// entry whose key satisfies owned (nil means all) that does not already
+// carry an earlier one, returning how many it touched — the shard-scoped
+// disconnect fallback: losing one authority shard's push channel bounds
+// only that shard's keys, the rest stay under live push freshness.
+func (c *Cache) ExpireOwnedBy(at time.Time, owned func(key string) bool) int {
+	touched := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for _, n := range s.m {
+		for k, n := range s.m {
+			if owned != nil && !owned(k) {
+				continue
+			}
 			if n.e.ExpireAt.IsZero() || n.e.ExpireAt.After(at) {
 				n.e.ExpireAt = at
+				touched++
 			}
 		}
 		s.mu.Unlock()
 	}
+	return touched
 }
 
 // SetExpiry overwrites the resident entry's hard deadline.

@@ -123,6 +123,52 @@ func TestCacheInvalidateAll(t *testing.T) {
 	}
 }
 
+func TestCacheInvalidateOwnedScopes(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), Entry{Version: uint64(i + 1)})
+	}
+	even := func(key string) bool {
+		var n int
+		fmt.Sscanf(key, "k%d", &n) //nolint:errcheck
+		return n%2 == 0
+	}
+	if got := c.InvalidateOwned(even); got != 50 {
+		t.Errorf("InvalidateOwned touched %d, want 50", got)
+	}
+	for i := 0; i < 100; i++ {
+		_, _, fresh := c.Get(fmt.Sprintf("k%d", i), t0)
+		if want := i%2 != 0; fresh != want {
+			t.Fatalf("k%d fresh=%v, want %v", i, fresh, want)
+		}
+	}
+}
+
+func TestCacheExpireOwnedByScopes(t *testing.T) {
+	c := NewCache(0)
+	c.Put("mine", Entry{Version: 1})
+	c.Put("theirs", Entry{Version: 2})
+	deadline := t0.Add(time.Second)
+	if got := c.ExpireOwnedBy(deadline, func(key string) bool { return key == "mine" }); got != 1 {
+		t.Errorf("ExpireOwnedBy touched %d, want 1", got)
+	}
+	// Within the deadline both serve; past it only the unowned survives.
+	if _, _, fresh := c.Get("mine", t0); !fresh {
+		t.Error("mine not fresh before deadline")
+	}
+	if _, _, fresh := c.Get("mine", deadline.Add(time.Millisecond)); fresh {
+		t.Error("mine still fresh past deadline")
+	}
+	if _, _, fresh := c.Get("theirs", deadline.Add(time.Hour)); !fresh {
+		t.Error("theirs expired despite being outside the scope")
+	}
+	// A second, later deadline must not loosen the first.
+	c.ExpireOwnedBy(deadline.Add(time.Minute), func(key string) bool { return key == "mine" })
+	if _, _, fresh := c.Get("mine", deadline.Add(time.Millisecond)); fresh {
+		t.Error("later ExpireOwnedBy loosened the deadline")
+	}
+}
+
 func TestCacheCapacityAndEvictions(t *testing.T) {
 	c := NewCache(128)
 	for i := 0; i < 10000; i++ {

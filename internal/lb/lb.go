@@ -1,9 +1,16 @@
 // Package lb implements the load balancer in front of the caches and the
-// store (Figure 4): reads are routed to a cache chosen by key affinity
-// (so each key's read traffic concentrates on one cache and hit ratios
-// stay high), writes go to the store, and everything else is answered
-// locally. It is a message-level proxy built on the same client pools
-// the caches use.
+// store shards (Figure 4): reads are routed to a cache chosen by
+// consistent-hash key affinity (so each key's read traffic concentrates
+// on one cache and hit ratios stay high, and adding a cache moves only
+// ~1/N of the keyspace instead of reshuffling it), writes go to the
+// store shard owning the key, and everything else is answered locally.
+// It is a message-level proxy built on the same client pools the caches
+// use.
+//
+// Close is graceful: the listener stops accepting, in-flight proxied
+// requests drain (bounded by DrainTimeout), and only then are the
+// upstream client pools torn down — mirroring how the store and cache
+// servers wait out their connection goroutines.
 package lb
 
 import (
@@ -14,19 +21,30 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"freshcache/internal/client"
 	"freshcache/internal/proto"
-	"freshcache/internal/sketch"
+	"freshcache/internal/ring"
 	"freshcache/internal/stats"
 )
 
 // Config configures the balancer.
 type Config struct {
-	// StoreAddr is the write path. Required.
+	// StoreAddr is the write path of a single-store deployment. Exactly
+	// one of StoreAddr and StoreAddrs must be set.
 	StoreAddr string
+	// StoreAddrs are the authority shards of a sharded deployment;
+	// writes route to shards by consistent hashing over this list.
+	StoreAddrs []string
 	// CacheAddrs are the read path targets. At least one is required.
 	CacheAddrs []string
+	// VirtualNodes sets the ring points per node on both rings; <= 0
+	// uses ring.DefaultVirtualNodes.
+	VirtualNodes int
+	// DrainTimeout bounds how long Close waits for in-flight proxied
+	// requests before tearing down the upstream pools; defaults to 5s.
+	DrainTimeout time.Duration
 	// Logger receives diagnostics; nil uses the standard logger.
 	Logger *log.Logger
 }
@@ -39,39 +57,66 @@ type Counters struct {
 
 // Server is a live load balancer.
 type Server struct {
-	cfg    Config
-	store  *client.Client
-	caches []*client.Client
-	c      Counters
+	cfg       Config
+	stores    *client.Sharded
+	cacheRing *ring.Ring
+	caches    []*client.Client
+	c         Counters
 
 	mu     sync.Mutex
 	ln     net.Listener
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// inflight tracks proxied request/response exchanges so Close can
+	// drain them before tearing down the upstream clients. draining
+	// gates new registrations (under mu) so an Add can never race
+	// Close's Wait from a zero counter.
+	inflight sync.WaitGroup
+	draining bool
 }
 
 // New builds a balancer.
 func New(cfg Config) (*Server, error) {
-	if cfg.StoreAddr == "" {
-		return nil, errors.New("lb: Config.StoreAddr is required")
+	addrs, err := client.ResolveStoreAddrs(cfg.StoreAddr, cfg.StoreAddrs)
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
 	}
+	cfg.StoreAddrs = addrs
 	if len(cfg.CacheAddrs) == 0 {
 		return nil, errors.New("lb: at least one cache address is required")
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = log.Default()
 	}
-	s := &Server{cfg: cfg, store: client.New(cfg.StoreAddr, client.Options{})}
-	for _, addr := range cfg.CacheAddrs {
+	stores, err := client.NewSharded(cfg.StoreAddrs, cfg.VirtualNodes, client.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	cacheRing, err := ring.New(cfg.CacheAddrs, cfg.VirtualNodes)
+	if err != nil {
+		stores.Close()
+		return nil, fmt.Errorf("lb: %w", err)
+	}
+	s := &Server{cfg: cfg, stores: stores, cacheRing: cacheRing}
+	for _, addr := range cacheRing.Nodes() {
 		s.caches = append(s.caches, client.New(addr, client.Options{}))
 	}
 	return s, nil
 }
 
-// cacheFor picks the cache by key affinity.
+// cacheFor picks the cache by consistent-hash key affinity.
 func (s *Server) cacheFor(key string) *client.Client {
-	return s.caches[sketch.Hash(key)%uint64(len(s.caches))]
+	return s.caches[s.cacheRing.Owner(key)]
 }
+
+// StoreRing exposes the write-path ring for tests and tooling.
+func (s *Server) StoreRing() *ring.Ring { return s.stores.Ring() }
+
+// CacheRing exposes the read-path ring for tests and tooling.
+func (s *Server) CacheRing() *ring.Ring { return s.cacheRing }
 
 // ListenAndServe listens on addr and proxies until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -110,24 +155,50 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops the balancer.
+// Close stops the balancer gracefully: no new connections are accepted,
+// in-flight proxied requests finish and respond (bounded by
+// DrainTimeout), then the upstream pools close and the connection
+// goroutines are waited out.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln, cancel := s.ln, s.cancel
+	s.draining = true
 	s.mu.Unlock()
-	if cancel != nil {
-		cancel()
-	}
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.store.Close()
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.cfg.Logger.Printf("lb: drain timeout after %v, aborting in-flight proxies", s.cfg.DrainTimeout)
+	}
+	if cancel != nil {
+		cancel() // closes idle client-facing connections
+	}
+	s.stores.Close()
 	for _, c := range s.caches {
 		c.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// beginRequest registers an in-flight exchange unless Close has begun
+// draining.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
 }
 
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
@@ -147,9 +218,14 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			}
 			return
 		}
+		if !s.beginRequest() {
+			return // draining: reject requests arriving after Close
+		}
 		resp := s.route(m)
 		resp.Seq = m.Seq
-		if err := w.WriteMsg(resp); err != nil {
+		err = w.WriteMsg(resp)
+		s.inflight.Done()
+		if err != nil {
 			return
 		}
 	}
@@ -172,7 +248,7 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 		}
 	case proto.MsgPut:
 		s.c.Writes.Inc()
-		version, err := s.store.Put(m.Key, m.Value)
+		version, err := s.stores.Put(m.Key, m.Value)
 		if err != nil {
 			s.c.Errors.Inc()
 			return &proto.Msg{Type: proto.MsgErr, Err: err.Error()}
@@ -187,6 +263,7 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 			"errors":           s.c.Errors.Value(),
 			"malformed_frames": s.c.MalformedFrames.Value(),
 			"caches":           uint64(len(s.caches)),
+			"stores":           uint64(s.stores.Len()),
 		}}
 	default:
 		s.c.MalformedFrames.Inc()

@@ -45,9 +45,11 @@ const (
 	MsgFill
 	// MsgSubscribe registers the connection for BATCH pushes: Key holds
 	// the subscriber name. Answered with MsgSubResp carrying the current
-	// epoch in Epoch.
+	// epoch in Epoch and the store's shard identity in Key.
 	MsgSubscribe
-	// MsgSubResp acknowledges a subscription.
+	// MsgSubResp acknowledges a subscription: Epoch is the store's
+	// current batch epoch, Key its shard identity (so a subscriber
+	// detects a different store taking over an address and resyncs).
 	MsgSubResp
 	// MsgBatch is a store→cache push with one interval's freshness
 	// decisions: Epoch and Ops set.
@@ -234,7 +236,8 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 		b = append(b, byte(m.Status))
 		return binary.BigEndian.AppendUint64(b, m.Version), nil
 	case MsgSubResp:
-		return binary.BigEndian.AppendUint64(b, m.Epoch), nil
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		return appendString16(b, m.Key)
 	case MsgBatch:
 		if len(m.Ops) > MaxBatchOps {
 			return b, fmt.Errorf("%w: %d batch ops", ErrMalformed, len(m.Ops))
@@ -447,6 +450,9 @@ func parsePayload(m *Msg, payload []byte) error {
 		}
 	case MsgSubResp:
 		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Key, err = c.str16(); err != nil {
 			return err
 		}
 	case MsgBatch:

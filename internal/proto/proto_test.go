@@ -36,6 +36,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgPut, Seq: 6, Key: "k", Value: []byte("v")},
 		{Type: MsgPutResp, Seq: 7, Status: StatusOK, Version: 100},
 		{Type: MsgSubResp, Seq: 8, Epoch: 41},
+		{Type: MsgSubResp, Seq: 8, Epoch: 41, Key: "shard-1"},
 		{Type: MsgBatch, Seq: 0, Epoch: 42, Ops: []BatchOp{
 			{Kind: BatchInvalidate, Key: "a"},
 			{Kind: BatchUpdate, Key: "b", Version: 7, Value: []byte("new")},

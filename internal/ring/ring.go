@@ -1,0 +1,133 @@
+// Package ring implements consistent-hash routing over a fixed set of
+// named nodes — the keyspace partitioner that shards the authoritative
+// store (and spreads keys across cache nodes) without reshuffling the
+// whole keyspace when the node set changes.
+//
+// Each node is projected onto the 64-bit hash circle at VirtualNodes
+// points (virtual nodes smooth the per-node share toward 1/N); a key is
+// owned by the node whose next point clockwise from Hash(key) comes
+// first. Adding or removing one node moves only the ~1/N of keys whose
+// arc it gains or loses — the property the freshness machinery leans on:
+// a topology change invalidates one shard's worth of cached data, not
+// everything (contrast with modulo hashing, where nearly every key
+// changes owner).
+//
+// A Ring is immutable after New and safe for concurrent use.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"freshcache/internal/sketch"
+)
+
+// DefaultVirtualNodes is the per-node point count used when a Ring is
+// built with virtualNodes <= 0. 128 points per node keeps the maximum
+// node share within a few percent of 1/N for small clusters.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Ring is an immutable consistent-hash ring over a node list.
+type Ring struct {
+	nodes  []string
+	points []point // sorted by (hash, node)
+}
+
+// New builds a ring over nodes with virtualNodes points per node
+// (DefaultVirtualNodes when <= 0). The node list must be non-empty and
+// free of duplicates; order is preserved and Owner returns indices into
+// it.
+func New(nodes []string, virtualNodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("ring: at least one node is required")
+	}
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]struct{}, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, errors.New("ring: empty node name")
+		}
+		if _, dup := seen[n]; dup {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+		seen[n] = struct{}{}
+	}
+	r := &Ring{
+		nodes:  append([]string(nil), nodes...),
+		points: make([]point, 0, len(nodes)*virtualNodes),
+	}
+	for i, n := range r.nodes {
+		for v := 0; v < virtualNodes; v++ {
+			h := mix64(sketch.Hash(n + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, point{hash: h, node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node list in construction order. The caller must not
+// mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Node returns the name of node i.
+func (r *Ring) Node(i int) string { return r.nodes[i] }
+
+// Owner returns the index of the node owning key.
+func (r *Ring) Owner(key string) int { return r.OwnerOfHash(sketch.Hash(key)) }
+
+// OwnerAddr returns the name of the node owning key.
+func (r *Ring) OwnerAddr(key string) string { return r.nodes[r.Owner(key)] }
+
+// OwnerOfHash returns the owning node for a pre-hashed key identity
+// (sketch.Hash space): the node of the first ring point at or clockwise
+// after the dispersed position of h, wrapping to the first point.
+func (r *Ring) OwnerOfHash(h uint64) int {
+	h = mix64(h)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a over short, similar strings
+// (vnode labels, sequential keys) leaves enough structure in the high
+// bits to skew arc lengths badly; the finalizer disperses positions
+// uniformly around the circle. Both point placement and key positions go
+// through it, so it cancels out of the ownership relation.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Owns reports whether node i owns key.
+func (r *Ring) Owns(i int, key string) bool { return r.Owner(key) == i }
+
+// OwnedBy returns a predicate reporting key ownership by node i — the
+// form the kv layer's scoped invalidation paths consume.
+func (r *Ring) OwnedBy(i int) func(key string) bool {
+	return func(key string) bool { return r.Owner(key) == i }
+}

@@ -1,0 +1,131 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty node list accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	r, err := New([]string{"a"}, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.points) != DefaultVirtualNodes {
+		t.Errorf("vnodes defaulted to %d, want %d", len(r.points), DefaultVirtualNodes)
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r, err := New([]string{"only"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := r.Owner(fmt.Sprintf("key-%d", i)); got != 0 {
+			t.Fatalf("Owner = %d, want 0", got)
+		}
+	}
+	if r.OwnerAddr("x") != "only" {
+		t.Errorf("OwnerAddr = %q", r.OwnerAddr("x"))
+	}
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	nodes := []string{"s1", "s2", "s3"}
+	a, _ := New(nodes, 64)
+	b, _ := New(nodes, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q", key)
+		}
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	const nodesN, keys = 4, 100000
+	nodes := make([]string, nodesN)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("store-%d:7001", i)
+	}
+	r, err := New(nodes, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, nodesN)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%06d", i))]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("node %d share %.3f outside [0.15, 0.35]: %v", i, share, counts)
+		}
+	}
+}
+
+// TestJoinMovesOneShare is the consistent-hashing contract: adding a node
+// to an n-node ring must move roughly 1/(n+1) of the keyspace — not
+// nearly all of it, as modulo hashing does.
+func TestJoinMovesOneShare(t *testing.T) {
+	const keys = 50000
+	base := []string{"s1", "s2", "s3", "s4"}
+	before, err := New(base, DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(append(append([]string(nil), base...), "s5"), DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob != oa {
+			moved++
+			// Every moved key must land on the new node; consistent
+			// hashing never shuffles keys between surviving nodes.
+			if oa != 4 {
+				t.Fatalf("key %q moved %d -> %d, not to the joiner", key, ob, oa)
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	ideal := 1.0 / 5
+	if frac > 2*ideal {
+		t.Errorf("join moved %.3f of keys, want about %.3f", frac, ideal)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys")
+	}
+}
+
+func TestOwnsAndOwnedByAgree(t *testing.T) {
+	r, err := New([]string{"a", "b", "c"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := r.Owner(key)
+		for n := 0; n < r.Len(); n++ {
+			want := n == owner
+			if r.Owns(n, key) != want {
+				t.Fatalf("Owns(%d, %q) != %v", n, key, want)
+			}
+			if r.OwnedBy(n)(key) != want {
+				t.Fatalf("OwnedBy(%d)(%q) != %v", n, key, want)
+			}
+		}
+	}
+}

@@ -29,6 +29,11 @@ import (
 
 // Config configures a store server.
 type Config struct {
+	// ShardID names this store's slice of the keyspace in a sharded
+	// deployment. It is echoed in subscription acknowledgements so a
+	// cache can tell when a different store has taken over an address
+	// (and must resynchronize that shard). Defaults to "store".
+	ShardID string
 	// T is the staleness bound: the batching interval of the freshness
 	// flusher. Defaults to 1s.
 	T time.Duration
@@ -47,6 +52,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.ShardID == "" {
+		c.ShardID = "store"
+	}
 	if c.T <= 0 {
 		c.T = time.Second
 	}
@@ -109,6 +117,9 @@ func New(cfg Config) *Server {
 		closed: make(chan struct{}),
 	}
 }
+
+// ShardID returns this store's shard identity.
+func (s *Server) ShardID() string { return s.cfg.ShardID }
 
 // Authority exposes the underlying KV for tests and tooling.
 func (s *Server) Authority() *kv.Authority { return s.auth }
@@ -347,7 +358,7 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out cha
 		epoch := s.epoch
 		s.mu.Unlock()
 		*sub = ns
-		return &proto.Msg{Type: proto.MsgSubResp, Seq: m.Seq, Epoch: epoch}
+		return &proto.Msg{Type: proto.MsgSubResp, Seq: m.Seq, Epoch: epoch, Key: s.cfg.ShardID}
 	case proto.MsgReadReport:
 		s.c.ReadReports.Inc()
 		for _, rp := range m.Reports {
