@@ -16,6 +16,7 @@ package freshcache_test
 import (
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -222,6 +223,110 @@ func BenchmarkLivePut(b *testing.B) {
 		if _, err := c.Put("bench-key", val); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// startBenchStore boots one store server on loopback preloaded with
+// nkeys 128-byte values and returns its address.
+func startBenchStore(b *testing.B, shard string, nkeys int) string {
+	b.Helper()
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Hour, ShardID: shard})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go st.Serve(ln) //nolint:errcheck
+	b.Cleanup(func() { st.Close() })
+	c := freshcache.NewClient(ln.Addr().String(), freshcache.ClientOptions{})
+	defer c.Close()
+	val := make([]byte, 128)
+	for i := 0; i < nkeys; i++ {
+		if _, err := c.Put(fmt.Sprintf("key-%04d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ln.Addr().String()
+}
+
+// hammer spreads b.N GETs over `workers` goroutines against get and
+// reports ops/sec — the live transport comparison harness.
+func hammer(b *testing.B, workers int, get func(key string) error) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < b.N; i += workers {
+				if err := get(keys[i&63]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+// BenchmarkLiveThroughput is the transport shoot-out of the pipelining
+// work: 64 concurrent workers share one client against one live store
+// node. "pipelined" is the multiplexed seq-demux transport; "pooled" is
+// the seed-style checkout/blocking-round-trip client it replaced.
+func BenchmarkLiveThroughput(b *testing.B) {
+	const workers = 64
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"pipelined", false}, {"pooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			addr := startBenchStore(b, "bench", 64)
+			c := freshcache.NewClient(addr, freshcache.ClientOptions{Pooled: mode.pooled})
+			defer c.Close()
+			hammer(b, workers, func(key string) error {
+				_, _, err := c.Get(key)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkLiveThroughputSharded is the cluster variant: 64 workers
+// share one sharded client over two store shards, so requests also fan
+// across the ring on every call.
+func BenchmarkLiveThroughputSharded(b *testing.B) {
+	const workers = 64
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"pipelined", false}, {"pooled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			addrs := []string{
+				startBenchStore(b, "shard-0", 0),
+				startBenchStore(b, "shard-1", 0),
+			}
+			sc, err := freshcache.NewShardedClient(addrs, 0, freshcache.ClientOptions{Pooled: mode.pooled})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sc.Close()
+			val := make([]byte, 128)
+			for i := 0; i < 64; i++ {
+				if _, err := sc.Put(fmt.Sprintf("key-%04d", i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hammer(b, workers, func(key string) error {
+				_, _, err := sc.Get(key)
+				return err
+			})
+		})
 	}
 }
 

@@ -15,14 +15,18 @@
 //	sec31    the §3.1 worked example
 //	ablate   batching-interval, decision-rule and cache-knowledge ablations
 //	live     boot a real store+cache cluster and validate bounded staleness
-//	all      everything above
+//	pipeline measure the pipelined vs pooled transport on a live store
+//	all      everything above (except pipeline)
 //
 // Flags:
 //
-//	-duration float   trace length in virtual seconds (default 300)
-//	-seed uint        workload seed (default 1)
-//	-t float          staleness bound for fig5/fig6/live (default 0.5)
-//	-stores int       store shards booted by live (default 1)
+//	-duration float     trace length in virtual seconds (default 300)
+//	-seed uint          workload seed (default 1)
+//	-t float            staleness bound for fig5/fig6/live (default 0.5)
+//	-stores int         store shards booted by live (default 1)
+//	-workers int        concurrent workers for pipeline (default 64)
+//	-benchtime duration wall-clock window per transport for pipeline (default 2s)
+//	-json               pipeline: also write BENCH_pipeline.json
 package main
 
 import (
@@ -51,10 +55,20 @@ func main() {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	tBound := fs.Float64("t", 0.5, "staleness bound (s) for fig5/fig6/live")
 	storesN := fs.Int("stores", 1, "store shards booted by the live experiment")
+	workers := fs.Int("workers", 64, "concurrent workers for the pipeline experiment")
+	benchtime := fs.Duration("benchtime", 2*time.Second, "wall-clock window per transport for pipeline")
+	jsonOut := fs.Bool("json", false, "pipeline: also write BENCH_pipeline.json")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	o := experiments.Options{Duration: *duration, Seed: *seed, T: *tBound}
 	live := func(o experiments.Options) error { return liveCluster(o, *storesN) }
+	pipeline := func(experiments.Options) error {
+		out := ""
+		if *jsonOut {
+			out = "BENCH_pipeline.json"
+		}
+		return pipelineBench(*workers, *benchtime, out)
+	}
 
 	run := func(name string, fn func(experiments.Options) error) {
 		fmt.Printf("== %s ==\n", name)
@@ -82,6 +96,8 @@ func main() {
 		run("Ablations", ablate)
 	case "live":
 		run("Live cluster validation", live)
+	case "pipeline":
+		run("Pipelined vs pooled transport", pipeline)
 	case "probe":
 		run("Bottleneck probe", probe)
 	case "all":
@@ -100,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|probe|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|probe|all> [flags]
 run "freshbench <experiment> -h" for flags`)
 }
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"freshcache"
+)
+
+// transportResult is one transport's measured serving rate and latency
+// distribution, as recorded in BENCH_pipeline.json.
+type transportResult struct {
+	Transport string  `json:"transport"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// pipelineReport is the machine-readable perf-trajectory record.
+type pipelineReport struct {
+	Benchmark string            `json:"benchmark"`
+	Generated string            `json:"generated"`
+	Workers   int               `json:"workers"`
+	DurationS float64           `json:"duration_s"`
+	ValueSize int               `json:"value_bytes"`
+	Results   []transportResult `json:"results"`
+	// Speedup is pipelined ops/sec over pooled ops/sec — the headline
+	// number of the multiplexed-transport work.
+	Speedup float64 `json:"speedup"`
+}
+
+// pipelineBench boots one live store on loopback and measures the
+// multiplexed pipelined transport against the seed-style pooled one,
+// back to back, with the same worker count. With jsonPath != "" the
+// report is also written there for the recorded benchmark trajectory.
+func pipelineBench(workers int, benchtime time.Duration, jsonPath string) error {
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Hour, ShardID: "bench"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go st.Serve(ln) //nolint:errcheck
+	defer st.Close()
+	addr := ln.Addr().String()
+
+	const nkeys, valSize = 64, 128
+	seed := freshcache.NewClient(addr, freshcache.ClientOptions{})
+	val := make([]byte, valSize)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+		if _, err := seed.Put(keys[i], val); err != nil {
+			seed.Close()
+			return fmt.Errorf("preload: %w", err)
+		}
+	}
+	seed.Close()
+
+	report := pipelineReport{
+		Benchmark: "live-get-throughput",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Workers:   workers,
+		DurationS: benchtime.Seconds(),
+		ValueSize: valSize,
+	}
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"pipelined", false}, {"pooled", true}} {
+		c := freshcache.NewClient(addr, freshcache.ClientOptions{Pooled: mode.pooled})
+		res, err := driveWorkers(c, mode.name, keys, workers, benchtime)
+		c.Close()
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, res)
+	}
+	if report.Results[1].OpsPerSec > 0 {
+		report.Speedup = report.Results[0].OpsPerSec / report.Results[1].OpsPerSec
+	}
+
+	w := tw()
+	fmt.Fprintln(w, "transport\tops\tops/sec\tp50 (us)\tp99 (us)")
+	for _, r := range report.Results {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.1f\t%.1f\n", r.Transport, r.Ops, r.OpsPerSec, r.P50us, r.P99us)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("pipelined/pooled speedup: %.2fx\n", report.Speedup)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// driveWorkers hammers GETs from `workers` goroutines for the benchtime
+// window, collecting per-op latencies.
+func driveWorkers(c *freshcache.Client, name string, keys []string, workers int, benchtime time.Duration) (transportResult, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		all      []int64
+		firstErr error
+	)
+	stopAt := time.Now().Add(benchtime)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]int64, 0, 1<<16)
+			for i := w; time.Now().Before(stopAt); i++ {
+				t0 := time.Now()
+				if _, _, err := c.Get(keys[i%len(keys)]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lat = append(lat, time.Since(t0).Nanoseconds())
+			}
+			mu.Lock()
+			all = append(all, lat...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return transportResult{}, fmt.Errorf("%s transport: %w", name, firstErr)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / 1e3
+	}
+	return transportResult{
+		Transport: name,
+		Ops:       len(all),
+		OpsPerSec: float64(len(all)) / elapsed.Seconds(),
+		P50us:     pct(0.50),
+		P99us:     pct(0.99),
+	}, nil
+}

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	loadgen -addr 127.0.0.1:7201 -workload poisson -duration 10s \
-//	        -rate 2000 -t 500ms -conns 8
+//	        -rate 2000 -t 500ms -workers 8
 //	loadgen -addr 127.0.0.1:7201 -stores 127.0.0.1:7001,127.0.0.1:7002 ...
 //
 // With -stores, writes bypass -addr and route directly to the store
 // shard owning each key via the consistent-hash ring — the same routing
 // the caches and the LB use — while reads keep exercising -addr.
+//
+// Workers share the client's multiplexed pipelined transport by default;
+// -pooled selects the seed-style one-request-per-connection transport
+// for before/after comparison, and -conns overrides the connection count
+// of either.
 //
 // The staleness check: every write's value encodes its wall-clock issue
 // time; a read that returns a value older than the latest write known to
@@ -41,7 +46,9 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "wall-clock run length")
 	rate := flag.Float64("rate", 2000, "target requests/second")
 	tBound := flag.Duration("t", 500*time.Millisecond, "staleness bound to validate against")
-	conns := flag.Int("conns", 8, "client connections")
+	conns := flag.Int("conns", 0, "client connections (0: transport default)")
+	workers := flag.Int("workers", 8, "concurrent load workers")
+	pooled := flag.Bool("pooled", false, "use the seed-style pooled transport instead of the pipelined one")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -49,7 +56,8 @@ func main() {
 	if *stores != "" {
 		storeAddrs = strings.Split(*stores, ",")
 	}
-	if err := run(*addr, storeAddrs, *wl, *duration, *rate, *tBound, *conns, *seed); err != nil {
+	opts := freshcache.ClientOptions{MaxConns: *conns, Pooled: *pooled}
+	if err := run(*addr, storeAddrs, *wl, *duration, *rate, *tBound, *workers, opts, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -61,7 +69,7 @@ type keyState struct {
 	lastAt  time.Time
 }
 
-func run(addr string, storeAddrs []string, wl string, duration time.Duration, rate float64, tBound time.Duration, conns int, seed uint64) error {
+func run(addr string, storeAddrs []string, wl string, duration time.Duration, rate float64, tBound time.Duration, workers int, opts freshcache.ClientOptions, seed uint64) error {
 	// Pre-generate the request sequence shape from the chosen workload
 	// family (virtual inter-arrivals are replaced by the target rate).
 	tr, err := workload.Standard(wl, 30, seed)
@@ -73,14 +81,14 @@ func run(addr string, storeAddrs []string, wl string, duration time.Duration, ra
 	}
 	log.Printf("loadgen: %s against %s at %.0f req/s for %v (T=%v)", wl, addr, rate, duration, tBound)
 
-	c := freshcache.NewClient(addr, freshcache.ClientOptions{MaxConns: conns})
+	c := freshcache.NewClient(addr, opts)
 	defer c.Close()
 
 	// put issues a write: to -addr by default, or directly to the owning
 	// store shard when -stores is given.
 	put := c.Put
 	if len(storeAddrs) > 0 {
-		sc, err := freshcache.NewShardedClient(storeAddrs, 0, freshcache.ClientOptions{MaxConns: conns})
+		sc, err := freshcache.NewShardedClient(storeAddrs, 0, opts)
 		if err != nil {
 			return err
 		}
@@ -102,8 +110,8 @@ func run(addr string, storeAddrs []string, wl string, duration time.Duration, ra
 
 	var wg sync.WaitGroup
 	stopAt := time.Now().Add(duration)
-	per := float64(conns)
-	for w := 0; w < conns; w++ {
+	per := float64(workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -111,7 +119,7 @@ func run(addr string, storeAddrs []string, wl string, duration time.Duration, ra
 			idx := w
 			for time.Now().Before(stopAt) {
 				req := tr.Requests[idx%tr.Len()]
-				idx += conns
+				idx += workers
 				// Pace to the aggregate target rate.
 				time.Sleep(time.Duration(rng.Exp(rate/per) * float64(time.Second)))
 				key := fmt.Sprintf("key-%06d", req.Key)

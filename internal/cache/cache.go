@@ -506,15 +506,32 @@ func (s *Server) applyBatch(m *proto.Msg) {
 	s.c.BatchesApplied.Inc()
 }
 
-// handleConn serves one client connection.
+// maxConnInflight bounds the concurrently dispatched requests per
+// client connection; beyond it the read loop exerts backpressure.
+const maxConnInflight = 256
+
+// handleConn serves one client connection: a single read loop feeding
+// concurrent dispatchers (a miss fill or a forwarded PUT blocks on a
+// store round trip, and must not stall the pipelined requests queued
+// behind it) and a coalescing writer goroutine, so a burst of responses
+// costs one flush, not one syscall each. Responses may complete out of
+// order; each echoes its request's Seq for the client to demux.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
+	out := make(chan *proto.Msg, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		proto.WriteQueue(proto.NewWriter(conn), out, conn)
+	}()
+
+	var dispatchers sync.WaitGroup
+	sem := make(chan struct{}, maxConnInflight)
+
 	r := proto.NewReader(conn)
-	w := proto.NewWriter(conn)
 	for {
 		m, err := r.ReadMsg()
 		if err != nil {
@@ -522,13 +539,27 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 				s.c.MalformedFrames.Inc()
 				s.cfg.Logger.Printf("cache %s: conn %s: %v", s.cfg.Name, conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
-		resp := s.dispatch(m)
-		if err := w.WriteMsg(resp); err != nil {
-			return
+		if m.Value != nil {
+			// The value aliases the reader's buffer, which the next
+			// ReadMsg overwrites while the dispatcher still runs.
+			m.Value = append([]byte(nil), m.Value...)
 		}
+		sem <- struct{}{}
+		dispatchers.Add(1)
+		go func(m *proto.Msg) {
+			defer func() {
+				<-sem
+				dispatchers.Done()
+			}()
+			out <- s.dispatch(m)
+		}(m)
 	}
+	dispatchers.Wait()
+	close(out)
+	<-writerDone
+	conn.Close()
 }
 
 func (s *Server) dispatch(m *proto.Msg) *proto.Msg {

@@ -1,19 +1,29 @@
-// Package client is the connection-pooled client library for freshcache
-// nodes. It speaks the proto wire format and offers typed Get/Put/Stats
-// calls plus the cache-internal Fill and ReadReport verbs.
+// Package client is the client library for freshcache nodes. It speaks
+// the proto wire format and offers typed Get/Put/Stats calls plus the
+// cache-internal Fill and ReadReport verbs.
 //
-// One Client owns a pool of TCP connections to a single address; each
-// request checks a connection out, performs one request/response
-// exchange, and returns it. Responses are copied out of the framing
-// buffers, so returned values remain valid after the next call.
+// Two transports live behind the one Client API:
+//
+//   - The default multiplexed, pipelined transport (mux.go): a small
+//     fixed set of TCP connections per target, each with a demux reader
+//     goroutine routing responses to waiters by sequence number and a
+//     writer goroutine coalescing queued frames into single flushes.
+//     Concurrent calls share connections instead of queueing behind
+//     them, and request timeouts are per-waiter timers, so one slow
+//     request does not poison a shared connection.
+//   - The seed-style pooled transport (pooled.go, Options.Pooled): each
+//     request checks a connection out of a bounded pool, performs one
+//     blocking write+read round trip, and checks it back in. Kept as the
+//     comparison baseline for the transport benchmarks and as a
+//     conservative fallback.
+//
+// Responses are copied out of the framing buffers, so returned values
+// remain valid after the next call.
 package client
 
 import (
 	"errors"
 	"fmt"
-	"net"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"freshcache/internal/proto"
@@ -29,18 +39,37 @@ var (
 
 // Options configures a Client.
 type Options struct {
-	// MaxConns bounds the pool; defaults to 8.
+	// MaxConns bounds the connections per target: the pool size of the
+	// pooled transport, or the number of multiplexed connections
+	// concurrent requests are spread over. Defaults to 8 (pooled) and 2
+	// (multiplexed — fewer, busier connections coalesce better).
 	MaxConns int
 	// DialTimeout bounds connection establishment; defaults to 5s.
 	DialTimeout time.Duration
-	// RequestTimeout bounds one request/response round trip; defaults
-	// to 10s.
+	// RequestTimeout bounds one request/response exchange; defaults to
+	// 10s. On the multiplexed transport this is a per-waiter timer: a
+	// timed-out request abandons its response without disturbing the
+	// other requests in flight on the same connection.
 	RequestTimeout time.Duration
+	// Pooled selects the legacy checkout/blocking-round-trip transport
+	// instead of the multiplexed pipelined one. One request at a time
+	// occupies each connection, capping concurrency at MaxConns.
+	Pooled bool
+	// MaxAttempts bounds how many connections a request is tried on
+	// after transport failures that provably occurred before the request
+	// reached the wire (a stale pooled connection, an already-broken
+	// multiplexed one). Defaults to 3. A failure after the request may
+	// have been written is never retried — retrying could double-apply.
+	MaxAttempts int
 }
 
 func (o *Options) fill() {
 	if o.MaxConns <= 0 {
-		o.MaxConns = 8
+		if o.Pooled {
+			o.MaxConns = 8
+		} else {
+			o.MaxConns = 2
+		}
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
@@ -48,149 +77,49 @@ func (o *Options) fill() {
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 10 * time.Second
 	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
 }
 
-// Client is a pooled connection to one freshcache node.
+// transport moves one request/response exchange; implementations assign
+// the request's Seq and copy buffer-aliasing response fields.
+type transport interface {
+	roundTrip(req *proto.Msg) (*proto.Msg, error)
+	close() error
+}
+
+// Client is a connection to one freshcache node.
 type Client struct {
 	addr string
-	opts Options
-	seq  atomic.Uint64
-
-	mu     sync.Mutex
-	free   []*pconn
-	total  int
-	closed bool
-	// waiters wake when a connection is returned.
-	cond *sync.Cond
-}
-
-type pconn struct {
-	c net.Conn
-	r *proto.Reader
-	w *proto.Writer
+	tr   transport
 }
 
 // New builds a client for addr. No connection is made until first use.
 func New(addr string, opts Options) *Client {
 	opts.fill()
-	c := &Client{addr: addr, opts: opts}
-	c.cond = sync.NewCond(&c.mu)
-	return c
+	var tr transport
+	if opts.Pooled {
+		tr = newPooled(addr, opts)
+	} else {
+		tr = newMux(addr, opts)
+	}
+	return &Client{addr: addr, tr: tr}
 }
 
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
 
-// checkout returns a connection and whether it was reused from the pool
-// (a reused connection may have gone stale; callers retry transport
-// failures on reused connections but not on fresh ones).
-func (c *Client) checkout() (pc *pconn, reused bool, err error) {
-	c.mu.Lock()
-	for {
-		if c.closed {
-			c.mu.Unlock()
-			return nil, false, ErrClosed
-		}
-		if n := len(c.free); n > 0 {
-			pc := c.free[n-1]
-			c.free = c.free[:n-1]
-			c.mu.Unlock()
-			return pc, true, nil
-		}
-		if c.total < c.opts.MaxConns {
-			c.total++
-			c.mu.Unlock()
-			pc, err := c.dial()
-			if err != nil {
-				c.mu.Lock()
-				c.total--
-				c.cond.Signal()
-				c.mu.Unlock()
-				return nil, false, err
-			}
-			return pc, false, nil
-		}
-		c.cond.Wait()
-	}
-}
-
-func (c *Client) dial() (*pconn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing %s: %w", c.addr, err)
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) //nolint:errcheck // best-effort latency tweak
-	}
-	return &pconn{c: conn, r: proto.NewReader(conn), w: proto.NewWriter(conn)}, nil
-}
-
-// checkin returns a healthy connection to the pool; broken ones are
-// discarded so the pool re-dials lazily.
-func (c *Client) checkin(pc *pconn, healthy bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !healthy || c.closed {
-		pc.c.Close()
-		c.total--
-	} else {
-		c.free = append(c.free, pc)
-	}
-	c.cond.Signal()
-}
-
-// do performs one request/response exchange, retrying transport failures
-// that occurred on reused pool connections (they may simply have gone
-// stale since checkin). A failure on a freshly dialed connection is
-// returned to the caller.
+// do performs one exchange and unwraps server-level errors.
 func (c *Client) do(req *proto.Msg) (*proto.Msg, error) {
-	for {
-		resp, reused, err := c.doOnce(req)
-		if err != nil && reused {
-			continue // stale pooled connection: try another
-		}
-		return resp, err
-	}
-}
-
-func (c *Client) doOnce(req *proto.Msg) (*proto.Msg, bool, error) {
-	req.Seq = c.seq.Add(1)
-	pc, reused, err := c.checkout()
+	resp, err := c.tr.roundTrip(req)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	deadline := time.Now().Add(c.opts.RequestTimeout)
-	if err := pc.c.SetDeadline(deadline); err != nil {
-		c.checkin(pc, false)
-		return nil, reused, fmt.Errorf("client: setting deadline: %w", err)
-	}
-	if err := pc.w.WriteMsg(req); err != nil {
-		c.checkin(pc, false)
-		return nil, reused, err
-	}
-	resp, err := pc.r.ReadMsg()
-	if err != nil {
-		c.checkin(pc, false)
-		return nil, reused, err
-	}
-	if resp.Seq != req.Seq {
-		// Connection state is unrecoverable (a stray push or a lost
-		// response); drop it and report — retrying could double-apply.
-		c.checkin(pc, false)
-		return nil, false, fmt.Errorf("client: response seq %d for request %d", resp.Seq, req.Seq)
-	}
-	// Copy buffer-aliasing fields before the conn (and its read buffer)
-	// is reused.
-	if resp.Value != nil {
-		v := make([]byte, len(resp.Value))
-		copy(v, resp.Value)
-		resp.Value = v
-	}
-	c.checkin(pc, true)
 	if resp.Type == proto.MsgErr {
-		return nil, false, fmt.Errorf("client: server error: %s", resp.Err)
+		return nil, fmt.Errorf("client: server error: %s", resp.Err)
 	}
-	return resp, false, nil
+	return resp, nil
 }
 
 // Get fetches key's value and version. It reports ErrNotFound for
@@ -278,18 +207,5 @@ func (c *Client) Stats() (map[string]uint64, error) {
 	return resp.Stats, nil
 }
 
-// Close tears down pooled connections; in-flight requests fail.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	for _, pc := range c.free {
-		pc.c.Close()
-	}
-	c.free = nil
-	c.cond.Broadcast()
-	return nil
-}
+// Close tears down the transport's connections; in-flight requests fail.
+func (c *Client) Close() error { return c.tr.close() }

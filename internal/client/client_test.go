@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ func echoServer(t *testing.T) (addr string, requests *sync.Map) {
 	requests = &sync.Map{}
 	var n int64
 	var mu sync.Mutex
+	store := map[string][]byte{} // shared across conns: mux clients spread verbs
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -32,7 +34,6 @@ func echoServer(t *testing.T) (addr string, requests *sync.Map) {
 			go func() {
 				defer conn.Close()
 				r, w := proto.NewReader(conn), proto.NewWriter(conn)
-				store := map[string][]byte{}
 				for {
 					m, err := r.ReadMsg()
 					if err != nil {
@@ -45,10 +46,15 @@ func echoServer(t *testing.T) (addr string, requests *sync.Map) {
 					var resp *proto.Msg
 					switch m.Type {
 					case proto.MsgPut:
+						mu.Lock()
 						store[m.Key] = append([]byte(nil), m.Value...)
+						mu.Unlock()
 						resp = &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: 1}
 					case proto.MsgGet, proto.MsgFill:
-						if v, ok := store[m.Key]; ok {
+						mu.Lock()
+						v, ok := store[m.Key]
+						mu.Unlock()
+						if ok {
 							resp = &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusOK, Version: 1, Value: v}
 						} else {
 							resp = &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusNotFound}
@@ -73,37 +79,44 @@ func echoServer(t *testing.T) (addr string, requests *sync.Map) {
 }
 
 func TestBasicVerbs(t *testing.T) {
-	addr, _ := echoServer(t)
-	c := New(addr, Options{})
-	defer c.Close()
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{{"mux", false}, {"pooled", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			addr, _ := echoServer(t)
+			c := New(addr, Options{Pooled: mode.pooled})
+			defer c.Close()
 
-	if _, err := c.Put("k", []byte("v")); err != nil {
-		t.Fatal(err)
-	}
-	v, ver, err := c.Get("k")
-	if err != nil || string(v) != "v" || ver != 1 {
-		t.Fatalf("Get = %q v%d err=%v", v, ver, err)
-	}
-	if _, _, err := c.Get("absent"); !errors.Is(err, ErrNotFound) {
-		t.Errorf("absent: %v", err)
-	}
-	if _, _, err := c.Fill("k"); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Ping(); err != nil {
-		t.Fatal(err)
-	}
-	if st, err := c.Stats(); err != nil || st["x"] != 1 {
-		t.Fatalf("Stats = %v err=%v", st, err)
-	}
-	if err := c.ReadReport([]proto.ReadReport{{Key: "k", Count: 2}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.ReadReport(nil); err != nil {
-		t.Errorf("empty report should be a no-op, got %v", err)
-	}
-	if c.Addr() != addr {
-		t.Errorf("Addr = %q", c.Addr())
+			if _, err := c.Put("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			v, ver, err := c.Get("k")
+			if err != nil || string(v) != "v" || ver != 1 {
+				t.Fatalf("Get = %q v%d err=%v", v, ver, err)
+			}
+			if _, _, err := c.Get("absent"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("absent: %v", err)
+			}
+			if _, _, err := c.Fill("k"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Ping(); err != nil {
+				t.Fatal(err)
+			}
+			if st, err := c.Stats(); err != nil || st["x"] != 1 {
+				t.Fatalf("Stats = %v err=%v", st, err)
+			}
+			if err := c.ReadReport([]proto.ReadReport{{Key: "k", Count: 2}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.ReadReport(nil); err != nil {
+				t.Errorf("empty report should be a no-op, got %v", err)
+			}
+			if c.Addr() != addr {
+				t.Errorf("Addr = %q", c.Addr())
+			}
+		})
 	}
 }
 
@@ -128,7 +141,7 @@ func TestValueCopiedOutOfFramingBuffer(t *testing.T) {
 
 func TestPoolBoundsConnections(t *testing.T) {
 	addr, _ := echoServer(t)
-	c := New(addr, Options{MaxConns: 2})
+	c := New(addr, Options{Pooled: true, MaxConns: 2})
 	defer c.Close()
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
@@ -144,9 +157,10 @@ func TestPoolBoundsConnections(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	c.mu.Lock()
-	total := c.total
-	c.mu.Unlock()
+	p := c.tr.(*pooledTransport)
+	p.mu.Lock()
+	total := p.total
+	p.mu.Unlock()
 	if total > 2 {
 		t.Errorf("pool grew to %d conns", total)
 	}
@@ -154,21 +168,70 @@ func TestPoolBoundsConnections(t *testing.T) {
 
 func TestStalePooledConnRetried(t *testing.T) {
 	addr, _ := echoServer(t)
-	c := New(addr, Options{MaxConns: 4})
+	c := New(addr, Options{Pooled: true, MaxConns: 4})
 	defer c.Close()
 	if err := c.Ping(); err != nil {
 		t.Fatal(err)
 	}
 	// Forcefully break all pooled conns from the client side.
-	c.mu.Lock()
-	for _, pc := range c.free {
+	p := c.tr.(*pooledTransport)
+	p.mu.Lock()
+	for _, pc := range p.free {
 		pc.c.Close()
 	}
-	c.mu.Unlock()
+	p.mu.Unlock()
 	// A subsequent call must transparently re-dial.
 	if err := c.Ping(); err != nil {
 		t.Fatalf("stale conn not retried: %v", err)
 	}
+}
+
+// TestPooledRetryBounded fills the pool with stale connections and
+// verifies the retry loop gives up after MaxAttempts instead of spinning
+// through the pool forever, surfacing the last transport error.
+func TestPooledRetryBounded(t *testing.T) {
+	addr, _ := echoServer(t)
+	c := New(addr, Options{Pooled: true, MaxConns: 8, MaxAttempts: 2})
+	defer c.Close()
+	// Park 8 connections in the free list.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	p := c.tr.(*pooledTransport)
+	p.mu.Lock()
+	stale := len(p.free)
+	for _, pc := range p.free {
+		pc.c.Close()
+	}
+	p.mu.Unlock()
+	if stale < 3 {
+		t.Skipf("only %d conns pooled; cannot exercise the retry cap", stale)
+	}
+	err := c.Ping()
+	if err == nil {
+		// Both attempts happened to land on... impossible: every pooled
+		// conn is broken and MaxAttempts < stale, so a success means the
+		// loop dialed fresh — which only happens once the pool empties.
+		t.Fatalf("ping succeeded with %d stale conns and MaxAttempts=2", stale)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error does not surface the attempt cap: %v", err)
+	}
+	// The client recovers once the stale conns cycle out.
+	for i := 0; i < 8; i++ {
+		if err := c.Ping(); err == nil {
+			return
+		}
+	}
+	t.Error("client never recovered after stale pool drained")
 }
 
 func TestClosedClient(t *testing.T) {

@@ -1,0 +1,415 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freshcache/internal/proto"
+)
+
+// muxTransport is the default transport: a small fixed set of
+// multiplexed connections, each shared by every concurrent request
+// routed to it. Requests are encoded in the caller's goroutine, queued
+// to the connection's writer (which coalesces queued frames into one
+// flush), and matched to responses by sequence number in a dedicated
+// demux reader goroutine — so N concurrent calls pipeline onto one
+// socket instead of queueing behind a checkout, and a burst of N frames
+// costs one syscall, not N.
+//
+// Timeouts are per-waiter timers: a timed-out request abandons its
+// pending-map slot (its late response, if any, is dropped on arrival)
+// and the connection keeps serving its neighbors.
+type muxTransport struct {
+	addr   string
+	opts   Options
+	seq    atomic.Uint64
+	rr     atomic.Uint64
+	closed atomic.Bool
+	slots  []muxSlot
+}
+
+// muxSlot lazily holds one live connection. Re-dials are single-flight:
+// one caller dials outside the slot lock while the rest wait on the
+// dialing gate, so a burst against a dead slot costs one dial — and one
+// DialTimeout when the target black-holes — for everyone.
+type muxSlot struct {
+	mu      sync.Mutex
+	mc      *muxConn
+	dialing chan struct{} // non-nil while a dial is in flight
+	dialErr error         // result of the last completed dial
+}
+
+func newMux(addr string, opts Options) *muxTransport {
+	return &muxTransport{addr: addr, opts: opts, slots: make([]muxSlot, opts.MaxConns)}
+}
+
+func (t *muxTransport) roundTrip(req *proto.Msg) (*proto.Msg, error) {
+	req.Seq = t.seq.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < t.opts.MaxAttempts; attempt++ {
+		slot := &t.slots[t.rr.Add(1)%uint64(len(t.slots))]
+		mc, err := slot.get(t)
+		if err != nil {
+			return nil, err // dial (or closed-client) failures are terminal
+		}
+		resp, sent, err := mc.do(req, t.opts.RequestTimeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if sent {
+			// The request may have reached the wire; retrying could
+			// double-apply a write.
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: request failed after %d attempts on broken connections: %w",
+		t.opts.MaxAttempts, lastErr)
+}
+
+func (t *muxTransport) close() error {
+	t.closed.Store(true)
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.mc != nil {
+			s.mc.fail(ErrClosed)
+			s.mc = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// get returns the slot's live connection, re-dialing a dead or empty
+// slot. The dial runs outside the slot lock so concurrent callers (and
+// Close) never queue behind a slow dial; a dial that completes after
+// Close began is failed immediately rather than installed.
+func (s *muxSlot) get(t *muxTransport) (*muxConn, error) {
+	for {
+		s.mu.Lock()
+		if t.closed.Load() {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s.mc != nil && !s.mc.broken() {
+			mc := s.mc
+			s.mu.Unlock()
+			return mc, nil
+		}
+		if done := s.dialing; done != nil {
+			s.mu.Unlock()
+			<-done
+			s.mu.Lock()
+			mc, err := s.mc, s.dialErr
+			s.mu.Unlock()
+			if mc != nil && !mc.broken() {
+				return mc, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			continue // the dialed conn already broke; start over
+		}
+		done := make(chan struct{})
+		s.dialing = done
+		s.mu.Unlock()
+
+		mc, err := dialMux(t.addr, t.opts.DialTimeout)
+		s.mu.Lock()
+		s.dialing = nil
+		if err == nil && t.closed.Load() {
+			err = ErrClosed
+			mc.fail(ErrClosed)
+			mc = nil
+		}
+		s.dialErr = err
+		if mc != nil {
+			s.mc = mc
+		}
+		s.mu.Unlock()
+		close(done)
+		if err != nil {
+			return nil, err
+		}
+		return mc, nil
+	}
+}
+
+func dialMux(addr string, timeout time.Duration) (*muxConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck // best-effort latency tweak
+	}
+	return newMuxConn(conn), nil
+}
+
+// muxConn is one multiplexed connection: a writer goroutine draining the
+// send queue with coalesced flushes, and a reader goroutine demuxing
+// responses to waiters by sequence number.
+type muxConn struct {
+	c  net.Conn
+	wq chan *frameBuf
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	err     error
+
+	done chan struct{} // closed when the connection breaks
+}
+
+type muxResult struct {
+	m   *proto.Msg
+	err error
+}
+
+// frameBuf is a pooled, pre-encoded frame: requests are serialized in
+// the caller's goroutine (parallel across callers, and the request's
+// byte slices need not outlive the call) and the writer only moves
+// bytes.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// timerPool recycles the per-waiter timeout timers — every request arms
+// one, and at pipelined request rates the allocation and heap churn of
+// fresh timers is measurable.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Drain a fired-but-unconsumed timer. Redundant under go ≥ 1.23
+		// timer semantics (Reset discards stale values), but keeps reuse
+		// correct under GODEBUG=asynctimerchan=1.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+func newMuxConn(c net.Conn) *muxConn {
+	mc := &muxConn{
+		c:       c,
+		wq:      make(chan *frameBuf, 256),
+		pending: make(map[uint64]chan muxResult),
+		done:    make(chan struct{}),
+	}
+	go mc.writeLoop()
+	go mc.readLoop()
+	return mc
+}
+
+func (mc *muxConn) broken() bool {
+	select {
+	case <-mc.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail breaks the connection once: records err, closes the socket
+// (unblocking both loops), and errors out every pending waiter so none
+// hang.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	pend := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	close(mc.done)
+	mc.c.Close()
+	for _, ch := range pend {
+		ch <- muxResult{err: err} // buffered; never blocks
+	}
+}
+
+func (mc *muxConn) failure() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err
+}
+
+func (mc *muxConn) forget(seq uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, seq)
+	mc.mu.Unlock()
+}
+
+// do submits req and waits for its response. sent reports whether the
+// frame may have reached the wire: false means the request provably
+// never left this client and is safe to retry on another connection.
+func (mc *muxConn) do(req *proto.Msg, timeout time.Duration) (resp *proto.Msg, sent bool, err error) {
+	fb := frameBufPool.Get().(*frameBuf)
+	b, err := proto.AppendFrame(fb.b[:0], req)
+	fb.b = b
+	if err != nil {
+		frameBufPool.Put(fb)
+		return nil, false, err
+	}
+
+	ch := make(chan muxResult, 1)
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		frameBufPool.Put(fb)
+		return nil, false, err
+	}
+	mc.pending[req.Seq] = ch
+	mc.mu.Unlock()
+
+	timer := getTimer(timeout)
+	defer putTimer(timer)
+
+	select {
+	case mc.wq <- fb:
+	case <-mc.done:
+		// Broken before the frame was queued; the failure sweep may have
+		// already delivered the error.
+		mc.forget(req.Seq)
+		frameBufPool.Put(fb)
+		select {
+		case res := <-ch:
+			return nil, false, res.err
+		default:
+		}
+		return nil, false, mc.failure()
+	case <-timer.C:
+		// The send queue stayed full for a whole request timeout: the
+		// peer has stopped draining the pipe. Unlike a slow response,
+		// this wedges every future request, so break the connection. The
+		// frame was never queued, so the request is safe to retry on
+		// another connection (sent=false).
+		mc.forget(req.Seq)
+		frameBufPool.Put(fb)
+		err := fmt.Errorf("client: send queue stalled for %v", timeout)
+		mc.fail(err)
+		return nil, false, err
+	}
+
+	select {
+	case res := <-ch:
+		return res.m, true, res.err
+	case <-timer.C:
+		mc.forget(req.Seq)
+		// The reader may have delivered between the timeout and the
+		// forget; prefer the response.
+		select {
+		case res := <-ch:
+			return res.m, true, res.err
+		default:
+		}
+		return nil, true, fmt.Errorf("client: %v request timed out after %v", req.Type, timeout)
+	}
+}
+
+// writeLoop drains the send queue, coalescing every frame already
+// queued into one flush.
+func (mc *muxConn) writeLoop() {
+	w := proto.NewWriter(mc.c)
+	for {
+		select {
+		case fb := <-mc.wq:
+			if !mc.writeCoalesced(w, fb) {
+				return
+			}
+		case <-mc.done:
+			return
+		}
+	}
+}
+
+func (mc *muxConn) writeCoalesced(w *proto.Writer, fb *frameBuf) bool {
+	if !mc.writeDrain(w, fb) {
+		return false
+	}
+	// One scheduler yield before flushing lets callers that are already
+	// runnable enqueue their frames too, growing the frames-per-flush
+	// batch (each flush is a syscall) for the cost of one Gosched. A
+	// lone caller pays one yield of latency, not a timer.
+	runtime.Gosched()
+	select {
+	case fb = <-mc.wq:
+		if !mc.writeDrain(w, fb) {
+			return false
+		}
+	default:
+	}
+	if err := w.Flush(); err != nil {
+		mc.fail(err)
+		return false
+	}
+	return true
+}
+
+// writeDrain writes fb plus every frame already queued into the buffer.
+func (mc *muxConn) writeDrain(w *proto.Writer, fb *frameBuf) bool {
+	for {
+		err := w.WriteRaw(fb.b)
+		frameBufPool.Put(fb)
+		if err != nil {
+			mc.fail(err)
+			return false
+		}
+		select {
+		case fb = <-mc.wq:
+		default:
+			return true
+		}
+	}
+}
+
+// readLoop demuxes responses to their waiters by sequence number. A
+// frame with no waiter (a late response whose waiter timed out, or a
+// stray push) is dropped; the connection survives.
+func (mc *muxConn) readLoop() {
+	r := proto.NewReader(mc.c)
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				mc.fail(ErrClosed)
+			} else {
+				mc.fail(fmt.Errorf("client: connection broken: %w", err))
+			}
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.pending[m.Seq]
+		delete(mc.pending, m.Seq)
+		mc.mu.Unlock()
+		if ch == nil {
+			continue
+		}
+		if m.Value != nil {
+			// The value aliases the reader's buffer and the waiter
+			// consumes asynchronously; copy before the next ReadMsg
+			// invalidates it.
+			m.Value = append([]byte(nil), m.Value...)
+		}
+		ch <- muxResult{m: m}
+	}
+}

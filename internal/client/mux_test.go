@@ -1,0 +1,341 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freshcache/internal/proto"
+)
+
+// muxTestServer is a store-like responder with per-request behavior
+// hooks: requests are handled in their own goroutines (so responses can
+// complete out of order) and responses go through one coalescing writer
+// per connection, exactly like the real servers.
+type muxTestServer struct {
+	t        *testing.T
+	ln       net.Listener
+	accepted atomic.Int64
+	// handle returns the response for m, or nil to never respond
+	// (black-hole). It runs on a per-request goroutine.
+	handle func(m *proto.Msg) *proto.Msg
+	// dropAfter, when > 0, closes each connection after that many
+	// requests have been read from it.
+	dropAfter int
+}
+
+func startMuxTestServer(t *testing.T, handle func(m *proto.Msg) *proto.Msg, dropAfter int) *muxTestServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &muxTestServer{t: t, ln: ln, handle: handle, dropAfter: dropAfter}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.accepted.Add(1)
+			go s.serve(conn)
+		}
+	}()
+	return s
+}
+
+func (s *muxTestServer) serve(conn net.Conn) {
+	defer conn.Close()
+	out := make(chan *proto.Msg, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		proto.WriteQueue(proto.NewWriter(conn), out, conn)
+	}()
+	var pending sync.WaitGroup
+	r := proto.NewReader(conn)
+	reqs := 0
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			break
+		}
+		reqs++
+		if m.Value != nil {
+			m.Value = append([]byte(nil), m.Value...)
+		}
+		pending.Add(1)
+		go func(m *proto.Msg) {
+			defer pending.Done()
+			if resp := s.handle(m); resp != nil {
+				resp.Seq = m.Seq
+				defer func() { recover() }() //nolint:errcheck // late response after close
+				out <- resp
+			}
+		}(m)
+		if s.dropAfter > 0 && reqs >= s.dropAfter {
+			break
+		}
+	}
+	conn.Close()
+	pending.Wait()
+	close(out)
+	<-writerDone
+}
+
+func (s *muxTestServer) addr() string { return s.ln.Addr().String() }
+
+// echoHandler answers GETs with the key echoed back as the value.
+func echoHandler(m *proto.Msg) *proto.Msg {
+	switch m.Type {
+	case proto.MsgGet, proto.MsgFill:
+		return &proto.Msg{Type: proto.MsgGetResp, Status: proto.StatusOK,
+			Version: 1, Value: []byte(m.Key)}
+	case proto.MsgPing:
+		return &proto.Msg{Type: proto.MsgPong}
+	default:
+		return &proto.Msg{Type: proto.MsgErr, Err: "unexpected"}
+	}
+}
+
+// TestMuxInterleavedOnOneConnection drives many concurrent requests
+// through a single multiplexed connection and checks every caller gets
+// its own answer back (no cross-wiring of responses).
+func TestMuxInterleavedOnOneConnection(t *testing.T) {
+	s := startMuxTestServer(t, echoHandler, 0)
+	c := New(s.addr(), Options{MaxConns: 1})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d-%d", g, i)
+				v, _, err := c.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(v) != key {
+					t.Errorf("Get(%q) returned %q: responses cross-wired", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.accepted.Load(); n != 1 {
+		t.Errorf("1600 concurrent requests used %d connections, want 1 (no multiplexing?)", n)
+	}
+}
+
+// TestMuxOutOfOrderCompletion pins a slow request on the shared
+// connection and checks that requests issued after it complete first —
+// the seq-keyed demux, not arrival order, routes responses.
+func TestMuxOutOfOrderCompletion(t *testing.T) {
+	slowRelease := make(chan struct{})
+	s := startMuxTestServer(t, func(m *proto.Msg) *proto.Msg {
+		if m.Key == "slow" {
+			<-slowRelease
+		}
+		return echoHandler(m)
+	}, 0)
+	c := New(s.addr(), Options{MaxConns: 1})
+	defer c.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		v, _, err := c.Get("slow")
+		if err == nil && string(v) != "slow" {
+			err = fmt.Errorf("slow got %q", v)
+		}
+		slowDone <- err
+	}()
+
+	// While "slow" is parked server-side, later requests on the same
+	// connection must complete.
+	fastDeadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("fast-%d", i)
+		v, _, err := c.Get(key)
+		if err != nil || string(v) != key {
+			t.Fatalf("fast request behind a slow one: %q %v", v, err)
+		}
+		if time.Now().After(fastDeadline) {
+			t.Fatal("fast requests took too long: pipelining is not working")
+		}
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow request completed before release: %v", err)
+	default:
+	}
+	close(slowRelease)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow request after release: %v", err)
+	}
+}
+
+// TestMuxConnDeathFailsAllWaiters parks many requests on one connection
+// and kills it; every waiter must get an error promptly — none may hang.
+func TestMuxConnDeathFailsAllWaiters(t *testing.T) {
+	const parked = 16
+	s := startMuxTestServer(t, func(m *proto.Msg) *proto.Msg {
+		if m.Type == proto.MsgPing {
+			return &proto.Msg{Type: proto.MsgPong}
+		}
+		return nil // black-hole: park every GET
+	}, parked)
+	c := New(s.addr(), Options{MaxConns: 1, RequestTimeout: 30 * time.Second})
+	defer c.Close()
+
+	errs := make(chan error, parked)
+	for i := 0; i < parked; i++ {
+		go func(i int) {
+			_, _, err := c.Get(fmt.Sprintf("k-%d", i))
+			errs <- err
+		}(i)
+	}
+	// After `parked` reads the server severs the connection; all waiters
+	// must fail well before their 30s request timeout.
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < parked; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("request on a severed connection succeeded")
+			}
+		case <-deadline:
+			t.Fatalf("%d/%d waiters still hung after the connection died", parked-i, parked)
+		}
+	}
+	// The transport recovers by re-dialing a fresh connection.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("transport did not recover after conn death: %v", err)
+	}
+}
+
+// TestMuxTimeoutDoesNotKillNeighbors lets one request time out and
+// checks (a) its neighbors in flight on the same connection still
+// succeed, and (b) the connection itself survives — per-waiter timers,
+// not conn deadlines.
+func TestMuxTimeoutDoesNotKillNeighbors(t *testing.T) {
+	release := make(chan struct{})
+	s := startMuxTestServer(t, func(m *proto.Msg) *proto.Msg {
+		if m.Key == "blackhole" {
+			<-release // parked far past the request timeout
+		}
+		return echoHandler(m)
+	}, 0)
+	defer close(release)
+	c := New(s.addr(), Options{MaxConns: 1, RequestTimeout: 150 * time.Millisecond})
+	defer c.Close()
+
+	if err := c.Ping(); err != nil { // establish the one connection
+		t.Fatal(err)
+	}
+
+	timedOut := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get("blackhole")
+		timedOut <- err
+	}()
+
+	// Neighbors keep succeeding while the black-hole request ages out.
+	stop := time.After(400 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-stop:
+			done = true
+		default:
+			if v, _, err := c.Get("neighbor"); err != nil || string(v) != "neighbor" {
+				t.Fatalf("neighbor failed during a pending timeout: %q %v", v, err)
+			}
+		}
+	}
+	select {
+	case err := <-timedOut:
+		if err == nil {
+			t.Fatal("black-hole request succeeded")
+		}
+		if !strings.Contains(err.Error(), "timed out") {
+			t.Fatalf("black-hole request failed with a non-timeout error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("black-hole request never timed out")
+	}
+	// The shared connection must have survived the timeout.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection died with the timed-out request: %v", err)
+	}
+	if n := s.accepted.Load(); n != 1 {
+		t.Errorf("timeout forced a re-dial: %d connections used, want 1", n)
+	}
+}
+
+// TestMuxCloseFailsInFlight verifies Close errors out parked requests
+// instead of leaving them hanging.
+func TestMuxCloseFailsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := startMuxTestServer(t, func(m *proto.Msg) *proto.Msg {
+		<-release
+		return echoHandler(m)
+	}, 0)
+	c := New(s.addr(), Options{MaxConns: 2, RequestTimeout: 30 * time.Second})
+
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			_, _, err := c.Get(fmt.Sprintf("k-%d", i))
+			errs <- err
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the requests reach the wire
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("in-flight request after Close: %v, want ErrClosed", err)
+			}
+		case <-deadline:
+			t.Fatal("in-flight request hung across Close")
+		}
+	}
+	if err := c.Ping(); !errors.Is(err, ErrClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}
+
+// TestMuxValueDoesNotAliasFramingBuffer is the mux twin of the pooled
+// aliasing test: a returned value must survive subsequent traffic on the
+// same connection.
+func TestMuxValueDoesNotAliasFramingBuffer(t *testing.T) {
+	s := startMuxTestServer(t, echoHandler, 0)
+	c := New(s.addr(), Options{MaxConns: 1})
+	defer c.Close()
+	va, _, err := c.Get("aaaaaaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, _, err := c.Get("bbbbbbbb"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(va) != "aaaaaaaa" {
+		t.Errorf("value aliased the framing buffer: %q", va)
+	}
+}

@@ -75,6 +75,9 @@ type Decider struct {
 // ObserveRead records a read of key into the tracker.
 func (d *Decider) ObserveRead(key uint64) { d.Tracker.ObserveRead(key) }
 
+// ObserveReadN records n consecutive reads of key into the tracker.
+func (d *Decider) ObserveReadN(key, n uint64) { d.Tracker.ObserveReadN(key, n) }
+
 // ObserveWrite records a write of key into the tracker.
 func (d *Decider) ObserveWrite(key uint64) { d.Tracker.ObserveWrite(key) }
 
@@ -171,6 +174,19 @@ func NewEngine(cfg Config) *Engine {
 func (e *Engine) ObserveRead(key string) {
 	e.mu.Lock()
 	e.decider.ObserveRead(sketch.Hash(key))
+	e.mu.Unlock()
+}
+
+// ObserveReadN records n reads of key in one tracker operation — the
+// read-report ingestion path, where a cache ships per-key counts of up
+// to 2^16 reads at a time and a per-read loop would hold the engine
+// lock for the whole count.
+func (e *Engine) ObserveReadN(key string, n uint32) {
+	if n == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.decider.ObserveReadN(sketch.Hash(key), uint64(n))
 	e.mu.Unlock()
 }
 

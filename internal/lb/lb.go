@@ -201,14 +201,38 @@ func (s *Server) beginRequest() bool {
 	return true
 }
 
+// maxConnInflight bounds the concurrently proxied requests per client
+// connection; beyond it the read loop exerts backpressure.
+const maxConnInflight = 256
+
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
+	out := make(chan *proto.Msg, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		// Each response's inflight slot is released only once its frame
+		// is flushed (or abandoned on a dead connection), so Close's
+		// drain wait means "responded", not merely "queued".
+		proto.WriteQueueFlushed(proto.NewWriter(conn), out, conn, func(n int) {
+			for i := 0; i < n; i++ {
+				s.inflight.Done()
+			}
+		})
+	}()
+
+	// Requests on one connection are dispatched concurrently (bounded by
+	// maxConnInflight) and may be answered out of order — each response
+	// echoes its request's Seq, and the pipelined client demuxes by it.
+	// Without this, one proxied upstream round trip would stall every
+	// request queued behind it on the connection.
+	var dispatchers sync.WaitGroup
+	sem := make(chan struct{}, maxConnInflight)
+
 	r := proto.NewReader(conn)
-	w := proto.NewWriter(conn)
 	for {
 		m, err := r.ReadMsg()
 		if err != nil {
@@ -216,19 +240,32 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 				s.c.MalformedFrames.Inc()
 				s.cfg.Logger.Printf("lb: conn %s: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
 		if !s.beginRequest() {
-			return // draining: reject requests arriving after Close
+			break // draining: reject requests arriving after Close
 		}
-		resp := s.route(m)
-		resp.Seq = m.Seq
-		err = w.WriteMsg(resp)
-		s.inflight.Done()
-		if err != nil {
-			return
+		if m.Value != nil {
+			// The value aliases the reader's buffer, which the next
+			// ReadMsg overwrites while the dispatcher still runs.
+			m.Value = append([]byte(nil), m.Value...)
 		}
+		sem <- struct{}{}
+		dispatchers.Add(1)
+		go func(m *proto.Msg) {
+			defer func() {
+				<-sem
+				dispatchers.Done()
+			}()
+			resp := s.route(m)
+			resp.Seq = m.Seq
+			out <- resp // inflight is released by the writer post-flush
+		}(m)
 	}
+	dispatchers.Wait()
+	close(out)
+	<-writerDone
+	conn.Close()
 }
 
 func (s *Server) route(m *proto.Msg) *proto.Msg {

@@ -175,31 +175,141 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 32<<10)}
 }
 
-// WriteMsg encodes m and flushes it.
-func (w *Writer) WriteMsg(m *Msg) error {
-	w.buf = w.buf[:0]
-	w.buf = append(w.buf, byte(m.Type))
-	w.buf = binary.BigEndian.AppendUint64(w.buf, m.Seq)
+// AppendFrame appends m's complete wire frame — length header included —
+// to buf and returns the extended slice. It is the encode primitive
+// shared by Writer and the client's multiplexed transport (which encodes
+// in the caller's goroutine so the request's byte slices need not outlive
+// the call).
+func AppendFrame(buf []byte, m *Msg) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = append(buf, byte(m.Type))
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 	var err error
-	w.buf, err = appendPayload(w.buf, m)
+	buf, err = appendPayload(buf, m)
+	if err != nil {
+		return buf[:start], err
+	}
+	n := len(buf) - start - 4
+	if n > MaxFrame {
+		return buf[:start], fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
+// WriteMsg encodes m and flushes it — one frame, one syscall. Batch
+// writers use WriteMsgBuffered plus a single Flush instead.
+func (w *Writer) WriteMsg(m *Msg) error {
+	if err := w.WriteMsgBuffered(m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteMsgBuffered encodes m into the write buffer without flushing, so
+// several frames coalesce into one Flush (and one syscall). The frame is
+// not on the wire until Flush returns.
+func (w *Writer) WriteMsgBuffered(m *Msg) error {
+	b, err := AppendFrame(w.buf[:0], m)
+	w.buf = b // retain grown capacity across frames
 	if err != nil {
 		return err
 	}
-	if len(w.buf) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(w.buf))
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("proto: writing frame: %w", err)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(w.buf)))
-	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("proto: writing frame header: %w", err)
+	return nil
+}
+
+// WriteRaw appends a pre-encoded frame (produced by AppendFrame) to the
+// write buffer without flushing.
+func (w *Writer) WriteRaw(frame []byte) error {
+	if _, err := w.bw.Write(frame); err != nil {
+		return fmt.Errorf("proto: writing frame: %w", err)
 	}
-	if _, err := w.bw.Write(w.buf); err != nil {
-		return fmt.Errorf("proto: writing frame body: %w", err)
-	}
+	return nil
+}
+
+// Flush writes buffered frames to the underlying writer.
+func (w *Writer) Flush() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("proto: flushing frame: %w", err)
 	}
 	return nil
+}
+
+// WriteQueue drains frames from out onto w until out closes, coalescing
+// bursts: frames queued while a flush was in progress are buffered and
+// flushed together, so a pipelined burst of N responses costs one
+// syscall instead of N. (No scheduler yield here, unlike the client's
+// writer: a lock-step peer produces exactly one response at a time, and
+// a yield would only delay its flush.) On a write error it closes conn
+// (unblocking the producing read loop) and keeps draining out so senders
+// never block. The store, cache and LB servers all run their response
+// writers through this.
+func WriteQueue(w *Writer, out <-chan *Msg, conn io.Closer) {
+	WriteQueueFlushed(w, out, conn, nil)
+}
+
+// WriteQueueFlushed is WriteQueue with a retirement hook: flushed(n) is
+// called with the number of frames newly retired — flushed to the wire,
+// or abandoned because the connection failed or out closed — so a
+// producer can account for frames that are truly done rather than
+// merely queued (the LB's graceful drain needs this).
+func WriteQueueFlushed(w *Writer, out <-chan *Msg, conn io.Closer, flushed func(n int)) {
+	retire := func(n int) {
+		if flushed != nil && n > 0 {
+			flushed(n)
+		}
+	}
+	fail := func(pending int) {
+		if conn != nil {
+			conn.Close()
+		}
+		for range out { // drain until closed so senders never block
+			pending++
+		}
+		retire(pending)
+	}
+	for m := range out {
+		pending, closed, err := drainOnto(w, m, out)
+		if err != nil {
+			fail(pending)
+			return
+		}
+		if closed {
+			w.Flush() //nolint:errcheck // connection is going away
+			retire(pending)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			fail(pending)
+			return
+		}
+		retire(pending)
+	}
+}
+
+// drainOnto buffers m plus every frame immediately available on out,
+// returning the frames buffered and whether out closed mid-drain. On
+// error the failed frame is included in n (it is retired, not written).
+func drainOnto(w *Writer, m *Msg, out <-chan *Msg) (n int, closed bool, err error) {
+	for {
+		n++
+		if err := w.WriteMsgBuffered(m); err != nil {
+			return n, false, err
+		}
+		select {
+		case m2, ok := <-out:
+			if !ok {
+				return n, true, nil
+			}
+			m = m2
+		default:
+			return n, false, nil
+		}
+	}
 }
 
 func appendString16(b []byte, s string) ([]byte, error) {

@@ -24,10 +24,24 @@ func (l *Locked) ObserveRead(key uint64) {
 	l.mu.Unlock()
 }
 
+// ObserveReadN implements Tracker.
+func (l *Locked) ObserveReadN(key, n uint64) {
+	l.mu.Lock()
+	l.t.ObserveReadN(key, n)
+	l.mu.Unlock()
+}
+
 // ObserveWrite implements Tracker.
 func (l *Locked) ObserveWrite(key uint64) {
 	l.mu.Lock()
 	l.t.ObserveWrite(key)
+	l.mu.Unlock()
+}
+
+// ObserveWriteN implements Tracker.
+func (l *Locked) ObserveWriteN(key, n uint64) {
+	l.mu.Lock()
+	l.t.ObserveWriteN(key, n)
 	l.mu.Unlock()
 }
 

@@ -32,8 +32,19 @@ import (
 type Tracker interface {
 	// ObserveRead records a read of key.
 	ObserveRead(key uint64)
+	// ObserveReadN records n consecutive reads of key in O(1): any open
+	// write run is folded into the E[W] estimate once and the remaining
+	// n−1 reads contribute zero-write samples. Count-equivalent to n
+	// ObserveRead calls, up to sketch-internal placement (TopK decides
+	// promotion once per burst instead of once per event). This is the
+	// bulk path behind read-report ingestion, where a cache reports
+	// per-key counts up to 2^16 at a time.
+	ObserveReadN(key uint64, n uint64)
 	// ObserveWrite records a write of key.
 	ObserveWrite(key uint64)
+	// ObserveWriteN records n consecutive writes of key (one write run
+	// extended by n) in O(1); same equivalence caveat as ObserveReadN.
+	ObserveWriteN(key uint64, n uint64)
 	// EW returns the estimated mean number of writes between consecutive
 	// reads of key. With no read observations it returns the neutral
 	// prior DefaultEW.
@@ -109,11 +120,34 @@ func (e *Exact) ObserveRead(key uint64) {
 	c.r++
 }
 
+// ObserveReadN implements Tracker: the open write run is folded in as
+// one sample; the remaining n−1 reads are zero-write samples.
+func (e *Exact) ObserveReadN(key, n uint64) {
+	if n == 0 {
+		return
+	}
+	c := e.cell(key)
+	c.c1 += c.c3
+	c.c3 = 0
+	c.c2 += n
+	c.r += n
+}
+
 // ObserveWrite implements Tracker.
 func (e *Exact) ObserveWrite(key uint64) {
 	c := e.cell(key)
 	c.c3++
 	c.w++
+}
+
+// ObserveWriteN implements Tracker.
+func (e *Exact) ObserveWriteN(key, n uint64) {
+	if n == 0 {
+		return
+	}
+	c := e.cell(key)
+	c.c3 += n
+	c.w += n
 }
 
 // ewOf estimates E[W] from the three counters. An open write run (C3 > 0)
@@ -223,6 +257,14 @@ func addSat(p *uint32) {
 	}
 }
 
+func addSatN(p *uint32, n uint64) {
+	if n >= math.MaxUint32-uint64(*p) {
+		*p = math.MaxUint32
+	} else {
+		*p += uint32(n)
+	}
+}
+
 // ObserveRead implements Tracker.
 func (cm *CountMin) ObserveRead(key uint64) {
 	for r := 0; r < cm.d; r++ {
@@ -230,10 +272,24 @@ func (cm *CountMin) ObserveRead(key uint64) {
 	}
 }
 
+// ObserveReadN implements Tracker.
+func (cm *CountMin) ObserveReadN(key, n uint64) {
+	for r := 0; r < cm.d; r++ {
+		addSatN(&cm.reads[cm.idx(r, key)], n)
+	}
+}
+
 // ObserveWrite implements Tracker.
 func (cm *CountMin) ObserveWrite(key uint64) {
 	for r := 0; r < cm.d; r++ {
 		addSat(&cm.wrts[cm.idx(r, key)])
+	}
+}
+
+// ObserveWriteN implements Tracker.
+func (cm *CountMin) ObserveWriteN(key, n uint64) {
+	for r := 0; r < cm.d; r++ {
+		addSatN(&cm.wrts[cm.idx(r, key)], n)
 	}
 }
 

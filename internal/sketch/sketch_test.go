@@ -385,3 +385,124 @@ func BenchmarkEWLookup(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestObserveNEquivalence drives an identical mixed stream through each
+// tracker twice — once with single observes, once with the bulk N
+// variants — and requires identical estimates: ObserveReadN/ObserveWriteN
+// are O(1) shortcuts, not approximations.
+func TestObserveNEquivalence(t *testing.T) {
+	build := map[string]func() Tracker{
+		"exact":     func() Tracker { return NewExact() },
+		"count-min": func() Tracker { return MustCountMin(1024, 4) },
+		"top-k":     func() Tracker { return MustTopK(4, 1024, 4) },
+		"locked":    func() Tracker { return NewLocked(NewExact()) },
+	}
+	// Each step is (key, isRead, count): write runs interleaved with
+	// bursts of reads, across enough keys to exercise top-k demotion.
+	type step struct {
+		key    uint64
+		isRead bool
+		n      uint64
+	}
+	var steps []step
+	for i := 0; i < 6; i++ {
+		k := uint64(i * 7779)
+		steps = append(steps,
+			step{k, false, 3},
+			step{k, true, 5},
+			step{k, false, 1},
+			step{k, true, 1},
+			step{k, false, 4},
+			step{k, true, 2},
+		)
+	}
+	for name, mk := range build {
+		one, bulk := mk(), mk()
+		for _, st := range steps {
+			for i := uint64(0); i < st.n; i++ {
+				if st.isRead {
+					one.ObserveRead(st.key)
+				} else {
+					one.ObserveWrite(st.key)
+				}
+			}
+			if st.isRead {
+				bulk.ObserveReadN(st.key, st.n)
+			} else {
+				bulk.ObserveWriteN(st.key, st.n)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			k := uint64(i * 7779)
+			if a, b := one.EW(k), bulk.EW(k); a != b {
+				t.Errorf("%s: EW(%d) = %g single vs %g bulk", name, k, a, b)
+			}
+			if a, b := one.Reads(k), bulk.Reads(k); a != b {
+				t.Errorf("%s: Reads(%d) = %d single vs %d bulk", name, k, a, b)
+			}
+			if a, b := one.Writes(k), bulk.Writes(k); a != b {
+				t.Errorf("%s: Writes(%d) = %d single vs %d bulk", name, k, a, b)
+			}
+		}
+	}
+}
+
+// TestObserveNZeroIsNoOp checks the n=0 edge: no state may change — in
+// particular an open write run must not be folded into the mean.
+func TestObserveNZeroIsNoOp(t *testing.T) {
+	e := NewExact()
+	e.ObserveWrite(1)
+	e.ObserveWrite(1)
+	before := e.EW(1)
+	e.ObserveReadN(1, 0)
+	e.ObserveWriteN(1, 0)
+	if got := e.EW(1); got != before {
+		t.Errorf("EW changed across zero-count observes: %g -> %g", before, got)
+	}
+	if e.Reads(1) != 0 || e.Writes(1) != 2 {
+		t.Errorf("counts changed: r=%d w=%d", e.Reads(1), e.Writes(1))
+	}
+}
+
+// TestCountMinBulkSaturates checks bulk adds clamp at the counter
+// ceiling instead of wrapping.
+func TestCountMinBulkSaturates(t *testing.T) {
+	cm := MustCountMin(8, 2)
+	cm.ObserveReadN(42, 1<<33)
+	cm.ObserveReadN(42, 1<<33)
+	if got := cm.Reads(42); got != (1<<32)-1 {
+		t.Errorf("saturating bulk add = %d, want %d", got, uint64(1<<32)-1)
+	}
+}
+
+// TestTopKBulkBurstPromotes checks the cold-path bulk observe: a burst
+// big enough that single observes would promote the key mid-burst must
+// promote it up front, landing the burst in exact state with full
+// counts (not dumped into the tail with empty run structure).
+func TestTopKBulkBurstPromotes(t *testing.T) {
+	tk := MustTopK(2, 1024, 4)
+	// Fill the exact set with two moderately hot keys.
+	tk.ObserveReadN(1, 50)
+	tk.ObserveReadN(2, 40)
+	// A cold key's read-report burst exceeds the coldest resident.
+	tk.ObserveReadN(3, 60000)
+	if !tk.Hot(3) {
+		t.Fatal("bulk burst did not promote the key")
+	}
+	if tk.Hot(2) {
+		t.Error("coldest resident not demoted")
+	}
+	if got := tk.Reads(3); got != 60000 {
+		t.Errorf("promoted key reads = %d, want 60000", got)
+	}
+	// Write then read: exact run state must drive E[W] like Exact's.
+	tk.ObserveWriteN(3, 4)
+	tk.ObserveRead(3)
+	e := NewExact()
+	e.ObserveReadN(3, 60000)
+	e.ObserveWriteN(3, 4)
+	e.ObserveRead(3)
+	if a, b := tk.EW(3), e.EW(3); a != b {
+		t.Errorf("post-promotion EW = %g, exact reference %g", a, b)
+	}
+}

@@ -108,6 +108,53 @@ func (t *TopK) observeHot(e *topkEntry, isRead bool) {
 	heap.Fix(&t.h, e.idx)
 }
 
+// observeHotN bulk-applies n events of one kind to an exact entry.
+func (t *TopK) observeHotN(e *topkEntry, isRead bool, n uint64) {
+	if isRead {
+		e.cell.c1 += e.cell.c3
+		e.cell.c2 += n
+		e.cell.c3 = 0
+		e.cell.r += n
+	} else {
+		e.cell.c3 += n
+		e.cell.w += n
+	}
+	e.total += n
+	heap.Fix(&t.h, e.idx)
+}
+
+// observeN routes n events of one kind for key in O(1) tracker work.
+func (t *TopK) observeN(key uint64, isRead bool, n uint64) {
+	if n == 0 {
+		return
+	}
+	if e, ok := t.hot[key]; ok {
+		t.observeHotN(e, isRead, n)
+		return
+	}
+	if len(t.hot) < t.k {
+		e := t.promote(key, t.tail.Reads(key)+t.tail.Writes(key))
+		t.observeHotN(e, isRead, n)
+		return
+	}
+	// If the burst would heat this key past the coldest resident —
+	// i.e. n single observes would promote it partway through — promote
+	// up front so the whole burst lands in exact run state, rather than
+	// dumping it into the tail and promoting with no run structure.
+	est := t.tail.Reads(key) + t.tail.Writes(key)
+	if est+n > t.h[0].total {
+		t.demote(t.h[0])
+		e := t.promote(key, est)
+		t.observeHotN(e, isRead, n)
+		return
+	}
+	if isRead {
+		t.tail.ObserveReadN(key, n)
+	} else {
+		t.tail.ObserveWriteN(key, n)
+	}
+}
+
 // promote moves key into the exact set, seeding its totals from the tail
 // estimate. Per-run E[W] state starts fresh (the tail cannot reconstruct
 // run structure); totals keep the heap honest about heat.
@@ -133,19 +180,25 @@ func (t *TopK) demote(e *topkEntry) {
 	// Replay the excess of exact counts over what the tail already holds;
 	// the tail is an overestimate, so only add the positive difference.
 	tr, tw := t.tail.Reads(e.key), t.tail.Writes(e.key)
-	for i := tr; i < e.cell.r; i++ {
-		t.tail.ObserveRead(e.key)
+	if e.cell.r > tr {
+		t.tail.ObserveReadN(e.key, e.cell.r-tr)
 	}
-	for i := tw; i < e.cell.w; i++ {
-		t.tail.ObserveWrite(e.key)
+	if e.cell.w > tw {
+		t.tail.ObserveWriteN(e.key, e.cell.w-tw)
 	}
 }
 
 // ObserveRead implements Tracker.
 func (t *TopK) ObserveRead(key uint64) { t.observe(key, true) }
 
+// ObserveReadN implements Tracker.
+func (t *TopK) ObserveReadN(key, n uint64) { t.observeN(key, true, n) }
+
 // ObserveWrite implements Tracker.
 func (t *TopK) ObserveWrite(key uint64) { t.observe(key, false) }
+
+// ObserveWriteN implements Tracker.
+func (t *TopK) ObserveWriteN(key, n uint64) { t.observeN(key, false, n) }
 
 // EW implements Tracker: exact run statistics for hot keys, writes/reads
 // for the tail.

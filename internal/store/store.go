@@ -291,17 +291,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		w := proto.NewWriter(conn)
-		for m := range out {
-			if err := w.WriteMsg(m); err != nil {
-				conn.Close() // unblocks the read loop
-				// Drain the channel so the sender never blocks.
-				for range out {
-					continue
-				}
-				return
-			}
-		}
+		// Coalescing writer: pipelined requests on one connection are
+		// answered with one flush per burst, not one per response; on a
+		// write error it closes conn (unblocking the read loop) and
+		// drains out so senders never block.
+		proto.WriteQueue(proto.NewWriter(conn), out, conn)
 	}()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -354,6 +348,13 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out cha
 	case proto.MsgSubscribe:
 		ns := &subscriber{name: m.Key, out: out, conn: conn}
 		s.mu.Lock()
+		if old := *sub; old != nil {
+			// A re-subscribe on the same connection replaces the old
+			// registration; leaving it would leak a phantom subscriber
+			// that survives disconnect and double-counts every push into
+			// the shared queue.
+			delete(s.subs, old)
+		}
 		s.subs[ns] = struct{}{}
 		epoch := s.epoch
 		s.mu.Unlock()
@@ -366,9 +367,7 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out cha
 			if n > s.cfg.MaxReportCount {
 				n = s.cfg.MaxReportCount
 			}
-			for i := uint32(0); i < n; i++ {
-				s.engine.ObserveRead(rp.Key)
-			}
+			s.engine.ObserveReadN(rp.Key, n)
 		}
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgPing:

@@ -335,3 +335,65 @@ func TestCloseUnblocksServe(t *testing.T) {
 		t.Fatal("Serve did not return after Close")
 	}
 }
+
+// TestResubscribeReplacesOldSubscriber guards against the
+// double-subscribe leak: a second MsgSubscribe on one connection must
+// replace the first registration, not orphan it in the subscriber set
+// (where it would double-count every push into the shared queue and
+// survive disconnect).
+func TestResubscribeReplacesOldSubscriber(t *testing.T) {
+	s, addr := startStore(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w, r := proto.NewWriter(conn), proto.NewReader(conn)
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.WriteMsg(&proto.Msg{Type: proto.MsgSubscribe, Seq: i, Key: "resub"}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadMsg()
+		if err != nil || resp.Type != proto.MsgSubResp {
+			t.Fatalf("subscribe %d: %v %v", i, resp, err)
+		}
+	}
+	s.mu.Lock()
+	n := len(s.subs)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("subscriber set holds %d entries after re-subscribes, want 1", n)
+	}
+	// One flush must push exactly one heartbeat, not one per phantom.
+	s.TestFlush()
+	if got := s.c.BatchesSent.Value(); got != 1 {
+		t.Errorf("one flush sent %d batches to one connection, want 1", got)
+	}
+}
+
+// TestReadReportBulkIngestion checks the O(1) read-report path: a
+// report with a large per-key count must register the full count with
+// the policy engine (and do so without a per-read loop — the count here
+// would take noticeable time at one tracker op per read).
+func TestReadReportBulkIngestion(t *testing.T) {
+	s, addr := startStore(t, Config{})
+	c := client.New(addr, client.Options{})
+	defer c.Close()
+
+	if err := c.ReadReport([]proto.ReadReport{{Key: "hot", Count: 60000}}); err != nil {
+		t.Fatal(err)
+	}
+	// 60000 reads against one write: the decision rule must see the key
+	// as read-heavy and choose update under default costs.
+	if _, err := c.Put("hot", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	decisions := s.Engine().Flush()
+	if len(decisions) != 1 || decisions[0].Action != core.ActionUpdate {
+		t.Fatalf("decisions after bulk read report: %+v", decisions)
+	}
+	// Counts above MaxReportCount are clamped, not rejected.
+	if err := c.ReadReport([]proto.ReadReport{{Key: "hot", Count: 1 << 30}}); err != nil {
+		t.Fatal(err)
+	}
+}
