@@ -1,0 +1,368 @@
+package freshcache_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"freshcache"
+)
+
+// reshardCluster is a live coordinator-managed deployment: N stores,
+// M caches and one LB, all bootstrapping their store ring from the
+// coordinator and watching it for epoch changes.
+type reshardCluster struct {
+	stores     []*freshcache.StoreServer
+	storeAddrs []string
+	caches     []*freshcache.CacheServer
+	lb         *freshcache.LoadBalancer
+	lbAddr     string
+	coord      *freshcache.Coordinator
+	coordAddr  string
+}
+
+func (cl *reshardCluster) startStore(t *testing.T, i int, T time.Duration) string {
+	t.Helper()
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{
+		T: T, ShardID: fmt.Sprintf("shard-%d", i), Logger: log.New(io.Discard, "", 0),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { st.Close() })
+	cl.stores = append(cl.stores, st)
+	cl.storeAddrs = append(cl.storeAddrs, ln.Addr().String())
+	return ln.Addr().String()
+}
+
+func startReshardCluster(t *testing.T, T time.Duration, nStores, nCaches int) *reshardCluster {
+	t.Helper()
+	quiet := log.New(io.Discard, "", 0)
+	cl := &reshardCluster{}
+	for i := 0; i < nStores; i++ {
+		cl.startStore(t, i, T)
+	}
+
+	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
+		Stores: cl.storeAddrs, Logger: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { co.Close() })
+	cl.coord = co
+	cl.coordAddr = ln.Addr().String()
+
+	var cacheAddrs []string
+	for i := 0; i < nCaches; i++ {
+		ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+			ClusterAddr:   cl.coordAddr,
+			T:             T,
+			Name:          fmt.Sprintf("cache-%d", i),
+			Logger:        quiet,
+			RetryInterval: 20 * time.Millisecond,
+			WatchInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ca.Serve(cln) //nolint:errcheck
+		t.Cleanup(func() { ca.Close() })
+		cl.caches = append(cl.caches, ca)
+		cacheAddrs = append(cacheAddrs, cln.Addr().String())
+	}
+
+	balancer, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		ClusterAddr: cl.coordAddr, CacheAddrs: cacheAddrs,
+		WatchInterval: 25 * time.Millisecond, Logger: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go balancer.Serve(lln) //nolint:errcheck
+	t.Cleanup(func() { balancer.Close() })
+	cl.lb = balancer
+	cl.lbAddr = lln.Addr().String()
+
+	// Wait until every cache is subscribed to every store shard.
+	for i := range cl.stores {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if storeStats(t, cl.storeAddrs[i])["subscribers"] >= uint64(nCaches) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("store %d never saw %d subscribers", i, nCaches)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return cl
+}
+
+// truth tracks, per key, the writes the load generator has had
+// acknowledged, so readers can detect staleness beyond the bound.
+type truth struct {
+	mu   sync.Mutex
+	acks map[string][]ackedWrite // oldest first, pruned
+}
+
+type ackedWrite struct {
+	seq uint64
+	at  time.Time
+}
+
+func (tr *truth) recordAck(key string, seq uint64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	a := append(tr.acks[key], ackedWrite{seq: seq, at: time.Now()})
+	if len(a) > 16 {
+		a = a[len(a)-16:]
+	}
+	tr.acks[key] = a
+}
+
+// staleBy returns how far past the bound a read is: it observed seq at
+// readStart although a strictly newer write was acknowledged more than
+// bound before the read began. Zero means the read is within bound.
+func (tr *truth) staleBy(key string, seq uint64, readStart time.Time, bound time.Duration) time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	worst := time.Duration(0)
+	for _, a := range tr.acks[key] {
+		if a.seq > seq {
+			if d := readStart.Sub(a.at) - bound; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestLiveReshardUnderLoad is the acceptance test of dynamic
+// membership: a third store joins a live 2-store/2-cache/1-LB cluster
+// under concurrent read/write load. Only the moved key fraction
+// (≈1/3, within 2x of ideal) migrates, the caches serve throughout
+// (no read errors), no read observes data staler than the bound
+// across the handoff, and after the dust settles every key's version
+// matches the authority of its new owner.
+func TestLiveReshardUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster test")
+	}
+	const (
+		T     = 500 * time.Millisecond
+		nkeys = 90
+		// grace absorbs scheduler and batch-tick jitter on loaded CI
+		// machines; the staleness assertion is T + grace.
+		grace = 300 * time.Millisecond
+	)
+	cl := startReshardCluster(t, T, 2, 2)
+
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	tr := &truth{acks: make(map[string][]ackedWrite)}
+
+	seed := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	for i, key := range keys {
+		if _, err := seed.Put(key, []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+		tr.recordAck(key, 0)
+		_ = i
+	}
+	seed.Close()
+
+	var (
+		loadWG   sync.WaitGroup
+		stop     = make(chan struct{})
+		violMu   sync.Mutex
+		firstErr error
+		worst    time.Duration
+		reads    int64
+	)
+	fail := func(err error) {
+		violMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		violMu.Unlock()
+	}
+
+	// One writer: round-robin over the keys, value = write sequence.
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+		defer c.Close()
+		seq := uint64(0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			key := keys[i%len(keys)]
+			if _, err := c.Put(key, []byte(strconv.FormatUint(seq, 10))); err != nil {
+				fail(fmt.Errorf("put %q: %w", key, err))
+				return
+			}
+			tr.recordAck(key, seq)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Readers: validate every read against the truth map.
+	for w := 0; w < 4; w++ {
+		loadWG.Add(1)
+		go func(w int) {
+			defer loadWG.Done()
+			c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+			defer c.Close()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[i%len(keys)]
+				t0 := time.Now()
+				v, _, err := c.Get(key)
+				if err != nil {
+					fail(fmt.Errorf("get %q: %w", key, err))
+					return
+				}
+				seq, err := strconv.ParseUint(string(v), 10, 64)
+				if err != nil {
+					fail(fmt.Errorf("get %q returned junk %q", key, v))
+					return
+				}
+				if d := tr.staleBy(key, seq, t0, T+grace); d > 0 {
+					violMu.Lock()
+					if d > worst {
+						worst = d
+					}
+					violMu.Unlock()
+					fail(fmt.Errorf("read of %q observed seq %d, staler than bound by %v", key, seq, d))
+					return
+				}
+				violMu.Lock()
+				reads++
+				violMu.Unlock()
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Let the cluster serve under load for a bit, then join the third
+	// store through the coordinator's wire protocol, mid-traffic.
+	time.Sleep(4 * T / 2)
+	oldRing := cl.caches[0].Ring()
+	joinAddr := cl.startStore(t, 2, T)
+	cc := freshcache.NewClient(cl.coordAddr, freshcache.ClientOptions{
+		MaxAttempts: 1, RequestTimeout: time.Minute,
+	})
+	ri, err := cc.Join(joinAddr)
+	cc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Epoch != 2 || len(ri.Nodes) != 3 {
+		t.Fatalf("published ring: %+v", ri)
+	}
+
+	// Every router must observe the new epoch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lbStats := storeStats(t, cl.lbAddr)
+		swapped := lbStats["ring_epoch"] == 2
+		for _, ca := range cl.caches {
+			swapped = swapped && ca.StatsMap()["ring_epoch"] == 2
+		}
+		if swapped {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routers never swapped to ring epoch 2")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Serve across the handoff and past the deadline window.
+	time.Sleep(3 * T)
+	close(stop)
+	loadWG.Wait()
+	if firstErr != nil {
+		t.Fatalf("load failed across the handoff (worst staleness overshoot %v): %v", worst, firstErr)
+	}
+	violMu.Lock()
+	totalReads := reads
+	violMu.Unlock()
+	if totalReads < 100 {
+		t.Fatalf("only %d validated reads; load never ran", totalReads)
+	}
+
+	// Only the moved fraction migrates: the joiner holds exactly the
+	// keys the new ring assigns to it, and that is within 2x of the
+	// ideal 1/3 share.
+	newRing := cl.caches[0].Ring()
+	moved := 0
+	for _, key := range keys {
+		if oldRing.OwnerAddr(key) != newRing.OwnerAddr(key) {
+			if got := newRing.OwnerAddr(key); got != joinAddr {
+				t.Fatalf("key %q moved to %s, not the joiner", key, got)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(nkeys)
+	if frac < 1.0/6 || frac > 2.0/3 {
+		t.Errorf("moved fraction %.3f outside [1/6, 2/3] of the keyspace", frac)
+	}
+	if got := cl.stores[2].Authority().Len(); got != moved {
+		t.Errorf("joiner authority holds %d keys, ring moves %d", got, moved)
+	}
+
+	// Quiesce, then verify every key end to end against the authority
+	// of its current owner: version and value must match exactly.
+	time.Sleep(3 * T)
+	c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	defer c.Close()
+	for _, key := range keys {
+		v, ver, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("post-reshard get %q: %v", key, err)
+		}
+		owner := newRing.IndexOf(newRing.OwnerAddr(key))
+		av, aver, ok := cl.stores[owner].Authority().Get(key)
+		if !ok {
+			t.Fatalf("key %q missing at its owner (store %d)", key, owner)
+		}
+		if ver != aver || string(v) != string(av) {
+			t.Errorf("key %q: read v%d %q, authority has v%d %q", key, ver, v, aver, av)
+		}
+	}
+}

@@ -8,10 +8,17 @@
 //
 //	cacheserver -addr :7101 -store 127.0.0.1:7001 -t 500ms -capacity 100000
 //	cacheserver -addr :7101 -stores 127.0.0.1:7001,127.0.0.1:7002 -t 500ms
+//	cacheserver -addr :7101 -cluster 127.0.0.1:7301 -t 500ms
 //
 // With -stores the authoritative keyspace is partitioned across the
 // listed store servers by consistent hashing; the cache maintains one
 // subscription (and per-shard bounded-staleness fallback) per store.
+//
+// With -cluster the store ring comes from the cluster coordinator and
+// is watched live: on a ring-epoch publish the cache swaps rings
+// atomically, re-scopes its subscriptions, and stamps entries whose
+// ownership moved with a publish-time + T deadline, preserving bounded
+// staleness through live resharding.
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 	addr := flag.String("addr", ":7101", "listen address")
 	storeAddr := flag.String("store", "", "single backing store address")
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address (overrides -store/-stores)")
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
 	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
 	name := flag.String("name", "", "cache name in subscriptions (default addr)")
@@ -43,6 +51,8 @@ func main() {
 		Name:     *name,
 	}
 	switch {
+	case *clusterAddr != "":
+		cfg.ClusterAddr = *clusterAddr
 	case *stores != "":
 		cfg.StoreAddrs = strings.Split(*stores, ",")
 	case *storeAddr != "":
@@ -54,12 +64,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("cacheserver: %v", err)
 	}
-	targets := cfg.StoreAddrs
-	if len(targets) == 0 {
-		targets = []string{cfg.StoreAddr}
+	targets := strings.Join(srv.Ring().Nodes(), ",")
+	if cfg.ClusterAddr != "" {
+		targets = "cluster " + cfg.ClusterAddr + " -> " + targets
 	}
 	log.Printf("cacheserver %s: listening on %s, stores %s, T=%v, capacity %d",
-		*name, *addr, strings.Join(targets, ","), *t, *capacity)
+		*name, *addr, targets, *t, *capacity)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,46 @@
+// Command coordserver runs the freshcache cluster coordinator: the
+// control plane that versions the store ring (monotonic ring epochs),
+// admits store joins and drains at runtime, and orchestrates key-range
+// handoffs so the authority tier reshards live while the staleness
+// bound keeps holding.
+//
+// Usage:
+//
+//	coordserver -addr :7301 -stores 127.0.0.1:7001,127.0.0.1:7002 [-vnodes 128]
+//
+// Caches (-cluster on cacheserver), the LB (-cluster on lbserver) and
+// tooling (freshctl -cluster) bootstrap their store ring from the
+// coordinator and watch it for epoch changes. Membership changes come
+// from `freshctl -cluster <addr> join|drain <store>` or a storeserver
+// started with -cluster -join.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"freshcache"
+)
+
+func main() {
+	addr := flag.String("addr", ":7301", "listen address")
+	stores := flag.String("stores", "127.0.0.1:7001", "comma-separated initial store ring")
+	vnodes := flag.Int("vnodes", freshcache.DefaultVirtualNodes, "virtual nodes per store")
+	flag.Parse()
+
+	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
+		Stores:       strings.Split(*stores, ","),
+		VirtualNodes: *vnodes,
+	})
+	if err != nil {
+		log.Fatalf("coordserver: %v", err)
+	}
+	log.Printf("coordserver: listening on %s, ring epoch 1 over %s", *addr, *stores)
+	if err := co.ListenAndServe(*addr); err != nil {
+		fmt.Fprintf(os.Stderr, "coordserver: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -16,7 +16,9 @@
 //	ablate   batching-interval, decision-rule and cache-knowledge ablations
 //	live     boot a real store+cache cluster and validate bounded staleness
 //	pipeline measure the pipelined vs pooled transport on a live store
-//	all      everything above (except pipeline)
+//	reshard  join a third store into a live cluster under load and record
+//	         the throughput/staleness-violation trajectory
+//	all      everything above (except pipeline and reshard)
 //
 // Flags:
 //
@@ -24,9 +26,9 @@
 //	-seed uint          workload seed (default 1)
 //	-t float            staleness bound for fig5/fig6/live (default 0.5)
 //	-stores int         store shards booted by live (default 1)
-//	-workers int        concurrent workers for pipeline (default 64)
-//	-benchtime duration wall-clock window per transport for pipeline (default 2s)
-//	-json               pipeline: also write BENCH_pipeline.json
+//	-workers int        concurrent workers for pipeline/reshard (default 64)
+//	-benchtime duration wall-clock window for pipeline/reshard (default 2s / 4s)
+//	-json               pipeline/reshard: also write BENCH_pipeline.json / BENCH_reshard.json
 package main
 
 import (
@@ -56,7 +58,7 @@ func main() {
 	tBound := fs.Float64("t", 0.5, "staleness bound (s) for fig5/fig6/live")
 	storesN := fs.Int("stores", 1, "store shards booted by the live experiment")
 	workers := fs.Int("workers", 64, "concurrent workers for the pipeline experiment")
-	benchtime := fs.Duration("benchtime", 2*time.Second, "wall-clock window per transport for pipeline")
+	benchtime := fs.Duration("benchtime", 0, "wall-clock window for pipeline (default 2s) / reshard (default 4s)")
 	jsonOut := fs.Bool("json", false, "pipeline: also write BENCH_pipeline.json")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
@@ -67,7 +69,22 @@ func main() {
 		if *jsonOut {
 			out = "BENCH_pipeline.json"
 		}
-		return pipelineBench(*workers, *benchtime, out)
+		bt := *benchtime
+		if bt == 0 {
+			bt = 2 * time.Second
+		}
+		return pipelineBench(*workers, bt, out)
+	}
+	reshard := func(o experiments.Options) error {
+		out := ""
+		if *jsonOut {
+			out = "BENCH_reshard.json"
+		}
+		bt := *benchtime
+		if bt == 0 { // unset: reshard needs room around the mid-run join
+			bt = 4 * time.Second
+		}
+		return reshardBench(*workers, bt, o.T, out)
 	}
 
 	run := func(name string, fn func(experiments.Options) error) {
@@ -98,6 +115,8 @@ func main() {
 		run("Live cluster validation", live)
 	case "pipeline":
 		run("Pipelined vs pooled transport", pipeline)
+	case "reshard":
+		run("Live resharding under load", reshard)
 	case "probe":
 		run("Bottleneck probe", probe)
 	case "all":
@@ -116,7 +135,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|probe|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|reshard|probe|all> [flags]
 run "freshbench <experiment> -h" for flags`)
 }
 

@@ -7,6 +7,12 @@
 //	freshctl -addr 127.0.0.1:7101 stats
 //	freshctl -addr 127.0.0.1:7101 ping
 //	freshctl -addr 127.0.0.1:7101 watch <key>      # poll a key once per second
+//
+// Cluster membership (against the coordinator):
+//
+//	freshctl -cluster 127.0.0.1:7301 ring                   # show the published ring
+//	freshctl -cluster 127.0.0.1:7301 join 127.0.0.1:7003    # admit a store, migrating its range in
+//	freshctl -cluster 127.0.0.1:7301 drain 127.0.0.1:7002   # remove a store, migrating its range out
 package main
 
 import (
@@ -22,10 +28,24 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7101", "node address (cache, store or lb)")
+	cluster := flag.String("cluster", "", "cluster coordinator address (for ring/join/drain)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	switch args[0] {
+	case "ring", "join", "drain":
+		if *cluster == "" {
+			fmt.Fprintln(os.Stderr, "freshctl: the", args[0], "command needs -cluster <coordinator>")
+			os.Exit(2)
+		}
+		if err := clusterCmd(*cluster, args); err != nil {
+			fmt.Fprintf(os.Stderr, "freshctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	c := freshcache.NewClient(*addr, freshcache.ClientOptions{})
@@ -69,8 +89,42 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key>")
+	fmt.Fprintln(os.Stderr, `usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key>
+       freshctl -cluster host:port <ring | join storeaddr | drain storeaddr>`)
 	os.Exit(2)
+}
+
+// clusterCmd runs one membership command against the coordinator.
+// Joins and drains move data before publishing, so the request timeout
+// is generous.
+func clusterCmd(coordAddr string, args []string) error {
+	c := freshcache.NewClient(coordAddr, freshcache.ClientOptions{
+		MaxAttempts: 1, RequestTimeout: 5 * time.Minute,
+	})
+	defer c.Close()
+	var (
+		ri  freshcache.RingInfo
+		err error
+	)
+	switch {
+	case args[0] == "ring" && len(args) == 1:
+		ri, err = c.RingGet()
+	case args[0] == "join" && len(args) == 2:
+		ri, err = c.Join(args[1])
+	case args[0] == "drain" && len(args) == 2:
+		ri, err = c.Drain(args[1])
+	default:
+		usage()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ring epoch %d (published %s, %d virtual nodes/store)\n",
+		ri.Epoch, ri.PublishedAt.Format(time.RFC3339), ri.VirtualNodes)
+	for i, n := range ri.Nodes {
+		fmt.Printf("  store %d  %s\n", i, n)
+	}
+	return nil
 }
 
 func get(c *freshcache.Client, key string) error {

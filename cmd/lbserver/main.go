@@ -8,6 +8,11 @@
 //	         -caches 127.0.0.1:7101,127.0.0.1:7102
 //	lbserver -addr :7201 -stores 127.0.0.1:7001,127.0.0.1:7002 \
 //	         -caches 127.0.0.1:7101,127.0.0.1:7102
+//	lbserver -addr :7201 -cluster 127.0.0.1:7301 \
+//	         -caches 127.0.0.1:7101,127.0.0.1:7102
+//
+// With -cluster the store ring comes from the cluster coordinator and
+// the write path reroutes live on every published ring epoch.
 package main
 
 import (
@@ -24,11 +29,14 @@ func main() {
 	addr := flag.String("addr", ":7201", "listen address")
 	storeAddr := flag.String("store", "", "single backing store address")
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address (overrides -store/-stores)")
 	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
 	flag.Parse()
 
 	cfg := freshcache.LBConfig{CacheAddrs: strings.Split(*caches, ",")}
 	switch {
+	case *clusterAddr != "":
+		cfg.ClusterAddr = *clusterAddr
 	case *stores != "":
 		cfg.StoreAddrs = strings.Split(*stores, ",")
 	case *storeAddr != "":
@@ -40,12 +48,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("lbserver: %v", err)
 	}
-	targets := cfg.StoreAddrs
-	if len(targets) == 0 {
-		targets = []string{cfg.StoreAddr}
+	targets := strings.Join(srv.StoreRing().Nodes(), ",")
+	if cfg.ClusterAddr != "" {
+		targets = "cluster " + cfg.ClusterAddr + " -> " + targets
 	}
 	log.Printf("lbserver: listening on %s, stores %s, caches %s",
-		*addr, strings.Join(targets, ","), *caches)
+		*addr, targets, *caches)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "lbserver: %v\n", err)
 		os.Exit(1)

@@ -8,10 +8,18 @@
 //	storeserver -addr :7001 -t 500ms [-shard shard-0] [-slo 0.05]
 //	            [-cm 2 -ci 0.25 -cu 1]
 //	            [-bottleneck auto|cpu|network|disk] [-keysize 16 -valsize 256]
+//	            [-cluster 127.0.0.1:7301 -join [-advertise host:port]]
 //
 // In a sharded deployment run one storeserver per shard, each with a
 // distinct -shard identity; caches and the LB partition the keyspace
 // across them by consistent hashing over their addresses.
+//
+// With -cluster and -join the server registers itself with the cluster
+// coordinator once it is serving: the coordinator migrates the ring
+// arc this store now owns from the current owners, publishes a new
+// ring epoch, and every watching cache/LB reroutes — live scale-out in
+// one command. -advertise sets the address the rest of the cluster
+// dials (defaults to -addr with a loopback host when unspecified).
 //
 // With -bottleneck auto the server samples /proc twice at startup and
 // derives the c_m/c_i/c_u parameters from the detected bottleneck (§3.3);
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"freshcache"
@@ -43,10 +52,19 @@ func main() {
 	keySize := flag.Int("keysize", 16, "representative key size for derived costs")
 	valSize := flag.Int("valsize", 256, "representative value size for derived costs")
 	topk := flag.Int("topk", 1024, "exact slots in the Top-K E[W] tracker")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address")
+	join := flag.Bool("join", false, "join the cluster ring at startup (requires -cluster)")
+	advertise := flag.String("advertise", "", "address the cluster dials this store at (default -addr)")
 	flag.Parse()
 
 	if *shard == "" {
 		*shard = "shard@" + *addr
+	}
+	if *advertise == "" {
+		*advertise = *addr
+		if strings.HasPrefix(*advertise, ":") {
+			*advertise = "127.0.0.1" + *advertise
+		}
 	}
 	costs, err := resolveCosts(*cm, *ci, *cu, *bottleneck, *keySize, *valSize)
 	if err != nil {
@@ -68,11 +86,49 @@ func main() {
 			Tracker: tracker,
 		},
 	})
+	if *clusterAddr != "" && *join {
+		go joinCluster(*clusterAddr, *advertise)
+	}
 	log.Printf("storeserver: listening on %s", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "storeserver: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// joinCluster waits until this store answers pings at its advertised
+// address, then asks the coordinator to admit it (which migrates this
+// store's ring arc in before publishing the new epoch).
+func joinCluster(coordAddr, advertise string) {
+	self := freshcache.NewClient(advertise, freshcache.ClientOptions{MaxAttempts: 1})
+	deadline := time.Now().Add(10 * time.Second)
+	for self.Ping() != nil {
+		if time.Now().After(deadline) {
+			self.Close()
+			log.Printf("storeserver: not serving at advertised %s; skipping cluster join", advertise)
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	self.Close()
+	co := freshcache.NewClient(coordAddr, freshcache.ClientOptions{
+		MaxAttempts: 1, RequestTimeout: 2 * time.Minute,
+	})
+	defer co.Close()
+	if cur, err := co.RingGet(); err == nil {
+		for _, n := range cur.Nodes {
+			if n == advertise {
+				log.Printf("storeserver: already a ring member at epoch %d", cur.Epoch)
+				return
+			}
+		}
+	}
+	ri, err := co.Join(advertise)
+	if err != nil {
+		log.Printf("storeserver: cluster join via %s failed: %v", coordAddr, err)
+		return
+	}
+	log.Printf("storeserver: joined cluster ring epoch %d (%d stores)", ri.Epoch, len(ri.Nodes))
 }
 
 func resolveCosts(cm, ci, cu float64, bottleneck string, keySize, valSize int) (freshcache.Costs, error) {

@@ -46,8 +46,11 @@
 package freshcache
 
 import (
+	"time"
+
 	"freshcache/internal/cache"
 	"freshcache/internal/client"
+	"freshcache/internal/cluster"
 	"freshcache/internal/core"
 	"freshcache/internal/costmodel"
 	"freshcache/internal/lb"
@@ -299,10 +302,49 @@ func NewRing(nodes []string, virtualNodes int) (*Ring, error) {
 }
 
 // ShardedClient routes key-addressed requests across a ring of store
-// shards and fans aggregate requests out to all of them.
+// shards and fans aggregate requests out to all of them. Its ring is
+// swappable at runtime (SwapRing) for dynamic cluster membership.
 type ShardedClient = client.Sharded
+
+// ShardError annotates a per-shard failure inside a sharded fan-out
+// call (ShardedClient.Stats / Ping return partial results plus these).
+type ShardError = client.ShardError
 
 // NewShardedClient builds a sharded client over addrs.
 func NewShardedClient(addrs []string, virtualNodes int, opts ClientOptions) (*ShardedClient, error) {
 	return client.NewSharded(addrs, virtualNodes, opts)
+}
+
+// ---- Dynamic cluster membership (coordinator control plane) ----
+
+// CoordinatorConfig configures the cluster coordinator.
+type CoordinatorConfig = cluster.Config
+
+// Coordinator is the control-plane node that versions the store ring
+// (monotonic ring epochs), admits store joins and drains at runtime,
+// and orchestrates the key-range handoff so the cluster reshards live
+// while the staleness bound T keeps holding end to end.
+type Coordinator = cluster.Coordinator
+
+// NewCoordinator builds a coordinator over an initial store list.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return cluster.New(cfg) }
+
+// RingInfo is a versioned store-ring snapshot as published by the
+// coordinator.
+type RingInfo = client.RingInfo
+
+// FetchRing fetches the coordinator's published ring, retrying until
+// the timeout.
+func FetchRing(coordAddr string, timeout time.Duration) (RingInfo, error) {
+	return cluster.FetchRing(coordAddr, timeout)
+}
+
+// RingWatcher polls the coordinator and delivers newly published rings
+// in epoch order.
+type RingWatcher = cluster.Watcher
+
+// NewRingWatcher builds a watcher invoking onChange for every ring
+// published after sinceEpoch.
+func NewRingWatcher(coordAddr string, interval time.Duration, sinceEpoch uint64, onChange func(RingInfo)) *RingWatcher {
+	return cluster.NewWatcher(coordAddr, interval, sinceEpoch, onChange)
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"freshcache/internal/client"
+	"freshcache/internal/cluster"
 	"freshcache/internal/kv"
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
@@ -47,6 +48,17 @@ type Config struct {
 	// StoreAddrs are the authority shards of a sharded deployment; keys
 	// route to shards by consistent hashing over this list.
 	StoreAddrs []string
+	// ClusterAddr, when set, bootstraps the store ring from the cluster
+	// coordinator at that address instead of StoreAddr/StoreAddrs, and
+	// watches it for ring-epoch changes: on a publish the cache swaps
+	// rings atomically, re-scopes its per-shard subscriptions, and
+	// stamps every resident entry whose ownership moved with a hard
+	// deadline of publish-time + T — the bounded-staleness bridge
+	// across the handoff.
+	ClusterAddr string
+	// WatchInterval paces the coordinator poll in cluster mode;
+	// defaults to T/4 clamped to [20ms, 500ms].
+	WatchInterval time.Duration
 	// VirtualNodes sets the ring points per store shard; <= 0 uses
 	// ring.DefaultVirtualNodes.
 	VirtualNodes int
@@ -65,13 +77,26 @@ type Config struct {
 }
 
 func (c *Config) fill() error {
-	addrs, err := client.ResolveStoreAddrs(c.StoreAddr, c.StoreAddrs)
-	if err != nil {
-		return fmt.Errorf("cache: %w", err)
+	if c.ClusterAddr == "" {
+		addrs, err := client.ResolveStoreAddrs(c.StoreAddr, c.StoreAddrs)
+		if err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		c.StoreAddrs = addrs
+	} else if c.StoreAddr != "" || len(c.StoreAddrs) > 0 {
+		return errors.New("cache: set a cluster coordinator or store addresses, not both")
 	}
-	c.StoreAddrs = addrs
 	if c.T <= 0 {
 		c.T = time.Second
+	}
+	if c.WatchInterval <= 0 {
+		c.WatchInterval = c.T / 4
+		if c.WatchInterval < 20*time.Millisecond {
+			c.WatchInterval = 20 * time.Millisecond
+		}
+		if c.WatchInterval > 500*time.Millisecond {
+			c.WatchInterval = 500 * time.Millisecond
+		}
 	}
 	if c.Name == "" {
 		c.Name = "cache"
@@ -102,16 +127,21 @@ type Counters struct {
 	KeysResynced, KeysDeadlined         stats.Counter // scoped-invalidation touch counts
 	ReadReportsSent                     stats.Counter
 	MalformedFrames                     stats.Counter
+	RingSwaps                           stats.Counter // cluster ring epochs applied
 }
 
 // shardSub is the per-authority-shard subscription state, owned by that
 // shard's subscription goroutine.
 type shardSub struct {
-	idx  int
 	addr string
 	// owned scopes invalidation fallbacks to this shard's keys; nil for
-	// a single-shard deployment (scope: everything).
+	// a single static store (scope: everything). Under dynamic
+	// membership the predicate reads the cache's current ring, so a
+	// shard's scope shrinks the moment a swap moves keys away from it.
 	owned func(key string) bool
+	// cancel stops the subscription loop when the shard leaves the
+	// ring.
+	cancel context.CancelFunc
 
 	lastEpoch      uint64
 	subscribedOnce bool
@@ -123,8 +153,13 @@ type Server struct {
 	cfg    Config
 	kv     *kv.Cache
 	stores *client.Sharded
-	shards []*shardSub
 	c      Counters
+
+	// subMu guards the live subscription set; subscriptions start and
+	// stop as the store ring gains and loses members.
+	subMu    sync.Mutex
+	subs     map[string]*shardSub
+	serveCtx context.Context
 
 	readMu     sync.Mutex
 	readCounts map[string]uint32
@@ -147,32 +182,58 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// New builds a cache node.
+// New builds a cache node. In cluster mode the store ring is fetched
+// from the coordinator (which must be reachable within a few seconds).
 func New(cfg Config) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
+	}
+	var bootstrap client.RingInfo
+	if cfg.ClusterAddr != "" {
+		ri, err := cluster.FetchRing(cfg.ClusterAddr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		bootstrap = ri
+		cfg.StoreAddrs = ri.Nodes
+		cfg.VirtualNodes = ri.VirtualNodes
 	}
 	stores, err := client.NewSharded(cfg.StoreAddrs, cfg.VirtualNodes, client.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
+	if bootstrap.Epoch > 0 {
+		// Record the bootstrap epoch so the watcher's first report of
+		// the same ring is a no-op.
+		if err := stores.SwapRing(bootstrap.Epoch, bootstrap.Nodes, bootstrap.VirtualNodes); err != nil {
+			stores.Close()
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		kv:         kv.NewCache(cfg.Capacity),
 		stores:     stores,
+		subs:       make(map[string]*shardSub),
 		readCounts: make(map[string]uint32),
 		filling:    make(map[string]int),
 		voided:     make(map[string]bool),
 	}
-	r := stores.Ring()
-	for i := 0; i < r.Len(); i++ {
-		sub := &shardSub{idx: i, addr: r.Node(i)}
-		if r.Len() > 1 {
-			sub.owned = r.OwnedBy(i)
-		}
-		s.shards = append(s.shards, sub)
-	}
 	return s, nil
+}
+
+// newShardSub builds the subscription state for one store address.
+func (s *Server) newShardSub(addr string) *shardSub {
+	sub := &shardSub{addr: addr}
+	if s.cfg.ClusterAddr != "" || len(s.cfg.StoreAddrs) > 1 {
+		// Dynamic scope: evaluate ownership against the ring of the
+		// moment, so resync/deadline fallbacks always touch exactly
+		// the keys this shard currently owns.
+		sub.owned = func(key string) bool {
+			return s.stores.Ring().OwnerAddr(key) == addr
+		}
+	}
+	return sub
 }
 
 // KV exposes the resident set for tests and tooling.
@@ -191,8 +252,8 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Serve accepts client connections on ln until Close, running one
-// subscription loop per store shard and the read-report loop in the
-// background.
+// subscription loop per store shard, the read-report loop, and (in
+// cluster mode) the ring watcher in the background.
 func (s *Server) Serve(ln net.Listener) error {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
@@ -200,11 +261,23 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.cancel = cancel
 	s.mu.Unlock()
 
-	s.wg.Add(1 + len(s.shards))
-	for _, sub := range s.shards {
-		go s.subscriptionLoop(ctx, sub)
+	s.subMu.Lock()
+	s.serveCtx = ctx
+	for _, addr := range s.stores.Ring().Nodes() {
+		s.startSubLocked(addr)
 	}
+	s.subMu.Unlock()
+
+	s.wg.Add(1)
 	go s.reportLoop(ctx)
+	if s.cfg.ClusterAddr != "" {
+		w := cluster.NewWatcher(s.cfg.ClusterAddr, s.cfg.WatchInterval, s.stores.Epoch(), s.swapRing)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.Run(ctx)
+		}()
+	}
 
 	for {
 		conn, err := ln.Accept()
@@ -215,6 +288,66 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go s.handleConn(ctx, conn)
 	}
+}
+
+// startSubLocked spawns the subscription loop for one store address;
+// caller holds subMu and serveCtx is set.
+func (s *Server) startSubLocked(addr string) {
+	sub := s.newShardSub(addr)
+	ctx, cancel := context.WithCancel(s.serveCtx)
+	sub.cancel = cancel
+	s.subs[addr] = sub
+	s.wg.Add(1)
+	go s.subscriptionLoop(ctx, sub)
+}
+
+// swapRing applies a newly published ring epoch: swap the routing ring
+// atomically, void in-flight fills for moved keys (their values may
+// come from a store that just stopped being their authority), stamp
+// every resident entry whose ownership moved with publish-time + T —
+// after that deadline the entry is a miss and refetches from the new
+// owner — and re-scope the per-shard subscription set. Runs on the
+// watcher goroutine, so swaps are serialized.
+func (s *Server) swapRing(ri client.RingInfo) {
+	oldRing := s.stores.Ring()
+	if err := s.stores.SwapRing(ri.Epoch, ri.Nodes, ri.VirtualNodes); err != nil {
+		s.cfg.Logger.Printf("cache %s: swapping to ring epoch %d: %v", s.cfg.Name, ri.Epoch, err)
+		return
+	}
+	newRing := s.stores.Ring()
+	if newRing == oldRing {
+		return // stale or duplicate publish
+	}
+	moved := ring.Moved(oldRing, newRing)
+	s.voidOwnedFills(moved)
+	deadline := ri.PublishedAt.Add(s.cfg.T)
+	if time.Until(deadline) < 0 {
+		// A very late swap (watcher outage): the publish-anchored
+		// deadline is already past, so fall back to now + T — the
+		// entries were provably fresh more recently than the publish.
+		deadline = time.Now().Add(s.cfg.T)
+	}
+	n := s.kv.ExpireOwnedBy(deadline, moved)
+	s.c.KeysDeadlined.Add(uint64(n))
+	s.c.RingSwaps.Inc()
+
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	current := make(map[string]struct{}, newRing.Len())
+	for _, addr := range newRing.Nodes() {
+		current[addr] = struct{}{}
+		if _, ok := s.subs[addr]; !ok {
+			s.startSubLocked(addr)
+		}
+	}
+	for addr, sub := range s.subs {
+		if _, ok := current[addr]; !ok {
+			sub.cancel()
+			delete(s.subs, addr)
+		}
+	}
+	s.cfg.Logger.Printf("cache %s: ring epoch %d: %d stores, %d resident keys deadlined",
+		s.cfg.Name, ri.Epoch, newRing.Len(), n)
 }
 
 // Addr returns the bound listener address (nil before Serve).
@@ -392,8 +525,8 @@ func (s *Server) subscriptionLoop(ctx context.Context, sub *shardSub) {
 		}
 		s.c.Disconnects.Inc()
 		if err != nil {
-			s.cfg.Logger.Printf("cache %s: shard %d (%s) subscription: %v",
-				s.cfg.Name, sub.idx, sub.addr, err)
+			s.cfg.Logger.Printf("cache %s: shard %s subscription: %v",
+				s.cfg.Name, sub.addr, err)
 		}
 		// This shard's push channel is down: its resident data was fresh
 		// at disconnect, so it may serve for at most T more. Keys owned
@@ -610,7 +743,9 @@ func (s *Server) StatsMap() map[string]uint64 {
 		"keys_deadlined":      s.c.KeysDeadlined.Value(),
 		"read_reports_sent":   s.c.ReadReportsSent.Value(),
 		"malformed_frames":    s.c.MalformedFrames.Value(),
-		"stores":              uint64(len(s.shards)),
+		"ring_swaps":          s.c.RingSwaps.Value(),
+		"ring_epoch":          s.stores.Epoch(),
+		"stores":              uint64(s.stores.Len()),
 		"resident":            uint64(s.kv.Len()),
 		"evictions":           s.kv.Evictions(),
 	}

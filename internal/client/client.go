@@ -209,3 +209,128 @@ func (c *Client) Stats() (map[string]uint64, error) {
 
 // Close tears down the transport's connections; in-flight requests fail.
 func (c *Client) Close() error { return c.tr.close() }
+
+// ---- Cluster control-plane calls (coordinator and store admin) ----
+
+// RingInfo is a versioned store-ring snapshot as published by the
+// cluster coordinator.
+type RingInfo struct {
+	// Epoch is the monotonic ring version; every membership change
+	// publishes a new one.
+	Epoch uint64
+	// Nodes are the store shard addresses in ring order.
+	Nodes []string
+	// VirtualNodes is the ring geometry every party must share.
+	VirtualNodes int
+	// PublishedAt is the coordinator's publish time — the moment
+	// routers may start using this ring, and therefore the staleness
+	// clock origin for entries whose ownership moved.
+	PublishedAt time.Time
+}
+
+func ringInfo(resp *proto.Msg) (RingInfo, error) {
+	if resp.Type != proto.MsgRingResp {
+		return RingInfo{}, fmt.Errorf("client: unexpected response %v to ring request", resp.Type)
+	}
+	return RingInfo{
+		Epoch:        resp.Epoch,
+		Nodes:        resp.Nodes,
+		VirtualNodes: int(resp.Version),
+		PublishedAt:  time.Unix(0, resp.Stamp),
+	}, nil
+}
+
+// RingGet fetches the coordinator's current published ring.
+func (c *Client) RingGet() (RingInfo, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgRingGet})
+	if err != nil {
+		return RingInfo{}, err
+	}
+	return ringInfo(resp)
+}
+
+// Join asks the coordinator to admit the store at storeAddr into the
+// ring; it returns the newly published ring once the key-range handoff
+// has completed.
+func (c *Client) Join(storeAddr string) (RingInfo, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgJoin, Key: storeAddr})
+	if err != nil {
+		return RingInfo{}, err
+	}
+	return ringInfo(resp)
+}
+
+// Drain asks the coordinator to remove the store at storeAddr from the
+// ring; it returns the newly published ring once the leaving store's
+// keys have been migrated to the remaining owners.
+func (c *Client) Drain(storeAddr string) (RingInfo, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgDrain, Key: storeAddr})
+	if err != nil {
+		return RingInfo{}, err
+	}
+	return ringInfo(resp)
+}
+
+// Adopt commands a store (addressed as identity self under the
+// candidate ring) to pull the key ranges the ring assigns to it from
+// the donor stores. It blocks until the handoff is applied.
+func (c *Client) Adopt(ri RingInfo, self string, donors []string) error {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgAdopt, Epoch: ri.Epoch,
+		Version: uint64(ri.VirtualNodes), Key: self, Nodes: ri.Nodes, Donors: donors})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to ADOPT", resp.Type)
+	}
+	return nil
+}
+
+// MigrateFence raises a store's global version counter to at least
+// version. A donor pushes this through its forwarding connection at
+// the instant of a handoff's forward switch, before any forwarded
+// write, so the versions the adopter assigns from then on order after
+// everything a cache observed from the donor.
+func (c *Client) MigrateFence(version uint64) error {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgMigrateDone, Version: version})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to version fence", resp.Type)
+	}
+	return nil
+}
+
+// MigrateRestore pushes migrated entries (key, value, donor version)
+// into a store under restore semantics: idempotent, and never
+// clobbering an entry the store has since written with a newer
+// version. Used for the final write tail of a handoff.
+func (c *Client) MigrateRestore(ops []proto.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	resp, err := c.do(&proto.Msg{Type: proto.MsgMigrateChunk, Ops: ops})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to restore push", resp.Type)
+	}
+	return nil
+}
+
+// Release tells a store (identity self) that the attached ring is
+// published: it drops the keys the ring no longer assigns to it and
+// forwards stragglers to the new owners.
+func (c *Client) Release(ri RingInfo, self string) error {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgRelease, Epoch: ri.Epoch,
+		Version: uint64(ri.VirtualNodes), Key: self, Nodes: ri.Nodes})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to RELEASE", resp.Type)
+	}
+	return nil
+}

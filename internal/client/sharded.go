@@ -3,6 +3,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
@@ -24,13 +27,44 @@ func ResolveStoreAddrs(addr string, addrs []string) ([]string, error) {
 	}
 }
 
+// ShardError annotates a per-shard failure inside a fan-out call.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+// Error implements error.
+func (e ShardError) Error() string {
+	return fmt.Sprintf("client: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying transport or server error.
+func (e ShardError) Unwrap() error { return e.Err }
+
+// shardView is one immutable routing generation: the ring and the
+// per-node clients aligned with it. Key-addressed calls load exactly
+// one view, so a concurrent ring swap can never route a key with one
+// generation's ring and another generation's client list.
+type shardView struct {
+	epoch   uint64
+	r       *ring.Ring
+	clients []*Client
+}
+
 // Sharded routes requests across a consistent-hash ring of freshcache
 // nodes — the client-side view of a sharded authority (or a cache
 // fleet): key-addressed calls go to the ring owner, aggregate calls fan
-// out to every node.
+// out to every node. The ring is swappable at runtime (SwapRing): under
+// dynamic cluster membership the routing generation is replaced
+// atomically when the coordinator publishes a new ring epoch, reusing
+// the live connections of every node present in both generations.
 type Sharded struct {
-	r       *ring.Ring
-	clients []*Client
+	opts Options
+
+	mu     sync.Mutex // serializes SwapRing and Close
+	closed bool
+	v      atomic.Pointer[shardView]
 }
 
 // NewSharded builds a sharded client over addrs with virtualNodes ring
@@ -41,27 +75,83 @@ func NewSharded(addrs []string, virtualNodes int, opts Options) (*Sharded, error
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	s := &Sharded{r: r, clients: make([]*Client, r.Len())}
+	view := &shardView{r: r, clients: make([]*Client, r.Len())}
 	for i, addr := range r.Nodes() {
-		s.clients[i] = New(addr, opts)
+		view.clients[i] = New(addr, opts)
 	}
+	s := &Sharded{opts: opts}
+	s.v.Store(view)
 	return s, nil
 }
 
-// Ring exposes the routing ring (shared, read-only).
-func (s *Sharded) Ring() *ring.Ring { return s.r }
+// swapCloseGrace is how long a node removed from the ring keeps its
+// client open after a swap: requests that loaded the previous routing
+// generation may still be in flight on it, and a drained store keeps
+// serving (and forwarding) exactly for this window — closing eagerly
+// would fail them for no reason.
+const swapCloseGrace = 5 * time.Second
+
+// SwapRing atomically replaces the routing ring with a newer epoch's
+// node list: clients for continuing nodes are reused (their connections
+// stay live), clients for added nodes are created lazily, and clients
+// for removed nodes are closed a grace period after the swap. A swap
+// to an epoch not newer than the current one is a no-op — watchers may
+// deliver duplicates or reorder.
+func (s *Sharded) SwapRing(epoch uint64, addrs []string, virtualNodes int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cur := s.v.Load()
+	if epoch <= cur.epoch {
+		return nil
+	}
+	r, err := ring.New(addrs, virtualNodes)
+	if err != nil {
+		return fmt.Errorf("client: swapping ring: %w", err)
+	}
+	old := make(map[string]*Client, len(cur.clients))
+	for i, c := range cur.clients {
+		old[cur.r.Node(i)] = c
+	}
+	view := &shardView{epoch: epoch, r: r, clients: make([]*Client, r.Len())}
+	for i, addr := range r.Nodes() {
+		if c, ok := old[addr]; ok {
+			view.clients[i] = c
+			delete(old, addr)
+		} else {
+			view.clients[i] = New(addr, s.opts)
+		}
+	}
+	s.v.Store(view)
+	for _, c := range old { // nodes no longer in the ring
+		time.AfterFunc(swapCloseGrace, func() { c.Close() })
+	}
+	return nil
+}
+
+// Epoch returns the ring epoch of the current routing generation (0
+// until the first swap on a statically configured ring).
+func (s *Sharded) Epoch() uint64 { return s.v.Load().epoch }
+
+// Ring exposes the current routing ring (shared, read-only).
+func (s *Sharded) Ring() *ring.Ring { return s.v.Load().r }
 
 // Len returns the number of shards.
-func (s *Sharded) Len() int { return len(s.clients) }
+func (s *Sharded) Len() int { return len(s.v.Load().clients) }
 
 // Owner returns the shard index owning key.
-func (s *Sharded) Owner(key string) int { return s.r.Owner(key) }
+func (s *Sharded) Owner(key string) int { return s.v.Load().r.Owner(key) }
 
 // Shard returns the per-node client for shard i.
-func (s *Sharded) Shard(i int) *Client { return s.clients[i] }
+func (s *Sharded) Shard(i int) *Client { return s.v.Load().clients[i] }
 
 // For returns the client owning key.
-func (s *Sharded) For(key string) *Client { return s.clients[s.r.Owner(key)] }
+func (s *Sharded) For(key string) *Client {
+	v := s.v.Load()
+	return v.clients[v.r.Owner(key)]
+}
 
 // Get fetches key from its owning shard.
 func (s *Sharded) Get(key string) ([]byte, uint64, error) { return s.For(key).Get(key) }
@@ -77,12 +167,13 @@ func (s *Sharded) Put(key string, value []byte) (uint64, error) { return s.For(k
 // traffic for the keys it owns. The first error is returned after all
 // shards are attempted.
 func (s *Sharded) ReadReport(reports []proto.ReadReport) error {
-	if len(s.clients) == 1 {
-		return s.clients[0].ReadReport(reports)
+	v := s.v.Load()
+	if len(v.clients) == 1 {
+		return v.clients[0].ReadReport(reports)
 	}
-	byShard := make([][]proto.ReadReport, len(s.clients))
+	byShard := make([][]proto.ReadReport, len(v.clients))
 	for _, rp := range reports {
-		i := s.r.Owner(rp.Key)
+		i := v.r.Owner(rp.Key)
 		byShard[i] = append(byShard[i], rp)
 	}
 	var firstErr error
@@ -90,42 +181,61 @@ func (s *Sharded) ReadReport(reports []proto.ReadReport) error {
 		if len(part) == 0 {
 			continue
 		}
-		if err := s.clients[i].ReadReport(part); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+		if err := v.clients[i].ReadReport(part); err != nil && firstErr == nil {
+			firstErr = ShardError{Shard: i, Addr: v.r.Node(i), Err: err}
 		}
 	}
 	return firstErr
 }
 
-// Ping probes every shard; the first failure is returned.
-func (s *Sharded) Ping() error {
-	for i, c := range s.clients {
+// Ping probes every shard and returns one ShardError per unreachable
+// shard (nil when the whole fleet answered). A down shard does not
+// mask the health of the others.
+func (s *Sharded) Ping() []ShardError {
+	v := s.v.Load()
+	var errs []ShardError
+	for i, c := range v.clients {
 		if err := c.Ping(); err != nil {
-			return fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+			errs = append(errs, ShardError{Shard: i, Addr: v.r.Node(i), Err: err})
 		}
 	}
-	return nil
+	return errs
 }
 
-// Stats fetches and sums counter maps across all shards.
-func (s *Sharded) Stats() (map[string]uint64, error) {
+// Stats fetches and sums counter maps across all shards. A down shard
+// does not fail the aggregate: its error is reported in the ShardError
+// slice and the partial sum over the reachable shards is returned,
+// with a "shards_reporting" entry recording how many contributed.
+func (s *Sharded) Stats() (map[string]uint64, []ShardError) {
+	v := s.v.Load()
 	total := make(map[string]uint64)
-	for i, c := range s.clients {
+	var errs []ShardError
+	reporting := uint64(0)
+	for i, c := range v.clients {
 		m, err := c.Stats()
 		if err != nil {
-			return nil, fmt.Errorf("client: shard %d (%s): %w", i, s.r.Node(i), err)
+			errs = append(errs, ShardError{Shard: i, Addr: v.r.Node(i), Err: err})
+			continue
 		}
-		for k, v := range m {
-			total[k] += v
+		reporting++
+		for k, val := range m {
+			total[k] += val
 		}
 	}
-	return total, nil
+	total["shards_reporting"] = reporting
+	return total, errs
 }
 
 // Close tears down every shard's pool.
 func (s *Sharded) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	var firstErr error
-	for _, c := range s.clients {
+	for _, c := range s.v.Load().clients {
 		if err := c.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -1,0 +1,111 @@
+package client
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// A down shard must not fail the whole Stats/Ping fan-out: the healthy
+// shards' results come back, annotated with the per-shard error.
+func TestShardedPartialStatsAndPing(t *testing.T) {
+	up1, _ := echoServer(t)
+	up2, _ := echoServer(t)
+	down := deadAddr(t)
+
+	s, err := NewSharded([]string{up1, down, up2}, 16, Options{
+		DialTimeout: 250 * time.Millisecond, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stats, errs := s.Stats()
+	if len(errs) != 1 {
+		t.Fatalf("Stats errors = %v, want exactly the down shard", errs)
+	}
+	if errs[0].Addr != down {
+		t.Errorf("Stats error names %s, want %s", errs[0].Addr, down)
+	}
+	if stats["x"] != 2 {
+		t.Errorf("partial aggregate x = %d, want 2 (both healthy shards)", stats["x"])
+	}
+	if stats["shards_reporting"] != 2 {
+		t.Errorf("shards_reporting = %d, want 2", stats["shards_reporting"])
+	}
+
+	perrs := s.Ping()
+	if len(perrs) != 1 || perrs[0].Addr != down {
+		t.Fatalf("Ping errors = %v, want exactly the down shard", perrs)
+	}
+
+	// A fully healthy fleet reports no errors.
+	s2, err := NewSharded([]string{up1, up2}, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if errs := s2.Ping(); errs != nil {
+		t.Fatalf("healthy Ping errors = %v", errs)
+	}
+	if _, errs := s2.Stats(); errs != nil {
+		t.Fatalf("healthy Stats errors = %v", errs)
+	}
+}
+
+// SwapRing must gate on epoch, reroute keys to the grown ring, and
+// keep serving through the swap on reused connections.
+func TestShardedSwapRing(t *testing.T) {
+	a, _ := echoServer(t)
+	b, _ := echoServer(t)
+	c, _ := echoServer(t)
+
+	s, err := NewSharded([]string{a, b}, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Epoch() != 0 || s.Len() != 2 {
+		t.Fatalf("initial epoch/len = %d/%d", s.Epoch(), s.Len())
+	}
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.SwapRing(2, []string{a, b, c}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 2 || s.Len() != 3 {
+		t.Fatalf("post-swap epoch/len = %d/%d", s.Epoch(), s.Len())
+	}
+	// Stale and duplicate publishes are no-ops.
+	if err := s.SwapRing(1, []string{a}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwapRing(2, []string{a}, 16); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("stale swap changed the ring: len = %d", s.Len())
+	}
+	// The grown fleet still serves key-addressed calls.
+	if _, err := s.Put("k2", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.Ping(); errs != nil {
+		t.Fatalf("Ping after swap: %v", errs)
+	}
+}

@@ -1,0 +1,263 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"testing"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/cluster"
+	"freshcache/internal/ring"
+	"freshcache/internal/store"
+)
+
+func quiet() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func startStore(t *testing.T, shard string) (*store.Server, string) {
+	t.Helper()
+	st := store.New(store.Config{ShardID: shard, T: time.Hour, Logger: quiet()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { st.Close() })
+	return st, ln.Addr().String()
+}
+
+func startCoordinator(t *testing.T, stores []string) (*cluster.Coordinator, string) {
+	t.Helper()
+	co, err := cluster.New(cluster.Config{Stores: stores, Logger: quiet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { co.Close() })
+	return co, ln.Addr().String()
+}
+
+// TestJoinMigratesOnlyMovedRange drives a full join through the
+// coordinator: the joiner must end up with exactly the keys the new
+// ring assigns to it (versions preserved, tracker warm-started), the
+// donors must forward reads and writes for the moved keys after
+// release, and the published ring must reach watchers.
+func TestJoinMigratesOnlyMovedRange(t *testing.T) {
+	st0, addr0 := startStore(t, "shard-0")
+	st1, addr1 := startStore(t, "shard-1")
+	co, coAddr := startCoordinator(t, []string{addr0, addr1})
+
+	sc, err := client.NewSharded([]string{addr0, addr1}, 0, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	const nkeys = 120
+	for i := 0; i < nkeys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if _, err := sc.Put(key, []byte(fmt.Sprintf("v-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		// Read a few times so the donors' trackers have state to hand over.
+		if _, _, err := sc.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, addr2 := startStore(t, "shard-2")
+	oldRing := sc.Ring()
+	newRing, err := ring.New([]string{addr0, addr1, addr2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedTo2 := 0
+	for i := 0; i < nkeys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if oldRing.OwnerAddr(key) != newRing.OwnerAddr(key) {
+			if newRing.OwnerAddr(key) != addr2 {
+				t.Fatalf("key %q moved between survivors", key)
+			}
+			movedTo2++
+		}
+	}
+	if movedTo2 == 0 {
+		t.Fatal("no key moves to the joiner; test is vacuous")
+	}
+
+	ri, err := co.Join(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Epoch != 2 || len(ri.Nodes) != 3 {
+		t.Fatalf("published ring = epoch %d, %d nodes", ri.Epoch, len(ri.Nodes))
+	}
+
+	// The joiner holds exactly the moved keys, versions preserved.
+	if got := st2.Authority().Len(); got != movedTo2 {
+		t.Errorf("joiner holds %d keys, ring moves %d", got, movedTo2)
+	}
+	for i := 0; i < nkeys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if newRing.OwnerAddr(key) != addr2 {
+			continue
+		}
+		v2, ver2, ok := st2.Authority().Get(key)
+		if !ok {
+			t.Fatalf("moved key %q missing at the joiner", key)
+		}
+		if string(v2) != fmt.Sprintf("v-%03d", i) {
+			t.Errorf("moved key %q = %q", key, v2)
+		}
+		if ver2 == 0 {
+			t.Errorf("moved key %q lost its version", key)
+		}
+		// Tracker warm-start: the joiner's engine knows the key.
+		if r, w := st2.Engine().KeyFreq(key); r == 0 && w == 0 {
+			t.Errorf("moved key %q cold-started the joiner's tracker", key)
+		}
+	}
+
+	// Donors released the moved keys...
+	if n0, n1 := st0.Authority().Len(), st1.Authority().Len(); n0+n1 != nkeys-movedTo2 {
+		t.Errorf("donors hold %d keys, want %d", n0+n1, nkeys-movedTo2)
+	}
+	// ...but still serve them by forwarding (stale-epoch routers).
+	var movedKey string
+	for i := 0; i < nkeys; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if newRing.OwnerAddr(key) == addr2 {
+			movedKey = key
+			break
+		}
+	}
+	donor := client.New(oldRing.OwnerAddr(movedKey), client.Options{})
+	defer donor.Close()
+	if v, _, err := donor.Get(movedKey); err != nil || string(v) == "" {
+		t.Fatalf("donor no longer serves moved key %q: %q %v", movedKey, v, err)
+	}
+	if ver, err := donor.Put(movedKey, []byte("fwd")); err != nil || ver == 0 {
+		t.Fatalf("donor refused forwarded write: v%d %v", ver, err)
+	}
+	if v, _, ok := st2.Authority().Get(movedKey); !ok || string(v) != "fwd" {
+		t.Fatalf("forwarded write did not reach the new owner: %q %v", v, ok)
+	}
+
+	// The published ring is served over the wire and matches.
+	cc := client.New(coAddr, client.Options{})
+	defer cc.Close()
+	got, err := cc.RingGet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != ri.Epoch || len(got.Nodes) != 3 || got.VirtualNodes != ri.VirtualNodes {
+		t.Errorf("RingGet = %+v, want %+v", got, ri)
+	}
+	if got.PublishedAt.IsZero() {
+		t.Error("RingGet lost the publish timestamp")
+	}
+
+	// Membership sanity: double join and unknown drain are rejected.
+	if _, err := co.Join(addr2); err == nil {
+		t.Error("double join succeeded")
+	}
+	if _, err := co.Drain("127.0.0.1:1"); err == nil {
+		t.Error("drain of a non-member succeeded")
+	}
+}
+
+// TestDrainMovesKeysToSurvivors drains a store and checks its whole
+// keyspace lands on the survivors, with the leaver forwarding.
+func TestDrainMovesKeysToSurvivors(t *testing.T) {
+	st0, addr0 := startStore(t, "shard-0")
+	st1, addr1 := startStore(t, "shard-1")
+	co, _ := startCoordinator(t, []string{addr0, addr1})
+
+	sc, err := client.NewSharded([]string{addr0, addr1}, 0, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	const nkeys = 60
+	for i := 0; i < nkeys; i++ {
+		if _, err := sc.Put(fmt.Sprintf("key-%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before1 := st1.Authority().Len()
+	if before1 == 0 {
+		t.Fatal("store 1 owns nothing; test is vacuous")
+	}
+
+	ri, err := co.Drain(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.Nodes) != 1 || ri.Nodes[0] != addr0 {
+		t.Fatalf("post-drain ring = %v", ri.Nodes)
+	}
+	if got := st0.Authority().Len(); got != nkeys {
+		t.Errorf("survivor holds %d keys, want %d", got, nkeys)
+	}
+	if got := st1.Authority().Len(); got != 0 {
+		t.Errorf("drained store still holds %d keys", got)
+	}
+	// The drained store forwards stragglers.
+	c1 := client.New(addr1, client.Options{})
+	defer c1.Close()
+	if v, _, err := c1.Get("key-000"); err != nil || string(v) != "v" {
+		t.Fatalf("drained store does not forward reads: %q %v", v, err)
+	}
+	// Draining the last store is refused.
+	if _, err := co.Drain(addr0); err == nil {
+		t.Error("drained the last store")
+	}
+}
+
+// TestWatcherDeliversEpochsInOrder checks the poll loop fires once per
+// published epoch with the right payload.
+func TestWatcherDeliversEpochsInOrder(t *testing.T) {
+	_, addr0 := startStore(t, "shard-0")
+	co, coAddr := startCoordinator(t, []string{addr0})
+
+	ri, err := cluster.FetchRing(coAddr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Epoch != 1 || len(ri.Nodes) != 1 {
+		t.Fatalf("initial ring = %+v", ri)
+	}
+
+	got := make(chan client.RingInfo, 4)
+	w := cluster.NewWatcher(coAddr, 10*time.Millisecond, ri.Epoch, func(ri client.RingInfo) {
+		got <- ri
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	_, addr1 := startStore(t, "shard-1")
+	if _, err := co.Join(addr1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ri := <-got:
+		if ri.Epoch != 2 || len(ri.Nodes) != 2 {
+			t.Fatalf("watcher delivered %+v", ri)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never delivered the new epoch")
+	}
+	select {
+	case ri := <-got:
+		t.Fatalf("watcher delivered a duplicate: %+v", ri)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

@@ -1,0 +1,413 @@
+// Package cluster is the control plane for dynamic store membership:
+// a coordinator that versions the store ring (monotonic ring epochs),
+// admits joins and drains at runtime, and orchestrates the key-range
+// handoff so the data plane reshards live while bounded staleness
+// holds end to end.
+//
+// A membership change runs in three strictly ordered phases:
+//
+//  1. Adopt — the stores gaining key ranges pull them from the losing
+//     stores (proto.MsgAdopt → MsgMigrate stream, see internal/store).
+//     The published ring is untouched; routers keep routing to the old
+//     owners, which keep serving (and keep pushing freshness traffic).
+//  2. Publish — the coordinator bumps the ring epoch. Watching parties
+//     (caches, the LB, sharded clients) observe the new epoch, swap
+//     rings atomically, re-scope their per-shard subscriptions, and
+//     stamp every entry whose ownership moved with a hard deadline of
+//     publish-time + T: whatever freshness signal the old owner can no
+//     longer provide, the deadline provides.
+//  3. Release — the losing stores drop the moved keys and forward
+//     stragglers (requests from parties still on the old epoch) to the
+//     new owners.
+//
+// Because adoption completes before publish, and the old owners keep
+// serving and forwarding until every watcher has swapped, no read ever
+// observes data staler than T across the transition.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/proto"
+	"freshcache/internal/ring"
+)
+
+// Config configures a coordinator.
+type Config struct {
+	// Stores is the initial ring membership (at least one address).
+	Stores []string
+	// VirtualNodes is the ring geometry shared by every party; <= 0
+	// uses ring.DefaultVirtualNodes.
+	VirtualNodes int
+	// ChangeTimeout bounds one membership change's store RPCs (the
+	// adopt pull can move a lot of data); defaults to 60s.
+	ChangeTimeout time.Duration
+	// Logger receives diagnostics; nil uses the standard logger.
+	Logger *log.Logger
+}
+
+func (c *Config) fill() error {
+	if len(c.Stores) == 0 {
+		return errors.New("cluster: at least one initial store is required")
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = ring.DefaultVirtualNodes
+	}
+	if c.ChangeTimeout <= 0 {
+		c.ChangeTimeout = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return nil
+}
+
+// Coordinator is a live control-plane node.
+type Coordinator struct {
+	cfg Config
+
+	// changeMu serializes membership changes; state reads (RingGet
+	// polls) only take mu, so watchers are never blocked behind a
+	// migration.
+	changeMu sync.Mutex
+	// pending, when non-empty, names the store of a membership change
+	// that failed partway (some donors may already be forwarding their
+	// arcs to a store the ring never published). Until the same change
+	// is retried to completion, other membership changes are refused:
+	// a different change would reuse the candidate epoch and release
+	// the half-switched donors, stranding acknowledged writes on the
+	// unpublished store. Guarded by changeMu.
+	pending string
+
+	mu          sync.Mutex
+	epoch       uint64
+	nodes       []string
+	publishedAt time.Time
+	joins       uint64
+	drains      uint64
+	failed      uint64
+
+	ln     net.Listener
+	cancel chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a coordinator; the initial ring is epoch 1.
+func New(cfg Config) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if _, err := ring.New(cfg.Stores, cfg.VirtualNodes); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return &Coordinator{
+		cfg:         cfg,
+		epoch:       1,
+		nodes:       append([]string(nil), cfg.Stores...),
+		publishedAt: time.Now(),
+		cancel:      make(chan struct{}),
+	}, nil
+}
+
+// RingInfo snapshots the current published ring.
+func (co *Coordinator) RingInfo() client.RingInfo {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return client.RingInfo{
+		Epoch:        co.epoch,
+		Nodes:        append([]string(nil), co.nodes...),
+		VirtualNodes: co.cfg.VirtualNodes,
+		PublishedAt:  co.publishedAt,
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (co *Coordinator) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	return co.Serve(ln)
+}
+
+// Serve accepts connections until Close. Control-plane traffic is
+// strictly request/response, so each connection runs one synchronous
+// loop; a join or drain blocks only its own connection.
+func (co *Coordinator) Serve(ln net.Listener) error {
+	co.mu.Lock()
+	co.ln = ln
+	co.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		co.wg.Add(1)
+		go co.handleConn(conn)
+	}
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (co *Coordinator) Addr() net.Addr {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.ln == nil {
+		return nil
+	}
+	return co.ln.Addr()
+}
+
+// Close stops the coordinator.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	ln := co.ln
+	co.mu.Unlock()
+	select {
+	case <-co.cancel:
+	default:
+		close(co.cancel)
+	}
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	co.wg.Wait()
+	return err
+}
+
+func (co *Coordinator) handleConn(conn net.Conn) {
+	defer co.wg.Done()
+	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-co.cancel:
+			conn.Close()
+		case <-done:
+		}
+	}()
+	r, w := proto.NewReader(conn), proto.NewWriter(conn)
+	for {
+		m, err := r.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-co.cancel:
+				default:
+					co.cfg.Logger.Printf("cluster: conn %s: %v", conn.RemoteAddr(), err)
+				}
+			}
+			return
+		}
+		if err := w.WriteMsg(co.dispatch(m)); err != nil {
+			return
+		}
+	}
+}
+
+func ringResp(seq uint64, ri client.RingInfo) *proto.Msg {
+	return &proto.Msg{Type: proto.MsgRingResp, Seq: seq, Epoch: ri.Epoch,
+		Stamp: ri.PublishedAt.UnixNano(), Version: uint64(ri.VirtualNodes), Nodes: ri.Nodes}
+}
+
+func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
+	switch m.Type {
+	case proto.MsgRingGet:
+		return ringResp(m.Seq, co.RingInfo())
+	case proto.MsgJoin:
+		ri, err := co.Join(m.Key)
+		if err != nil {
+			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+		}
+		return ringResp(m.Seq, ri)
+	case proto.MsgDrain:
+		ri, err := co.Drain(m.Key)
+		if err != nil {
+			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+		}
+		return ringResp(m.Seq, ri)
+	case proto.MsgPing:
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgStats:
+		co.mu.Lock()
+		st := map[string]uint64{
+			"ring_epoch": co.epoch,
+			"stores":     uint64(len(co.nodes)),
+			"joins":      co.joins,
+			"drains":     co.drains,
+			"failed":     co.failed,
+		}
+		co.mu.Unlock()
+		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: st}
+	default:
+		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
+			Err: fmt.Sprintf("cluster: unexpected message %v", m.Type)}
+	}
+}
+
+// storeClient dials a short-lived control client for one store RPC.
+func (co *Coordinator) storeClient(addr string) *client.Client {
+	return client.New(addr, client.Options{
+		MaxConns:       1,
+		RequestTimeout: co.cfg.ChangeTimeout,
+		MaxAttempts:    1,
+	})
+}
+
+// Join admits a new store: adopt (the joiner pulls its range from
+// every current owner), publish (epoch+1), release (the donors drop
+// the moved keys and forward stragglers).
+func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
+	co.changeMu.Lock()
+	defer co.changeMu.Unlock()
+	if addr == "" {
+		return client.RingInfo{}, errors.New("cluster: join: empty store address")
+	}
+	if err := co.admitChange(addr); err != nil {
+		return client.RingInfo{}, err
+	}
+	cur := co.RingInfo()
+	for _, n := range cur.Nodes {
+		if n == addr {
+			return client.RingInfo{}, fmt.Errorf("cluster: join: %s is already a ring member", addr)
+		}
+	}
+	cand := client.RingInfo{
+		Epoch:        cur.Epoch + 1,
+		Nodes:        append(append([]string(nil), cur.Nodes...), addr),
+		VirtualNodes: cur.VirtualNodes,
+	}
+	joiner := co.storeClient(addr)
+	defer joiner.Close()
+	if err := joiner.Ping(); err != nil {
+		co.noteFailed()
+		return client.RingInfo{}, fmt.Errorf("cluster: join: store %s unreachable: %w", addr, err)
+	}
+	co.cfg.Logger.Printf("cluster: join %s: adopting from %v (epoch %d)", addr, cur.Nodes, cand.Epoch)
+	if err := joiner.Adopt(cand, addr, cur.Nodes); err != nil {
+		// A donor may already have switched its arc to forwarding;
+		// latch the change so only a retry of this same join (which
+		// re-streams idempotently) can run next.
+		co.pending = addr
+		co.noteFailed()
+		return client.RingInfo{}, fmt.Errorf("cluster: join: adopt failed (retry `join %s` to complete): %w", addr, err)
+	}
+	co.pending = ""
+	ri := co.publish(cand)
+	co.mu.Lock()
+	co.joins++
+	co.mu.Unlock()
+	co.release(ri, cur.Nodes)
+	co.cfg.Logger.Printf("cluster: join %s: published ring epoch %d (%d stores)",
+		addr, ri.Epoch, len(ri.Nodes))
+	return ri, nil
+}
+
+// Drain removes a store: every remaining store adopts its share of the
+// leaving store's range, the ring publishes without it, and the
+// leaving store releases (drops everything, forwards stragglers). The
+// store process itself is left running for the operator to stop.
+func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
+	co.changeMu.Lock()
+	defer co.changeMu.Unlock()
+	if err := co.admitChange(addr); err != nil {
+		return client.RingInfo{}, err
+	}
+	cur := co.RingInfo()
+	remaining := make([]string, 0, len(cur.Nodes))
+	for _, n := range cur.Nodes {
+		if n != addr {
+			remaining = append(remaining, n)
+		}
+	}
+	if len(remaining) == len(cur.Nodes) {
+		return client.RingInfo{}, fmt.Errorf("cluster: drain: %s is not a ring member", addr)
+	}
+	if len(remaining) == 0 {
+		return client.RingInfo{}, errors.New("cluster: drain: refusing to drain the last store")
+	}
+	cand := client.RingInfo{
+		Epoch:        cur.Epoch + 1,
+		Nodes:        remaining,
+		VirtualNodes: cur.VirtualNodes,
+	}
+	co.cfg.Logger.Printf("cluster: drain %s: %d stores adopting (epoch %d)",
+		addr, len(remaining), cand.Epoch)
+	for _, node := range remaining {
+		c := co.storeClient(node)
+		err := c.Adopt(cand, node, []string{addr})
+		c.Close()
+		if err != nil {
+			co.pending = addr
+			co.noteFailed()
+			return client.RingInfo{}, fmt.Errorf("cluster: drain: adopt by %s failed (retry `drain %s` to complete): %w",
+				node, addr, err)
+		}
+	}
+	co.pending = ""
+	ri := co.publish(cand)
+	co.mu.Lock()
+	co.drains++
+	co.mu.Unlock()
+	co.release(ri, append(remaining, addr))
+	co.cfg.Logger.Printf("cluster: drain %s: published ring epoch %d (%d stores)",
+		addr, ri.Epoch, len(ri.Nodes))
+	return ri, nil
+}
+
+// publish installs the candidate ring as the current one.
+func (co *Coordinator) publish(cand client.RingInfo) client.RingInfo {
+	co.mu.Lock()
+	co.epoch = cand.Epoch
+	co.nodes = cand.Nodes
+	co.publishedAt = time.Now()
+	cand.PublishedAt = co.publishedAt
+	co.mu.Unlock()
+	return cand
+}
+
+// release tells each target store the ring is published so it can drop
+// keys it no longer owns and forward stragglers. Failures are logged,
+// not fatal: an unreleased store merely holds (and keeps forwarding
+// for) a little extra data until the next change reaches it.
+func (co *Coordinator) release(ri client.RingInfo, targets []string) {
+	seen := make(map[string]struct{}, len(targets))
+	sorted := append([]string(nil), targets...)
+	sort.Strings(sorted)
+	for _, node := range sorted {
+		if _, dup := seen[node]; dup {
+			continue
+		}
+		seen[node] = struct{}{}
+		c := co.storeClient(node)
+		if err := c.Release(ri, node); err != nil {
+			co.cfg.Logger.Printf("cluster: release to %s: %v", node, err)
+		}
+		c.Close()
+	}
+}
+
+func (co *Coordinator) noteFailed() {
+	co.mu.Lock()
+	co.failed++
+	co.mu.Unlock()
+}
+
+// admitChange enforces the pending-change latch; caller holds
+// changeMu.
+func (co *Coordinator) admitChange(addr string) error {
+	if co.pending != "" && co.pending != addr {
+		return fmt.Errorf("cluster: a membership change for %s is incomplete; retry it before changing %s",
+			co.pending, addr)
+	}
+	return nil
+}

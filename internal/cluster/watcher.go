@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"freshcache/internal/client"
+)
+
+// FetchRing fetches the coordinator's published ring, retrying until
+// the deadline — the startup path for caches, LBs and benches that
+// bootstrap their store list from the cluster instead of flags.
+func FetchRing(coordAddr string, timeout time.Duration) (client.RingInfo, error) {
+	c := client.New(coordAddr, client.Options{
+		MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
+	})
+	defer c.Close()
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for {
+		ri, err := c.RingGet()
+		if err == nil {
+			return ri, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return client.RingInfo{}, fmt.Errorf("cluster: fetching ring from %s: %w", coordAddr, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Watcher polls the coordinator for ring-epoch changes and delivers
+// each newly published ring exactly once, in epoch order. Polling (as
+// opposed to a push stream) keeps the control plane stateless about
+// its watchers and degrades gracefully: a watcher that misses an
+// epoch simply swaps straight to the latest one.
+type Watcher struct {
+	addr      string
+	interval  time.Duration
+	onChange  func(client.RingInfo)
+	lastEpoch uint64
+	c         *client.Client
+}
+
+// NewWatcher builds a watcher that invokes onChange for every ring
+// published after sinceEpoch. onChange runs on the watcher goroutine;
+// keep it brief (an atomic swap plus bookkeeping).
+func NewWatcher(coordAddr string, interval time.Duration, sinceEpoch uint64, onChange func(client.RingInfo)) *Watcher {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	return &Watcher{
+		addr:      coordAddr,
+		interval:  interval,
+		onChange:  onChange,
+		lastEpoch: sinceEpoch,
+		c: client.New(coordAddr, client.Options{
+			MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
+		}),
+	}
+}
+
+// Run polls until ctx is done. Poll failures are transient by design
+// (the data plane keeps serving under its current ring), so they are
+// swallowed; the next successful poll catches up.
+func (w *Watcher) Run(ctx context.Context) {
+	defer w.c.Close()
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			ri, err := w.c.RingGet()
+			if err != nil || ri.Epoch <= w.lastEpoch {
+				continue
+			}
+			w.lastEpoch = ri.Epoch
+			w.onChange(ri)
+		}
+	}
+}

@@ -199,6 +199,38 @@ func (e *Engine) ObserveWrite(key string) {
 	e.mu.Unlock()
 }
 
+// KeyFreq returns the tracker's (possibly approximate) read and write
+// counts for key — the per-key policy state a store exports when the
+// key migrates to another shard.
+func (e *Engine) KeyFreq(key string) (reads, writes uint64) {
+	h := sketch.Hash(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.decider.Tracker.Reads(h), e.decider.Tracker.Writes(h)
+}
+
+// WarmStart replays a migrated key's read/write counts into the
+// tracker so the update-vs-invalidate decision does not cold-start on
+// the adopting shard. The writes are replayed first, then the reads:
+// the first read folds the whole write run into one E[W] sample and
+// the rest contribute zero-write samples, leaving E[W] ≈ writes/reads
+// — the donor's steady-state estimate. The key is not marked dirty; a
+// migration is not a write.
+func (e *Engine) WarmStart(key string, reads, writes uint64) {
+	if reads == 0 && writes == 0 {
+		return
+	}
+	h := sketch.Hash(key)
+	e.mu.Lock()
+	if writes > 0 {
+		e.decider.Tracker.ObserveWriteN(h, writes)
+	}
+	if reads > 0 {
+		e.decider.Tracker.ObserveReadN(h, reads)
+	}
+	e.mu.Unlock()
+}
+
 // NoteFilled tells the engine the cache re-fetched key (a miss was
 // served), so the cache's copy is fresh again and future writes must send
 // a fresh invalidate rather than being deduplicated away.

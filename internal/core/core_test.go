@@ -249,3 +249,41 @@ func TestActionString(t *testing.T) {
 		t.Error("unknown action should stringify")
 	}
 }
+
+// WarmStart must reproduce the donor's E[W] ≈ writes/reads estimate on
+// a fresh tracker, and must not mark the key dirty.
+func TestWarmStartReproducesEW(t *testing.T) {
+	donor := NewEngine(Config{})
+	for i := 0; i < 30; i++ {
+		donor.ObserveWrite("k")
+		donor.ObserveWrite("k")
+		donor.ObserveWrite("k")
+		donor.ObserveRead("k")
+	}
+	r, w := donor.KeyFreq("k")
+	if r != 30 || w != 90 {
+		t.Fatalf("donor freq = %d reads / %d writes, want 30/90", r, w)
+	}
+
+	adopter := NewEngine(Config{})
+	adopter.WarmStart("k", r, w)
+	r2, w2 := adopter.KeyFreq("k")
+	if r2 != r || w2 != w {
+		t.Fatalf("adopter freq = %d/%d, want %d/%d", r2, w2, r, w)
+	}
+	if adopter.DirtyCount() != 0 {
+		t.Fatalf("WarmStart marked %d keys dirty", adopter.DirtyCount())
+	}
+	// Both engines must agree on the decision-relevant estimate.
+	dew := engineEW(donor, "k")
+	aew := engineEW(adopter, "k")
+	if math.Abs(dew-aew)/dew > 0.25 {
+		t.Fatalf("E[W] drifted across migration: donor %.3f adopter %.3f", dew, aew)
+	}
+}
+
+func engineEW(e *Engine, key string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.decider.Tracker.EW(sketch.Hash(key))
+}

@@ -339,6 +339,85 @@ func (a *Authority) Get(key string) (value []byte, version uint64, ok bool) {
 	return e.value, e.version, true
 }
 
+// Version returns the current global version counter.
+func (a *Authority) Version() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.version
+}
+
+// BumpVersion raises the global version counter to at least v. During
+// a migration the adopting store bumps past the donor's counter before
+// accepting writes for the moved keys, so its future versions order
+// after every version a cache may already hold for them.
+func (a *Authority) BumpVersion(v uint64) {
+	a.mu.Lock()
+	if v > a.version {
+		a.version = v
+	}
+	a.mu.Unlock()
+}
+
+// MigEntry is one key's migratable state: the value slice is the
+// authority's own immutable copy (entries are replaced, never mutated
+// in place), so holding it across the migration stream is safe.
+type MigEntry struct {
+	Key     string
+	Value   []byte
+	Version uint64
+}
+
+// SnapshotOwned returns the entries whose key satisfies owns — the
+// moved-range snapshot a donor streams to the adopting store.
+func (a *Authority) SnapshotOwned(owns func(key string) bool) []MigEntry {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []MigEntry
+	for k, e := range a.m {
+		if owns(k) {
+			out = append(out, MigEntry{Key: k, Value: e.value, Version: e.version})
+		}
+	}
+	return out
+}
+
+// Restore installs a migrated entry, keeping its donor-assigned version
+// and raising the global counter to at least that version. It refuses
+// to clobber an entry with an equal or newer version — a write the
+// adopter accepted itself (via forwarding) always beats migrated state,
+// which by protocol order is older. It reports whether the entry was
+// installed.
+func (a *Authority) Restore(key string, value []byte, version uint64, now time.Time) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if version > a.version {
+		a.version = version
+	}
+	if e, ok := a.m[key]; ok && e.version >= version {
+		return false
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	a.m[key] = authEntry{value: cp, version: version, written: now}
+	return true
+}
+
+// ReleaseNotOwned deletes every key that does not satisfy owns and
+// returns how many were dropped — the donor's cleanup once a new ring
+// epoch is published and the moved range is served elsewhere.
+func (a *Authority) ReleaseNotOwned(owns func(key string) bool) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dropped := 0
+	for k := range a.m {
+		if !owns(k) {
+			delete(a.m, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // LastWrite returns when key was last written.
 func (a *Authority) LastWrite(key string) (time.Time, bool) {
 	a.mu.RLock()

@@ -1,0 +1,191 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCacheScopedInvalidationRaces hammers InvalidateOwned and
+// ExpireOwnedBy against concurrent Put/Get/Delete traffic on a
+// capacity-bounded (hence evicting) cache. Run under -race this pins
+// the locking of the scoped-invalidation sweeps the resharding path
+// leans on; without -race it still checks the invariants that survive
+// the storm: entries owned by the swept half are stale or deadlined,
+// the other half is untouched by the sweeps.
+func TestCacheScopedInvalidationRaces(t *testing.T) {
+	const (
+		keys    = 512
+		workers = 8
+		rounds  = 200
+	)
+	c := NewCache(keys / 2) // force evictions
+	owned := func(key string) bool { return key[len(key)-1]%2 == 0 }
+
+	key := func(i int) string { return fmt.Sprintf("key-%04d", i) }
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			now := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key((i*workers + w) % keys)
+				switch i % 4 {
+				case 0:
+					c.Put(k, Entry{Value: []byte("v"), Version: uint64(i)})
+				case 1:
+					c.Get(k, now)
+				case 2:
+					c.Update(k, []byte("u"), uint64(i))
+				case 3:
+					c.Delete(k)
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(time.Hour)
+	for r := 0; r < rounds; r++ {
+		c.InvalidateOwned(owned)
+		c.ExpireOwnedBy(deadline, owned)
+		if r%50 == 0 {
+			c.Len()
+			c.Evictions()
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-storm sweep with quiescent writers: every resident owned
+	// entry must be stale afterwards, and no unowned entry may carry a
+	// deadline from the scoped sweeps.
+	c.InvalidateOwned(owned)
+	c.ExpireOwnedBy(deadline, owned)
+	now := time.Now()
+	for i := 0; i < keys; i++ {
+		k := key(i)
+		e, found, fresh := c.Get(k, now)
+		if !found {
+			continue
+		}
+		if owned(k) {
+			if fresh {
+				t.Fatalf("owned key %q still fresh after InvalidateOwned", k)
+			}
+		} else if e.ExpireAt.Equal(deadline) {
+			t.Fatalf("unowned key %q picked up the scoped deadline", k)
+		}
+	}
+}
+
+// TestAuthorityRestoreSemantics pins the migration install rules: a
+// restore keeps the donor version and bumps the counter, never clobbers
+// an equal-or-newer local entry, and a post-restore Put orders after
+// every migrated version.
+func TestAuthorityRestoreSemantics(t *testing.T) {
+	a := NewAuthority()
+	now := time.Now()
+
+	if !a.Restore("k", []byte("migrated"), 900, now) {
+		t.Fatal("restore into empty authority failed")
+	}
+	if v, ver, ok := a.Get("k"); !ok || string(v) != "migrated" || ver != 900 {
+		t.Fatalf("after restore: %q %d %v", v, ver, ok)
+	}
+	if got := a.Version(); got != 900 {
+		t.Fatalf("counter = %d, want 900", got)
+	}
+	// An older restore must not clobber.
+	if a.Restore("k", []byte("stale"), 850, now) {
+		t.Fatal("older restore clobbered a newer entry")
+	}
+	// A local write beats any earlier migrated version.
+	ver := a.Put("k", []byte("local"), now)
+	if ver <= 900 {
+		t.Fatalf("post-restore Put version %d does not order after migrated 900", ver)
+	}
+	if a.Restore("k", []byte("late-chunk"), 899, now) {
+		t.Fatal("late migration chunk clobbered a local write")
+	}
+	if v, _, _ := a.Get("k"); string(v) != "local" {
+		t.Fatalf("value = %q, want local write preserved", v)
+	}
+}
+
+func TestAuthoritySnapshotAndRelease(t *testing.T) {
+	a := NewAuthority()
+	now := time.Now()
+	owns := func(key string) bool { return key[len(key)-1]%2 == 0 }
+	for i := 0; i < 100; i++ {
+		a.Put(fmt.Sprintf("key-%04d", i), []byte("v"), now)
+	}
+	snap := a.SnapshotOwned(owns)
+	for _, e := range snap {
+		if !owns(e.Key) {
+			t.Fatalf("snapshot leaked unowned key %q", e.Key)
+		}
+	}
+	if len(snap) != 50 {
+		t.Fatalf("snapshot has %d entries, want 50", len(snap))
+	}
+	// Release the complement: exactly the snapshot keys survive.
+	if dropped := a.ReleaseNotOwned(owns); dropped != 50 {
+		t.Fatalf("released %d keys, want 50", dropped)
+	}
+	if a.Len() != 50 {
+		t.Fatalf("%d keys left, want 50", a.Len())
+	}
+	for _, e := range snap {
+		if _, _, ok := a.Get(e.Key); !ok {
+			t.Fatalf("owned key %q was released", e.Key)
+		}
+	}
+}
+
+// TestAuthorityMigrationRaces runs restores, releases and snapshots
+// against concurrent writes; meaningful mainly under -race.
+func TestAuthorityMigrationRaces(t *testing.T) {
+	a := NewAuthority()
+	owns := func(key string) bool { return key[len(key)-1]%2 == 0 }
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			now := time.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key-%04d", (i*4+w)%256)
+				switch i % 3 {
+				case 0:
+					a.Put(k, []byte("w"), now)
+				case 1:
+					a.Get(k)
+				case 2:
+					a.Restore(k, []byte("m"), uint64(i), now)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 100; r++ {
+		a.SnapshotOwned(owns)
+		a.BumpVersion(uint64(r) * 10)
+		a.ReleaseNotOwned(owns)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"freshcache/internal/client"
+	"freshcache/internal/cluster"
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
 	"freshcache/internal/stats"
@@ -37,6 +38,15 @@ type Config struct {
 	// StoreAddrs are the authority shards of a sharded deployment;
 	// writes route to shards by consistent hashing over this list.
 	StoreAddrs []string
+	// ClusterAddr, when set, bootstraps the store ring from the
+	// cluster coordinator at that address instead of
+	// StoreAddr/StoreAddrs, and watches it: a newly published ring
+	// epoch atomically reroutes the write path. The cache ring stays
+	// static — only the store tier reshards dynamically.
+	ClusterAddr string
+	// WatchInterval paces the coordinator poll in cluster mode;
+	// defaults to 100ms.
+	WatchInterval time.Duration
 	// CacheAddrs are the read path targets. At least one is required.
 	CacheAddrs []string
 	// VirtualNodes sets the ring points per node on both rings; <= 0
@@ -75,13 +85,31 @@ type Server struct {
 	draining bool
 }
 
-// New builds a balancer.
+// New builds a balancer. In cluster mode the store ring is fetched
+// from the coordinator (which must be reachable within a few seconds).
 func New(cfg Config) (*Server, error) {
-	addrs, err := client.ResolveStoreAddrs(cfg.StoreAddr, cfg.StoreAddrs)
-	if err != nil {
-		return nil, fmt.Errorf("lb: %w", err)
+	var bootstrap client.RingInfo
+	if cfg.ClusterAddr == "" {
+		addrs, err := client.ResolveStoreAddrs(cfg.StoreAddr, cfg.StoreAddrs)
+		if err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+		cfg.StoreAddrs = addrs
+	} else {
+		if cfg.StoreAddr != "" || len(cfg.StoreAddrs) > 0 {
+			return nil, errors.New("lb: set a cluster coordinator or store addresses, not both")
+		}
+		ri, err := cluster.FetchRing(cfg.ClusterAddr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("lb: %w", err)
+		}
+		bootstrap = ri
+		cfg.StoreAddrs = ri.Nodes
+		cfg.VirtualNodes = ri.VirtualNodes
 	}
-	cfg.StoreAddrs = addrs
+	if cfg.WatchInterval <= 0 {
+		cfg.WatchInterval = 100 * time.Millisecond
+	}
 	if len(cfg.CacheAddrs) == 0 {
 		return nil, errors.New("lb: at least one cache address is required")
 	}
@@ -94,6 +122,12 @@ func New(cfg Config) (*Server, error) {
 	stores, err := client.NewSharded(cfg.StoreAddrs, cfg.VirtualNodes, client.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("lb: %w", err)
+	}
+	if bootstrap.Epoch > 0 {
+		if err := stores.SwapRing(bootstrap.Epoch, bootstrap.Nodes, bootstrap.VirtualNodes); err != nil {
+			stores.Close()
+			return nil, fmt.Errorf("lb: %w", err)
+		}
 	}
 	cacheRing, err := ring.New(cfg.CacheAddrs, cfg.VirtualNodes)
 	if err != nil {
@@ -134,6 +168,22 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.cancel = cancel
 	s.mu.Unlock()
+	if s.cfg.ClusterAddr != "" {
+		w := cluster.NewWatcher(s.cfg.ClusterAddr, s.cfg.WatchInterval, s.stores.Epoch(),
+			func(ri client.RingInfo) {
+				if err := s.stores.SwapRing(ri.Epoch, ri.Nodes, ri.VirtualNodes); err != nil {
+					s.cfg.Logger.Printf("lb: swapping to ring epoch %d: %v", ri.Epoch, err)
+					return
+				}
+				s.cfg.Logger.Printf("lb: writes now route by ring epoch %d (%d stores)",
+					ri.Epoch, len(ri.Nodes))
+			})
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			w.Run(ctx)
+		}()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -301,6 +351,7 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 			"malformed_frames": s.c.MalformedFrames.Value(),
 			"caches":           uint64(len(s.caches)),
 			"stores":           uint64(s.stores.Len()),
+			"ring_epoch":       s.stores.Epoch(),
 		}}
 	default:
 		s.c.MalformedFrames.Inc()

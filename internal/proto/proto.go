@@ -65,6 +65,45 @@ const (
 	MsgPong
 	// MsgErr reports a request-level failure: Err set.
 	MsgErr
+	// MsgRingGet asks the cluster coordinator for the current store ring.
+	MsgRingGet
+	// MsgRingResp carries a versioned ring: Epoch is the monotonic ring
+	// epoch, Nodes the store addresses, Version the virtual-node count,
+	// and Stamp the publish time (unix nanoseconds). Also the response to
+	// MsgJoin/MsgDrain, echoing the newly published ring.
+	MsgRingResp
+	// MsgJoin asks the coordinator to admit the store at Key into the
+	// ring, migrating its key range from the current owners first.
+	MsgJoin
+	// MsgDrain asks the coordinator to remove the store at Key from the
+	// ring, migrating its keys to the remaining owners first.
+	MsgDrain
+	// MsgAdopt is a coordinator→store command: adopt ownership under the
+	// candidate ring (Epoch, Nodes, Version as in MsgRingResp; Key is the
+	// target's own ring identity) by pulling the moved key range from
+	// each address in Donors. Answered with MsgPong once adopted.
+	MsgAdopt
+	// MsgMigrate opens a key-range handoff on a dedicated connection:
+	// the adopter at identity Key asks the receiving store to stream
+	// every key it holds that the attached candidate ring (Epoch, Nodes,
+	// Version) assigns to the adopter.
+	MsgMigrate
+	// MsgMigrateChunk is one slice of a handoff stream: Ops carries
+	// BatchUpdate entries (key, value, version).
+	MsgMigrateChunk
+	// MsgMigrateDone ends a handoff stream: Freqs carries the donor
+	// tracker's per-key read/write counts for the moved keys (policy
+	// warm-start) and Version the donor's global version counter.
+	MsgMigrateDone
+	// MsgMigrateAck is the adopter's confirmation that the handoff
+	// stream is fully applied; the donor switches the moved range to
+	// forwarding on receipt.
+	MsgMigrateAck
+	// MsgRelease is a coordinator→store command after a ring publish:
+	// drop every key the new ring (Epoch, Nodes, Version; Key is the
+	// target's ring identity) no longer assigns to the target and
+	// forward stragglers to the new owners. Answered with MsgPong.
+	MsgRelease
 )
 
 var msgNames = map[MsgType]string{
@@ -73,6 +112,11 @@ var msgNames = map[MsgType]string{
 	MsgBatch: "BATCH", MsgReadReport: "READREPORT",
 	MsgStats: "STATS", MsgStatsResp: "STATSRESP",
 	MsgPing: "PING", MsgPong: "PONG", MsgErr: "ERR",
+	MsgRingGet: "RINGGET", MsgRingResp: "RINGRESP",
+	MsgJoin: "JOIN", MsgDrain: "DRAIN", MsgAdopt: "ADOPT",
+	MsgMigrate: "MIGRATE", MsgMigrateChunk: "MIGRATECHUNK",
+	MsgMigrateDone: "MIGRATEDONE", MsgMigrateAck: "MIGRATEACK",
+	MsgRelease: "RELEASE",
 }
 
 // String returns the wire name of the message type.
@@ -131,6 +175,15 @@ type ReadReport struct {
 	Count uint32
 }
 
+// KeyFreq carries one key's tracker state across a migration: the read
+// and write counts the donor's sketch had accumulated, replayed into
+// the adopter's sketch so E[W] estimates survive the handoff.
+type KeyFreq struct {
+	Key    string
+	Reads  uint64
+	Writes uint64
+}
+
 // Msg is the decoded form of any protocol frame. Only the fields
 // relevant to Type are meaningful; the rest are zero.
 type Msg struct {
@@ -145,6 +198,11 @@ type Msg struct {
 	Reports []ReadReport
 	Stats   map[string]uint64
 	Err     string
+	// Cluster control-plane fields (ring and migration messages).
+	Nodes  []string  // ring node addresses
+	Donors []string  // migration donor addresses (MsgAdopt)
+	Freqs  []KeyFreq // tracker warm-start stats (MsgMigrateDone)
+	Stamp  int64     // ring publish time, unix nanoseconds (MsgRingResp)
 }
 
 // Limits enforced on both sides of every connection.
@@ -312,6 +370,46 @@ func drainOnto(w *Writer, m *Msg, out <-chan *Msg) (n int, closed bool, err erro
 	}
 }
 
+// MaxNodes bounds the node lists in ring and migration messages.
+const MaxNodes = 4096
+
+func appendStringList(b []byte, list []string) ([]byte, error) {
+	if len(list) > MaxNodes {
+		return b, fmt.Errorf("%w: %d nodes", ErrMalformed, len(list))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(list)))
+	var err error
+	for _, s := range list {
+		if b, err = appendString16(b, s); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// appendOps encodes a batch-op list (shared by MsgBatch and
+// MsgMigrateChunk).
+func appendOps(b []byte, ops []BatchOp) ([]byte, error) {
+	if len(ops) > MaxBatchOps {
+		return b, fmt.Errorf("%w: %d batch ops", ErrMalformed, len(ops))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ops)))
+	var err error
+	for _, op := range ops {
+		b = append(b, byte(op.Kind))
+		if b, err = appendString16(b, op.Key); err != nil {
+			return b, err
+		}
+		if op.Kind == BatchUpdate {
+			b = binary.BigEndian.AppendUint64(b, op.Version)
+			if b, err = appendBytes32(b, op.Value); err != nil {
+				return b, err
+			}
+		}
+	}
+	return b, nil
+}
+
 func appendString16(b []byte, s string) ([]byte, error) {
 	if len(s) > MaxKey {
 		return b, fmt.Errorf("%w: key length %d", ErrMalformed, len(s))
@@ -349,24 +447,8 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		return appendString16(b, m.Key)
 	case MsgBatch:
-		if len(m.Ops) > MaxBatchOps {
-			return b, fmt.Errorf("%w: %d batch ops", ErrMalformed, len(m.Ops))
-		}
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
-		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Ops)))
-		for _, op := range m.Ops {
-			b = append(b, byte(op.Kind))
-			if b, err = appendString16(b, op.Key); err != nil {
-				return b, err
-			}
-			if op.Kind == BatchUpdate {
-				b = binary.BigEndian.AppendUint64(b, op.Version)
-				if b, err = appendBytes32(b, op.Value); err != nil {
-					return b, err
-				}
-			}
-		}
-		return b, nil
+		return appendOps(b, m.Ops)
 	case MsgReadReport:
 		if len(m.Reports) > MaxBatchOps {
 			return b, fmt.Errorf("%w: %d reports", ErrMalformed, len(m.Reports))
@@ -395,6 +477,48 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 		return b, nil
 	case MsgErr:
 		return appendString16(b, m.Err)
+	case MsgRingGet, MsgMigrateAck:
+		return b, nil
+	case MsgRingResp:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Stamp))
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		return appendStringList(b, m.Nodes)
+	case MsgJoin, MsgDrain:
+		return appendString16(b, m.Key)
+	case MsgAdopt:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		if b, err = appendString16(b, m.Key); err != nil {
+			return b, err
+		}
+		if b, err = appendStringList(b, m.Nodes); err != nil {
+			return b, err
+		}
+		return appendStringList(b, m.Donors)
+	case MsgMigrate, MsgRelease:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		if b, err = appendString16(b, m.Key); err != nil {
+			return b, err
+		}
+		return appendStringList(b, m.Nodes)
+	case MsgMigrateChunk:
+		return appendOps(b, m.Ops)
+	case MsgMigrateDone:
+		if len(m.Freqs) > MaxBatchOps {
+			return b, fmt.Errorf("%w: %d freqs", ErrMalformed, len(m.Freqs))
+		}
+		b = binary.BigEndian.AppendUint64(b, m.Version)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Freqs)))
+		for _, f := range m.Freqs {
+			if b, err = appendString16(b, f.Key); err != nil {
+				return b, err
+			}
+			b = binary.BigEndian.AppendUint64(b, f.Reads)
+			b = binary.BigEndian.AppendUint64(b, f.Writes)
+		}
+		return b, nil
 	default:
 		return b, fmt.Errorf("%w: unknown type %v", ErrMalformed, m.Type)
 	}
@@ -515,6 +639,61 @@ func (c *cursor) bytes32() ([]byte, error) {
 	return c.need(int(n))
 }
 
+func (c *cursor) strList() ([]string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxNodes {
+		return nil, fmt.Errorf("%w: %d nodes", ErrMalformed, n)
+	}
+	out := make([]string, 0, n)
+	for i := uint16(0); i < n; i++ {
+		s, err := c.str16()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ops decodes a batch-op list (shared by MsgBatch and MsgMigrateChunk).
+func (c *cursor) ops() ([]BatchOp, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("%w: %d batch ops", ErrMalformed, n)
+	}
+	ops := make([]BatchOp, 0, min64(uint64(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		var op BatchOp
+		kind, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		op.Kind = BatchKind(kind)
+		if op.Kind != BatchInvalidate && op.Kind != BatchUpdate {
+			return nil, fmt.Errorf("%w: batch op kind %d", ErrMalformed, kind)
+		}
+		if op.Key, err = c.str16(); err != nil {
+			return nil, err
+		}
+		if op.Kind == BatchUpdate {
+			if op.Version, err = c.u64(); err != nil {
+				return nil, err
+			}
+			if op.Value, err = c.bytes32(); err != nil {
+				return nil, err
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
 func (c *cursor) done() error {
 	if c.off != len(c.b) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(c.b)-c.off)
@@ -569,36 +748,8 @@ func parsePayload(m *Msg, payload []byte) error {
 		if m.Epoch, err = c.u64(); err != nil {
 			return err
 		}
-		n, err := c.u32()
-		if err != nil {
+		if m.Ops, err = c.ops(); err != nil {
 			return err
-		}
-		if n > MaxBatchOps {
-			return fmt.Errorf("%w: %d batch ops", ErrMalformed, n)
-		}
-		m.Ops = make([]BatchOp, 0, min64(uint64(n), 4096))
-		for i := uint32(0); i < n; i++ {
-			var op BatchOp
-			kind, err := c.u8()
-			if err != nil {
-				return err
-			}
-			op.Kind = BatchKind(kind)
-			if op.Kind != BatchInvalidate && op.Kind != BatchUpdate {
-				return fmt.Errorf("%w: batch op kind %d", ErrMalformed, kind)
-			}
-			if op.Key, err = c.str16(); err != nil {
-				return err
-			}
-			if op.Kind == BatchUpdate {
-				if op.Version, err = c.u64(); err != nil {
-					return err
-				}
-				if op.Value, err = c.bytes32(); err != nil {
-					return err
-				}
-			}
-			m.Ops = append(m.Ops, op)
 		}
 	case MsgReadReport:
 		n, err := c.u32()
@@ -643,6 +794,90 @@ func parsePayload(m *Msg, payload []byte) error {
 	case MsgErr:
 		if m.Err, err = c.str16(); err != nil {
 			return err
+		}
+	case MsgRingGet, MsgMigrateAck:
+	case MsgRingResp:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		stamp, err := c.u64()
+		if err != nil {
+			return err
+		}
+		m.Stamp = int64(stamp)
+		v, err := c.u32()
+		if err != nil {
+			return err
+		}
+		m.Version = uint64(v)
+		if m.Nodes, err = c.strList(); err != nil {
+			return err
+		}
+	case MsgJoin, MsgDrain:
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+	case MsgAdopt:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		v, err := c.u32()
+		if err != nil {
+			return err
+		}
+		m.Version = uint64(v)
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+		if m.Nodes, err = c.strList(); err != nil {
+			return err
+		}
+		if m.Donors, err = c.strList(); err != nil {
+			return err
+		}
+	case MsgMigrate, MsgRelease:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		v, err := c.u32()
+		if err != nil {
+			return err
+		}
+		m.Version = uint64(v)
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+		if m.Nodes, err = c.strList(); err != nil {
+			return err
+		}
+	case MsgMigrateChunk:
+		if m.Ops, err = c.ops(); err != nil {
+			return err
+		}
+	case MsgMigrateDone:
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+		n, err := c.u32()
+		if err != nil {
+			return err
+		}
+		if n > MaxBatchOps {
+			return fmt.Errorf("%w: %d freqs", ErrMalformed, n)
+		}
+		m.Freqs = make([]KeyFreq, 0, min64(uint64(n), 4096))
+		for i := uint32(0); i < n; i++ {
+			var f KeyFreq
+			if f.Key, err = c.str16(); err != nil {
+				return err
+			}
+			if f.Reads, err = c.u64(); err != nil {
+				return err
+			}
+			if f.Writes, err = c.u64(); err != nil {
+				return err
+			}
+			m.Freqs = append(m.Freqs, f)
 		}
 	default:
 		return fmt.Errorf("%w: unknown type %d", ErrMalformed, uint8(m.Type))

@@ -49,6 +49,26 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgPing, Seq: 12},
 		{Type: MsgPong, Seq: 13},
 		{Type: MsgErr, Seq: 14, Err: "boom"},
+		{Type: MsgRingGet, Seq: 15},
+		{Type: MsgRingResp, Seq: 16, Epoch: 3, Stamp: 1234567890,
+			Version: 128, Nodes: []string{"a:1", "b:2"}},
+		{Type: MsgRingResp, Seq: 16, Epoch: 1, Version: 64, Nodes: []string{"a:1"}},
+		{Type: MsgJoin, Seq: 17, Key: "c:3"},
+		{Type: MsgDrain, Seq: 18, Key: "b:2"},
+		{Type: MsgAdopt, Seq: 19, Epoch: 4, Version: 128, Key: "c:3",
+			Nodes: []string{"a:1", "b:2", "c:3"}, Donors: []string{"a:1", "b:2"}},
+		{Type: MsgMigrate, Seq: 20, Epoch: 4, Version: 128, Key: "c:3",
+			Nodes: []string{"a:1", "b:2", "c:3"}},
+		{Type: MsgMigrateChunk, Seq: 20, Ops: []BatchOp{
+			{Kind: BatchUpdate, Key: "k1", Version: 9, Value: []byte("v1")},
+			{Kind: BatchUpdate, Key: "k2", Version: 12, Value: []byte("v2")},
+		}},
+		{Type: MsgMigrateDone, Seq: 20, Version: 44, Freqs: []KeyFreq{
+			{Key: "k1", Reads: 10, Writes: 3}, {Key: "k2", Reads: 0, Writes: 7},
+		}},
+		{Type: MsgMigrateAck, Seq: 21},
+		{Type: MsgRelease, Seq: 22, Epoch: 4, Version: 128, Key: "a:1",
+			Nodes: []string{"a:1", "b:2", "c:3"}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)

@@ -123,6 +123,32 @@ func mix64(h uint64) uint64 {
 	return h
 }
 
+// IndexOf returns the index of the named node, or -1 if it is not in
+// the ring.
+func (r *Ring) IndexOf(node string) int {
+	for i, n := range r.nodes {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the named node is in the ring.
+func (r *Ring) Contains(node string) bool { return r.IndexOf(node) >= 0 }
+
+// Moved returns a predicate reporting whether a key's owner differs
+// between two rings (compared by node name, so the predicate is
+// meaningful even when the node lists differ). This is the ownership
+// diff the resharding machinery scopes its work by: on a ring swap,
+// only entries satisfying it lose their freshness channel and need a
+// handoff deadline; everything else keeps its live push freshness.
+func Moved(old, next *Ring) func(key string) bool {
+	return func(key string) bool {
+		return old.OwnerAddr(key) != next.OwnerAddr(key)
+	}
+}
+
 // Owns reports whether node i owns key.
 func (r *Ring) Owns(i int, key string) bool { return r.Owner(key) == i }
 

@@ -110,6 +110,68 @@ func TestJoinMovesOneShare(t *testing.T) {
 	}
 }
 
+// TestMovedMatchesBruteForce pins the ownership diff used by live
+// resharding: Moved must agree exactly with a brute-force owner
+// comparison, every moved key must land on the joiner, and the moved
+// fraction at N→N+1 must be within 2x of the ideal 1/(N+1) share.
+func TestMovedMatchesBruteForce(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 2, 4, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("10.0.0.%d:7001", i)
+		}
+		before, err := New(nodes, DefaultVirtualNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joiner := "10.0.1.99:7001"
+		after, err := New(append(append([]string(nil), nodes...), joiner), DefaultVirtualNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		movedPred := Moved(before, after)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("key-%06d", i)
+			brute := before.OwnerAddr(key) != after.OwnerAddr(key)
+			if movedPred(key) != brute {
+				t.Fatalf("n=%d: Moved(%q) = %v, brute force says %v", n, key, movedPred(key), brute)
+			}
+			if brute {
+				moved++
+				if after.OwnerAddr(key) != joiner {
+					t.Fatalf("n=%d: key %q moved %s -> %s, not to the joiner",
+						n, key, before.OwnerAddr(key), after.OwnerAddr(key))
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n+1)
+		if frac > 2*ideal || frac < ideal/2 {
+			t.Errorf("n=%d: join moved %.4f of keys, want within 2x of %.4f", n, frac, ideal)
+		}
+	}
+}
+
+func TestIndexOfAndContains(t *testing.T) {
+	r, err := New([]string{"a", "b", "c"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []string{"a", "b", "c"} {
+		if got := r.IndexOf(n); got != i {
+			t.Errorf("IndexOf(%q) = %d, want %d", n, got, i)
+		}
+		if !r.Contains(n) {
+			t.Errorf("Contains(%q) = false", n)
+		}
+	}
+	if r.IndexOf("zzz") != -1 || r.Contains("zzz") {
+		t.Error("unknown node reported as member")
+	}
+}
+
 func TestOwnsAndOwnedByAgree(t *testing.T) {
 	r, err := New([]string{"a", "b", "c"}, 32)
 	if err != nil {

@@ -1,0 +1,608 @@
+// Live resharding: the store-side halves of the cluster control plane.
+//
+// A membership change moves the ~1/N of keys whose ring arc the new
+// topology reassigns. The store that gains a range ("adopter") pulls it
+// from each store that loses it ("donor") over a dedicated connection:
+//
+//	adopter → donor   MIGRATE   (candidate ring + adopter identity)
+//	donor   → adopter CHUNK*    (key/value/version snapshot slices)
+//	donor   → adopter CHUNK*    (dirty rounds: keys written mid-stream)
+//	donor   → adopter DONE      (tracker freqs + donor version counter)
+//	adopter → donor   ACK       (everything applied and counter bumped)
+//	donor   → adopter PONG      (forward switch + write tail transferred)
+//
+// On ACK the donor atomically switches the moved range to forwarding.
+// Writes block for the instant of the switch, during which the donor
+// pushes a version fence through the peer connection (the adopter
+// bumps its version counter past the donor's switch-time counter), so
+// every write the adopter accepts afterwards orders after every
+// version a cache may already hold for the moved keys. The tail of
+// writes that raced the last dirty round is then transferred with its
+// donor-assigned versions under Restore semantics — idempotent and
+// never clobbering a newer adopter-side write — so no acknowledged
+// write is lost regardless of how the tail interleaves with freshly
+// forwarded traffic. Only after fence and tail are applied does the
+// donor answer the ACK; only after every donor has answered does the
+// coordinator publish the new ring epoch.
+//
+// Until that publish, caches are still subscribed under the old
+// epoch, so the donor keeps pushing invalidates for forwarded keys
+// (flushOnce) and forwards their reads — bounded staleness holds
+// through the transition. If any step fails, the donor rolls the
+// switch back (or the coordinator never publishes) and a retried join
+// re-streams idempotently.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/kv"
+	"freshcache/internal/proto"
+	"freshcache/internal/ring"
+)
+
+// outMigration is one outbound key-range handoff on the donor.
+type outMigration struct {
+	requester string // adopter identity (its ring address)
+	epoch     uint64 // candidate ring epoch
+	owns      func(key string) bool
+	// forward flips at ACK: writes (and reads) for the range go to the
+	// adopter from then on. Written under Server.clMu (write lock),
+	// read under its read lock.
+	forward bool
+
+	mu    sync.Mutex // guards dirty (written on the data path)
+	dirty map[string]struct{}
+}
+
+// noteDirty records a write to the migrating range.
+func (om *outMigration) noteDirty(key string) {
+	om.mu.Lock()
+	om.dirty[key] = struct{}{}
+	om.mu.Unlock()
+}
+
+// takeDirty drains the dirty set.
+func (om *outMigration) takeDirty() []string {
+	om.mu.Lock()
+	defer om.mu.Unlock()
+	if len(om.dirty) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(om.dirty))
+	for k := range om.dirty {
+		keys = append(keys, k)
+	}
+	om.dirty = make(map[string]struct{})
+	return keys
+}
+
+// refillDirty puts keys back after a failed forward switch.
+func (om *outMigration) refillDirty(keys []string) {
+	om.mu.Lock()
+	for _, k := range keys {
+		om.dirty[k] = struct{}{}
+	}
+	om.mu.Unlock()
+}
+
+// Chunking bounds for the migration stream; a chunk closes at
+// whichever limit it hits first (frames are capped at proto.MaxFrame).
+const (
+	migChunkOps   = 512
+	migChunkBytes = 1 << 20
+)
+
+// dialTimeout/migrateIdle bound the adopter's pull: the dial, and the
+// longest silence between stream frames. fenceTimeout bounds the
+// version-fence RPC issued under the donor's write lock — it is the
+// worst-case write pause of a forward switch, so it is kept tight.
+const (
+	migDialTimeout = 5 * time.Second
+	migIdleTimeout = 30 * time.Second
+	fenceTimeout   = 2 * time.Second
+)
+
+// errMsg builds a request-level error response.
+func errMsg(seq uint64, format string, args ...any) *proto.Msg {
+	return &proto.Msg{Type: proto.MsgErr, Seq: seq, Err: fmt.Sprintf(format, args...)}
+}
+
+// parseRingMsg builds the candidate ring carried by an
+// Adopt/Migrate/Release message.
+func parseRingMsg(m *proto.Msg) (*ring.Ring, error) {
+	r, err := ring.New(m.Nodes, int(m.Version))
+	if err != nil {
+		return nil, fmt.Errorf("store: bad ring in %v: %w", m.Type, err)
+	}
+	return r, nil
+}
+
+// ---- Write/read interception (data path) ----
+
+// routePut applies a client write with cluster awareness. Local
+// applies happen under clMu's read lock (shared, cheap) so a
+// migration's registration — which takes the write lock — covers
+// every write exactly once: a write either completes before the
+// snapshot or observes the registered migration and dirty-tracks. A
+// nil response means the write belongs to target and must be
+// forwarded (the switch that set forward already fenced the adopter's
+// version counter, so the versions forwarded writes are assigned
+// order after everything a cache may hold).
+func (s *Server) routePut(m *proto.Msg) (resp *proto.Msg, target string) {
+	s.clMu.RLock()
+	for _, om := range s.outMigs {
+		if !om.owns(m.Key) {
+			continue
+		}
+		if om.forward {
+			target = om.requester
+		} else {
+			version := s.auth.Put(m.Key, m.Value, time.Now())
+			om.noteDirty(m.Key)
+			resp = &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+		}
+		break
+	}
+	if resp == nil && target == "" {
+		if s.clusterRing != nil && s.clusterRing.OwnerAddr(m.Key) != s.selfAddr {
+			target = s.clusterRing.OwnerAddr(m.Key)
+		} else {
+			version := s.auth.Put(m.Key, m.Value, time.Now())
+			resp = &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+		}
+	}
+	s.clMu.RUnlock()
+	if resp != nil {
+		s.engine.ObserveWrite(m.Key)
+		return resp, ""
+	}
+	// Remember the key so the next flush pushes an invalidate to
+	// subscribers still on the old ring epoch.
+	s.fdMu.Lock()
+	s.forwardDirty[m.Key] = struct{}{}
+	s.fdMu.Unlock()
+	return nil, target
+}
+
+// forwardPut proxies a write to the key's current owner.
+func (s *Server) forwardPut(seq uint64, key string, value []byte, target string) *proto.Msg {
+	version, err := s.peer(target).Put(key, value)
+	if err != nil {
+		return errMsg(seq, "store: forwarding put for %q to %s: %v", key, target, err)
+	}
+	s.c.ForwardedPuts.Inc()
+	return &proto.Msg{Type: proto.MsgPutResp, Seq: seq, Status: proto.StatusOK, Version: version}
+}
+
+// forwardTarget reports where a read for key must be served from ("" =
+// locally): the adopter once the range switched to forwarding, or the
+// ring owner once a published ring says the key lives elsewhere.
+func (s *Server) forwardTarget(key string) string {
+	s.clMu.RLock()
+	defer s.clMu.RUnlock()
+	for _, om := range s.outMigs {
+		if om.forward && om.owns(key) {
+			return om.requester
+		}
+	}
+	if s.clusterRing != nil {
+		if owner := s.clusterRing.OwnerAddr(key); owner != s.selfAddr {
+			return owner
+		}
+	}
+	return ""
+}
+
+// forwardGet proxies a read to the key's current owner. Fills stay
+// fills so the owner's engine records the cache refresh.
+func (s *Server) forwardGet(seq uint64, key, target string, fill bool) *proto.Msg {
+	peer := s.peer(target)
+	var (
+		value   []byte
+		version uint64
+		err     error
+	)
+	if fill {
+		value, version, err = peer.Fill(key)
+	} else {
+		value, version, err = peer.Get(key)
+	}
+	s.c.ForwardedReads.Inc()
+	switch {
+	case err == nil:
+		return &proto.Msg{Type: proto.MsgGetResp, Seq: seq, Status: proto.StatusOK,
+			Version: version, Value: value}
+	case errors.Is(err, client.ErrNotFound):
+		return &proto.Msg{Type: proto.MsgGetResp, Seq: seq, Status: proto.StatusNotFound}
+	default:
+		return errMsg(seq, "store: forwarding read for %q to %s: %v", key, target, err)
+	}
+}
+
+// forwardReports relays read reports for keys this store no longer
+// owns to their ring owners (best effort).
+func (s *Server) forwardReports(stray []proto.ReadReport) {
+	s.clMu.RLock()
+	r, self := s.clusterRing, s.selfAddr
+	s.clMu.RUnlock()
+	if r == nil {
+		return
+	}
+	byOwner := make(map[string][]proto.ReadReport)
+	for _, rp := range stray {
+		if owner := r.OwnerAddr(rp.Key); owner != self {
+			byOwner[owner] = append(byOwner[owner], rp)
+		}
+	}
+	for owner, part := range byOwner {
+		if err := s.peer(owner).ReadReport(part); err != nil {
+			s.cfg.Logger.Printf("store %s: relaying read reports to %s: %v", s.cfg.ShardID, owner, err)
+		}
+	}
+}
+
+// takeForwardDirty drains the forwarded-write key set for flushOnce.
+func (s *Server) takeForwardDirty() []string {
+	s.fdMu.Lock()
+	defer s.fdMu.Unlock()
+	if len(s.forwardDirty) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(s.forwardDirty))
+	for k := range s.forwardDirty {
+		keys = append(keys, k)
+	}
+	s.forwardDirty = make(map[string]struct{})
+	return keys
+}
+
+// peer returns (creating if needed) the forwarding client for a peer
+// store — one multiplexed connection per peer. (No ordering is
+// required of it: the version fence completes before the write lock
+// releases, and tail transfers use order-free restore semantics.)
+func (s *Server) peer(addr string) *client.Client {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if c, ok := s.peers[addr]; ok {
+		return c
+	}
+	c := client.New(addr, client.Options{MaxConns: 1})
+	s.peers[addr] = c
+	return c
+}
+
+// ---- Donor side ----
+
+// handleMigrate streams the requested key range to the adopter: the
+// snapshot, then rounds of keys dirtied while streaming, then DONE
+// with the policy tracker's per-key stats. The migration is registered
+// before the snapshot (both under clMu), so every concurrent write is
+// either in the snapshot or dirty-tracked.
+func (s *Server) handleMigrate(m *proto.Msg, cs *connState, out chan *proto.Msg) *proto.Msg {
+	newRing, err := parseRingMsg(m)
+	if err != nil {
+		return errMsg(m.Seq, "%v", err)
+	}
+	if !newRing.Contains(m.Key) {
+		return errMsg(m.Seq, "store: migrate requester %q not in candidate ring", m.Key)
+	}
+	if cs.mig != nil {
+		return errMsg(m.Seq, "store: migration already active on this connection")
+	}
+	requester := m.Key
+	owns := func(key string) bool { return newRing.OwnerAddr(key) == requester }
+	om := &outMigration{
+		requester: requester,
+		epoch:     m.Epoch,
+		owns:      owns,
+		dirty:     make(map[string]struct{}),
+	}
+	s.clMu.Lock()
+	s.outMigs = append(s.outMigs, om)
+	s.clMu.Unlock()
+	// Exhaustiveness without holding the write lock across the O(keys)
+	// scan: registration (above) happens-before the snapshot, so a
+	// write is either complete before registration (in the snapshot),
+	// or sees the migration and dirty-tracks. A write that does both —
+	// lands mid-snapshot and dirty-tracks — is streamed twice, which
+	// Restore's version guard makes harmless.
+	snap := s.auth.SnapshotOwned(owns)
+	cs.mig = om
+	s.c.MigrationsOut.Inc()
+
+	moved := make(map[string]struct{}, len(snap))
+	s.streamChunks(out, m.Seq, snap, moved)
+	// Dirty rounds: writes that landed during the stream are
+	// re-streamed until a round comes up dry. The round count is
+	// bounded; whatever still races the last round is transferred
+	// during the ACK switch, so termination does not depend on write
+	// load.
+	for round := 0; round < 4; round++ {
+		keys := om.takeDirty()
+		if len(keys) == 0 {
+			break
+		}
+		s.streamChunks(out, m.Seq, s.resolveEntries(keys), moved)
+	}
+
+	freqs := make([]proto.KeyFreq, 0, len(moved))
+	for k := range moved {
+		if len(freqs) == proto.MaxBatchOps { // warm-start is best effort
+			break
+		}
+		reads, writes := s.engine.KeyFreq(k)
+		if reads+writes > 0 {
+			freqs = append(freqs, proto.KeyFreq{Key: k, Reads: reads, Writes: writes})
+		}
+	}
+	s.c.KeysMigratedOut.Add(uint64(len(moved)))
+	return &proto.Msg{Type: proto.MsgMigrateDone, Seq: m.Seq,
+		Version: s.auth.Version(), Freqs: freqs}
+}
+
+// resolveEntries looks dirty keys back up in the authority.
+func (s *Server) resolveEntries(keys []string) []kv.MigEntry {
+	out := make([]kv.MigEntry, 0, len(keys))
+	for _, k := range keys {
+		if value, version, ok := s.auth.Get(k); ok {
+			out = append(out, kv.MigEntry{Key: k, Value: value, Version: version})
+		}
+	}
+	return out
+}
+
+// streamChunks queues entries as MIGRATECHUNK frames on the
+// connection's writer, splitting at the chunk bounds.
+func (s *Server) streamChunks(out chan *proto.Msg, seq uint64, entries []kv.MigEntry, moved map[string]struct{}) {
+	ops := make([]proto.BatchOp, 0, migChunkOps)
+	bytes := 0
+	flush := func() {
+		if len(ops) == 0 {
+			return
+		}
+		out <- &proto.Msg{Type: proto.MsgMigrateChunk, Seq: seq, Ops: ops}
+		ops = make([]proto.BatchOp, 0, migChunkOps)
+		bytes = 0
+	}
+	for _, e := range entries {
+		moved[e.Key] = struct{}{}
+		ops = append(ops, proto.BatchOp{
+			Kind: proto.BatchUpdate, Key: e.Key, Value: e.Value, Version: e.Version,
+		})
+		bytes += len(e.Key) + len(e.Value)
+		if len(ops) >= migChunkOps || bytes >= migChunkBytes {
+			flush()
+		}
+	}
+	flush()
+}
+
+// handleMigrateAck switches the migrated range to forwarding and
+// answers the adopter's ACK — the answer is the adopter's signal that
+// the handoff is complete, so the coordinator publishes only after
+// this succeeds.
+//
+// Under the write lock (writes block for this instant) the donor
+// flips the range to forwarding, collects the final write tail, and
+// pushes a version fence through the peer connection: the adopter
+// bumps its version counter past the donor's switch-time counter
+// before any forwarded write can be assigned a version, so adopter
+// versions always order after every donor version a cache may hold.
+// The tail itself is transferred outside the lock with donor-assigned
+// versions under Restore semantics — idempotent and never clobbering
+// the newer forwarded writes it may interleave with.
+//
+// If the fence fails the switch is rolled back (writes stay local and
+// dirty-tracked) and the ACK is answered with an error: the adopter
+// reports failure, the coordinator does not publish, and a retried
+// join re-streams idempotently. A failed tail transfer is likewise an
+// error — the tail still lives in the donor's authority, so the retry
+// re-streams it.
+func (s *Server) handleMigrateAck(cs *connState) *proto.Msg {
+	om := cs.mig
+	if om == nil {
+		return errMsg(0, "store: migrate-ack without an active migration")
+	}
+	// The fence runs under the write lock, so it gets its own client
+	// with tight timeouts, pre-dialed before the lock is taken: if the
+	// adopter died between DONE and ACK, the switch aborts here with
+	// zero stall, and a mid-fence death stalls the store for at most
+	// fenceTimeout rather than a full default request timeout.
+	fencer := client.New(om.requester, client.Options{
+		MaxConns: 1, DialTimeout: fenceTimeout, RequestTimeout: fenceTimeout, MaxAttempts: 1,
+	})
+	defer fencer.Close()
+	if err := fencer.Ping(); err != nil {
+		return errMsg(0, "store: adopter %s unreachable at switch: %v", om.requester, err)
+	}
+	s.clMu.Lock()
+	om.forward = true
+	tail := om.takeDirty()
+	fence := s.auth.Version()
+	err := fencer.MigrateFence(fence)
+	if err != nil {
+		om.forward = false
+		om.refillDirty(tail)
+		s.clMu.Unlock()
+		return errMsg(0, "store: version fence to %s: %v", om.requester, err)
+	}
+	s.clMu.Unlock()
+
+	entries := s.resolveEntries(tail)
+	ops := make([]proto.BatchOp, 0, len(entries))
+	for _, e := range entries {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchUpdate, Key: e.Key, Value: e.Value, Version: e.Version})
+	}
+	if err := s.peer(om.requester).MigrateRestore(ops); err != nil {
+		return errMsg(0, "store: transferring %d-write tail to %s: %v", len(ops), om.requester, err)
+	}
+	return &proto.Msg{Type: proto.MsgPong}
+}
+
+// abortMigration discards a not-yet-forwarding migration whose
+// connection died (the adopter crashed or timed out mid-pull): writes
+// stayed local, so dropping the dirty tracking is safe — the
+// coordinator will not publish the ring the stream was feeding.
+func (s *Server) abortMigration(om *outMigration) {
+	s.clMu.Lock()
+	defer s.clMu.Unlock()
+	if om.forward {
+		return // handoff completed; forwarding must survive the conn
+	}
+	kept := s.outMigs[:0]
+	for _, m := range s.outMigs {
+		if m != om {
+			kept = append(kept, m)
+		}
+	}
+	s.outMigs = kept
+}
+
+// handleRelease installs a published ring: keys the ring assigns
+// elsewhere are dropped (their owners now serve them), completed
+// migrations at or below the epoch are retired (the ring subsumes
+// their forwarding), and future requests for unowned keys forward to
+// the owners.
+func (s *Server) handleRelease(m *proto.Msg) *proto.Msg {
+	newRing, err := parseRingMsg(m)
+	if err != nil {
+		return errMsg(m.Seq, "%v", err)
+	}
+	self := m.Key
+	owns := func(key string) bool { return newRing.OwnerAddr(key) == self }
+	if !newRing.Contains(self) {
+		owns = func(string) bool { return false } // fully drained
+	}
+	s.clMu.Lock()
+	if m.Epoch < s.clusterEpoch {
+		s.clMu.Unlock()
+		return errMsg(m.Seq, "store: release for stale ring epoch %d (at %d)", m.Epoch, s.clusterEpoch)
+	}
+	s.clusterEpoch = m.Epoch
+	s.clusterRing = newRing
+	s.selfAddr = self
+	kept := s.outMigs[:0]
+	for _, om := range s.outMigs {
+		if om.epoch > m.Epoch {
+			kept = append(kept, om)
+		}
+	}
+	s.outMigs = kept
+	dropped := s.auth.ReleaseNotOwned(owns)
+	s.clMu.Unlock()
+	s.c.KeysReleased.Add(uint64(dropped))
+	return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+}
+
+// ---- Adopter side ----
+
+// handleAdopt pulls the key ranges the candidate ring assigns to this
+// store from each donor, then installs the ring. It blocks the calling
+// (coordinator) connection until the handoff is applied; the
+// coordinator publishes the ring only after this returns OK.
+func (s *Server) handleAdopt(m *proto.Msg) *proto.Msg {
+	newRing, err := parseRingMsg(m)
+	if err != nil {
+		return errMsg(m.Seq, "%v", err)
+	}
+	if !newRing.Contains(m.Key) {
+		return errMsg(m.Seq, "store: adopt identity %q not in candidate ring", m.Key)
+	}
+	for _, donor := range m.Donors {
+		if donor == m.Key {
+			continue
+		}
+		if err := s.pullFrom(donor, m); err != nil {
+			return errMsg(m.Seq, "store: adopting from %s: %v", donor, err)
+		}
+	}
+	s.clMu.Lock()
+	if m.Epoch > s.clusterEpoch || s.clusterRing == nil {
+		s.clusterEpoch = m.Epoch
+		s.clusterRing = newRing
+		s.selfAddr = m.Key
+	}
+	s.clMu.Unlock()
+	s.c.MigrationsIn.Inc()
+	return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+}
+
+// pullFrom runs one MIGRATE pull against a donor on a dedicated
+// connection, restoring entries and warm-starting the policy tracker,
+// and ACKs once the donor's version counter is folded in — only then
+// may the donor start forwarding writes here.
+func (s *Server) pullFrom(donor string, m *proto.Msg) error {
+	conn, err := net.DialTimeout("tcp", donor, migDialTimeout)
+	if err != nil {
+		return fmt.Errorf("dialing donor: %w", err)
+	}
+	defer conn.Close()
+	w, r := proto.NewWriter(conn), proto.NewReader(conn)
+	req := &proto.Msg{Type: proto.MsgMigrate, Seq: 1, Key: m.Key,
+		Epoch: m.Epoch, Version: m.Version, Nodes: m.Nodes}
+	if err := w.WriteMsg(req); err != nil {
+		return fmt.Errorf("sending migrate: %w", err)
+	}
+	restored := uint64(0)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(migIdleTimeout)); err != nil {
+			return err
+		}
+		fr, err := r.ReadMsg()
+		if err != nil {
+			return fmt.Errorf("reading migration stream: %w", err)
+		}
+		switch fr.Type {
+		case proto.MsgMigrateChunk:
+			now := time.Now()
+			for _, op := range fr.Ops {
+				if op.Kind != proto.BatchUpdate {
+					continue
+				}
+				if s.auth.Restore(op.Key, op.Value, op.Version, now) {
+					restored++
+				}
+			}
+		case proto.MsgMigrateDone:
+			// Order past every donor-assigned version before accepting
+			// (forwarded) writes for the moved keys.
+			s.auth.BumpVersion(fr.Version)
+			for _, f := range fr.Freqs {
+				s.engine.WarmStart(f.Key, f.Reads, f.Writes)
+			}
+			s.c.KeysMigratedIn.Add(restored)
+			if err := w.WriteMsg(&proto.Msg{Type: proto.MsgMigrateAck, Seq: 2}); err != nil {
+				return fmt.Errorf("sending ack: %w", err)
+			}
+			// The handoff is complete only once the donor confirms the
+			// forward switch (version fence + write tail transferred):
+			// without this confirmation the coordinator must not
+			// publish, or donor-acknowledged writes could be released
+			// away before they reach us.
+			if err := conn.SetReadDeadline(time.Now().Add(migIdleTimeout)); err != nil {
+				return err
+			}
+			confirm, err := r.ReadMsg()
+			if err != nil {
+				return fmt.Errorf("reading ack confirmation: %w", err)
+			}
+			if confirm.Type == proto.MsgErr {
+				return fmt.Errorf("donor failed the forward switch: %s", confirm.Err)
+			}
+			if confirm.Type != proto.MsgPong {
+				return fmt.Errorf("unexpected %v as ack confirmation", confirm.Type)
+			}
+			return nil
+		case proto.MsgErr:
+			return errors.New(fr.Err)
+		default:
+			return fmt.Errorf("unexpected %v in migration stream", fr.Type)
+		}
+	}
+}

@@ -21,9 +21,11 @@ import (
 	"sync"
 	"time"
 
+	"freshcache/internal/client"
 	"freshcache/internal/core"
 	"freshcache/internal/kv"
 	"freshcache/internal/proto"
+	"freshcache/internal/ring"
 	"freshcache/internal/stats"
 )
 
@@ -81,6 +83,13 @@ type Counters struct {
 	ConnectionsAccepted     stats.Counter
 	ConnectionsClosed       stats.Counter
 	FlushesWithoutSubscribe stats.Counter
+	// Cluster membership / live resharding counters (migrate.go).
+	MigrationsOut, MigrationsIn stats.Counter
+	KeysMigratedOut             stats.Counter
+	KeysMigratedIn              stats.Counter
+	ForwardedPuts               stats.Counter
+	ForwardedReads              stats.Counter
+	KeysReleased                stats.Counter
 }
 
 // Server is a live store node.
@@ -94,6 +103,26 @@ type Server struct {
 	subs  map[*subscriber]struct{}
 	epoch uint64
 
+	// Cluster state (migrate.go): the ring view this store serves
+	// under, the in-progress outbound migrations, the keys whose
+	// writes were forwarded (so old-epoch subscribers still receive
+	// invalidates for them), and the peer clients used to forward.
+	// The data path only ever takes clMu for reading; control-plane
+	// transitions (migration registration + snapshot, the forward
+	// switch, ring installs) take it for writing, which also brackets
+	// every local authority write under a read lock — making a
+	// migration's snapshot-plus-dirty-set exhaustive: a write either
+	// lands before the snapshot or is dirty-tracked, never in between.
+	clMu         sync.RWMutex
+	selfAddr     string
+	clusterEpoch uint64
+	clusterRing  *ring.Ring
+	outMigs      []*outMigration
+	fdMu         sync.Mutex // guards forwardDirty (written on the data path)
+	forwardDirty map[string]struct{}
+	peerMu       sync.Mutex // guards peers
+	peers        map[string]*client.Client
+
 	ln     net.Listener
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -104,17 +133,50 @@ type subscriber struct {
 	name string
 	out  chan *proto.Msg
 	conn net.Conn
+
+	// pushMu gates pushes against the connection goroutine closing
+	// out: the flusher's snapshot of the subscriber set can outlive
+	// the connection, and a push after close(out) would panic.
+	pushMu sync.Mutex
+	gone   bool
+}
+
+// push try-sends a batch frame; it reports false when the subscriber's
+// queue is full (the caller drops the subscriber) and swallows the
+// frame silently once the connection is gone.
+func (sub *subscriber) push(m *proto.Msg) bool {
+	sub.pushMu.Lock()
+	defer sub.pushMu.Unlock()
+	if sub.gone {
+		return true
+	}
+	select {
+	case sub.out <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// retire marks the subscriber's queue closed-to-pushes; called by the
+// owning connection goroutine immediately before close(out).
+func (sub *subscriber) retire() {
+	sub.pushMu.Lock()
+	sub.gone = true
+	sub.pushMu.Unlock()
 }
 
 // New builds a store server.
 func New(cfg Config) *Server {
 	cfg.fill()
 	return &Server{
-		cfg:    cfg,
-		auth:   kv.NewAuthority(),
-		engine: core.NewEngine(cfg.Engine),
-		subs:   make(map[*subscriber]struct{}),
-		closed: make(chan struct{}),
+		cfg:          cfg,
+		auth:         kv.NewAuthority(),
+		engine:       core.NewEngine(cfg.Engine),
+		subs:         make(map[*subscriber]struct{}),
+		forwardDirty: make(map[string]struct{}),
+		peers:        make(map[string]*client.Client),
+		closed:       make(chan struct{}),
 	}
 }
 
@@ -190,6 +252,12 @@ func (s *Server) Close() error {
 		err = ln.Close()
 	}
 	s.wg.Wait()
+	s.peerMu.Lock()
+	for _, p := range s.peers {
+		p.Close()
+	}
+	s.peers = make(map[string]*client.Client)
+	s.peerMu.Unlock()
 	select {
 	case <-s.closed:
 	default:
@@ -218,7 +286,18 @@ func (s *Server) flusher(ctx context.Context) {
 // deterministic tests.
 func (s *Server) flushOnce() {
 	decisions := s.engine.Flush()
-	ops := make([]proto.BatchOp, 0, len(decisions))
+	forwarded := s.takeForwardDirty()
+	ops := make([]proto.BatchOp, 0, len(decisions)+len(forwarded))
+	// Keys whose writes this store forwarded to their new owner during
+	// a handoff: the local engine never observed those writes, but the
+	// caches still subscribed here under the old ring epoch hold copies
+	// that just went stale. Push an invalidate so they refetch (the
+	// fill is forwarded too); an update is impossible — the local copy
+	// no longer reflects the authority.
+	for _, key := range forwarded {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: key})
+		s.c.InvalidatesSent.Inc()
+	}
 	for _, d := range decisions {
 		switch d.Action {
 		case core.ActionInvalidate:
@@ -253,11 +332,10 @@ func (s *Server) flushOnce() {
 		return
 	}
 	for _, sub := range subs {
-		select {
-		case sub.out <- msg:
+		if sub.push(msg) {
 			s.c.BatchesSent.Inc()
 			s.c.OpsSent.Add(uint64(len(ops)))
-		default:
+		} else {
 			// Queue full: the subscriber is stuck. Cut it loose; it
 			// will reconnect and resynchronize by epoch gap.
 			s.c.SubscribersDropped.Inc()
@@ -300,7 +378,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	var sub *subscriber
+	var cs connState
 	r := proto.NewReader(conn)
 	for {
 		m, err := r.ReadMsg()
@@ -311,7 +389,7 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			}
 			break
 		}
-		resp := s.dispatch(m, conn, &sub, out)
+		resp := s.dispatch(m, conn, &cs, out)
 		if resp != nil {
 			select {
 			case out <- resp:
@@ -319,22 +397,75 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			}
 		}
 	}
-	if sub != nil {
-		s.dropSubscriber(sub)
+	cs.fwd.Wait() // async forwarded requests still hold out
+	if cs.sub != nil {
+		s.dropSubscriber(cs.sub)
+		cs.sub.retire()
+	}
+	if cs.mig != nil {
+		s.abortMigration(cs.mig)
 	}
 	close(out)
 	<-writerDone
 	conn.Close()
 }
 
-func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out chan *proto.Msg) *proto.Msg {
+// maxConnForwards bounds the concurrently forwarded requests per
+// connection; beyond it the read loop exerts backpressure.
+const maxConnForwards = 256
+
+// connState is the per-connection server-side state: at most one push
+// subscription, at most one outbound key-range migration, and the
+// in-flight forwarded requests.
+type connState struct {
+	sub *subscriber
+	mig *outMigration
+
+	fwd    sync.WaitGroup
+	fwdSem chan struct{}
+}
+
+// goForward answers a request asynchronously through the connection's
+// writer: a forwarded request crosses a network round trip and must
+// not stall the requests pipelined behind it on this connection (the
+// LB and cache dispatch concurrently for the same reason). Responses
+// may complete out of order; clients demux by Seq.
+func (s *Server) goForward(cs *connState, out chan *proto.Msg, fn func() *proto.Msg) *proto.Msg {
+	if cs.fwdSem == nil {
+		cs.fwdSem = make(chan struct{}, maxConnForwards)
+	}
+	cs.fwdSem <- struct{}{}
+	cs.fwd.Add(1)
+	go func() {
+		defer func() {
+			<-cs.fwdSem
+			cs.fwd.Done()
+		}()
+		out <- fn()
+	}()
+	return nil
+}
+
+func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan *proto.Msg) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
 		s.c.Gets.Inc()
+		if target := s.forwardTarget(m.Key); target != "" {
+			seq, key := m.Seq, m.Key
+			return s.goForward(cs, out, func() *proto.Msg {
+				return s.forwardGet(seq, key, target, false)
+			})
+		}
 		s.engine.ObserveRead(m.Key)
 		return s.getResp(m)
 	case proto.MsgFill:
 		s.c.Fills.Inc()
+		if target := s.forwardTarget(m.Key); target != "" {
+			seq, key := m.Seq, m.Key
+			return s.goForward(cs, out, func() *proto.Msg {
+				return s.forwardGet(seq, key, target, true)
+			})
+		}
 		// A fill means the cache is re-fetching: its copy becomes fresh,
 		// so future writes need a fresh invalidate (§3.3's tracked
 		// invalidation state).
@@ -342,13 +473,20 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out cha
 		return s.getResp(m)
 	case proto.MsgPut:
 		s.c.Puts.Inc()
-		version := s.auth.Put(m.Key, m.Value, time.Now())
-		s.engine.ObserveWrite(m.Key)
-		return &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+		resp, target := s.routePut(m)
+		if resp != nil {
+			return resp
+		}
+		// The value aliases the reader's buffer; the forward outlives
+		// this dispatch, so copy it.
+		seq, key, value := m.Seq, m.Key, append([]byte(nil), m.Value...)
+		return s.goForward(cs, out, func() *proto.Msg {
+			return s.forwardPut(seq, key, value, target)
+		})
 	case proto.MsgSubscribe:
 		ns := &subscriber{name: m.Key, out: out, conn: conn}
 		s.mu.Lock()
-		if old := *sub; old != nil {
+		if old := cs.sub; old != nil {
 			// A re-subscribe on the same connection replaces the old
 			// registration; leaving it would leak a phantom subscriber
 			// that survives disconnect and double-counts every push into
@@ -358,22 +496,71 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, sub **subscriber, out cha
 		s.subs[ns] = struct{}{}
 		epoch := s.epoch
 		s.mu.Unlock()
-		*sub = ns
+		cs.sub = ns
 		return &proto.Msg{Type: proto.MsgSubResp, Seq: m.Seq, Epoch: epoch, Key: s.cfg.ShardID}
 	case proto.MsgReadReport:
 		s.c.ReadReports.Inc()
+		s.clMu.RLock()
+		clustered := s.clusterRing != nil || len(s.outMigs) > 0
+		s.clMu.RUnlock()
+		var stray []proto.ReadReport
 		for _, rp := range m.Reports {
 			n := rp.Count
 			if n > s.cfg.MaxReportCount {
 				n = s.cfg.MaxReportCount
 			}
+			if clustered {
+				if target := s.forwardTarget(rp.Key); target != "" {
+					stray = append(stray, proto.ReadReport{Key: rp.Key, Count: n})
+					continue
+				}
+			}
 			s.engine.ObserveReadN(rp.Key, n)
+		}
+		if len(stray) > 0 {
+			// Reads reported under a stale ring: relay them to the
+			// owners so their policy engines keep seeing the full
+			// stream for the keys they now own. Best effort and
+			// fire-and-forget — read statistics are advisory and must
+			// not stall the requests pipelined behind this report.
+			go s.forwardReports(stray)
 		}
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgStats:
 		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: s.statsMap()}
+	case proto.MsgAdopt:
+		return s.handleAdopt(m)
+	case proto.MsgMigrate:
+		return s.handleMigrate(m, cs, out)
+	case proto.MsgMigrateAck:
+		resp := s.handleMigrateAck(cs)
+		resp.Seq = m.Seq
+		return resp
+	case proto.MsgMigrateChunk:
+		// Out-of-stream restore push: a donor transferring its final
+		// write tail after the forward switch. Restore semantics are
+		// idempotent and never clobber a newer local write, so this
+		// may interleave freely with freshly forwarded traffic.
+		now := time.Now()
+		for _, op := range m.Ops {
+			if op.Kind == proto.BatchUpdate {
+				s.auth.Restore(op.Key, op.Value, op.Version, now)
+			}
+		}
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgMigrateDone:
+		// Version fence: a donor about to forward writes here raises
+		// our version counter past its own, so every version we assign
+		// from now on orders after anything a cache saw from it.
+		s.auth.BumpVersion(m.Version)
+		for _, f := range m.Freqs {
+			s.engine.WarmStart(f.Key, f.Reads, f.Writes)
+		}
+		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	case proto.MsgRelease:
+		return s.handleRelease(m)
 	default:
 		s.c.MalformedFrames.Inc()
 		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
@@ -396,7 +583,20 @@ func (s *Server) statsMap() map[string]uint64 {
 	nsubs := uint64(len(s.subs))
 	epoch := s.epoch
 	s.mu.Unlock()
+	s.clMu.RLock()
+	ringEpoch := s.clusterEpoch
+	activeMigs := uint64(len(s.outMigs))
+	s.clMu.RUnlock()
 	return map[string]uint64{
+		"ring_epoch":          ringEpoch,
+		"migrations_active":   activeMigs,
+		"migrations_out":      s.c.MigrationsOut.Value(),
+		"migrations_in":       s.c.MigrationsIn.Value(),
+		"keys_migrated_out":   s.c.KeysMigratedOut.Value(),
+		"keys_migrated_in":    s.c.KeysMigratedIn.Value(),
+		"forwarded_puts":      s.c.ForwardedPuts.Value(),
+		"forwarded_reads":     s.c.ForwardedReads.Value(),
+		"keys_released":       s.c.KeysReleased.Value(),
 		"gets":                s.c.Gets.Value(),
 		"fills":               s.c.Fills.Value(),
 		"puts":                s.c.Puts.Value(),
