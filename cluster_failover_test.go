@@ -1,0 +1,379 @@
+package freshcache_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"freshcache"
+)
+
+// failoverCluster is a replicated coordinator-managed deployment:
+// N heartbeating stores under replication factor R, M caches and one
+// LB, with the coordinator's lease-based failure detector armed.
+type failoverCluster struct {
+	stores     []*freshcache.StoreServer
+	storeAddrs []string
+	caches     []*freshcache.CacheServer
+	lb         *freshcache.LoadBalancer
+	lbAddr     string
+	coord      *freshcache.Coordinator
+	coordAddr  string
+}
+
+func startFailoverCluster(t *testing.T, T, lease time.Duration, nStores, replicas, nCaches int) *failoverCluster {
+	t.Helper()
+	quiet := log.New(io.Discard, "", 0)
+	cl := &failoverCluster{}
+
+	// Store listeners first: the coordinator's initial ring needs the
+	// addresses, and the stores need the coordinator to heartbeat.
+	lns := make([]net.Listener, nStores)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		cl.storeAddrs = append(cl.storeAddrs, ln.Addr().String())
+	}
+	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
+		Stores: cl.storeAddrs, Replicas: replicas,
+		LeaseInterval: lease, Logger: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(cln) //nolint:errcheck
+	t.Cleanup(func() { co.Close() })
+	cl.coord = co
+	cl.coordAddr = cln.Addr().String()
+
+	for i, ln := range lns {
+		st := freshcache.NewStoreServer(freshcache.StoreConfig{
+			T: T, ShardID: fmt.Sprintf("shard-%d", i), Logger: quiet,
+			ClusterAddr:       cl.coordAddr,
+			AdvertiseAddr:     cl.storeAddrs[i],
+			HeartbeatInterval: lease / 8,
+		})
+		go st.Serve(ln) //nolint:errcheck
+		t.Cleanup(func() { st.Close() })
+		cl.stores = append(cl.stores, st)
+	}
+
+	var cacheAddrs []string
+	for i := 0; i < nCaches; i++ {
+		ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+			ClusterAddr:   cl.coordAddr,
+			T:             T,
+			Name:          fmt.Sprintf("cache-%d", i),
+			Logger:        quiet,
+			RetryInterval: 20 * time.Millisecond,
+			WatchInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ca.Serve(caLn) //nolint:errcheck
+		t.Cleanup(func() { ca.Close() })
+		cl.caches = append(cl.caches, ca)
+		cacheAddrs = append(cacheAddrs, caLn.Addr().String())
+	}
+
+	balancer, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		ClusterAddr: cl.coordAddr, CacheAddrs: cacheAddrs,
+		WatchInterval: 25 * time.Millisecond, Logger: quiet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go balancer.Serve(lln) //nolint:errcheck
+	t.Cleanup(func() { balancer.Close() })
+	cl.lb = balancer
+	cl.lbAddr = lln.Addr().String()
+
+	// Wait until every cache subscribed to every store and every store
+	// learned the ring (heartbeat anti-entropy).
+	for i := range cl.stores {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			sm := storeStats(t, cl.storeAddrs[i])
+			if sm["subscribers"] >= uint64(nCaches) && sm["ring_epoch"] >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("store %d never became ready (stats %v)", i, sm)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return cl
+}
+
+// TestFailoverUnderLoad is the acceptance test of automatic failover:
+// in a 3-store (R=2) / 2-cache / 1-LB cluster under concurrent
+// read/write load, one store is killed mid-traffic. The lease-based
+// failure detector must promote the surviving replicas within a few
+// lease intervals, no acknowledged write may be lost, request errors
+// must be confined to the detection window, and no read may observe
+// data staler than the crash bound (2T: the killed store can take up
+// to one un-flushed batch interval of invalidates with it, and the
+// disconnect deadline caps the resident tail at kill-time + T).
+func TestFailoverUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster test")
+	}
+	const (
+		T     = 500 * time.Millisecond
+		lease = 400 * time.Millisecond
+		nkeys = 90
+		// grace absorbs scheduler and batch-tick jitter on loaded CI
+		// machines.
+		grace = 300 * time.Millisecond
+		// crashBound is the staleness bound asserted across the kill:
+		// one batch interval the dead store may never have flushed,
+		// plus the disconnect-deadline tail of at most T.
+		crashBound = 2 * T
+	)
+	cl := startFailoverCluster(t, T, lease, 3, 2, 2)
+
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	tr := &truth{acks: make(map[string][]ackedWrite)}
+
+	seed := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	for _, key := range keys {
+		if _, err := seed.Put(key, []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+		tr.recordAck(key, 0)
+	}
+	seed.Close()
+
+	var (
+		loadWG   sync.WaitGroup
+		stop     = make(chan struct{})
+		mu       sync.Mutex
+		firstBad error     // staleness violation or junk read
+		lastErr  time.Time // when the most recent request error happened
+		reads    int64     // validated reads
+		errs     int64     // transient request errors
+		lastSeq  atomic1   // writer's acknowledged-sequence high-water
+	)
+	noteErr := func() {
+		mu.Lock()
+		lastErr = time.Now()
+		errs++
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstBad == nil {
+			firstBad = err
+		}
+		mu.Unlock()
+	}
+
+	// One writer, round-robin; request errors are transient by design
+	// (the key's owner may be mid-crash), so they are recorded rather
+	// than fatal, and only acknowledged writes enter the truth map.
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+		defer c.Close()
+		seq := uint64(0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			key := keys[i%len(keys)]
+			if _, err := c.Put(key, []byte(strconv.FormatUint(seq, 10))); err != nil {
+				noteErr()
+			} else {
+				tr.recordAck(key, seq)
+				lastSeq.store(key, seq)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Readers: a failed read is transient; a read that parses must be
+	// within the crash bound of the truth map.
+	for w := 0; w < 4; w++ {
+		loadWG.Add(1)
+		go func(w int) {
+			defer loadWG.Done()
+			c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+			defer c.Close()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := keys[i%len(keys)]
+				t0 := time.Now()
+				v, _, err := c.Get(key)
+				if err != nil {
+					noteErr()
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				seq, perr := strconv.ParseUint(string(v), 10, 64)
+				if perr != nil {
+					fail(fmt.Errorf("get %q returned junk %q", key, v))
+					return
+				}
+				if d := tr.staleBy(key, seq, t0, crashBound+grace); d > 0 {
+					fail(fmt.Errorf("read of %q observed seq %d, staler than the crash bound by %v", key, seq, d))
+					return
+				}
+				mu.Lock()
+				reads++
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// Let the cluster settle under load (replica syncs complete fast;
+	// every acked write is on its replica by construction), then kill
+	// one store outright.
+	time.Sleep(3 * T)
+	victim := 0
+	victimAddr := cl.storeAddrs[victim]
+	killAt := time.Now()
+	cl.stores[victim].Close()
+
+	// Automatic promotion within a few lease intervals.
+	var promotedAt time.Time
+	deadline := time.Now().Add(10 * lease)
+	for {
+		ri := cl.coord.RingInfo()
+		if len(ri.Nodes) == 2 {
+			promotedAt = time.Now()
+			for _, n := range ri.Nodes {
+				if n == victimAddr {
+					t.Fatalf("failover ring still contains the victim: %v", ri.Nodes)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never failed over the killed store (ring %v)", cl.coord.RingInfo().Nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if d := promotedAt.Sub(killAt); d > 4*lease {
+		t.Errorf("promotion took %v, want within ~%v of the kill", d, 4*lease)
+	}
+
+	// Every router swaps to the failover epoch.
+	deadline = time.Now().Add(5 * time.Second)
+	wantEpoch := cl.coord.RingInfo().Epoch
+	for {
+		swapped := storeStats(t, cl.lbAddr)["ring_epoch"] >= wantEpoch
+		for _, ca := range cl.caches {
+			swapped = swapped && ca.StatsMap()["ring_epoch"] >= wantEpoch
+		}
+		if swapped {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routers never swapped to the failover ring epoch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Serve well past the failover, then stop the load.
+	time.Sleep(4 * T)
+	close(stop)
+	loadWG.Wait()
+	if firstBad != nil {
+		t.Fatalf("load failed across the failover: %v", firstBad)
+	}
+
+	mu.Lock()
+	totalReads, totalErrs, lastErrAt := reads, errs, lastErr
+	mu.Unlock()
+	if totalReads < 100 {
+		t.Fatalf("only %d validated reads; load never ran", totalReads)
+	}
+	// Errors are transient: none after the routers settled on the new
+	// ring. (Allow the settle window: promotion + watcher tick + one
+	// in-flight request timeout's worth of slack.)
+	settle := promotedAt.Add(time.Second)
+	if !lastErrAt.IsZero() && lastErrAt.After(settle) {
+		t.Errorf("request errors continued %v past promotion (last at %v, settle %v)",
+			lastErrAt.Sub(promotedAt), lastErrAt, settle)
+	}
+	t.Logf("failover: promotion %v after kill, %d validated reads, %d transient errors",
+		promotedAt.Sub(killAt), totalReads, totalErrs)
+
+	// No acknowledged write lost: after quiescing past the staleness
+	// window, every key reads back at least its last acknowledged
+	// sequence number.
+	time.Sleep(crashBound + grace)
+	c := freshcache.NewClient(cl.lbAddr, freshcache.ClientOptions{})
+	defer c.Close()
+	for _, key := range keys {
+		v, _, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("post-failover get %q: %v", key, err)
+		}
+		got, perr := strconv.ParseUint(string(v), 10, 64)
+		if perr != nil {
+			t.Fatalf("post-failover get %q returned junk %q", key, v)
+		}
+		if want := lastSeq.load(key); got < want {
+			t.Errorf("key %q lost an acknowledged write: reads seq %d, acked up to %d", key, got, want)
+		}
+	}
+}
+
+// atomic1 is a tiny keyed high-water map for the writer's acked
+// sequence numbers.
+type atomic1 struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (a *atomic1) store(key string, seq uint64) {
+	a.mu.Lock()
+	if a.m == nil {
+		a.m = make(map[string]uint64)
+	}
+	if seq > a.m[key] {
+		a.m[key] = seq
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomic1) load(key string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m[key]
+}

@@ -7,12 +7,21 @@
 // Usage:
 //
 //	coordserver -addr :7301 -stores 127.0.0.1:7001,127.0.0.1:7002 [-vnodes 128]
+//	            [-replicas 2] [-lease 2s]
 //
 // Caches (-cluster on cacheserver), the LB (-cluster on lbserver) and
 // tooling (freshctl -cluster) bootstrap their store ring from the
 // coordinator and watch it for epoch changes. Membership changes come
 // from `freshctl -cluster <addr> join|drain <store>` or a storeserver
 // started with -cluster -join.
+//
+// With -replicas R > 1 every key lives on its ring owner plus the R−1
+// next distinct ring successors, primaries withhold write acks until
+// the replicas hold them, and the lease-based failure detector
+// promotes a dead store's replicas automatically: a store (started
+// with -cluster, which makes it heartbeat) that stays silent for
+// -lease is removed from the ring and its successors take over the
+// arcs they already replicate.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"freshcache"
 )
@@ -29,16 +39,21 @@ func main() {
 	addr := flag.String("addr", ":7301", "listen address")
 	stores := flag.String("stores", "127.0.0.1:7001", "comma-separated initial store ring")
 	vnodes := flag.Int("vnodes", freshcache.DefaultVirtualNodes, "virtual nodes per store")
+	replicas := flag.Int("replicas", 1, "replication factor R (1 = no replication)")
+	leaseIv := flag.Duration("lease", 2*time.Second, "liveness lease; a store silent this long is failed over")
 	flag.Parse()
 
 	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
-		Stores:       strings.Split(*stores, ","),
-		VirtualNodes: *vnodes,
+		Stores:        strings.Split(*stores, ","),
+		VirtualNodes:  *vnodes,
+		Replicas:      *replicas,
+		LeaseInterval: *leaseIv,
 	})
 	if err != nil {
 		log.Fatalf("coordserver: %v", err)
 	}
-	log.Printf("coordserver: listening on %s, ring epoch 1 over %s", *addr, *stores)
+	log.Printf("coordserver: listening on %s, ring epoch 1 over %s (R=%d, lease %v)",
+		*addr, *stores, *replicas, *leaseIv)
 	if err := co.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "coordserver: %v\n", err)
 		os.Exit(1)

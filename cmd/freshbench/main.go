@@ -18,7 +18,9 @@
 //	pipeline measure the pipelined vs pooled transport on a live store
 //	reshard  join a third store into a live cluster under load and record
 //	         the throughput/staleness-violation trajectory
-//	all      everything above (except pipeline and reshard)
+//	failover kill one store of a replicated (R=2) live cluster under load
+//	         and record the trajectory through the automatic promotion
+//	all      everything above (except pipeline, reshard and failover)
 //
 // Flags:
 //
@@ -26,9 +28,9 @@
 //	-seed uint          workload seed (default 1)
 //	-t float            staleness bound for fig5/fig6/live (default 0.5)
 //	-stores int         store shards booted by live (default 1)
-//	-workers int        concurrent workers for pipeline/reshard (default 64)
-//	-benchtime duration wall-clock window for pipeline/reshard (default 2s / 4s)
-//	-json               pipeline/reshard: also write BENCH_pipeline.json / BENCH_reshard.json
+//	-workers int        concurrent workers for pipeline/reshard/failover (default 64)
+//	-benchtime duration wall-clock window for pipeline/reshard/failover (default 2s / 4s / 4s)
+//	-json               pipeline/reshard/failover: also write BENCH_<name>.json
 package main
 
 import (
@@ -86,6 +88,17 @@ func main() {
 		}
 		return reshardBench(*workers, bt, o.T, out)
 	}
+	failover := func(o experiments.Options) error {
+		out := ""
+		if *jsonOut {
+			out = "BENCH_failover.json"
+		}
+		bt := *benchtime
+		if bt == 0 { // unset: failover needs room around the mid-run kill
+			bt = 4 * time.Second
+		}
+		return failoverBench(*workers, bt, o.T, out)
+	}
 
 	run := func(name string, fn func(experiments.Options) error) {
 		fmt.Printf("== %s ==\n", name)
@@ -117,6 +130,8 @@ func main() {
 		run("Pipelined vs pooled transport", pipeline)
 	case "reshard":
 		run("Live resharding under load", reshard)
+	case "failover":
+		run("Kill-a-store failover under load", failover)
 	case "probe":
 		run("Bottleneck probe", probe)
 	case "all":
@@ -135,7 +150,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|reshard|probe|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|reshard|failover|probe|all> [flags]
 run "freshbench <experiment> -h" for flags`)
 }
 

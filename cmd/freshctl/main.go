@@ -11,6 +11,7 @@
 // Cluster membership (against the coordinator):
 //
 //	freshctl -cluster 127.0.0.1:7301 ring                   # show the published ring
+//	freshctl -cluster 127.0.0.1:7301 status                 # ring + liveness leases + pending changes
 //	freshctl -cluster 127.0.0.1:7301 join 127.0.0.1:7003    # admit a store, migrating its range in
 //	freshctl -cluster 127.0.0.1:7301 drain 127.0.0.1:7002   # remove a store, migrating its range out
 package main
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	switch args[0] {
-	case "ring", "join", "drain":
+	case "ring", "join", "drain", "status":
 		if *cluster == "" {
 			fmt.Fprintln(os.Stderr, "freshctl: the", args[0], "command needs -cluster <coordinator>")
 			os.Exit(2)
@@ -90,7 +91,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key>
-       freshctl -cluster host:port <ring | join storeaddr | drain storeaddr>`)
+       freshctl -cluster host:port <ring | status | join storeaddr | drain storeaddr>`)
 	os.Exit(2)
 }
 
@@ -109,6 +110,8 @@ func clusterCmd(coordAddr string, args []string) error {
 	switch {
 	case args[0] == "ring" && len(args) == 1:
 		ri, err = c.RingGet()
+	case args[0] == "status" && len(args) == 1:
+		return status(c)
 	case args[0] == "join" && len(args) == 2:
 		ri, err = c.Join(args[1])
 	case args[0] == "drain" && len(args) == 2:
@@ -119,11 +122,57 @@ func clusterCmd(coordAddr string, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ring epoch %d (published %s, %d virtual nodes/store)\n",
-		ri.Epoch, ri.PublishedAt.Format(time.RFC3339), ri.VirtualNodes)
+	printRing(ri)
+	return nil
+}
+
+func printRing(ri freshcache.RingInfo) {
+	fmt.Printf("ring epoch %d (published %s, %d virtual nodes/store, R=%d)\n",
+		ri.Epoch, ri.PublishedAt.Format(time.RFC3339), ri.VirtualNodes, ri.Replicas)
 	for i, n := range ri.Nodes {
 		fmt.Printf("  store %d  %s\n", i, n)
 	}
+}
+
+// status renders the coordinator's view of the cluster: the published
+// ring, each heartbeating store's lease age against the lease
+// interval, pending membership changes, and the change/failover
+// counters.
+func status(c *freshcache.Client) error {
+	ri, err := c.RingGet()
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	printRing(ri)
+	lease := st["lease_interval_ms"]
+	fmt.Printf("liveness (lease %dms):\n", lease)
+	seen := false
+	for _, n := range ri.Nodes {
+		if age, ok := st["lease_age_ms["+n+"]"]; ok {
+			seen = true
+			state := "alive"
+			if age > lease {
+				state = "SUSPECT"
+			}
+			fmt.Printf("  %-24s last heartbeat %5dms ago  %s\n", n, age, state)
+		} else {
+			fmt.Printf("  %-24s no heartbeats (static member)\n", n)
+		}
+	}
+	if !seen && len(ri.Nodes) > 0 {
+		fmt.Println("  (no store is heartbeating; the failure detector is idle)")
+	}
+	for k, v := range st {
+		if v == 1 && len(k) > len("pending[") && k[:len("pending[")] == "pending[" {
+			fmt.Printf("pending change: %s (auto-recovering)\n", k[len("pending["):len(k)-1])
+		}
+	}
+	fmt.Printf("changes: joins=%d drains=%d failed=%d failovers=%d rollbacks=%d heartbeats=%d\n",
+		st["joins"], st["drains"], st["failed"], st["failovers"], st["rollbacks"], st["heartbeats"])
 	return nil
 }
 

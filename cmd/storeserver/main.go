@@ -8,7 +8,7 @@
 //	storeserver -addr :7001 -t 500ms [-shard shard-0] [-slo 0.05]
 //	            [-cm 2 -ci 0.25 -cu 1]
 //	            [-bottleneck auto|cpu|network|disk] [-keysize 16 -valsize 256]
-//	            [-cluster 127.0.0.1:7301 -join [-advertise host:port]]
+//	            [-cluster 127.0.0.1:7301 -join [-advertise host:port] [-heartbeat 500ms]]
 //
 // In a sharded deployment run one storeserver per shard, each with a
 // distinct -shard identity; caches and the LB partition the keyspace
@@ -55,6 +55,8 @@ func main() {
 	clusterAddr := flag.String("cluster", "", "cluster coordinator address")
 	join := flag.Bool("join", false, "join the cluster ring at startup (requires -cluster)")
 	advertise := flag.String("advertise", "", "address the cluster dials this store at (default -addr)")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
+		"liveness lease renewal interval (requires -cluster; keep well under the coordinator's -lease)")
 	flag.Parse()
 
 	if *shard == "" {
@@ -77,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("storeserver: %v", err)
 	}
-	srv := freshcache.NewStoreServer(freshcache.StoreConfig{
+	cfg := freshcache.StoreConfig{
 		ShardID: *shard,
 		T:       *t,
 		Engine: core.Config{
@@ -85,7 +87,15 @@ func main() {
 			SLO:     *slo,
 			Tracker: tracker,
 		},
-	})
+	}
+	if *clusterAddr != "" {
+		// Heartbeat the coordinator: renews this store's liveness lease
+		// (the failure detector's input) and pulls ring anti-entropy.
+		cfg.ClusterAddr = *clusterAddr
+		cfg.AdvertiseAddr = *advertise
+		cfg.HeartbeatInterval = *heartbeat
+	}
+	srv := freshcache.NewStoreServer(cfg)
 	if *clusterAddr != "" && *join {
 		go joinCluster(*clusterAddr, *advertise)
 	}

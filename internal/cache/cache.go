@@ -178,6 +178,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	ln     net.Listener
+	watch  *cluster.Watcher // nil outside cluster mode
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
@@ -218,6 +219,23 @@ func New(cfg Config) (*Server, error) {
 		readCounts: make(map[string]uint32),
 		filling:    make(map[string]int),
 		voided:     make(map[string]bool),
+	}
+	if cfg.ClusterAddr != "" {
+		// On-demand failover: a fill or forwarded write whose owner
+		// just crashed refreshes the ring straight from the coordinator
+		// and retries once against the promoted owner, instead of
+		// erroring until the watcher's next successful poll. The swap
+		// runs through the same bookkeeping as the watcher's (deadline
+		// stamping, subscription re-scoping), so bounded staleness
+		// holds regardless of which path observes the epoch first.
+		stores.SetRefresher(func() (client.RingInfo, bool) {
+			ri, err := cluster.FetchRing(cfg.ClusterAddr, time.Second)
+			if err != nil {
+				return client.RingInfo{}, false
+			}
+			s.swapRing(ri)
+			return ri, true
+		})
 	}
 	return s, nil
 }
@@ -272,6 +290,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	go s.reportLoop(ctx)
 	if s.cfg.ClusterAddr != "" {
 		w := cluster.NewWatcher(s.cfg.ClusterAddr, s.cfg.WatchInterval, s.stores.Epoch(), s.swapRing)
+		w.SetLogger(s.cfg.Logger)
+		s.mu.Lock()
+		s.watch = w
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -333,6 +355,12 @@ func (s *Server) swapRing(ri client.RingInfo) {
 
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
+	if s.serveCtx == nil {
+		// Swapped before Serve (a refresher fired on an embedded or
+		// still-starting node): Serve reads the swapped ring when it
+		// starts the subscription loops.
+		return
+	}
 	current := make(map[string]struct{}, newRing.Len())
 	for _, addr := range newRing.Nodes() {
 		current[addr] = struct{}{}
@@ -726,27 +754,37 @@ func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
 
 // StatsMap snapshots the node's counters.
 func (s *Server) StatsMap() map[string]uint64 {
+	var stalled, failedPolls uint64
+	s.mu.Lock()
+	if s.watch != nil {
+		stalled = s.watch.ConsecutiveFailures()
+		failedPolls = s.watch.FailedPolls()
+	}
+	s.mu.Unlock()
 	return map[string]uint64{
-		"gets":                s.c.Gets.Value(),
-		"hits":                s.c.Hits.Value(),
-		"stale_misses":        s.c.StaleMisses.Value(),
-		"cold_misses":         s.c.ColdMisses.Value(),
-		"puts":                s.c.Puts.Value(),
-		"invalidates_applied": s.c.InvalidatesApplied.Value(),
-		"updates_applied":     s.c.UpdatesApplied.Value(),
-		"updates_ignored":     s.c.UpdatesIgnored.Value(),
-		"batches_applied":     s.c.BatchesApplied.Value(),
-		"epoch_gaps":          s.c.EpochGaps.Value(),
-		"resyncs":             s.c.Resyncs.Value(),
-		"disconnects":         s.c.Disconnects.Value(),
-		"keys_resynced":       s.c.KeysResynced.Value(),
-		"keys_deadlined":      s.c.KeysDeadlined.Value(),
-		"read_reports_sent":   s.c.ReadReportsSent.Value(),
-		"malformed_frames":    s.c.MalformedFrames.Value(),
-		"ring_swaps":          s.c.RingSwaps.Value(),
-		"ring_epoch":          s.stores.Epoch(),
-		"stores":              uint64(s.stores.Len()),
-		"resident":            uint64(s.kv.Len()),
-		"evictions":           s.kv.Evictions(),
+		"watcher_stalled_polls": stalled,
+		"watcher_failed_polls":  failedPolls,
+		"failovers":             s.stores.Failovers(),
+		"gets":                  s.c.Gets.Value(),
+		"hits":                  s.c.Hits.Value(),
+		"stale_misses":          s.c.StaleMisses.Value(),
+		"cold_misses":           s.c.ColdMisses.Value(),
+		"puts":                  s.c.Puts.Value(),
+		"invalidates_applied":   s.c.InvalidatesApplied.Value(),
+		"updates_applied":       s.c.UpdatesApplied.Value(),
+		"updates_ignored":       s.c.UpdatesIgnored.Value(),
+		"batches_applied":       s.c.BatchesApplied.Value(),
+		"epoch_gaps":            s.c.EpochGaps.Value(),
+		"resyncs":               s.c.Resyncs.Value(),
+		"disconnects":           s.c.Disconnects.Value(),
+		"keys_resynced":         s.c.KeysResynced.Value(),
+		"keys_deadlined":        s.c.KeysDeadlined.Value(),
+		"read_reports_sent":     s.c.ReadReportsSent.Value(),
+		"malformed_frames":      s.c.MalformedFrames.Value(),
+		"ring_swaps":            s.c.RingSwaps.Value(),
+		"ring_epoch":            s.stores.Epoch(),
+		"stores":                uint64(s.stores.Len()),
+		"resident":              uint64(s.kv.Len()),
+		"evictions":             s.kv.Evictions(),
 	}
 }

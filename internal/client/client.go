@@ -35,6 +35,12 @@ var (
 	ErrNotFound = errors.New("client: key not found")
 	// ErrClosed reports a call on a closed client.
 	ErrClosed = errors.New("client: closed")
+	// ErrServer wraps a request-level error the node answered with
+	// (MsgErr): the request reached a live server and was refused or
+	// failed there. Errors NOT wrapping ErrServer/ErrNotFound are
+	// transport failures — the node itself may be down, which is the
+	// signal the sharded client's failover retry keys off.
+	ErrServer = errors.New("client: server error")
 )
 
 // Options configures a Client.
@@ -117,7 +123,7 @@ func (c *Client) do(req *proto.Msg) (*proto.Msg, error) {
 		return nil, err
 	}
 	if resp.Type == proto.MsgErr {
-		return nil, fmt.Errorf("client: server error: %s", resp.Err)
+		return nil, fmt.Errorf("%w: %s", ErrServer, resp.Err)
 	}
 	return resp, nil
 }
@@ -222,6 +228,10 @@ type RingInfo struct {
 	Nodes []string
 	// VirtualNodes is the ring geometry every party must share.
 	VirtualNodes int
+	// Replicas is the cluster replication factor R: every key lives on
+	// its ring owner plus the R−1 next distinct ring successors. 1 (or
+	// 0, normalized to 1) means no replication.
+	Replicas int
 	// PublishedAt is the coordinator's publish time — the moment
 	// routers may start using this ring, and therefore the staleness
 	// clock origin for entries whose ownership moved.
@@ -232,10 +242,15 @@ func ringInfo(resp *proto.Msg) (RingInfo, error) {
 	if resp.Type != proto.MsgRingResp {
 		return RingInfo{}, fmt.Errorf("client: unexpected response %v to ring request", resp.Type)
 	}
+	replicas := int(resp.Replicas)
+	if replicas < 1 {
+		replicas = 1
+	}
 	return RingInfo{
 		Epoch:        resp.Epoch,
 		Nodes:        resp.Nodes,
 		VirtualNodes: int(resp.Version),
+		Replicas:     replicas,
 		PublishedAt:  time.Unix(0, resp.Stamp),
 	}, nil
 }
@@ -271,12 +286,41 @@ func (c *Client) Drain(storeAddr string) (RingInfo, error) {
 	return ringInfo(resp)
 }
 
+// Heartbeat renews a store's liveness lease at the coordinator: self is
+// the store's advertised ring identity, version its authority version
+// counter. The response is the coordinator's current published ring, so
+// a store that missed a release catches up from its own heartbeat.
+func (c *Client) Heartbeat(self string, version uint64) (RingInfo, error) {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgHeartbeat, Key: self, Version: version})
+	if err != nil {
+		return RingInfo{}, err
+	}
+	return ringInfo(resp)
+}
+
+// RepWrite pushes accepted writes (with their primary-assigned
+// versions) and the primary tracker's current counts for their keys to
+// a replica. The replica applies them under restore semantics; the call
+// returns once the replica has acknowledged — the primary's client
+// write is acknowledged only after this.
+func (c *Client) RepWrite(ops []proto.BatchOp, freqs []proto.KeyFreq) error {
+	resp, err := c.do(&proto.Msg{Type: proto.MsgRepWrite, Ops: ops, Freqs: freqs})
+	if err != nil {
+		return err
+	}
+	if resp.Type != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to REPWRITE", resp.Type)
+	}
+	return nil
+}
+
 // Adopt commands a store (addressed as identity self under the
 // candidate ring) to pull the key ranges the ring assigns to it from
 // the donor stores. It blocks until the handoff is applied.
 func (c *Client) Adopt(ri RingInfo, self string, donors []string) error {
 	resp, err := c.do(&proto.Msg{Type: proto.MsgAdopt, Epoch: ri.Epoch,
-		Version: uint64(ri.VirtualNodes), Key: self, Nodes: ri.Nodes, Donors: donors})
+		Version: uint64(ri.VirtualNodes), Replicas: uint32(ri.Replicas),
+		Key: self, Nodes: ri.Nodes, Donors: donors})
 	if err != nil {
 		return err
 	}
@@ -325,7 +369,8 @@ func (c *Client) MigrateRestore(ops []proto.BatchOp) error {
 // forwards stragglers to the new owners.
 func (c *Client) Release(ri RingInfo, self string) error {
 	resp, err := c.do(&proto.Msg{Type: proto.MsgRelease, Epoch: ri.Epoch,
-		Version: uint64(ri.VirtualNodes), Key: self, Nodes: ri.Nodes})
+		Version: uint64(ri.VirtualNodes), Replicas: uint32(ri.Replicas),
+		Key: self, Nodes: ri.Nodes})
 	if err != nil {
 		return err
 	}

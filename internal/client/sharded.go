@@ -65,6 +65,13 @@ type Sharded struct {
 	mu     sync.Mutex // serializes SwapRing and Close
 	closed bool
 	v      atomic.Pointer[shardView]
+
+	// refreshMu single-flights ring refreshes triggered by failed
+	// key-addressed calls (SetRefresher); lastRefresh rate-limits them.
+	refreshMu   sync.Mutex
+	refresher   func() (RingInfo, bool)
+	lastRefresh time.Time
+	failovers   atomic.Uint64
 }
 
 // NewSharded builds a sharded client over addrs with virtualNodes ring
@@ -153,14 +160,105 @@ func (s *Sharded) For(key string) *Client {
 	return v.clients[v.r.Owner(key)]
 }
 
+// SetRefresher installs fn as the on-demand ring source consulted when
+// a key-addressed call fails at the transport level (the owner may have
+// just crashed): before surfacing the error, the sharded client
+// refreshes its ring through fn and — if the key's owner changed —
+// retries once against the promoted owner. Without a refresher, owner
+// failures surface until a watcher delivers the next ring epoch.
+func (s *Sharded) SetRefresher(fn func() (RingInfo, bool)) {
+	s.refreshMu.Lock()
+	s.refresher = fn
+	s.refreshMu.Unlock()
+}
+
+// Failovers returns how many key-addressed calls were retried against a
+// new owner after an on-demand ring refresh.
+func (s *Sharded) Failovers() uint64 { return s.failovers.Load() }
+
+// refreshMinGap rate-limits on-demand ring refreshes: a storm of
+// failures against a dead owner coalesces into at most one coordinator
+// poll per gap (concurrent failers piggyback on the in-flight refresh).
+const refreshMinGap = 100 * time.Millisecond
+
+// refreshRing fetches a possibly newer ring through the refresher and
+// swaps to it. It returns true when a retry is worthwhile — the ring
+// was just (re)fetched, here or by a concurrent failer.
+func (s *Sharded) refreshRing() bool {
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	if s.refresher == nil {
+		return false
+	}
+	if time.Since(s.lastRefresh) < refreshMinGap {
+		return true // a concurrent failure just refreshed; re-check the view
+	}
+	s.lastRefresh = time.Now()
+	ri, ok := s.refresher()
+	if !ok {
+		return false
+	}
+	return s.SwapRing(ri.Epoch, ri.Nodes, ri.VirtualNodes) == nil
+}
+
+// failoverWorthy reports whether err is a transport-level failure (the
+// owner may be down) rather than a server answer or a missing key.
+func failoverWorthy(err error) bool {
+	return err != nil && !errors.Is(err, ErrNotFound) &&
+		!errors.Is(err, ErrServer) && !errors.Is(err, ErrClosed)
+}
+
+// keyCall runs one key-addressed exchange with owner-failover retry:
+// when the owner's transport fails and a ring refresh reroutes the key,
+// the call is retried once against the new owner. (For a PUT the failed
+// attempt may have reached the old owner's wire; re-running it against
+// the promoted owner re-applies the same value under a newer version,
+// which the version-ordered stores and caches absorb.)
+func (s *Sharded) keyCall(key string, call func(*Client) error) error {
+	v := s.v.Load()
+	c := v.clients[v.r.Owner(key)]
+	err := call(c)
+	if !failoverWorthy(err) {
+		return err
+	}
+	if !s.refreshRing() {
+		return err
+	}
+	v2 := s.v.Load()
+	c2 := v2.clients[v2.r.Owner(key)]
+	if c2 == c {
+		return err // same owner; a retry would hit the same failure
+	}
+	s.failovers.Add(1)
+	return call(c2)
+}
+
 // Get fetches key from its owning shard.
-func (s *Sharded) Get(key string) ([]byte, uint64, error) { return s.For(key).Get(key) }
+func (s *Sharded) Get(key string) (value []byte, version uint64, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		value, version, err = c.Get(key)
+		return err
+	})
+	return value, version, err
+}
 
 // Fill performs a cache miss fill against key's owning shard.
-func (s *Sharded) Fill(key string) ([]byte, uint64, error) { return s.For(key).Fill(key) }
+func (s *Sharded) Fill(key string) (value []byte, version uint64, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		value, version, err = c.Fill(key)
+		return err
+	})
+	return value, version, err
+}
 
 // Put writes key to its owning shard.
-func (s *Sharded) Put(key string, value []byte) (uint64, error) { return s.For(key).Put(key, value) }
+func (s *Sharded) Put(key string, value []byte) (version uint64, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		version, err = c.Put(key, value)
+		return err
+	})
+	return version, err
+}
 
 // ReadReport partitions reports by ring owner and ships each slice to
 // its shard, so every store's policy engine sees exactly the read

@@ -109,3 +109,72 @@ func TestShardedSwapRing(t *testing.T) {
 		t.Fatalf("Ping after swap: %v", errs)
 	}
 }
+
+// TestShardedFailoverRetry pins the owner-failover path: a
+// key-addressed call that fails at the transport level must trigger an
+// on-demand ring refresh and a single retry against the key's new
+// owner, instead of erroring until a watcher delivers the next epoch.
+func TestShardedFailoverRetry(t *testing.T) {
+	up, _ := echoServer(t)
+	down := deadAddr(t)
+
+	s, err := NewSharded([]string{down}, 16, Options{
+		DialTimeout: 100 * time.Millisecond, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Without a refresher the failure surfaces.
+	if _, err := s.Put("k", []byte("v")); err == nil {
+		t.Fatal("put against the dead owner succeeded")
+	}
+
+	refreshes := 0
+	s.SetRefresher(func() (RingInfo, bool) {
+		refreshes++
+		return RingInfo{Epoch: 2, Nodes: []string{up}, VirtualNodes: 16}, true
+	})
+	if _, err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("put after failover retry: %v", err)
+	}
+	if refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", refreshes)
+	}
+	if s.Failovers() != 1 {
+		t.Errorf("failovers = %d, want 1", s.Failovers())
+	}
+	if s.Epoch() != 2 {
+		t.Errorf("epoch after refresh = %d, want 2", s.Epoch())
+	}
+	// The swapped ring serves reads too, with no further refreshes.
+	if _, _, err := s.Get("k"); err != nil {
+		t.Fatalf("get after failover: %v", err)
+	}
+	if refreshes != 1 {
+		t.Errorf("healthy call triggered a refresh (refreshes = %d)", refreshes)
+	}
+}
+
+// A missing key is a server answer, not an owner failure: it must not
+// trigger a refresh.
+func TestShardedNotFoundDoesNotFailover(t *testing.T) {
+	up, _ := echoServer(t)
+	s, err := NewSharded([]string{up}, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	refreshes := 0
+	s.SetRefresher(func() (RingInfo, bool) {
+		refreshes++
+		return RingInfo{}, false
+	})
+	if _, _, err := s.Get("absent"); err == nil {
+		t.Fatal("expected not-found")
+	}
+	if refreshes != 0 {
+		t.Errorf("not-found triggered %d refreshes", refreshes)
+	}
+}

@@ -1,8 +1,10 @@
 // Package cluster is the control plane for dynamic store membership:
 // a coordinator that versions the store ring (monotonic ring epochs),
-// admits joins and drains at runtime, and orchestrates the key-range
+// admits joins and drains at runtime, orchestrates the key-range
 // handoff so the data plane reshards live while bounded staleness
-// holds end to end.
+// holds end to end, and — under a replication factor R > 1 — runs a
+// lease-based failure detector that promotes a dead store's replicas
+// automatically.
 //
 // A membership change runs in three strictly ordered phases:
 //
@@ -23,6 +25,23 @@
 // Because adoption completes before publish, and the old owners keep
 // serving and forwarding until every watcher has swapped, no read ever
 // observes data staler than T across the transition.
+//
+// A change that fails mid-adopt no longer wedges the cluster behind a
+// manual retry: the coordinator latches it as pending (a different
+// change would strand half-switched donors), then self-recovers — it
+// retries the same change while the store answers pings, and once the
+// store is unreachable (or the retries are exhausted) it rolls the
+// change back: every survivor pulls its range back from the half-
+// adopted store, the current membership republishes under a fresh
+// epoch (retiring the donors' forward switches), and the latch clears.
+//
+// Failover rides the same paths. Stores heartbeat the coordinator
+// (proto.MsgHeartbeat) to renew a liveness lease; a store that misses
+// its lease is declared dead: any in-flight adoption involving it is
+// aborted, the survivors are fenced past the dead store's last
+// reported version counter, and a ring without it publishes — no
+// adopt phase, because under R-way replication each ring successor
+// already holds a replica of every arc it inherits.
 package cluster
 
 import (
@@ -47,6 +66,21 @@ type Config struct {
 	// VirtualNodes is the ring geometry shared by every party; <= 0
 	// uses ring.DefaultVirtualNodes.
 	VirtualNodes int
+	// Replicas is the replication factor R: every key lives on its
+	// ring owner plus the R−1 next distinct ring successors, and the
+	// failure detector may promote a replica when the owner dies.
+	// <= 1 disables replication (and makes failover lossy).
+	Replicas int
+	// LeaseInterval is the liveness lease: a heartbeating store that
+	// stays silent for longer is declared dead and failed over.
+	// Defaults to 2s. Stores must heartbeat at a small fraction of it.
+	LeaseInterval time.Duration
+	// RecoveryInterval paces the automatic retry/rollback of a
+	// membership change that failed mid-adopt; defaults to 1s.
+	RecoveryInterval time.Duration
+	// RecoveryAttempts bounds the automatic retries of a failed change
+	// before it is rolled back; defaults to 5.
+	RecoveryAttempts int
 	// ChangeTimeout bounds one membership change's store RPCs (the
 	// adopt pull can move a lot of data); defaults to 60s.
 	ChangeTimeout time.Duration
@@ -61,6 +95,18 @@ func (c *Config) fill() error {
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = ring.DefaultVirtualNodes
 	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = 2 * time.Second
+	}
+	if c.RecoveryInterval <= 0 {
+		c.RecoveryInterval = time.Second
+	}
+	if c.RecoveryAttempts <= 0 {
+		c.RecoveryAttempts = 5
+	}
 	if c.ChangeTimeout <= 0 {
 		c.ChangeTimeout = 60 * time.Second
 	}
@@ -70,22 +116,21 @@ func (c *Config) fill() error {
 	return nil
 }
 
+// lease is one store's liveness record.
+type lease struct {
+	lastBeat time.Time
+	version  uint64 // authority version counter from the last beat
+	failing  bool   // failover in progress; suppresses re-detection
+}
+
 // Coordinator is a live control-plane node.
 type Coordinator struct {
 	cfg Config
 
-	// changeMu serializes membership changes; state reads (RingGet
-	// polls) only take mu, so watchers are never blocked behind a
-	// migration.
+	// changeMu serializes membership changes (joins, drains,
+	// failovers, rollbacks); state reads (RingGet polls, heartbeats)
+	// only take mu, so watchers are never blocked behind a migration.
 	changeMu sync.Mutex
-	// pending, when non-empty, names the store of a membership change
-	// that failed partway (some donors may already be forwarding their
-	// arcs to a store the ring never published). Until the same change
-	// is retried to completion, other membership changes are refused:
-	// a different change would reuse the candidate epoch and release
-	// the half-switched donors, stranding acknowledged writes on the
-	// unpublished store. Guarded by changeMu.
-	pending string
 
 	mu          sync.Mutex
 	epoch       uint64
@@ -94,6 +139,26 @@ type Coordinator struct {
 	joins       uint64
 	drains      uint64
 	failed      uint64
+	failovers   uint64
+	rollbacks   uint64
+	heartbeats  uint64
+	// pending, when non-empty, names the store of a membership change
+	// that failed partway (some donors may already be forwarding their
+	// arcs to a store the ring never published). Until the same change
+	// completes or rolls back, other membership changes are refused.
+	// Written under changeMu; read under mu (the failure detector and
+	// stats must not block behind an in-flight adoption).
+	pending     string
+	pendingKind string // "join" or "drain"
+	recovering  bool   // a recovery goroutine is live
+	// leases tracks every heartbeating store; the detector only acts
+	// on ring members (and the pending store).
+	leases map[string]*lease
+	// In-flight adoption RPC clients, registered so the failure
+	// detector can abort an adoption involving a dead store (closing
+	// the clients fails the RPCs, unwinding the change immediately).
+	inflightInvolved map[string]struct{}
+	inflightClients  []*client.Client
 
 	ln     net.Listener
 	cancel chan struct{}
@@ -113,6 +178,7 @@ func New(cfg Config) (*Coordinator, error) {
 		epoch:       1,
 		nodes:       append([]string(nil), cfg.Stores...),
 		publishedAt: time.Now(),
+		leases:      make(map[string]*lease),
 		cancel:      make(chan struct{}),
 	}, nil
 }
@@ -125,6 +191,7 @@ func (co *Coordinator) RingInfo() client.RingInfo {
 		Epoch:        co.epoch,
 		Nodes:        append([]string(nil), co.nodes...),
 		VirtualNodes: co.cfg.VirtualNodes,
+		Replicas:     co.cfg.Replicas,
 		PublishedAt:  co.publishedAt,
 	}
 }
@@ -138,13 +205,16 @@ func (co *Coordinator) ListenAndServe(addr string) error {
 	return co.Serve(ln)
 }
 
-// Serve accepts connections until Close. Control-plane traffic is
-// strictly request/response, so each connection runs one synchronous
-// loop; a join or drain blocks only its own connection.
+// Serve accepts connections until Close, running the failure detector
+// in the background. Control-plane traffic is strictly
+// request/response, so each connection runs one synchronous loop; a
+// join or drain blocks only its own connection.
 func (co *Coordinator) Serve(ln net.Listener) error {
 	co.mu.Lock()
 	co.ln = ln
 	co.mu.Unlock()
+	co.wg.Add(1)
+	go co.detectLoop()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -216,12 +286,16 @@ func (co *Coordinator) handleConn(conn net.Conn) {
 
 func ringResp(seq uint64, ri client.RingInfo) *proto.Msg {
 	return &proto.Msg{Type: proto.MsgRingResp, Seq: seq, Epoch: ri.Epoch,
-		Stamp: ri.PublishedAt.UnixNano(), Version: uint64(ri.VirtualNodes), Nodes: ri.Nodes}
+		Stamp: ri.PublishedAt.UnixNano(), Version: uint64(ri.VirtualNodes),
+		Replicas: uint32(ri.Replicas), Nodes: ri.Nodes}
 }
 
 func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
 	switch m.Type {
 	case proto.MsgRingGet:
+		return ringResp(m.Seq, co.RingInfo())
+	case proto.MsgHeartbeat:
+		co.noteHeartbeat(m.Key, m.Version)
 		return ringResp(m.Seq, co.RingInfo())
 	case proto.MsgJoin:
 		ri, err := co.Join(m.Key)
@@ -238,19 +312,60 @@ func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgStats:
-		co.mu.Lock()
-		st := map[string]uint64{
-			"ring_epoch": co.epoch,
-			"stores":     uint64(len(co.nodes)),
-			"joins":      co.joins,
-			"drains":     co.drains,
-			"failed":     co.failed,
-		}
-		co.mu.Unlock()
-		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: st}
+		return &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: co.statsMap()}
 	default:
 		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
 			Err: fmt.Sprintf("cluster: unexpected message %v", m.Type)}
+	}
+}
+
+// statsMap snapshots the coordinator's state, including per-store
+// lease ages (ms) so `freshctl status` can render liveness.
+func (co *Coordinator) statsMap() map[string]uint64 {
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := map[string]uint64{
+		"ring_epoch":        co.epoch,
+		"stores":            uint64(len(co.nodes)),
+		"replicas":          uint64(co.cfg.Replicas),
+		"lease_interval_ms": uint64(co.cfg.LeaseInterval / time.Millisecond),
+		"joins":             co.joins,
+		"drains":            co.drains,
+		"failed":            co.failed,
+		"failovers":         co.failovers,
+		"rollbacks":         co.rollbacks,
+		"heartbeats":        co.heartbeats,
+	}
+	if co.pending != "" {
+		st["pending["+co.pendingKind+" "+co.pending+"]"] = 1
+	}
+	for addr, ls := range co.leases {
+		st["lease_age_ms["+addr+"]"] = uint64(now.Sub(ls.lastBeat) / time.Millisecond)
+	}
+	return st
+}
+
+// noteHeartbeat renews a store's liveness lease.
+func (co *Coordinator) noteHeartbeat(addr string, version uint64) {
+	if addr == "" {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.heartbeats++
+	ls := co.leases[addr]
+	if ls == nil {
+		ls = &lease{}
+		co.leases[addr] = ls
+	}
+	ls.lastBeat = time.Now()
+	// A recovered store re-arms its detection: without this, a store
+	// once declared suspect (e.g. the unremovable-last-member path)
+	// would be exempt from failure detection forever after.
+	ls.failing = false
+	if version > ls.version {
+		ls.version = version
 	}
 }
 
@@ -262,6 +377,74 @@ func (co *Coordinator) storeClient(addr string) *client.Client {
 		MaxAttempts:    1,
 	})
 }
+
+// probeClient dials a tight-timeout client for liveness probes and
+// fences, where hanging a minute behind ChangeTimeout is unacceptable.
+func (co *Coordinator) probeClient(addr string) *client.Client {
+	return client.New(addr, client.Options{
+		MaxConns: 1, DialTimeout: 2 * time.Second,
+		RequestTimeout: 2 * time.Second, MaxAttempts: 1,
+	})
+}
+
+// ---- Adoption tracking (failure-detector abort hook) ----
+
+// adoptClient creates and registers a store client for an in-flight
+// adoption, so abortAdoption can fail it from outside. Callers must
+// endAdoption when the adoption phase finishes.
+func (co *Coordinator) adoptClient(addr string) *client.Client {
+	c := co.storeClient(addr)
+	co.mu.Lock()
+	co.inflightClients = append(co.inflightClients, c)
+	co.mu.Unlock()
+	return c
+}
+
+// beginAdoption records the parties of an in-flight adoption phase.
+func (co *Coordinator) beginAdoption(involved ...string) {
+	co.mu.Lock()
+	co.inflightInvolved = make(map[string]struct{}, len(involved))
+	for _, a := range involved {
+		co.inflightInvolved[a] = struct{}{}
+	}
+	co.inflightClients = nil
+	co.mu.Unlock()
+}
+
+// endAdoption clears the in-flight adoption record and closes its
+// clients.
+func (co *Coordinator) endAdoption() {
+	co.mu.Lock()
+	clients := co.inflightClients
+	co.inflightClients = nil
+	co.inflightInvolved = nil
+	co.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// abortAdoption fails the in-flight adoption if it involves addr: the
+// RPC clients close, the pending Adopt calls return errors, and the
+// change unwinds without waiting out ChangeTimeout.
+func (co *Coordinator) abortAdoption(addr string) {
+	co.mu.Lock()
+	_, involved := co.inflightInvolved[addr]
+	var clients []*client.Client
+	if involved {
+		clients = co.inflightClients
+		co.inflightClients = nil
+	}
+	co.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	if involved {
+		co.cfg.Logger.Printf("cluster: aborted in-flight adoption involving dead store %s", addr)
+	}
+}
+
+// ---- Membership changes ----
 
 // Join admits a new store: adopt (the joiner pulls its range from
 // every current owner), publish (epoch+1), release (the donors drop
@@ -278,16 +461,16 @@ func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
 	cur := co.RingInfo()
 	for _, n := range cur.Nodes {
 		if n == addr {
+			co.setPending("", "") // a pending join that in fact published
 			return client.RingInfo{}, fmt.Errorf("cluster: join: %s is already a ring member", addr)
 		}
 	}
-	cand := client.RingInfo{
-		Epoch:        cur.Epoch + 1,
-		Nodes:        append(append([]string(nil), cur.Nodes...), addr),
-		VirtualNodes: cur.VirtualNodes,
-	}
-	joiner := co.storeClient(addr)
-	defer joiner.Close()
+	cand := cur
+	cand.Epoch = cur.Epoch + 1
+	cand.Nodes = append(append([]string(nil), cur.Nodes...), addr)
+	co.beginAdoption(append([]string{addr}, cur.Nodes...)...)
+	defer co.endAdoption()
+	joiner := co.adoptClient(addr)
 	if err := joiner.Ping(); err != nil {
 		co.noteFailed()
 		return client.RingInfo{}, fmt.Errorf("cluster: join: store %s unreachable: %w", addr, err)
@@ -295,13 +478,14 @@ func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
 	co.cfg.Logger.Printf("cluster: join %s: adopting from %v (epoch %d)", addr, cur.Nodes, cand.Epoch)
 	if err := joiner.Adopt(cand, addr, cur.Nodes); err != nil {
 		// A donor may already have switched its arc to forwarding;
-		// latch the change so only a retry of this same join (which
-		// re-streams idempotently) can run next.
-		co.pending = addr
+		// latch the change and let the recovery loop retry or roll it
+		// back — the cluster self-heals without an operator retry.
+		co.setPending(addr, "join")
 		co.noteFailed()
-		return client.RingInfo{}, fmt.Errorf("cluster: join: adopt failed (retry `join %s` to complete): %w", addr, err)
+		co.scheduleRecovery()
+		return client.RingInfo{}, fmt.Errorf("cluster: join: adopt failed (auto-retrying): %w", err)
 	}
-	co.pending = ""
+	co.setPending("", "")
 	ri := co.publish(cand)
 	co.mu.Lock()
 	co.joins++
@@ -330,30 +514,30 @@ func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 		}
 	}
 	if len(remaining) == len(cur.Nodes) {
+		co.setPending("", "") // a pending drain that in fact published
 		return client.RingInfo{}, fmt.Errorf("cluster: drain: %s is not a ring member", addr)
 	}
 	if len(remaining) == 0 {
 		return client.RingInfo{}, errors.New("cluster: drain: refusing to drain the last store")
 	}
-	cand := client.RingInfo{
-		Epoch:        cur.Epoch + 1,
-		Nodes:        remaining,
-		VirtualNodes: cur.VirtualNodes,
-	}
+	cand := cur
+	cand.Epoch = cur.Epoch + 1
+	cand.Nodes = remaining
 	co.cfg.Logger.Printf("cluster: drain %s: %d stores adopting (epoch %d)",
 		addr, len(remaining), cand.Epoch)
+	co.beginAdoption(append([]string{addr}, remaining...)...)
+	defer co.endAdoption()
 	for _, node := range remaining {
-		c := co.storeClient(node)
-		err := c.Adopt(cand, node, []string{addr})
-		c.Close()
+		err := co.adoptClient(node).Adopt(cand, node, []string{addr})
 		if err != nil {
-			co.pending = addr
+			co.setPending(addr, "drain")
 			co.noteFailed()
-			return client.RingInfo{}, fmt.Errorf("cluster: drain: adopt by %s failed (retry `drain %s` to complete): %w",
-				node, addr, err)
+			co.scheduleRecovery()
+			return client.RingInfo{}, fmt.Errorf("cluster: drain: adopt by %s failed (auto-retrying): %w",
+				node, err)
 		}
 	}
-	co.pending = ""
+	co.setPending("", "")
 	ri := co.publish(cand)
 	co.mu.Lock()
 	co.drains++
@@ -376,9 +560,10 @@ func (co *Coordinator) publish(cand client.RingInfo) client.RingInfo {
 }
 
 // release tells each target store the ring is published so it can drop
-// keys it no longer owns and forward stragglers. Failures are logged,
-// not fatal: an unreleased store merely holds (and keeps forwarding
-// for) a little extra data until the next change reaches it.
+// keys outside its replica set and forward stragglers. Failures are
+// logged, not fatal: an unreleased store merely holds (and keeps
+// forwarding for) a little extra data until the next change — or its
+// own heartbeat anti-entropy — reaches it.
 func (co *Coordinator) release(ri client.RingInfo, targets []string) {
 	seen := make(map[string]struct{}, len(targets))
 	sorted := append([]string(nil), targets...)
@@ -402,12 +587,311 @@ func (co *Coordinator) noteFailed() {
 	co.mu.Unlock()
 }
 
+// setPending records (or clears) the incomplete-change latch; caller
+// holds changeMu.
+func (co *Coordinator) setPending(addr, kind string) {
+	co.mu.Lock()
+	co.pending, co.pendingKind = addr, kind
+	co.mu.Unlock()
+}
+
+func (co *Coordinator) pendingChange() (addr, kind string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.pending, co.pendingKind
+}
+
 // admitChange enforces the pending-change latch; caller holds
 // changeMu.
 func (co *Coordinator) admitChange(addr string) error {
-	if co.pending != "" && co.pending != addr {
-		return fmt.Errorf("cluster: a membership change for %s is incomplete; retry it before changing %s",
-			co.pending, addr)
+	pending, _ := co.pendingChange()
+	if pending != "" && pending != addr {
+		return fmt.Errorf("cluster: a membership change for %s is incomplete (recovering); retry shortly or change %s after it resolves",
+			pending, addr)
 	}
 	return nil
+}
+
+// ---- Pending-change recovery ----
+
+// scheduleRecovery starts the background loop that resolves a pending
+// change (retry while the store lives, roll back otherwise); caller
+// holds changeMu. Idempotent.
+func (co *Coordinator) scheduleRecovery() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.recovering {
+		return
+	}
+	co.recovering = true
+	co.wg.Add(1)
+	go co.recoveryLoop()
+}
+
+func (co *Coordinator) recoveryLoop() {
+	defer co.wg.Done()
+	defer func() {
+		co.mu.Lock()
+		co.recovering = false
+		co.mu.Unlock()
+	}()
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-co.cancel:
+			return
+		case <-time.After(co.cfg.RecoveryInterval):
+		}
+		addr, kind := co.pendingChange()
+		if addr == "" {
+			return // completed or rolled back elsewhere (failover)
+		}
+		probe := co.probeClient(addr)
+		alive := probe.Ping() == nil
+		probe.Close()
+		if alive && attempt <= co.cfg.RecoveryAttempts {
+			var err error
+			if kind == "drain" {
+				_, err = co.Drain(addr)
+			} else {
+				_, err = co.Join(addr)
+			}
+			if err == nil {
+				co.cfg.Logger.Printf("cluster: pending %s of %s recovered on retry %d", kind, addr, attempt)
+				return
+			}
+			co.cfg.Logger.Printf("cluster: pending %s of %s: retry %d/%d failed: %v",
+				kind, addr, attempt, co.cfg.RecoveryAttempts, err)
+			if p, _ := co.pendingChange(); p == "" {
+				return // the retry resolved the latch (e.g. already a member)
+			}
+			continue
+		}
+		// Dead, or out of retries: roll the change back.
+		co.changeMu.Lock()
+		if p, _ := co.pendingChange(); p == addr {
+			co.rollbackPending(addr, kind, alive)
+		}
+		co.changeMu.Unlock()
+		return
+	}
+}
+
+// rollbackPending unwinds a change that failed mid-adopt: every
+// current member pulls back (from the half-adopted store, if it still
+// answers) the keys the current membership assigns to it — recovering
+// writes that were forwarded to the unpublished store — and the
+// current membership republishes under a fresh epoch, which retires
+// the donors' forward switches. Caller holds changeMu.
+func (co *Coordinator) rollbackPending(addr, kind string, alive bool) {
+	cur := co.RingInfo()
+	cand := cur
+	// The failed change's candidate epoch (cur+1) may already be
+	// installed on its adopters — with the candidate node list. Stores
+	// skip installs at or below their current epoch (release tolerates
+	// failures by leaning on anti-entropy), so republishing the same
+	// number with a different ring could never repair a store that
+	// missed the release RPC. Burn an epoch: the rollback dominates
+	// every copy of the stranded candidate.
+	cand.Epoch = cur.Epoch + 2
+	if alive {
+		// Reverse migration, reusing the adopt machinery with the
+		// half-adopted store as the sole donor. For a failed join every
+		// member reclaims its arc from the joiner; for a failed drain
+		// the drained store reclaims its arcs from the members that
+		// already adopted them.
+		var pulls [][2]string // adopter, donor
+		if kind == "drain" {
+			for _, n := range cur.Nodes {
+				if n != addr {
+					pulls = append(pulls, [2]string{addr, n})
+				}
+			}
+		} else {
+			for _, n := range cur.Nodes {
+				pulls = append(pulls, [2]string{n, addr})
+			}
+		}
+		for _, p := range pulls {
+			c := co.storeClient(p[0])
+			if err := c.Adopt(cand, p[0], []string{p[1]}); err != nil {
+				co.cfg.Logger.Printf("cluster: rollback pull %s<-%s: %v", p[0], p[1], err)
+			}
+			c.Close()
+		}
+	}
+	ri := co.publish(cand)
+	co.mu.Lock()
+	co.rollbacks++
+	co.mu.Unlock()
+	co.setPending("", "")
+	co.release(ri, append(append([]string(nil), cur.Nodes...), addr))
+	co.cfg.Logger.Printf("cluster: rolled back pending %s of %s: republished epoch %d over %d stores",
+		kind, addr, ri.Epoch, len(ri.Nodes))
+}
+
+// ---- Failure detection and failover ----
+
+// detectLoop scans the leases a few times per lease interval and fails
+// over stores that went silent. Stores that never heartbeat (static
+// deployments, tests) are invisible to it.
+func (co *Coordinator) detectLoop() {
+	defer co.wg.Done()
+	tick := co.cfg.LeaseInterval / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-co.cancel:
+			return
+		case <-ticker.C:
+			co.checkLeases()
+		}
+	}
+}
+
+func (co *Coordinator) checkLeases() {
+	now := time.Now()
+	type deadStore struct {
+		addr    string
+		version uint64
+	}
+	var dead []deadStore
+	co.mu.Lock()
+	members := make(map[string]struct{}, len(co.nodes))
+	for _, n := range co.nodes {
+		members[n] = struct{}{}
+	}
+	pending := co.pending
+	for addr, ls := range co.leases {
+		if ls.failing || now.Sub(ls.lastBeat) <= co.cfg.LeaseInterval {
+			continue
+		}
+		if _, member := members[addr]; !member && addr != pending {
+			// Not ours to fail over (drained, or never admitted); drop
+			// long-stale records so the map does not grow forever.
+			if now.Sub(ls.lastBeat) > 10*co.cfg.LeaseInterval {
+				delete(co.leases, addr)
+			}
+			continue
+		}
+		ls.failing = true
+		dead = append(dead, deadStore{addr: addr, version: ls.version})
+	}
+	co.mu.Unlock()
+	for _, d := range dead {
+		co.cfg.Logger.Printf("cluster: store %s missed its %v lease; failing over", d.addr, co.cfg.LeaseInterval)
+		// Abort first: an in-flight adoption involving the dead store
+		// holds changeMu until its RPCs fail.
+		co.abortAdoption(d.addr)
+		co.wg.Add(1)
+		go func(d deadStore) {
+			defer co.wg.Done()
+			co.failover(d.addr, d.version)
+		}(d)
+	}
+}
+
+// failover removes a dead store from the ring and promotes its
+// replicas: survivors are fenced past the dead store's last reported
+// version counter, the ring republishes without it, and the release
+// makes each ring successor the owner of the arcs it already holds
+// replicas for (internal/store promotes on install: banked tracker
+// counts warm-start the engine, and new replica syncs restore R).
+func (co *Coordinator) failover(addr string, version uint64) {
+	co.changeMu.Lock()
+	defer co.changeMu.Unlock()
+	// Re-check liveness: the store may have resumed heartbeating while
+	// this goroutine waited out changeMu (a blip just over the lease,
+	// or an aborted adoption unwinding). Removing it now would discard
+	// a healthy shard.
+	co.mu.Lock()
+	if ls := co.leases[addr]; ls != nil && time.Since(ls.lastBeat) <= co.cfg.LeaseInterval {
+		co.mu.Unlock()
+		co.cfg.Logger.Printf("cluster: store %s recovered before failover; leaving it in the ring", addr)
+		return
+	}
+	co.mu.Unlock()
+	cur := co.RingInfo()
+	pending, kind := co.pendingChange()
+	member := false
+	for _, n := range cur.Nodes {
+		if n == addr {
+			member = true
+			break
+		}
+	}
+	if !member {
+		if pending == addr {
+			// The dead store was mid-join: unwind the donors' forward
+			// switches (no pulls — the store is gone; its acked writes
+			// live on its candidate-ring replicas when R > 1).
+			co.rollbackPending(addr, kind, false)
+		}
+		co.dropLease(addr)
+		return
+	}
+	if len(cur.Nodes) == 1 {
+		co.cfg.Logger.Printf("cluster: store %s is dead but is the last ring member; cannot fail over", addr)
+		return // leave the lease failing so this logs once, not per tick
+	}
+	if co.cfg.Replicas <= 1 {
+		// Without replication nobody else holds the dead store's keys:
+		// auto-removing it would discard its shard. Flag it (freshctl
+		// status shows SUSPECT) and leave the membership to the
+		// operator; a restarted store re-arms detection via its next
+		// heartbeat.
+		co.cfg.Logger.Printf("cluster: store %s missed its lease, but replicas=1 — not removing it (its shard has no replica); drain or restart it", addr)
+		return // failing stays set: one line per outage, not per tick
+	}
+	remaining := make([]string, 0, len(cur.Nodes)-1)
+	for _, n := range cur.Nodes {
+		if n != addr {
+			remaining = append(remaining, n)
+		}
+	}
+	cand := cur
+	cand.Epoch = cur.Epoch + 1
+	cand.Nodes = remaining
+	if pending != "" {
+		// Any half-done change is moot under the new membership; the
+		// republish below retires its forward switches. Its adopters
+		// may hold candidate epoch cur+1 with a different node list,
+		// and equal-epoch installs are skipped — burn an epoch so the
+		// failover ring dominates every copy of it.
+		co.cfg.Logger.Printf("cluster: abandoning pending %s of %s for the failover of %s", kind, pending, addr)
+		co.setPending("", "")
+		cand.Epoch = cur.Epoch + 2
+	}
+	// Fence: survivors bump their version counters past the dead
+	// store's last reported counter, so a promoted replica's future
+	// writes order after everything the dead store served. (Replicated
+	// writes already bumped the replica per-write; this covers the
+	// detection window's tail.) Best effort — an unreachable survivor
+	// catches up from its replicas' versions.
+	if version > 0 {
+		for _, n := range remaining {
+			c := co.probeClient(n)
+			if err := c.MigrateFence(version); err != nil {
+				co.cfg.Logger.Printf("cluster: fencing %s past %d: %v", n, version, err)
+			}
+			c.Close()
+		}
+	}
+	ri := co.publish(cand)
+	co.mu.Lock()
+	co.failovers++
+	co.mu.Unlock()
+	co.dropLease(addr)
+	co.release(ri, remaining)
+	co.cfg.Logger.Printf("cluster: failed over %s: ring epoch %d over %d stores",
+		addr, ri.Epoch, len(ri.Nodes))
+}
+
+func (co *Coordinator) dropLease(addr string) {
+	co.mu.Lock()
+	delete(co.leases, addr)
+	co.mu.Unlock()
 }

@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log"
+	"sync/atomic"
 	"time"
 
 	"freshcache/internal/client"
@@ -31,17 +33,32 @@ func FetchRing(coordAddr string, timeout time.Duration) (client.RingInfo, error)
 	}
 }
 
+// stallThreshold is how many consecutive failed polls make a watcher
+// consider its coordinator unreachable (and say so, once).
+const stallThreshold = 5
+
 // Watcher polls the coordinator for ring-epoch changes and delivers
 // each newly published ring exactly once, in epoch order. Polling (as
 // opposed to a push stream) keeps the control plane stateless about
 // its watchers and degrades gracefully: a watcher that misses an
 // epoch simply swaps straight to the latest one.
+//
+// Poll failures are tolerated — the data plane keeps serving under
+// its current ring — but not invisible: consecutive failures are
+// counted (ConsecutiveFailures, OnStall), and crossing stallThreshold
+// logs one line, as does the recovery, so a dead coordinator is
+// distinguishable from a quiet one.
 type Watcher struct {
 	addr      string
 	interval  time.Duration
 	onChange  func(client.RingInfo)
 	lastEpoch uint64
 	c         *client.Client
+	logger    *log.Logger
+
+	onStall     func(consecutive uint64, err error)
+	consecutive atomic.Uint64
+	failedPolls atomic.Uint64
 }
 
 // NewWatcher builds a watcher that invokes onChange for every ring
@@ -56,15 +73,33 @@ func NewWatcher(coordAddr string, interval time.Duration, sinceEpoch uint64, onC
 		interval:  interval,
 		onChange:  onChange,
 		lastEpoch: sinceEpoch,
+		logger:    log.Default(),
 		c: client.New(coordAddr, client.Options{
 			MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
 		}),
 	}
 }
 
-// Run polls until ctx is done. Poll failures are transient by design
-// (the data plane keeps serving under its current ring), so they are
-// swallowed; the next successful poll catches up.
+// SetLogger routes the stall/recovery lines; call before Run.
+func (w *Watcher) SetLogger(l *log.Logger) {
+	if l != nil {
+		w.logger = l
+	}
+}
+
+// OnStall installs a hook invoked (on the watcher goroutine) after
+// every failed poll with the consecutive-failure count; call before
+// Run. Stats surfaces use it to export coordinator reachability.
+func (w *Watcher) OnStall(fn func(consecutive uint64, err error)) { w.onStall = fn }
+
+// ConsecutiveFailures returns how many polls in a row have failed
+// (zero while the coordinator answers).
+func (w *Watcher) ConsecutiveFailures() uint64 { return w.consecutive.Load() }
+
+// FailedPolls returns the cumulative failed poll count.
+func (w *Watcher) FailedPolls() uint64 { return w.failedPolls.Load() }
+
+// Run polls until ctx is done.
 func (w *Watcher) Run(ctx context.Context) {
 	defer w.c.Close()
 	ticker := time.NewTicker(w.interval)
@@ -75,7 +110,22 @@ func (w *Watcher) Run(ctx context.Context) {
 			return
 		case <-ticker.C:
 			ri, err := w.c.RingGet()
-			if err != nil || ri.Epoch <= w.lastEpoch {
+			if err != nil {
+				w.failedPolls.Add(1)
+				n := w.consecutive.Add(1)
+				if w.onStall != nil {
+					w.onStall(n, err)
+				}
+				if n == stallThreshold {
+					w.logger.Printf("cluster: watcher: coordinator %s unreachable for %d consecutive polls (last: %v); serving under ring epoch %d",
+						w.addr, n, err, w.lastEpoch)
+				}
+				continue
+			}
+			if n := w.consecutive.Swap(0); n >= stallThreshold {
+				w.logger.Printf("cluster: watcher: coordinator %s reachable again after %d failed polls", w.addr, n)
+			}
+			if ri.Epoch <= w.lastEpoch {
 				continue
 			}
 			w.lastEpoch = ri.Epoch

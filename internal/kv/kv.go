@@ -107,6 +107,19 @@ func (c *Cache) Put(key string, e Entry) bool {
 		if n.e.Version > e.Version {
 			return false
 		}
+		if n.e.Version == e.Version && n.e.ExpireAt.After(time.Now()) &&
+			(e.ExpireAt.IsZero() || n.e.ExpireAt.Before(e.ExpireAt)) {
+			// An equal-version fill carries no newer data than the
+			// resident copy, so it must not relax a hard staleness
+			// deadline already stamped on it (the disconnect fallback or
+			// a ring-swap handoff): that deadline may be the only
+			// freshness signal left for this entry. A deadline already
+			// in the past is different — it has done its job (the stale
+			// copy was refetched from the authority), and preserving it
+			// would make the key permanently uncacheable, thrashing as
+			// a stale miss on every read.
+			e.ExpireAt = n.e.ExpireAt
+		}
 		n.e = e
 		s.touch(n)
 		return true

@@ -189,3 +189,37 @@ func TestAuthorityMigrationRaces(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestCacheExpiryVsEqualVersionPutRace races the disconnect-deadline
+// sweep against tie-version miss fills: whichever order the two land
+// in, the entry must end up carrying the sweep's deadline — a fill of
+// the same version must never launder the entry back to deadline-free.
+func TestCacheExpiryVsEqualVersionPutRace(t *testing.T) {
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		c := NewCache(0)
+		key := fmt.Sprintf("k-%d", i)
+		c.Put(key, Entry{Value: []byte("v"), Version: 3})
+		at := time.Now().Add(time.Minute)
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.ExpireOwnedBy(at, nil)
+		}()
+		go func() {
+			defer wg.Done()
+			c.Put(key, Entry{Value: []byte("v"), Version: 3})
+		}()
+		wg.Wait()
+
+		e, found, _ := c.Get(key, time.Now())
+		if !found {
+			t.Fatal("entry vanished")
+		}
+		if !e.ExpireAt.Equal(at) {
+			t.Fatalf("round %d: deadline = %v, want %v (tie-version fill cleared it)", i, e.ExpireAt, at)
+		}
+	}
+}

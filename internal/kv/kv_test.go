@@ -288,3 +288,55 @@ func TestAuthorityConcurrent(t *testing.T) {
 		t.Errorf("Len = %d", a.Len())
 	}
 }
+
+// TestCachePutEqualVersionPreservesExpiry pins the bounded-staleness
+// guard on tie-version fills: a racing miss fill that resolves to the
+// same version as the resident copy must not relax a hard deadline
+// stamped by ExpireOwnedBy/SetExpiry — the fill's data is no fresher
+// than the copy it replaces, and the deadline may be the entry's only
+// remaining freshness signal.
+func TestCachePutEqualVersionPreservesExpiry(t *testing.T) {
+	c := NewCache(0)
+	// Deadlines must be in the (wall-clock) future: a deadline already
+	// in the past is spent and deliberately not preserved.
+	now := time.Now()
+	deadline := now.Add(time.Minute)
+
+	c.Put("a", Entry{Value: []byte("v"), Version: 5})
+	c.ExpireOwnedBy(deadline, nil)
+	if !c.Put("a", Entry{Value: []byte("v"), Version: 5}) {
+		t.Fatal("equal-version Put rejected")
+	}
+	if e, _, _ := c.Get("a", now); !e.ExpireAt.Equal(deadline) {
+		t.Errorf("equal-version zero-deadline fill cleared the deadline: ExpireAt = %v", e.ExpireAt)
+	}
+
+	// A later tie-version deadline must not extend the earlier one…
+	c.Put("a", Entry{Value: []byte("v"), Version: 5, ExpireAt: deadline.Add(time.Hour)})
+	if e, _, _ := c.Get("a", now); !e.ExpireAt.Equal(deadline) {
+		t.Errorf("equal-version Put extended the deadline to %v", e.ExpireAt)
+	}
+	// …but an earlier one tightens it.
+	earlier := deadline.Add(-30 * time.Second)
+	c.Put("a", Entry{Value: []byte("v"), Version: 5, ExpireAt: earlier})
+	if e, _, _ := c.Get("a", now); !e.ExpireAt.Equal(earlier) {
+		t.Errorf("equal-version Put did not keep the tighter deadline: %v", e.ExpireAt)
+	}
+
+	// A strictly newer version is genuinely fresher data: the deadline
+	// restarts (here: clears).
+	c.Put("a", Entry{Value: []byte("v2"), Version: 6})
+	if e, _, _ := c.Get("a", now); !e.ExpireAt.IsZero() {
+		t.Errorf("newer-version Put kept the stale deadline %v", e.ExpireAt)
+	}
+
+	// A deadline already in the past is spent: an equal-version refill
+	// (fresh from the authority) must clear it, or the key becomes
+	// permanently uncacheable — every future read a stale miss.
+	c.Put("b", Entry{Value: []byte("v"), Version: 3})
+	c.SetExpiry("b", time.Now().Add(-time.Second))
+	c.Put("b", Entry{Value: []byte("v"), Version: 3})
+	if e, _, fresh := c.Get("b", time.Now()); !fresh {
+		t.Errorf("equal-version refill after an expired deadline stayed stale (ExpireAt %v)", e.ExpireAt)
+	}
+}

@@ -75,6 +75,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	ln     net.Listener
+	watch  *cluster.Watcher // nil outside cluster mode
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	// inflight tracks proxied request/response exchanges so Close can
@@ -138,6 +139,16 @@ func New(cfg Config) (*Server, error) {
 	for _, addr := range cacheRing.Nodes() {
 		s.caches = append(s.caches, client.New(addr, client.Options{}))
 	}
+	if cfg.ClusterAddr != "" {
+		// On-demand failover for the write path: a write whose owner
+		// just crashed refreshes the ring from the coordinator and
+		// retries once against the promoted owner, rather than erroring
+		// until the watcher's next successful poll.
+		stores.SetRefresher(func() (client.RingInfo, bool) {
+			ri, err := cluster.FetchRing(cfg.ClusterAddr, time.Second)
+			return ri, err == nil
+		})
+	}
 	return s, nil
 }
 
@@ -178,6 +189,10 @@ func (s *Server) Serve(ln net.Listener) error {
 				s.cfg.Logger.Printf("lb: writes now route by ring epoch %d (%d stores)",
 					ri.Epoch, len(ri.Nodes))
 			})
+		w.SetLogger(s.cfg.Logger)
+		s.mu.Lock()
+		s.watch = w
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -344,14 +359,24 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong}
 	case proto.MsgStats:
+		var stalled, failedPolls uint64
+		s.mu.Lock()
+		if s.watch != nil {
+			stalled = s.watch.ConsecutiveFailures()
+			failedPolls = s.watch.FailedPolls()
+		}
+		s.mu.Unlock()
 		return &proto.Msg{Type: proto.MsgStatsResp, Stats: map[string]uint64{
-			"reads":            s.c.Reads.Value(),
-			"writes":           s.c.Writes.Value(),
-			"errors":           s.c.Errors.Value(),
-			"malformed_frames": s.c.MalformedFrames.Value(),
-			"caches":           uint64(len(s.caches)),
-			"stores":           uint64(s.stores.Len()),
-			"ring_epoch":       s.stores.Epoch(),
+			"reads":                 s.c.Reads.Value(),
+			"writes":                s.c.Writes.Value(),
+			"errors":                s.c.Errors.Value(),
+			"malformed_frames":      s.c.MalformedFrames.Value(),
+			"caches":                uint64(len(s.caches)),
+			"stores":                uint64(s.stores.Len()),
+			"ring_epoch":            s.stores.Epoch(),
+			"failovers":             s.stores.Failovers(),
+			"watcher_stalled_polls": stalled,
+			"watcher_failed_polls":  failedPolls,
 		}}
 	default:
 		s.c.MalformedFrames.Inc()

@@ -100,10 +100,33 @@ const (
 	// forwarding on receipt.
 	MsgMigrateAck
 	// MsgRelease is a coordinator→store command after a ring publish:
-	// drop every key the new ring (Epoch, Nodes, Version; Key is the
-	// target's ring identity) no longer assigns to the target and
-	// forward stragglers to the new owners. Answered with MsgPong.
+	// drop every key the new ring (Epoch, Nodes, Version, Replicas; Key
+	// is the target's ring identity) no longer assigns to the target's
+	// replica set and forward stragglers to the new owners. Answered
+	// with MsgPong.
 	MsgRelease
+	// MsgHeartbeat is a store→coordinator liveness lease renewal: Key is
+	// the store's advertised ring identity and Version its authority
+	// version counter (the failure detector fences survivors past the
+	// last reported counter of a dead store). Answered with MsgRingResp
+	// carrying the current published ring, so heartbeats double as ring
+	// anti-entropy for stores that missed a release.
+	MsgHeartbeat
+	// MsgRepSync opens a replica bootstrap stream on a dedicated
+	// connection: the replica at identity Key asks a primary (Donors[0])
+	// to stream every key the attached ring (Epoch, Nodes, Version,
+	// Replicas) assigns to that primary with the replica in its replica
+	// set. The primary answers with MsgMigrateChunk frames and a final
+	// MsgMigrateDone (tracker freqs + version counter); no ACK — there
+	// is no ownership transfer.
+	MsgRepSync
+	// MsgRepWrite is a primary→replica replication push: Ops carries the
+	// accepted writes (key, value, primary-assigned version), Freqs the
+	// primary tracker's current read/write counts for those keys (so a
+	// promoted replica's policy warm-starts). Applied under restore
+	// semantics and answered with MsgPong; a primary acknowledges a
+	// client write only after every replica's PONG.
+	MsgRepWrite
 )
 
 var msgNames = map[MsgType]string{
@@ -116,7 +139,8 @@ var msgNames = map[MsgType]string{
 	MsgJoin: "JOIN", MsgDrain: "DRAIN", MsgAdopt: "ADOPT",
 	MsgMigrate: "MIGRATE", MsgMigrateChunk: "MIGRATECHUNK",
 	MsgMigrateDone: "MIGRATEDONE", MsgMigrateAck: "MIGRATEACK",
-	MsgRelease: "RELEASE",
+	MsgRelease: "RELEASE", MsgHeartbeat: "HEARTBEAT",
+	MsgRepSync: "REPSYNC", MsgRepWrite: "REPWRITE",
 }
 
 // String returns the wire name of the message type.
@@ -199,10 +223,11 @@ type Msg struct {
 	Stats   map[string]uint64
 	Err     string
 	// Cluster control-plane fields (ring and migration messages).
-	Nodes  []string  // ring node addresses
-	Donors []string  // migration donor addresses (MsgAdopt)
-	Freqs  []KeyFreq // tracker warm-start stats (MsgMigrateDone)
-	Stamp  int64     // ring publish time, unix nanoseconds (MsgRingResp)
+	Nodes    []string  // ring node addresses
+	Donors   []string  // migration donor / replication primary addresses
+	Freqs    []KeyFreq // tracker warm-start stats (MsgMigrateDone, MsgRepWrite)
+	Stamp    int64     // ring publish time, unix nanoseconds (MsgRingResp)
+	Replicas uint32    // cluster replication factor R (ring messages)
 }
 
 // Limits enforced on both sides of every connection.
@@ -410,6 +435,24 @@ func appendOps(b []byte, ops []BatchOp) ([]byte, error) {
 	return b, nil
 }
 
+// appendFreqs encodes a tracker warm-start list (shared by
+// MsgMigrateDone and MsgRepWrite).
+func appendFreqs(b []byte, freqs []KeyFreq) ([]byte, error) {
+	if len(freqs) > MaxBatchOps {
+		return b, fmt.Errorf("%w: %d freqs", ErrMalformed, len(freqs))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(freqs)))
+	var err error
+	for _, f := range freqs {
+		if b, err = appendString16(b, f.Key); err != nil {
+			return b, err
+		}
+		b = binary.BigEndian.AppendUint64(b, f.Reads)
+		b = binary.BigEndian.AppendUint64(b, f.Writes)
+	}
+	return b, nil
+}
+
 func appendString16(b []byte, s string) ([]byte, error) {
 	if len(s) > MaxKey {
 		return b, fmt.Errorf("%w: key length %d", ErrMalformed, len(s))
@@ -483,12 +526,17 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		b = binary.BigEndian.AppendUint64(b, uint64(m.Stamp))
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		b = binary.BigEndian.AppendUint32(b, m.Replicas)
 		return appendStringList(b, m.Nodes)
 	case MsgJoin, MsgDrain:
 		return appendString16(b, m.Key)
-	case MsgAdopt:
+	case MsgHeartbeat:
+		b = binary.BigEndian.AppendUint64(b, m.Version)
+		return appendString16(b, m.Key)
+	case MsgAdopt, MsgRepSync:
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		b = binary.BigEndian.AppendUint32(b, m.Replicas)
 		if b, err = appendString16(b, m.Key); err != nil {
 			return b, err
 		}
@@ -496,9 +544,17 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 			return b, err
 		}
 		return appendStringList(b, m.Donors)
-	case MsgMigrate, MsgRelease:
+	case MsgMigrate:
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		if b, err = appendString16(b, m.Key); err != nil {
+			return b, err
+		}
+		return appendStringList(b, m.Nodes)
+	case MsgRelease:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
+		b = binary.BigEndian.AppendUint32(b, m.Replicas)
 		if b, err = appendString16(b, m.Key); err != nil {
 			return b, err
 		}
@@ -506,19 +562,13 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 	case MsgMigrateChunk:
 		return appendOps(b, m.Ops)
 	case MsgMigrateDone:
-		if len(m.Freqs) > MaxBatchOps {
-			return b, fmt.Errorf("%w: %d freqs", ErrMalformed, len(m.Freqs))
-		}
 		b = binary.BigEndian.AppendUint64(b, m.Version)
-		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Freqs)))
-		for _, f := range m.Freqs {
-			if b, err = appendString16(b, f.Key); err != nil {
-				return b, err
-			}
-			b = binary.BigEndian.AppendUint64(b, f.Reads)
-			b = binary.BigEndian.AppendUint64(b, f.Writes)
+		return appendFreqs(b, m.Freqs)
+	case MsgRepWrite:
+		if b, err = appendOps(b, m.Ops); err != nil {
+			return b, err
 		}
-		return b, nil
+		return appendFreqs(b, m.Freqs)
 	default:
 		return b, fmt.Errorf("%w: unknown type %v", ErrMalformed, m.Type)
 	}
@@ -694,6 +744,33 @@ func (c *cursor) ops() ([]BatchOp, error) {
 	return ops, nil
 }
 
+// freqs decodes a tracker warm-start list (shared by MsgMigrateDone
+// and MsgRepWrite).
+func (c *cursor) freqs() ([]KeyFreq, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("%w: %d freqs", ErrMalformed, n)
+	}
+	out := make([]KeyFreq, 0, min64(uint64(n), 4096))
+	for i := uint32(0); i < n; i++ {
+		var f KeyFreq
+		if f.Key, err = c.str16(); err != nil {
+			return nil, err
+		}
+		if f.Reads, err = c.u64(); err != nil {
+			return nil, err
+		}
+		if f.Writes, err = c.u64(); err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 func (c *cursor) done() error {
 	if c.off != len(c.b) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(c.b)-c.off)
@@ -810,6 +887,9 @@ func parsePayload(m *Msg, payload []byte) error {
 			return err
 		}
 		m.Version = uint64(v)
+		if m.Replicas, err = c.u32(); err != nil {
+			return err
+		}
 		if m.Nodes, err = c.strList(); err != nil {
 			return err
 		}
@@ -817,7 +897,14 @@ func parsePayload(m *Msg, payload []byte) error {
 		if m.Key, err = c.str16(); err != nil {
 			return err
 		}
-	case MsgAdopt:
+	case MsgHeartbeat:
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+	case MsgAdopt, MsgRepSync:
 		if m.Epoch, err = c.u64(); err != nil {
 			return err
 		}
@@ -826,6 +913,9 @@ func parsePayload(m *Msg, payload []byte) error {
 			return err
 		}
 		m.Version = uint64(v)
+		if m.Replicas, err = c.u32(); err != nil {
+			return err
+		}
 		if m.Key, err = c.str16(); err != nil {
 			return err
 		}
@@ -835,7 +925,7 @@ func parsePayload(m *Msg, payload []byte) error {
 		if m.Donors, err = c.strList(); err != nil {
 			return err
 		}
-	case MsgMigrate, MsgRelease:
+	case MsgMigrate:
 		if m.Epoch, err = c.u64(); err != nil {
 			return err
 		}
@@ -844,6 +934,24 @@ func parsePayload(m *Msg, payload []byte) error {
 			return err
 		}
 		m.Version = uint64(v)
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+		if m.Nodes, err = c.strList(); err != nil {
+			return err
+		}
+	case MsgRelease:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		v, err := c.u32()
+		if err != nil {
+			return err
+		}
+		m.Version = uint64(v)
+		if m.Replicas, err = c.u32(); err != nil {
+			return err
+		}
 		if m.Key, err = c.str16(); err != nil {
 			return err
 		}
@@ -858,26 +966,15 @@ func parsePayload(m *Msg, payload []byte) error {
 		if m.Version, err = c.u64(); err != nil {
 			return err
 		}
-		n, err := c.u32()
-		if err != nil {
+		if m.Freqs, err = c.freqs(); err != nil {
 			return err
 		}
-		if n > MaxBatchOps {
-			return fmt.Errorf("%w: %d freqs", ErrMalformed, n)
+	case MsgRepWrite:
+		if m.Ops, err = c.ops(); err != nil {
+			return err
 		}
-		m.Freqs = make([]KeyFreq, 0, min64(uint64(n), 4096))
-		for i := uint32(0); i < n; i++ {
-			var f KeyFreq
-			if f.Key, err = c.str16(); err != nil {
-				return err
-			}
-			if f.Reads, err = c.u64(); err != nil {
-				return err
-			}
-			if f.Writes, err = c.u64(); err != nil {
-				return err
-			}
-			m.Freqs = append(m.Freqs, f)
+		if m.Freqs, err = c.freqs(); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("%w: unknown type %d", ErrMalformed, uint8(m.Type))

@@ -51,12 +51,18 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgErr, Seq: 14, Err: "boom"},
 		{Type: MsgRingGet, Seq: 15},
 		{Type: MsgRingResp, Seq: 16, Epoch: 3, Stamp: 1234567890,
-			Version: 128, Nodes: []string{"a:1", "b:2"}},
+			Version: 128, Replicas: 2, Nodes: []string{"a:1", "b:2"}},
 		{Type: MsgRingResp, Seq: 16, Epoch: 1, Version: 64, Nodes: []string{"a:1"}},
 		{Type: MsgJoin, Seq: 17, Key: "c:3"},
 		{Type: MsgDrain, Seq: 18, Key: "b:2"},
-		{Type: MsgAdopt, Seq: 19, Epoch: 4, Version: 128, Key: "c:3",
+		{Type: MsgHeartbeat, Seq: 18, Key: "b:2", Version: 4711},
+		{Type: MsgAdopt, Seq: 19, Epoch: 4, Version: 128, Replicas: 2, Key: "c:3",
 			Nodes: []string{"a:1", "b:2", "c:3"}, Donors: []string{"a:1", "b:2"}},
+		{Type: MsgRepSync, Seq: 19, Epoch: 4, Version: 128, Replicas: 3, Key: "c:3",
+			Nodes: []string{"a:1", "b:2", "c:3"}, Donors: []string{"a:1"}},
+		{Type: MsgRepWrite, Seq: 23, Ops: []BatchOp{
+			{Kind: BatchUpdate, Key: "k1", Version: 9, Value: []byte("v1")},
+		}, Freqs: []KeyFreq{{Key: "k1", Reads: 2, Writes: 5}}},
 		{Type: MsgMigrate, Seq: 20, Epoch: 4, Version: 128, Key: "c:3",
 			Nodes: []string{"a:1", "b:2", "c:3"}},
 		{Type: MsgMigrateChunk, Seq: 20, Ops: []BatchOp{
@@ -67,7 +73,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 			{Key: "k1", Reads: 10, Writes: 3}, {Key: "k2", Reads: 0, Writes: 7},
 		}},
 		{Type: MsgMigrateAck, Seq: 21},
-		{Type: MsgRelease, Seq: 22, Epoch: 4, Version: 128, Key: "a:1",
+		{Type: MsgRelease, Seq: 22, Epoch: 4, Version: 128, Replicas: 2, Key: "a:1",
 			Nodes: []string{"a:1", "b:2", "c:3"}},
 	}
 	for _, m := range msgs {

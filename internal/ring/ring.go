@@ -84,6 +84,10 @@ func New(nodes []string, virtualNodes int) (*Ring, error) {
 // Len returns the number of nodes.
 func (r *Ring) Len() int { return len(r.nodes) }
 
+// VirtualNodes returns the per-node point count of this ring's
+// geometry — the value New was built with.
+func (r *Ring) VirtualNodes() int { return len(r.points) / len(r.nodes) }
+
 // Nodes returns the node list in construction order. The caller must not
 // mutate it.
 func (r *Ring) Nodes() []string { return r.nodes }
@@ -147,6 +151,93 @@ func Moved(old, next *Ring) func(key string) bool {
 	return func(key string) bool {
 		return old.OwnerAddr(key) != next.OwnerAddr(key)
 	}
+}
+
+// Replicas returns the first n distinct nodes encountered walking the
+// ring clockwise from key's position — the key's replica set under
+// n-way replication. The first element is always the owner; n is
+// clamped to [1, Len]. The set has the property the failover machinery
+// leans on: removing the owner from the ring makes the second element
+// (the key's first successor) the new owner, so a node promoted by a
+// ring publish already holds a replica of every key it gains.
+func (r *Ring) Replicas(key string, n int) []string {
+	return r.ReplicasOfHash(sketch.Hash(key), n)
+}
+
+// ReplicasOfHash is Replicas for a pre-hashed key identity.
+func (r *Ring) ReplicasOfHash(h uint64, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n < 1 {
+		n = 1
+	}
+	h = mix64(h)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make([]bool, len(r.nodes))
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// IsReplica reports whether node self is within key's n-node replica
+// set (owner included) — the keep-predicate of a replicated release.
+func (r *Ring) IsReplica(self, key string, n int) bool {
+	for _, node := range r.Replicas(key, n) {
+		if node == self {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaSources returns the nodes that own at least one ring arc whose
+// n-replica walk includes self — i.e. the primaries self must hold
+// replicas for under n-way replication, in ring construction order.
+// With virtual nodes a primary's successors vary per arc, so for small
+// clusters this is typically every other node.
+func (r *Ring) ReplicaSources(self string, n int) []string {
+	selfIdx := r.IndexOf(self)
+	if selfIdx < 0 || n <= 1 || len(r.nodes) <= 1 {
+		return nil
+	}
+	srcs := make([]bool, len(r.nodes))
+	for i := range r.points {
+		owner := r.points[i].node
+		if owner == selfIdx || srcs[owner] {
+			continue
+		}
+		// Walk clockwise from the arc's owning point: does self appear
+		// among the n distinct nodes starting at the owner?
+		distinct := 1
+		seen := map[int]struct{}{owner: {}}
+		for j := 1; j < len(r.points) && distinct < n; j++ {
+			node := r.points[(i+j)%len(r.points)].node
+			if _, dup := seen[node]; dup {
+				continue
+			}
+			if node == selfIdx {
+				srcs[owner] = true
+				break
+			}
+			seen[node] = struct{}{}
+			distinct++
+		}
+	}
+	var out []string
+	for i, isSrc := range srcs {
+		if isSrc {
+			out = append(out, r.nodes[i])
+		}
+	}
+	return out
 }
 
 // Owns reports whether node i owns key.

@@ -191,3 +191,112 @@ func TestOwnsAndOwnedByAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicasDistinctAndOwnerFirst(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := New(nodes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		for n := 1; n <= 6; n++ {
+			reps := r.Replicas(key, n)
+			want := n
+			if want > len(nodes) {
+				want = len(nodes)
+			}
+			if len(reps) != want {
+				t.Fatalf("Replicas(%q, %d) has %d nodes, want %d", key, n, len(reps), want)
+			}
+			if reps[0] != r.OwnerAddr(key) {
+				t.Fatalf("Replicas(%q, %d)[0] = %s, owner is %s", key, n, reps[0], r.OwnerAddr(key))
+			}
+			seen := map[string]bool{}
+			for _, node := range reps {
+				if seen[node] {
+					t.Fatalf("Replicas(%q, %d) repeats %s", key, n, node)
+				}
+				seen[node] = true
+			}
+			if !r.IsReplica(reps[len(reps)-1], key, n) || r.IsReplica("nope", key, n) {
+				t.Fatalf("IsReplica disagrees with Replicas(%q, %d)", key, n)
+			}
+		}
+	}
+	if got := r.Replicas("k", 0); len(got) != 1 {
+		t.Errorf("Replicas clamp low: %v", got)
+	}
+}
+
+// TestReplicaPromotionProperty is the property automatic failover leans
+// on: removing a key's owner from the ring promotes exactly the key's
+// first successor — the node that already holds the replica.
+func TestReplicaPromotionProperty(t *testing.T) {
+	nodes := []string{"s0", "s1", "s2", "s3", "s4"}
+	r, err := New(nodes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := r.Replicas(key, 2)
+		owner := reps[0]
+		var survivors []string
+		for _, n := range nodes {
+			if n != owner {
+				survivors = append(survivors, n)
+			}
+		}
+		shrunk, err := New(survivors, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shrunk.OwnerAddr(key); got != reps[1] {
+			t.Fatalf("key %q: owner %s removed, new owner %s, want first replica %s",
+				key, owner, got, reps[1])
+		}
+	}
+}
+
+// TestReplicaSourcesConsistent cross-checks ReplicaSources against the
+// per-key replica walk: whenever a sampled key owned by P carries B in
+// its replica tail, P must be among B's sources.
+func TestReplicaSourcesConsistent(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	r, err := New(nodes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const R = 2
+	sources := map[string]map[string]bool{}
+	for _, self := range nodes {
+		sources[self] = map[string]bool{}
+		for _, p := range r.ReplicaSources(self, R) {
+			sources[self][p] = true
+		}
+		if sources[self][self] {
+			t.Fatalf("node %s lists itself as a replica source", self)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := r.Replicas(key, R)
+		for _, b := range reps[1:] {
+			if !sources[b][reps[0]] {
+				t.Fatalf("key %q owned by %s replicates to %s, but %s is not a ReplicaSource of %s",
+					key, reps[0], b, reps[0], b)
+			}
+		}
+	}
+	if got := r.ReplicaSources("a", 1); got != nil {
+		t.Errorf("R=1 sources = %v, want none", got)
+	}
+	single, err := New([]string{"solo"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.ReplicaSources("solo", 3); got != nil {
+		t.Errorf("single-node sources = %v, want none", got)
+	}
+}

@@ -133,8 +133,10 @@ func parseRingMsg(m *proto.Msg) (*ring.Ring, error) {
 // nil response means the write belongs to target and must be
 // forwarded (the switch that set forward already fenced the adopter's
 // version counter, so the versions forwarded writes are assigned
-// order after everything a cache may hold).
-func (s *Server) routePut(m *proto.Msg) (resp *proto.Msg, target string) {
+// order after everything a cache may hold). A non-nil response with a
+// non-empty reps list was applied locally but must not be acknowledged
+// until every listed replica holds it (replicateWrite).
+func (s *Server) routePut(m *proto.Msg) (resp *proto.Msg, target string, reps []string) {
 	s.clMu.RLock()
 	for _, om := range s.outMigs {
 		if !om.owns(m.Key) {
@@ -146,6 +148,7 @@ func (s *Server) routePut(m *proto.Msg) (resp *proto.Msg, target string) {
 			version := s.auth.Put(m.Key, m.Value, time.Now())
 			om.noteDirty(m.Key)
 			resp = &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+			reps = s.replicaTargetsLocked(m.Key)
 		}
 		break
 	}
@@ -155,19 +158,20 @@ func (s *Server) routePut(m *proto.Msg) (resp *proto.Msg, target string) {
 		} else {
 			version := s.auth.Put(m.Key, m.Value, time.Now())
 			resp = &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+			reps = s.replicaTargetsLocked(m.Key)
 		}
 	}
 	s.clMu.RUnlock()
 	if resp != nil {
 		s.engine.ObserveWrite(m.Key)
-		return resp, ""
+		return resp, "", reps
 	}
 	// Remember the key so the next flush pushes an invalidate to
 	// subscribers still on the old ring epoch.
 	s.fdMu.Lock()
 	s.forwardDirty[m.Key] = struct{}{}
 	s.fdMu.Unlock()
-	return nil, target
+	return nil, target, nil
 }
 
 // forwardPut proxies a write to the key's current owner.
@@ -465,39 +469,76 @@ func (s *Server) abortMigration(om *outMigration) {
 }
 
 // handleRelease installs a published ring: keys the ring assigns
-// elsewhere are dropped (their owners now serve them), completed
-// migrations at or below the epoch are retired (the ring subsumes
-// their forwarding), and future requests for unowned keys forward to
-// the owners.
+// outside this store's replica set are dropped (their owners and
+// replicas now hold them), completed migrations at or below the epoch
+// are retired (the ring subsumes their forwarding), and future
+// requests for unowned keys forward to the owners.
 func (s *Server) handleRelease(m *proto.Msg) *proto.Msg {
 	newRing, err := parseRingMsg(m)
 	if err != nil {
 		return errMsg(m.Seq, "%v", err)
 	}
-	self := m.Key
-	owns := func(key string) bool { return newRing.OwnerAddr(key) == self }
-	if !newRing.Contains(self) {
-		owns = func(string) bool { return false } // fully drained
+	if err := s.installPublishedRing(m.Epoch, newRing, m.Key, int(m.Replicas)); err != nil {
+		return errMsg(m.Seq, "%v", err)
 	}
+	return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+}
+
+// installPublishedRing applies a published ring — from a coordinator
+// release or from heartbeat anti-entropy. Under the write lock it
+// installs the ring/epoch/replication factor, retires migrations the
+// publish subsumes, and drops the keys outside this store's replica
+// set; outside the lock it warm-starts the policy tracker for keys a
+// promotion just made local and (re)starts the replica bootstrap
+// syncs the new topology calls for.
+func (s *Server) installPublishedRing(epoch uint64, newRing *ring.Ring, self string, replicas int) error {
+	if replicas < 1 {
+		replicas = 1
+	}
+	member := newRing.Contains(self)
+	keep := func(key string) bool { return member && newRing.IsReplica(self, key, replicas) }
 	s.clMu.Lock()
-	if m.Epoch < s.clusterEpoch {
+	if epoch < s.clusterEpoch {
 		s.clMu.Unlock()
-		return errMsg(m.Seq, "store: release for stale ring epoch %d (at %d)", m.Epoch, s.clusterEpoch)
+		return fmt.Errorf("store: release for stale ring epoch %d (at %d)", epoch, s.clusterEpoch)
 	}
-	s.clusterEpoch = m.Epoch
+	oldRing := s.clusterRing
+	s.clusterEpoch = epoch
 	s.clusterRing = newRing
 	s.selfAddr = self
+	s.replicas = replicas
 	kept := s.outMigs[:0]
 	for _, om := range s.outMigs {
-		if om.epoch > m.Epoch {
+		if om.epoch > epoch {
 			kept = append(kept, om)
 		}
 	}
 	s.outMigs = kept
-	dropped := s.auth.ReleaseNotOwned(owns)
+	dropped := s.auth.ReleaseNotOwned(keep)
 	s.clMu.Unlock()
 	s.c.KeysReleased.Add(uint64(dropped))
-	return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+	s.warmStartPromoted(newRing, self)
+	if member && oldRing != nil {
+		// Keys this install just promoted us to own (their previous
+		// owner left the ring without a handoff — a failover): the dead
+		// owner's final, never-pushed invalidates are lost with it, so
+		// push our own on the next flush and let the caches refetch.
+		// A clean join/drain never takes this path: its adopters
+		// install the candidate ring during the adopt phase, so old
+		// and new owner agree by the time the release lands.
+		promoted := s.auth.SnapshotOwned(func(key string) bool {
+			return newRing.OwnerAddr(key) == self && oldRing.OwnerAddr(key) != self
+		})
+		if len(promoted) > 0 {
+			s.fdMu.Lock()
+			for _, e := range promoted {
+				s.forwardDirty[e.Key] = struct{}{}
+			}
+			s.fdMu.Unlock()
+		}
+	}
+	s.syncReplicas(epoch, newRing, self, replicas)
+	return nil
 }
 
 // ---- Adopter side ----
@@ -527,6 +568,11 @@ func (s *Server) handleAdopt(m *proto.Msg) *proto.Msg {
 		s.clusterEpoch = m.Epoch
 		s.clusterRing = newRing
 		s.selfAddr = m.Key
+		// Replicate forwarded writes from the first accepted one: the
+		// candidate ring's replica sets are live before the publish.
+		if r := int(m.Replicas); r > 1 {
+			s.replicas = r
+		}
 	}
 	s.clMu.Unlock()
 	s.c.MigrationsIn.Inc()

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/proto"
+	"freshcache/internal/ring"
+)
+
+// repWrite builds one primary→replica replication push.
+func repWrite(key string, value string, version uint64) *proto.Msg {
+	return &proto.Msg{Type: proto.MsgRepWrite, Ops: []proto.BatchOp{
+		{Kind: proto.BatchUpdate, Key: key, Value: []byte(value), Version: version},
+	}}
+}
+
+// TestRepWriteOrdering pins the replica log's ordering discipline:
+// in-order pushes apply in order, and a duplicated or reordered push
+// (a primary retry, or frames racing a bootstrap stream) can never
+// regress a key to an older version — the guarantee that lets RepWrite
+// and RepSync interleave freely.
+func TestRepWriteOrdering(t *testing.T) {
+	s := New(Config{ShardID: "replica", T: time.Hour})
+	cs := &connState{}
+	for v := uint64(1); v <= 5; v++ {
+		resp := s.dispatch(repWrite("k", fmt.Sprintf("v%d", v), v), nil, cs, nil)
+		if resp.Type != proto.MsgPong {
+			t.Fatalf("repwrite v%d answered %v", v, resp.Type)
+		}
+	}
+	value, version, ok := s.Authority().Get("k")
+	if !ok || version != 5 || string(value) != "v5" {
+		t.Fatalf("after in-order pushes: %q v%d ok=%v, want v5", value, version, ok)
+	}
+
+	// A stale duplicate (primary retry / reordered frame) must not
+	// regress the entry or the version counter.
+	s.dispatch(repWrite("k", "v3", 3), nil, cs, nil)
+	value, version, _ = s.Authority().Get("k")
+	if version != 5 || string(value) != "v5" {
+		t.Fatalf("stale push regressed the entry to %q v%d", value, version)
+	}
+	if got := s.Authority().Version(); got < 5 {
+		t.Fatalf("version counter %d below the highest replicated version", got)
+	}
+	if got := s.c.RepWritesIn.Value(); got != 6 {
+		t.Fatalf("RepWritesIn = %d, want 6", got)
+	}
+}
+
+// TestPromotionVersionMonotonic pins the failover fence: every
+// replicated write raises the replica's version counter to at least
+// the primary-assigned version, so a promoted replica's first local
+// write is ordered after every write the dead primary acknowledged —
+// a cache holding the dead primary's newest version can never have a
+// promoted-store update rejected as stale.
+func TestPromotionVersionMonotonic(t *testing.T) {
+	s := New(Config{ShardID: "replica", T: time.Hour})
+	cs := &connState{}
+	s.dispatch(repWrite("a", "x", 41), nil, cs, nil)
+	s.dispatch(repWrite("b", "y", 97), nil, cs, nil)
+
+	// Promotion: the replica becomes the authority and serves writes.
+	got := s.Authority().Put("a", []byte("promoted"), time.Now())
+	if got <= 97 {
+		t.Fatalf("post-promotion write got version %d, not past the replicated 97", got)
+	}
+}
+
+// TestReplicationEndToEnd drives a write through a two-store ring with
+// R=2 and checks the ack discipline: by the time the client's PUT is
+// acknowledged, the replica holds the write under the primary's
+// version, and the banked tracker counts warm-start the engine on
+// promotion.
+func TestReplicationEndToEnd(t *testing.T) {
+	sA, addrA := startStore(t, Config{ShardID: "A"})
+	sB, addrB := startStore(t, Config{ShardID: "B"})
+	r, err := ring.New([]string{addrA, addrB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.installPublishedRing(1, r, addrA, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sB.installPublishedRing(1, r, addrB, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	c := client.New(addrA, client.Options{})
+	defer c.Close()
+	keys := make([]string, 0, 16)
+	versions := make(map[string]uint64, 16)
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("rep-key-%02d", i)
+		v, err := c.Put(key, []byte(key))
+		if err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+		keys = append(keys, key)
+		versions[key] = v
+	}
+	// Acked ⇒ replicated: every key must be resident on BOTH stores
+	// with its primary-assigned version, with no settling wait.
+	for _, key := range keys {
+		for i, s := range []*Server{sA, sB} {
+			value, version, ok := s.Authority().Get(key)
+			if !ok {
+				t.Fatalf("key %q missing on store %d after ack", key, i)
+			}
+			if version != versions[key] || string(value) != key {
+				t.Fatalf("store %d holds %q v%d, want %q v%d", i, value, version, key, versions[key])
+			}
+		}
+	}
+	// The replica banked the primary's tracker counts for its
+	// replica-held keys; promotion folds them into the engine.
+	var replicaOfA string
+	for _, key := range keys {
+		if r.OwnerAddr(key) == addrA {
+			replicaOfA = key
+			break
+		}
+	}
+	if replicaOfA == "" {
+		t.Skip("hash placed every key on B; nothing to check")
+	}
+	sB.repMu.Lock()
+	_, banked := sB.pendingFreqs[replicaOfA]
+	sB.repMu.Unlock()
+	if !banked {
+		t.Fatalf("replica did not bank tracker counts for %q", replicaOfA)
+	}
+	solo, err := ring.New([]string{addrB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sB.installPublishedRing(2, solo, addrB, 2); err != nil {
+		t.Fatal(err)
+	}
+	if reads, writes := sB.Engine().KeyFreq(replicaOfA); reads+writes == 0 {
+		t.Fatalf("promotion did not warm-start the engine for %q", replicaOfA)
+	}
+}
+
+// TestRepSyncBootstrap checks the backlog path: a store that becomes a
+// replica after the primary already holds data pulls the full range
+// over a MsgRepSync stream, with versions preserved and the version
+// counter fenced past the primary's.
+func TestRepSyncBootstrap(t *testing.T) {
+	sA, addrA := startStore(t, Config{ShardID: "A"})
+	sB, addrB := startStore(t, Config{ShardID: "B"})
+
+	// The primary accumulates data before any replication exists.
+	soloA, err := ring.New([]string{addrA}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.installPublishedRing(1, soloA, addrA, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(addrA, client.Options{})
+	defer c.Close()
+	versions := make(map[string]uint64, 32)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("boot-key-%02d", i)
+		v, err := c.Put(key, []byte(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[key] = v
+	}
+
+	// B joins as a replica: installing the two-node R=2 ring triggers
+	// its bootstrap sync from every primary it now replicates.
+	r2, err := ring.New([]string{addrA, addrB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.installPublishedRing(2, r2, addrA, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sB.installPublishedRing(2, r2, addrB, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		missing := 0
+		for key, want := range versions {
+			if r2.OwnerAddr(key) != addrA || !r2.IsReplica(addrB, key, 2) {
+				continue
+			}
+			_, got, ok := sB.Authority().Get(key)
+			if !ok || got != want {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica bootstrap incomplete: %d keys missing or mis-versioned", missing)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got, want := sB.Authority().Version(), sA.Authority().Version(); got < want {
+		t.Fatalf("replica version counter %d not fenced past primary's %d", got, want)
+	}
+}

@@ -48,6 +48,19 @@ type Config struct {
 	// MaxReportCount caps one key's count in a read report (defense
 	// against a misbehaving cache flooding the tracker); defaults 65536.
 	MaxReportCount uint32
+	// ClusterAddr, when set, starts a heartbeat loop against the
+	// cluster coordinator at that address: each beat renews this
+	// store's liveness lease (the failure detector's input) and the
+	// response carries the current published ring, so a store that
+	// missed a release catches up from its own heartbeat.
+	ClusterAddr string
+	// AdvertiseAddr is this store's ring identity — the address peers
+	// and the coordinator dial. Required with ClusterAddr.
+	AdvertiseAddr string
+	// HeartbeatInterval paces the liveness heartbeats; defaults to
+	// 500ms. Keep it at a small fraction of the coordinator's lease
+	// interval so one dropped beat does not cost the lease.
+	HeartbeatInterval time.Duration
 	// Logger receives connection-level diagnostics; nil uses the
 	// standard logger.
 	Logger *log.Logger
@@ -65,6 +78,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxReportCount == 0 {
 		c.MaxReportCount = 1 << 16
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -90,6 +106,10 @@ type Counters struct {
 	ForwardedPuts               stats.Counter
 	ForwardedReads              stats.Counter
 	KeysReleased                stats.Counter
+	// Replication / failover counters (replicate.go).
+	RepWritesOut, RepWritesIn stats.Counter
+	RepSyncs, RepSyncsServed  stats.Counter
+	HeartbeatsSent            stats.Counter
 }
 
 // Server is a live store node.
@@ -117,11 +137,21 @@ type Server struct {
 	selfAddr     string
 	clusterEpoch uint64
 	clusterRing  *ring.Ring
+	replicas     int // cluster replication factor R (<=1: no replication)
 	outMigs      []*outMigration
 	fdMu         sync.Mutex // guards forwardDirty (written on the data path)
 	forwardDirty map[string]struct{}
 	peerMu       sync.Mutex // guards peers
 	peers        map[string]*client.Client
+
+	// Replication state (replicate.go): pendingFreqs buffers the
+	// primaries' tracker counts for replica-held keys until a promotion
+	// makes them this store's to serve; repSyncing records the highest
+	// ring epoch a bootstrap sync is running (or has run) against each
+	// primary.
+	repMu        sync.Mutex
+	pendingFreqs map[string]proto.KeyFreq
+	repSyncing   map[string]uint64
 
 	ln     net.Listener
 	cancel context.CancelFunc
@@ -176,6 +206,8 @@ func New(cfg Config) *Server {
 		subs:         make(map[*subscriber]struct{}),
 		forwardDirty: make(map[string]struct{}),
 		peers:        make(map[string]*client.Client),
+		pendingFreqs: make(map[string]proto.KeyFreq),
+		repSyncing:   make(map[string]uint64),
 		closed:       make(chan struct{}),
 	}
 }
@@ -216,6 +248,10 @@ func (s *Server) Serve(ln net.Listener) error {
 
 	s.wg.Add(1)
 	go s.flusher(ctx)
+	if s.cfg.ClusterAddr != "" {
+		s.wg.Add(1)
+		go s.heartbeatLoop(ctx)
+	}
 
 	for {
 		conn, err := ln.Accept()
@@ -244,6 +280,14 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	ln, cancel := s.ln, s.cancel
 	s.mu.Unlock()
+	// Signal shutdown before waiting: background replica syncs select
+	// on closed between (and during) retries, so a sync against an
+	// unreachable primary cannot stall Close for its full retry budget.
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
 	if cancel != nil {
 		cancel()
 	}
@@ -258,11 +302,6 @@ func (s *Server) Close() error {
 	}
 	s.peers = make(map[string]*client.Client)
 	s.peerMu.Unlock()
-	select {
-	case <-s.closed:
-	default:
-		close(s.closed)
-	}
 	return err
 }
 
@@ -473,13 +512,21 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan *
 		return s.getResp(m)
 	case proto.MsgPut:
 		s.c.Puts.Inc()
-		resp, target := s.routePut(m)
-		if resp != nil {
+		resp, target, reps := s.routePut(m)
+		if resp != nil && len(reps) == 0 {
 			return resp
 		}
-		// The value aliases the reader's buffer; the forward outlives
-		// this dispatch, so copy it.
+		// The value aliases the reader's buffer; both the forward and
+		// the replication fan-out outlive this dispatch, so copy it.
 		seq, key, value := m.Seq, m.Key, append([]byte(nil), m.Value...)
+		if resp != nil {
+			// Accepted locally; the ack is withheld until every replica
+			// holds the write, so an acknowledged write survives this
+			// store's crash.
+			return s.goForward(cs, out, func() *proto.Msg {
+				return s.replicateWrite(resp, key, value, reps)
+			})
+		}
 		return s.goForward(cs, out, func() *proto.Msg {
 			return s.forwardPut(seq, key, value, target)
 		})
@@ -561,6 +608,10 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan *
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgRelease:
 		return s.handleRelease(m)
+	case proto.MsgRepSync:
+		return s.handleRepSync(m, out)
+	case proto.MsgRepWrite:
+		return s.handleRepWrite(m)
 	default:
 		s.c.MalformedFrames.Inc()
 		return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
@@ -586,9 +637,19 @@ func (s *Server) statsMap() map[string]uint64 {
 	s.clMu.RLock()
 	ringEpoch := s.clusterEpoch
 	activeMigs := uint64(len(s.outMigs))
+	replicas := uint64(0)
+	if s.replicas > 0 {
+		replicas = uint64(s.replicas)
+	}
 	s.clMu.RUnlock()
 	return map[string]uint64{
 		"ring_epoch":          ringEpoch,
+		"replicas":            replicas,
+		"rep_writes_out":      s.c.RepWritesOut.Value(),
+		"rep_writes_in":       s.c.RepWritesIn.Value(),
+		"rep_syncs":           s.c.RepSyncs.Value(),
+		"rep_syncs_served":    s.c.RepSyncsServed.Value(),
+		"heartbeats_sent":     s.c.HeartbeatsSent.Value(),
 		"migrations_active":   activeMigs,
 		"migrations_out":      s.c.MigrationsOut.Value(),
 		"migrations_in":       s.c.MigrationsIn.Value(),
