@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
@@ -40,7 +42,15 @@ func main() {
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
 	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
 	name := flag.String("name", "", "cache name in subscriptions (default addr)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6062; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("cacheserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("cacheserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if *name == "" {
 		*name = "cache@" + *addr

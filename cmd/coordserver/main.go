@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
@@ -41,7 +43,15 @@ func main() {
 	vnodes := flag.Int("vnodes", freshcache.DefaultVirtualNodes, "virtual nodes per store")
 	replicas := flag.Int("replicas", 1, "replication factor R (1 = no replication)")
 	leaseIv := flag.Duration("lease", 2*time.Second, "liveness lease; a store silent this long is failed over")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6064; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("coordserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("coordserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
 		Stores:        strings.Split(*stores, ","),

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"freshcache"
+)
+
+// hotpathBaseline is the committed pre-optimization reference the
+// hotpath run compares itself against: the pipelined transport's row
+// from BENCH_pipeline.json (recorded before the zero-allocation work).
+type hotpathBaseline struct {
+	Source    string  `json:"source"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+}
+
+// hotpathReport is the machine-readable record of one hotpath run, as
+// written to BENCH_hotpath.json.
+type hotpathReport struct {
+	Benchmark string  `json:"benchmark"`
+	Generated string  `json:"generated"`
+	Workers   int     `json:"workers"`
+	DurationS float64 `json:"duration_s"`
+	ValueSize int     `json:"value_bytes"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	// AllocsPerOp and BytesPerOp are whole-process malloc deltas divided
+	// by completed ops. Client and store share the process here, so this
+	// is the full request path — encode, syscalls, demux, store lookup,
+	// response — not just the client half.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// GCCycles is how many collections the measurement window triggered.
+	GCCycles uint32 `json:"gc_cycles"`
+
+	Baseline          *hotpathBaseline `json:"baseline,omitempty"`
+	SpeedupVsBaseline float64          `json:"speedup_vs_baseline,omitempty"`
+}
+
+// hotpathBench boots one live store on loopback and hammers GETs over
+// the multiplexed transport, recording throughput, latency percentiles,
+// and whole-process allocation rates. It is the acceptance benchmark
+// for the zero-allocation hot-path work; pair it with the servers'
+// -pprof flag to see where the remaining cycles go.
+func hotpathBench(workers int, benchtime time.Duration, jsonPath string) error {
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Hour, ShardID: "bench"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go st.Serve(ln) //nolint:errcheck
+	defer st.Close()
+	addr := ln.Addr().String()
+
+	const nkeys, valSize = 64, 128
+	seed := freshcache.NewClient(addr, freshcache.ClientOptions{})
+	val := make([]byte, valSize)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+		if _, err := seed.Put(keys[i], val); err != nil {
+			seed.Close()
+			return fmt.Errorf("preload: %w", err)
+		}
+	}
+	seed.Close()
+
+	c := freshcache.NewClient(addr, freshcache.ClientOptions{})
+	defer c.Close()
+
+	// Warm up: fill the frame/Msg/waiter pools and let the connections
+	// settle so the measured window sees steady state.
+	warm := time.Now().Add(benchtime / 4)
+	for time.Now().Before(warm) {
+		if _, _, err := c.Get(keys[0]); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	res, err := driveWorkers(c, "hotpath", keys, workers, benchtime)
+	if err != nil {
+		return err
+	}
+	runtime.ReadMemStats(&after)
+
+	report := hotpathReport{
+		Benchmark: "hotpath-get-throughput",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Workers:   workers,
+		DurationS: benchtime.Seconds(),
+		ValueSize: valSize,
+		Ops:       res.Ops,
+		OpsPerSec: res.OpsPerSec,
+		P50us:     res.P50us,
+		P99us:     res.P99us,
+		GCCycles:  after.NumGC - before.NumGC,
+	}
+	if res.Ops > 0 {
+		report.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+		report.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+	}
+	if base := loadPipelineBaseline("BENCH_pipeline.json"); base != nil {
+		report.Baseline = base
+		if base.OpsPerSec > 0 {
+			report.SpeedupVsBaseline = report.OpsPerSec / base.OpsPerSec
+		}
+	}
+
+	w := tw()
+	fmt.Fprintln(w, "metric\tvalue")
+	fmt.Fprintf(w, "ops\t%d\n", report.Ops)
+	fmt.Fprintf(w, "ops/sec\t%.0f\n", report.OpsPerSec)
+	fmt.Fprintf(w, "p50 (us)\t%.1f\n", report.P50us)
+	fmt.Fprintf(w, "p99 (us)\t%.1f\n", report.P99us)
+	fmt.Fprintf(w, "allocs/op (process)\t%.2f\n", report.AllocsPerOp)
+	fmt.Fprintf(w, "bytes/op (process)\t%.1f\n", report.BytesPerOp)
+	fmt.Fprintf(w, "gc cycles\t%d\n", report.GCCycles)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if report.Baseline != nil {
+		fmt.Printf("speedup vs %s pipelined baseline (%.0f ops/sec): %.2fx\n",
+			report.Baseline.Source, report.Baseline.OpsPerSec, report.SpeedupVsBaseline)
+	}
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// loadPipelineBaseline reads the committed pipelined-transport result
+// out of a BENCH_pipeline.json, if one is readable from the working
+// directory. Missing or malformed files just drop the comparison.
+func loadPipelineBaseline(path string) *hotpathBaseline {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep pipelineReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil
+	}
+	for _, r := range rep.Results {
+		if r.Transport == "pipelined" {
+			return &hotpathBaseline{
+				Source:    path,
+				OpsPerSec: r.OpsPerSec,
+				P50us:     r.P50us,
+				P99us:     r.P99us,
+			}
+		}
+	}
+	return nil
+}

@@ -16,6 +16,10 @@
 //	ablate   batching-interval, decision-rule and cache-knowledge ablations
 //	live     boot a real store+cache cluster and validate bounded staleness
 //	pipeline measure the pipelined vs pooled transport on a live store
+//	hotpath  measure the zero-allocation hot path on a live store:
+//	         throughput, latency percentiles, and whole-process
+//	         allocs/op, compared against the committed
+//	         BENCH_pipeline.json baseline when present
 //	reshard  join a third store into a live cluster under load and record
 //	         the throughput/staleness-violation trajectory
 //	failover kill one store of a replicated (R=2) live cluster under load
@@ -61,7 +65,7 @@ func main() {
 	storesN := fs.Int("stores", 1, "store shards booted by the live experiment")
 	workers := fs.Int("workers", 64, "concurrent workers for the pipeline experiment")
 	benchtime := fs.Duration("benchtime", 0, "wall-clock window for pipeline (default 2s) / reshard (default 4s)")
-	jsonOut := fs.Bool("json", false, "pipeline: also write BENCH_pipeline.json")
+	jsonOut := fs.Bool("json", false, "pipeline/hotpath: also write BENCH_<name>.json")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	o := experiments.Options{Duration: *duration, Seed: *seed, T: *tBound}
@@ -76,6 +80,17 @@ func main() {
 			bt = 2 * time.Second
 		}
 		return pipelineBench(*workers, bt, out)
+	}
+	hotpath := func(experiments.Options) error {
+		out := ""
+		if *jsonOut {
+			out = "BENCH_hotpath.json"
+		}
+		bt := *benchtime
+		if bt == 0 {
+			bt = 2 * time.Second
+		}
+		return hotpathBench(*workers, bt, out)
 	}
 	reshard := func(o experiments.Options) error {
 		out := ""
@@ -128,6 +143,8 @@ func main() {
 		run("Live cluster validation", live)
 	case "pipeline":
 		run("Pipelined vs pooled transport", pipeline)
+	case "hotpath":
+		run("Zero-allocation hot path", hotpath)
 	case "reshard":
 		run("Live resharding under load", reshard)
 	case "failover":
@@ -150,7 +167,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|reshard|failover|probe|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: freshbench <fig2|fig3|fig5|fig6|table1|sec31|ablate|live|pipeline|hotpath|reshard|failover|probe|all> [flags]
 run "freshbench <experiment> -h" for flags`)
 }
 

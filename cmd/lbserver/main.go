@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 
@@ -31,7 +33,15 @@ func main() {
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
 	clusterAddr := flag.String("cluster", "", "cluster coordinator address (overrides -store/-stores)")
 	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6063; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("lbserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("lbserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	cfg := freshcache.LBConfig{CacheAddrs: strings.Split(*caches, ",")}
 	switch {

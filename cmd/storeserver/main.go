@@ -30,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
@@ -57,7 +59,15 @@ func main() {
 	advertise := flag.String("advertise", "", "address the cluster dials this store at (default -addr)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
 		"liveness lease renewal interval (requires -cluster; keep well under the coordinator's -lease)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("storeserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("storeserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if *shard == "" {
 		*shard = "shard@" + *addr

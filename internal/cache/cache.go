@@ -682,11 +682,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	out := make(chan *proto.Msg, 64)
+	out := make(chan proto.Outgoing, 64)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		proto.WriteQueue(proto.NewWriter(conn), out, conn)
+		proto.WriteQueue(conn, out, conn)
 	}()
 
 	var dispatchers sync.WaitGroup
@@ -694,8 +694,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 
 	r := proto.NewReader(conn)
 	for {
-		m, err := r.ReadMsg()
-		if err != nil {
+		// Pooled request Msg: the dispatcher goroutine owns it and
+		// returns it to the pool when done.
+		m := proto.GetMsg()
+		if err := r.ReadMsgInto(m); err != nil {
+			proto.PutMsg(m)
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.c.MalformedFrames.Inc()
 				s.cfg.Logger.Printf("cache %s: conn %s: %v", s.cfg.Name, conn.RemoteAddr(), err)
@@ -704,7 +707,8 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		}
 		if m.Value != nil {
 			// The value aliases the reader's buffer, which the next
-			// ReadMsg overwrites while the dispatcher still runs.
+			// ReadMsg overwrites while the dispatcher still runs. (Keys
+			// are interned strings — immutable, safe to hold.)
 			m.Value = append([]byte(nil), m.Value...)
 		}
 		sem <- struct{}{}
@@ -714,7 +718,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 				<-sem
 				dispatchers.Done()
 			}()
-			out <- s.dispatch(m)
+			resp := s.dispatch(m)
+			proto.PutMsg(m)
+			out <- proto.Outgoing{Msg: resp, Pooled: true}
 		}(m)
 	}
 	dispatchers.Wait()
@@ -727,21 +733,27 @@ func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
 		value, version, err := s.Get(m.Key)
+		resp := proto.GetMsg()
+		resp.Seq = m.Seq
 		switch {
 		case err == nil:
-			return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusOK,
-				Version: version, Value: value}
+			resp.Type, resp.Status, resp.Version, resp.Value = proto.MsgGetResp, proto.StatusOK, version, value
 		case errors.Is(err, client.ErrNotFound):
-			return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusNotFound}
+			resp.Type, resp.Status = proto.MsgGetResp, proto.StatusNotFound
 		default:
-			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+			resp.Type, resp.Err = proto.MsgErr, err.Error()
 		}
+		return resp
 	case proto.MsgPut:
 		version, err := s.Put(m.Key, m.Value)
+		resp := proto.GetMsg()
+		resp.Seq = m.Seq
 		if err != nil {
-			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: err.Error()}
+			resp.Type, resp.Err = proto.MsgErr, err.Error()
+			return resp
 		}
-		return &proto.Msg{Type: proto.MsgPutResp, Seq: m.Seq, Status: proto.StatusOK, Version: version}
+		resp.Type, resp.Status, resp.Version = proto.MsgPutResp, proto.StatusOK, version
+		return resp
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgStats:

@@ -7,10 +7,11 @@
 //   - The default multiplexed, pipelined transport (mux.go): a small
 //     fixed set of TCP connections per target, each with a demux reader
 //     goroutine routing responses to waiters by sequence number and a
-//     writer goroutine coalescing queued frames into single flushes.
-//     Concurrent calls share connections instead of queueing behind
-//     them, and request timeouts are per-waiter timers, so one slow
-//     request does not poison a shared connection.
+//     writer goroutine gathering queued frames into single vectored
+//     writes. Concurrent calls share connections instead of queueing
+//     behind them, and request timeouts are per-waiter deadlines swept
+//     by a janitor, so one slow request does not poison a shared
+//     connection.
 //   - The seed-style pooled transport (pooled.go, Options.Pooled): each
 //     request checks a connection out of a bounded pool, performs one
 //     blocking write+read round trip, and checks it back in. Kept as the
@@ -47,13 +48,16 @@ var (
 type Options struct {
 	// MaxConns bounds the connections per target: the pool size of the
 	// pooled transport, or the number of multiplexed connections
-	// concurrent requests are spread over. Defaults to 8 (pooled) and 2
-	// (multiplexed — fewer, busier connections coalesce better).
+	// concurrent requests are spread over. Defaults to 8 (pooled) and 1
+	// (multiplexed — one busy connection coalesces best: every queued
+	// frame joins the same vectored write and responses stream back
+	// through one warm demux loop).
 	MaxConns int
 	// DialTimeout bounds connection establishment; defaults to 5s.
 	DialTimeout time.Duration
 	// RequestTimeout bounds one request/response exchange; defaults to
-	// 10s. On the multiplexed transport this is a per-waiter timer: a
+	// 10s. On the multiplexed transport this is a per-waiter deadline
+	// (enforced by a coarse sweep, so it may fire up to ~12% late): a
 	// timed-out request abandons its response without disturbing the
 	// other requests in flight on the same connection.
 	RequestTimeout time.Duration
@@ -74,7 +78,7 @@ func (o *Options) fill() {
 		if o.Pooled {
 			o.MaxConns = 8
 		} else {
-			o.MaxConns = 2
+			o.MaxConns = 1
 		}
 	}
 	if o.DialTimeout <= 0 {
@@ -116,22 +120,41 @@ func New(addr string, opts Options) *Client {
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
 
-// do performs one exchange and unwraps server-level errors.
+// do performs one exchange and unwraps server-level errors. It owns
+// req: callers build requests with proto.GetMsg (or a literal) and do
+// recycles them once the transport is done — both transports encode the
+// request synchronously inside roundTrip, so nothing aliases it after
+// return. The returned response is pooled too; callers must release it
+// via proto.PutMsg after extracting what they need. Everything a caller
+// might retain (Value, Stats, Nodes, ring fields) is freshly allocated
+// per response, so extraction is plain field reads, not copies.
 func (c *Client) do(req *proto.Msg) (*proto.Msg, error) {
 	resp, err := c.tr.roundTrip(req)
+	proto.PutMsg(req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.Type == proto.MsgErr {
-		return nil, fmt.Errorf("%w: %s", ErrServer, resp.Err)
+		err := fmt.Errorf("%w: %s", ErrServer, resp.Err)
+		proto.PutMsg(resp)
+		return nil, err
 	}
 	return resp, nil
+}
+
+// newReq builds a pooled request of the given type.
+func newReq(t proto.MsgType) *proto.Msg {
+	m := proto.GetMsg()
+	m.Type = t
+	return m
 }
 
 // Get fetches key's value and version. It reports ErrNotFound for
 // missing keys.
 func (c *Client) Get(key string) ([]byte, uint64, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgGet, Key: key})
+	req := newReq(proto.MsgGet)
+	req.Key = key
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -141,14 +164,18 @@ func (c *Client) Get(key string) ([]byte, uint64, error) {
 // Fill is the cache-internal read used to service a miss: like Get but
 // the store records a cache fill rather than a client read.
 func (c *Client) Fill(key string) ([]byte, uint64, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgFill, Key: key})
+	req := newReq(proto.MsgFill)
+	req.Key = key
+	resp, err := c.do(req)
 	if err != nil {
 		return nil, 0, err
 	}
 	return getResult(resp, key)
 }
 
+// getResult consumes (and releases) resp.
 func getResult(resp *proto.Msg, key string) ([]byte, uint64, error) {
+	defer proto.PutMsg(resp)
 	if resp.Type != proto.MsgGetResp {
 		return nil, 0, fmt.Errorf("client: unexpected response %v to GET", resp.Type)
 	}
@@ -164,14 +191,28 @@ func getResult(resp *proto.Msg, key string) ([]byte, uint64, error) {
 
 // Put writes value under key and returns the assigned version.
 func (c *Client) Put(key string, value []byte) (uint64, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgPut, Key: key, Value: value})
+	req := newReq(proto.MsgPut)
+	req.Key, req.Value = key, value
+	resp, err := c.do(req)
 	if err != nil {
 		return 0, err
 	}
+	defer proto.PutMsg(resp)
 	if resp.Type != proto.MsgPutResp || resp.Status != proto.StatusOK {
 		return 0, fmt.Errorf("client: PUT %q failed: %v/%v", key, resp.Type, resp.Status)
 	}
 	return resp.Version, nil
+}
+
+// expectPong consumes (and releases) resp, checking for a MsgPong reply
+// to the named verb.
+func expectPong(resp *proto.Msg, verb string) error {
+	t := resp.Type
+	proto.PutMsg(resp)
+	if t != proto.MsgPong {
+		return fmt.Errorf("client: unexpected response %v to %s", t, verb)
+	}
+	return nil
 }
 
 // ReadReport ships per-key read counts to the store's policy engine.
@@ -179,34 +220,31 @@ func (c *Client) ReadReport(reports []proto.ReadReport) error {
 	if len(reports) == 0 {
 		return nil
 	}
-	resp, err := c.do(&proto.Msg{Type: proto.MsgReadReport, Reports: reports})
+	req := newReq(proto.MsgReadReport)
+	req.Reports = reports
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to READREPORT", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "READREPORT")
 }
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgPing})
+	resp, err := c.do(newReq(proto.MsgPing))
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to PING", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "PING")
 }
 
 // Stats fetches the node's counter map.
 func (c *Client) Stats() (map[string]uint64, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgStats})
+	resp, err := c.do(newReq(proto.MsgStats))
 	if err != nil {
 		return nil, err
 	}
+	defer proto.PutMsg(resp)
 	if resp.Type != proto.MsgStatsResp {
 		return nil, fmt.Errorf("client: unexpected response %v to STATS", resp.Type)
 	}
@@ -238,7 +276,10 @@ type RingInfo struct {
 	PublishedAt time.Time
 }
 
+// ringInfo consumes (and releases) resp. Nodes is freshly allocated by
+// the frame parser, so the returned RingInfo owns it outright.
 func ringInfo(resp *proto.Msg) (RingInfo, error) {
+	defer proto.PutMsg(resp)
 	if resp.Type != proto.MsgRingResp {
 		return RingInfo{}, fmt.Errorf("client: unexpected response %v to ring request", resp.Type)
 	}
@@ -257,7 +298,7 @@ func ringInfo(resp *proto.Msg) (RingInfo, error) {
 
 // RingGet fetches the coordinator's current published ring.
 func (c *Client) RingGet() (RingInfo, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgRingGet})
+	resp, err := c.do(newReq(proto.MsgRingGet))
 	if err != nil {
 		return RingInfo{}, err
 	}
@@ -268,7 +309,9 @@ func (c *Client) RingGet() (RingInfo, error) {
 // ring; it returns the newly published ring once the key-range handoff
 // has completed.
 func (c *Client) Join(storeAddr string) (RingInfo, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgJoin, Key: storeAddr})
+	req := newReq(proto.MsgJoin)
+	req.Key = storeAddr
+	resp, err := c.do(req)
 	if err != nil {
 		return RingInfo{}, err
 	}
@@ -279,7 +322,9 @@ func (c *Client) Join(storeAddr string) (RingInfo, error) {
 // ring; it returns the newly published ring once the leaving store's
 // keys have been migrated to the remaining owners.
 func (c *Client) Drain(storeAddr string) (RingInfo, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgDrain, Key: storeAddr})
+	req := newReq(proto.MsgDrain)
+	req.Key = storeAddr
+	resp, err := c.do(req)
 	if err != nil {
 		return RingInfo{}, err
 	}
@@ -291,7 +336,9 @@ func (c *Client) Drain(storeAddr string) (RingInfo, error) {
 // counter. The response is the coordinator's current published ring, so
 // a store that missed a release catches up from its own heartbeat.
 func (c *Client) Heartbeat(self string, version uint64) (RingInfo, error) {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgHeartbeat, Key: self, Version: version})
+	req := newReq(proto.MsgHeartbeat)
+	req.Key, req.Version = self, version
+	resp, err := c.do(req)
 	if err != nil {
 		return RingInfo{}, err
 	}
@@ -304,30 +351,27 @@ func (c *Client) Heartbeat(self string, version uint64) (RingInfo, error) {
 // returns once the replica has acknowledged — the primary's client
 // write is acknowledged only after this.
 func (c *Client) RepWrite(ops []proto.BatchOp, freqs []proto.KeyFreq) error {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgRepWrite, Ops: ops, Freqs: freqs})
+	req := newReq(proto.MsgRepWrite)
+	req.Ops, req.Freqs = ops, freqs
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to REPWRITE", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "REPWRITE")
 }
 
 // Adopt commands a store (addressed as identity self under the
 // candidate ring) to pull the key ranges the ring assigns to it from
 // the donor stores. It blocks until the handoff is applied.
 func (c *Client) Adopt(ri RingInfo, self string, donors []string) error {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgAdopt, Epoch: ri.Epoch,
-		Version: uint64(ri.VirtualNodes), Replicas: uint32(ri.Replicas),
-		Key: self, Nodes: ri.Nodes, Donors: donors})
+	req := newReq(proto.MsgAdopt)
+	req.Epoch, req.Version, req.Replicas = ri.Epoch, uint64(ri.VirtualNodes), uint32(ri.Replicas)
+	req.Key, req.Nodes, req.Donors = self, ri.Nodes, donors
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to ADOPT", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "ADOPT")
 }
 
 // MigrateFence raises a store's global version counter to at least
@@ -336,14 +380,13 @@ func (c *Client) Adopt(ri RingInfo, self string, donors []string) error {
 // write, so the versions the adopter assigns from then on order after
 // everything a cache observed from the donor.
 func (c *Client) MigrateFence(version uint64) error {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgMigrateDone, Version: version})
+	req := newReq(proto.MsgMigrateDone)
+	req.Version = version
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to version fence", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "version fence")
 }
 
 // MigrateRestore pushes migrated entries (key, value, donor version)
@@ -354,28 +397,25 @@ func (c *Client) MigrateRestore(ops []proto.BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	resp, err := c.do(&proto.Msg{Type: proto.MsgMigrateChunk, Ops: ops})
+	req := newReq(proto.MsgMigrateChunk)
+	req.Ops = ops
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to restore push", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "restore push")
 }
 
 // Release tells a store (identity self) that the attached ring is
 // published: it drops the keys the ring no longer assigns to it and
 // forwards stragglers to the new owners.
 func (c *Client) Release(ri RingInfo, self string) error {
-	resp, err := c.do(&proto.Msg{Type: proto.MsgRelease, Epoch: ri.Epoch,
-		Version: uint64(ri.VirtualNodes), Replicas: uint32(ri.Replicas),
-		Key: self, Nodes: ri.Nodes})
+	req := newReq(proto.MsgRelease)
+	req.Epoch, req.Version, req.Replicas = ri.Epoch, uint64(ri.VirtualNodes), uint32(ri.Replicas)
+	req.Key, req.Nodes = self, ri.Nodes
+	resp, err := c.do(req)
 	if err != nil {
 		return err
 	}
-	if resp.Type != proto.MsgPong {
-		return fmt.Errorf("client: unexpected response %v to RELEASE", resp.Type)
-	}
-	return nil
+	return expectPong(resp, "RELEASE")
 }

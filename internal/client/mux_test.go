@@ -52,11 +52,11 @@ func startMuxTestServer(t *testing.T, handle func(m *proto.Msg) *proto.Msg, drop
 
 func (s *muxTestServer) serve(conn net.Conn) {
 	defer conn.Close()
-	out := make(chan *proto.Msg, 64)
+	out := make(chan proto.Outgoing, 64)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		proto.WriteQueue(proto.NewWriter(conn), out, conn)
+		proto.WriteQueue(conn, out, conn)
 	}()
 	var pending sync.WaitGroup
 	r := proto.NewReader(conn)
@@ -76,7 +76,7 @@ func (s *muxTestServer) serve(conn net.Conn) {
 			if resp := s.handle(m); resp != nil {
 				resp.Seq = m.Seq
 				defer func() { recover() }() //nolint:errcheck // late response after close
-				out <- resp
+				out <- proto.Outgoing{Msg: resp}
 			}
 		}(m)
 		if s.dropAfter > 0 && reqs >= s.dropAfter {

@@ -14,6 +14,7 @@ package kv
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freshcache/internal/sketch"
@@ -313,11 +314,19 @@ func (s *cacheShard) unlink(n *node) {
 	n.prev, n.next = nil, nil
 }
 
-// Authority is the backing store's authoritative versioned map.
+// Authority is the backing store's authoritative versioned map. Like
+// the Cache it is striped numShards ways so the serving path's reads
+// and the write path's installs contend per-stripe instead of on one
+// global RWMutex; the monotone version counter is an atomic shared by
+// all stripes.
 type Authority struct {
-	mu      sync.RWMutex
-	m       map[string]authEntry
-	version uint64
+	version atomic.Uint64
+	shards  [numShards]authShard
+}
+
+type authShard struct {
+	mu sync.RWMutex
+	m  map[string]authEntry
 }
 
 type authEntry struct {
@@ -327,36 +336,70 @@ type authEntry struct {
 }
 
 // NewAuthority returns an empty authority.
-func NewAuthority() *Authority { return &Authority{m: make(map[string]authEntry)} }
-
-// Put stores value under key and returns the assigned version (monotone
-// across all keys, so any two writes are ordered).
-func (a *Authority) Put(key string, value []byte, now time.Time) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.version++
-	cp := make([]byte, len(value))
-	copy(cp, value)
-	a.m[key] = authEntry{value: cp, version: a.version, written: now}
-	return a.version
+func NewAuthority() *Authority {
+	a := &Authority{}
+	for i := range a.shards {
+		a.shards[i].m = make(map[string]authEntry)
+	}
+	return a
 }
 
-// Get returns the value and version for key.
+func (a *Authority) shard(key string) *authShard {
+	return &a.shards[sketch.Hash(key)&(numShards-1)]
+}
+
+// Put stores value under key and returns the assigned version (monotone
+// across all keys, so any two writes are ordered). The counter is drawn
+// under the shard lock so two writes to the same key install in version
+// order.
+func (a *Authority) Put(key string, value []byte, now time.Time) uint64 {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s := a.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := a.version.Add(1)
+	s.m[key] = authEntry{value: cp, version: v, written: now}
+	return v
+}
+
+// Get returns a copy of the value and its version for key. The copy is
+// the caller's to mutate; use GetView on paths that only read.
 func (a *Authority) Get(key string) (value []byte, version uint64, ok bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	e, ok := a.m[key]
+	s := a.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.version, true
+}
+
+// GetView returns the authority's own value buffer without copying.
+// Entries are replaced, never mutated in place, so the view is a stable
+// snapshot of that version — but it MUST be treated as immutable: a
+// caller mutation would corrupt the stored value. The serving path and
+// the flusher read through this; anything that writes into the slice it
+// got must use Get.
+func (a *Authority) GetView(key string) (value []byte, version uint64, ok bool) {
+	s := a.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, 0, false
 	}
 	return e.value, e.version, true
 }
 
-// Version returns the current global version counter.
+// Version returns the current global version counter. It may run ahead
+// of the last installed write (a concurrent Put draws its version
+// before releasing the shard lock), which is the safe direction for
+// every consumer: fencing past an over-reported counter only orders
+// survivors further ahead.
 func (a *Authority) Version() uint64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.version
+	return a.version.Load()
 }
 
 // BumpVersion raises the global version counter to at least v. During
@@ -364,11 +407,12 @@ func (a *Authority) Version() uint64 {
 // accepting writes for the moved keys, so its future versions order
 // after every version a cache may already hold for them.
 func (a *Authority) BumpVersion(v uint64) {
-	a.mu.Lock()
-	if v > a.version {
-		a.version = v
+	for {
+		cur := a.version.Load()
+		if cur >= v || a.version.CompareAndSwap(cur, v) {
+			return
+		}
 	}
-	a.mu.Unlock()
 }
 
 // MigEntry is one key's migratable state: the value slice is the
@@ -381,15 +425,21 @@ type MigEntry struct {
 }
 
 // SnapshotOwned returns the entries whose key satisfies owns — the
-// moved-range snapshot a donor streams to the adopting store.
+// moved-range snapshot a donor streams to the adopting store. Each
+// stripe is locked in turn; exhaustiveness across concurrent writes is
+// the caller's concern (the store brackets snapshots with its cluster
+// lock, as before).
 func (a *Authority) SnapshotOwned(owns func(key string) bool) []MigEntry {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	var out []MigEntry
-	for k, e := range a.m {
-		if owns(k) {
-			out = append(out, MigEntry{Key: k, Value: e.value, Version: e.version})
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.RLock()
+		for k, e := range s.m {
+			if owns(k) {
+				out = append(out, MigEntry{Key: k, Value: e.value, Version: e.version})
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -401,17 +451,16 @@ func (a *Authority) SnapshotOwned(owns func(key string) bool) []MigEntry {
 // which by protocol order is older. It reports whether the entry was
 // installed.
 func (a *Authority) Restore(key string, value []byte, version uint64, now time.Time) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if version > a.version {
-		a.version = version
-	}
-	if e, ok := a.m[key]; ok && e.version >= version {
+	a.BumpVersion(version)
+	s := a.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok && e.version >= version {
 		return false
 	}
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	a.m[key] = authEntry{value: cp, version: version, written: now}
+	s.m[key] = authEntry{value: cp, version: version, written: now}
 	return true
 }
 
@@ -419,29 +468,38 @@ func (a *Authority) Restore(key string, value []byte, version uint64, now time.T
 // returns how many were dropped — the donor's cleanup once a new ring
 // epoch is published and the moved range is served elsewhere.
 func (a *Authority) ReleaseNotOwned(owns func(key string) bool) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	dropped := 0
-	for k := range a.m {
-		if !owns(k) {
-			delete(a.m, k)
-			dropped++
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			if !owns(k) {
+				delete(s.m, k)
+				dropped++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return dropped
 }
 
 // LastWrite returns when key was last written.
 func (a *Authority) LastWrite(key string) (time.Time, bool) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	e, ok := a.m[key]
+	s := a.shard(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[key]
 	return e.written, ok
 }
 
 // Len returns the number of stored keys.
 func (a *Authority) Len() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.m)
+	total := 0
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
 }

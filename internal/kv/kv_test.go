@@ -340,3 +340,106 @@ func TestCachePutEqualVersionPreservesExpiry(t *testing.T) {
 		t.Errorf("equal-version refill after an expired deadline stayed stale (ExpireAt %v)", e.ExpireAt)
 	}
 }
+
+// TestAuthorityGetViewStableSnapshot pins the borrowed-view contract
+// the serving path and the flusher rely on: entries are replaced, never
+// mutated in place, so a view taken before an overwrite keeps showing
+// the version it was taken at — and Get's copy-out means a caller
+// scribbling on its result can never corrupt either the store or an
+// outstanding view.
+func TestAuthorityGetViewStableSnapshot(t *testing.T) {
+	a := NewAuthority()
+	v1 := a.Put("k", []byte("one"), t0)
+
+	view, viewVer, ok := a.GetView("k")
+	if !ok || viewVer != v1 || string(view) != "one" {
+		t.Fatalf("GetView = %q v%d ok=%v", view, viewVer, ok)
+	}
+
+	// Overwrite: the already-borrowed view must be a stable snapshot of
+	// the old version, not a window onto the new bytes.
+	v2 := a.Put("k", []byte("two"), t0)
+	if string(view) != "one" {
+		t.Errorf("view mutated by overwrite: %q", view)
+	}
+
+	// Get returns a private copy: mutating it leaves the store and any
+	// live view untouched.
+	cp, cpVer, _ := a.Get("k")
+	cp[0] = 'X'
+	if val, ver, _ := a.Get("k"); string(val) != "two" || ver != v2 || cpVer != v2 {
+		t.Errorf("store corrupted through Get copy: %q v%d", val, ver)
+	}
+	if fresh, _, _ := a.GetView("k"); string(fresh) != "two" {
+		t.Errorf("view corrupted through Get copy: %q", fresh)
+	}
+}
+
+// TestAuthorityStripedVersionsConcurrent hammers the striped authority
+// from many writers and checks the invariants the striping must not
+// weaken: every assigned version is globally unique, the shared counter
+// never lags an issued version, and per key the installed entry is the
+// one carrying that key's highest version (installs happen in version
+// order under the stripe lock).
+func TestAuthorityStripedVersionsConcurrent(t *testing.T) {
+	a := NewAuthority()
+	const writers, perWriter, nkeys = 8, 800, 64
+	type result struct {
+		versions  []uint64
+		lastByKey map[string]uint64
+	}
+	results := make([]result, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res := result{
+				versions:  make([]uint64, 0, perWriter),
+				lastByKey: make(map[string]uint64),
+			}
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("k%d", (g*perWriter+i)%nkeys)
+				v := a.Put(key, []byte{byte(g), byte(i)}, t0)
+				res.versions = append(res.versions, v)
+				if v > res.lastByKey[key] {
+					res.lastByKey[key] = v
+				}
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, writers*perWriter)
+	maxByKey := make(map[string]uint64)
+	var maxVer uint64
+	for _, res := range results {
+		for _, v := range res.versions {
+			if seen[v] {
+				t.Fatalf("version %d issued twice", v)
+			}
+			seen[v] = true
+			if v > maxVer {
+				maxVer = v
+			}
+		}
+		for key, v := range res.lastByKey {
+			if v > maxByKey[key] {
+				maxByKey[key] = v
+			}
+		}
+	}
+	if got := a.Version(); got < maxVer {
+		t.Errorf("global counter %d lags issued version %d", got, maxVer)
+	}
+	for key, want := range maxByKey {
+		_, ver, ok := a.Get(key)
+		if !ok || ver != want {
+			t.Errorf("key %s installed v%d, want winning v%d", key, ver, want)
+		}
+	}
+	if a.Len() != nkeys {
+		t.Errorf("Len = %d, want %d", a.Len(), nkeys)
+	}
+}

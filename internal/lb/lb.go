@@ -275,14 +275,14 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	out := make(chan *proto.Msg, 64)
+	out := make(chan proto.Outgoing, 64)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		// Each response's inflight slot is released only once its frame
 		// is flushed (or abandoned on a dead connection), so Close's
 		// drain wait means "responded", not merely "queued".
-		proto.WriteQueueFlushed(proto.NewWriter(conn), out, conn, func(n int) {
+		proto.WriteQueueFlushed(conn, out, conn, func(n int) {
 			for i := 0; i < n; i++ {
 				s.inflight.Done()
 			}
@@ -299,8 +299,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 
 	r := proto.NewReader(conn)
 	for {
-		m, err := r.ReadMsg()
-		if err != nil {
+		// Pooled request Msg: the dispatcher goroutine owns it and
+		// returns it to the pool when done.
+		m := proto.GetMsg()
+		if err := r.ReadMsgInto(m); err != nil {
+			proto.PutMsg(m)
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.c.MalformedFrames.Inc()
 				s.cfg.Logger.Printf("lb: conn %s: %v", conn.RemoteAddr(), err)
@@ -308,11 +311,13 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			break
 		}
 		if !s.beginRequest() {
+			proto.PutMsg(m)
 			break // draining: reject requests arriving after Close
 		}
 		if m.Value != nil {
 			// The value aliases the reader's buffer, which the next
-			// ReadMsg overwrites while the dispatcher still runs.
+			// ReadMsg overwrites while the dispatcher still runs. (Keys
+			// are interned strings — immutable, safe to hold.)
 			m.Value = append([]byte(nil), m.Value...)
 		}
 		sem <- struct{}{}
@@ -324,7 +329,9 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			}()
 			resp := s.route(m)
 			resp.Seq = m.Seq
-			out <- resp // inflight is released by the writer post-flush
+			proto.PutMsg(m)
+			// inflight is released by the writer post-flush.
+			out <- proto.Outgoing{Msg: resp, Pooled: true}
 		}(m)
 	}
 	dispatchers.Wait()
@@ -338,24 +345,28 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 	case proto.MsgGet:
 		s.c.Reads.Inc()
 		value, version, err := s.cacheFor(m.Key).Get(m.Key)
+		resp := proto.GetMsg()
 		switch {
 		case err == nil:
-			return &proto.Msg{Type: proto.MsgGetResp, Status: proto.StatusOK,
-				Version: version, Value: value}
+			resp.Type, resp.Status, resp.Version, resp.Value = proto.MsgGetResp, proto.StatusOK, version, value
 		case errors.Is(err, client.ErrNotFound):
-			return &proto.Msg{Type: proto.MsgGetResp, Status: proto.StatusNotFound}
+			resp.Type, resp.Status = proto.MsgGetResp, proto.StatusNotFound
 		default:
 			s.c.Errors.Inc()
-			return &proto.Msg{Type: proto.MsgErr, Err: err.Error()}
+			resp.Type, resp.Err = proto.MsgErr, err.Error()
 		}
+		return resp
 	case proto.MsgPut:
 		s.c.Writes.Inc()
 		version, err := s.stores.Put(m.Key, m.Value)
+		resp := proto.GetMsg()
 		if err != nil {
 			s.c.Errors.Inc()
-			return &proto.Msg{Type: proto.MsgErr, Err: err.Error()}
+			resp.Type, resp.Err = proto.MsgErr, err.Error()
+			return resp
 		}
-		return &proto.Msg{Type: proto.MsgPutResp, Status: proto.StatusOK, Version: version}
+		resp.Type, resp.Status, resp.Version = proto.MsgPutResp, proto.StatusOK, version
+		return resp
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong}
 	case proto.MsgStats:

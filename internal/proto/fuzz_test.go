@@ -1,0 +1,114 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encodeSeed renders m as one frame, failing the calling fuzz setup on
+// encode errors so bad seeds are caught at `go test` time.
+func encodeSeed(f *testing.F, m *Msg) []byte {
+	f.Helper()
+	b, err := AppendFrame(nil, m)
+	if err != nil {
+		f.Fatalf("seed encode %v: %v", m.Type, err)
+	}
+	return b
+}
+
+// FuzzReadMsg feeds arbitrary byte soup to the reader. The contract
+// under test: ReadMsgInto never panics and never over-reads — it
+// consumes exactly the frames it accepts, errors cleanly on everything
+// else (ErrMalformed / ErrFrameTooLarge / io.EOF family), and any frame
+// it does accept re-encodes, so pooled-Msg reuse after a parse cannot
+// leak malformed state back onto the wire.
+func FuzzReadMsg(f *testing.F) {
+	// Valid frames, alone and concatenated, so mutation starts near the
+	// accept/reject boundary.
+	get := encodeSeed(f, &Msg{Type: MsgGet, Seq: 1, Key: "user:42"})
+	put := encodeSeed(f, &Msg{Type: MsgPut, Seq: 2, Key: "k", Value: []byte("v")})
+	batch := encodeSeed(f, &Msg{Type: MsgBatch, Epoch: 7, Ops: []BatchOp{
+		{Kind: BatchInvalidate, Key: "a"},
+		{Kind: BatchUpdate, Key: "b", Version: 9, Value: []byte("new")},
+	}})
+	stats := encodeSeed(f, &Msg{Type: MsgStatsResp, Seq: 3, Stats: map[string]uint64{"hits": 5}})
+	ring := encodeSeed(f, &Msg{Type: MsgRingResp, Seq: 4, Epoch: 3, Version: 128,
+		Replicas: 2, Nodes: []string{"a:1", "b:2"}})
+	f.Add(get)
+	f.Add(put)
+	f.Add(batch)
+	f.Add(append(append([]byte(nil), get...), put...))
+	f.Add(append(append([]byte(nil), batch...), stats...))
+	f.Add(ring)
+	// Malformed shapes the unit tests pin individually.
+	f.Add([]byte{0, 0, 0, 0})                               // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                   // oversize length prefix
+	f.Add([]byte{0, 0, 0, 9, byte(MsgGet)})                 // truncated payload
+	f.Add([]byte{0, 0, 0, 9, 0xee, 0, 0, 0, 0, 0, 0, 0, 0}) // unknown type
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			m := GetMsg()
+			err := r.ReadMsgInto(m)
+			if err != nil {
+				PutMsg(m)
+				// Errors must be the documented framing errors or a
+				// truncation surfaced as an EOF-family read error —
+				// anything else is a new failure mode escaping the
+				// reader's contract.
+				if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrFrameTooLarge) &&
+					!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			// An accepted frame must re-encode: decode-side validation
+			// may not be weaker than encode-side, or a relay that parses
+			// and re-frames (the store's forwarding path) could fail on
+			// traffic it already accepted.
+			if _, reErr := AppendFrame(nil, m); reErr != nil {
+				t.Fatalf("accepted frame does not re-encode: %v (msg %v)", reErr, m.Type)
+			}
+			PutMsg(m)
+		}
+	})
+}
+
+// FuzzRoundTrip drives AppendFrame -> Reader with fuzzed field values
+// and checks the loop is lossless for every input the encoder accepts.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "user:42", []byte("hello"), uint64(99))
+	f.Add(uint64(0), "", []byte(nil), uint64(0))
+	f.Add(uint64(1<<63), "k\x00\xffkey", bytes.Repeat([]byte{0xab}, 1024), uint64(1<<40))
+
+	f.Fuzz(func(t *testing.T, seq uint64, key string, value []byte, version uint64) {
+		m := &Msg{Type: MsgPut, Seq: seq, Key: key, Value: value, Version: version}
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			// Over-limit key/value: rejection is the correct outcome,
+			// but it must leave no partial frame behind.
+			if len(frame) != 0 {
+				t.Fatalf("encode error %v left %d partial bytes", err, len(frame))
+			}
+			return
+		}
+		r := NewReader(bytes.NewReader(frame))
+		got := GetMsg()
+		defer PutMsg(got)
+		if err := r.ReadMsgInto(got); err != nil {
+			t.Fatalf("decode of freshly encoded frame: %v", err)
+		}
+		if got.Type != MsgPut || got.Seq != seq || got.Key != key || !bytes.Equal(got.Value, value) {
+			t.Fatalf("round trip mismatch: got %+v", got)
+		}
+		// Exactly one frame: the reader must not manufacture data past
+		// the bytes it was given.
+		if err := r.ReadMsgInto(got); !errors.Is(err, io.EOF) {
+			t.Fatalf("expected EOF after single frame, got %v", err)
+		}
+	})
+}

@@ -23,6 +23,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // MsgType discriminates frame payloads.
@@ -246,6 +250,106 @@ var (
 	ErrMalformed     = errors.New("proto: malformed frame")
 )
 
+// maxRetainedScratch bounds the per-connection buffer capacity retained
+// across frames by Reader, Writer and WriteQueue bursts. Capacity above
+// it (grown by a one-off near-MaxFrame frame) is dropped after use so a
+// single giant frame no longer pins ~16MB for the connection's
+// lifetime; the bound sits above the ~1MB migration chunk size so
+// steady bulk streams still reuse their buffers.
+const maxRetainedScratch = 4 << 20
+
+// msgPool recycles Msg structs on the hot request/response path. A Msg
+// is a fat struct (three slice headers, a map, several strings); at
+// hundreds of thousands of ops/s the per-frame Msg allocation was the
+// single largest line in the heap profile.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+// GetMsg returns a zeroed Msg from the pool.
+func GetMsg() *Msg { return msgPool.Get().(*Msg) }
+
+// PutMsg zeroes m and returns it to the pool; the caller must not touch
+// m afterwards. Data previously reachable from m (a Value slice handed
+// to a caller, a Nodes list kept by a ring snapshot) stays valid: PutMsg
+// drops m's references, it does not recycle backing arrays.
+func PutMsg(m *Msg) {
+	if m == nil {
+		return
+	}
+	*m = Msg{}
+	msgPool.Put(m)
+}
+
+// SharedFrame is a pre-encoded wire frame shared by several writers —
+// the store's flusher encodes one epoch batch and hands the same bytes
+// to every subscriber queue, so fan-out costs one memcpy per subscriber
+// instead of one encode. Frames are refcounted and pooled: every queue
+// push holds one reference, and the consuming WriteQueue (or the
+// failure path that abandons the push) releases it once the bytes are
+// on the wire. Bytes is a borrowed view, valid until the holder's
+// Release.
+type SharedFrame struct {
+	b    []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(SharedFrame) }}
+
+// EncodeShared encodes m once into a pooled frame carrying refs
+// references.
+func EncodeShared(m *Msg, refs int) (*SharedFrame, error) {
+	f := framePool.Get().(*SharedFrame)
+	b, err := AppendFrame(f.b[:0], m)
+	f.b = b
+	if err != nil {
+		framePool.Put(f)
+		return nil, err
+	}
+	f.refs.Store(int32(refs))
+	return f, nil
+}
+
+// Bytes returns the encoded frame. The slice is borrowed: the caller
+// must not mutate it and must not use it after its Release.
+func (f *SharedFrame) Bytes() []byte { return f.b }
+
+// Retain adds n references.
+func (f *SharedFrame) Retain(n int32) { f.refs.Add(n) }
+
+// Release drops one reference; the last release recycles the frame.
+// Oversized one-off frames are left to the GC rather than pinned in the
+// pool.
+func (f *SharedFrame) Release() {
+	if f.refs.Add(-1) == 0 {
+		if cap(f.b) <= maxRetainedScratch {
+			framePool.Put(f)
+		}
+	}
+}
+
+// Outgoing is one frame queued to a connection's WriteQueue: either a
+// Msg to encode, or a pre-encoded shared frame (Raw) to copy out as-is.
+// When Pooled is set the queue returns Msg to the message pool as soon
+// as the frame is encoded (or abandoned), so producers queue-and-forget;
+// a producer that still needs the Msg after queuing leaves Pooled unset.
+// A Raw frame's reference is always released by the queue.
+type Outgoing struct {
+	Msg    *Msg
+	Raw    *SharedFrame
+	Pooled bool
+}
+
+// Discard releases the resources held by a queued frame that will never
+// be written: the shared-frame reference and, for pooled messages, the
+// Msg. Producers call it when a push to a full or dead queue fails.
+func (o Outgoing) Discard() {
+	if o.Raw != nil {
+		o.Raw.Release()
+	}
+	if o.Pooled {
+		PutMsg(o.Msg)
+	}
+}
+
 // Writer encodes frames onto an io.Writer with an internal buffer.
 // Writer is not safe for concurrent use.
 type Writer struct {
@@ -295,7 +399,11 @@ func (w *Writer) WriteMsg(m *Msg) error {
 // not on the wire until Flush returns.
 func (w *Writer) WriteMsgBuffered(m *Msg) error {
 	b, err := AppendFrame(w.buf[:0], m)
-	w.buf = b // retain grown capacity across frames
+	if cap(b) > maxRetainedScratch {
+		w.buf = nil // don't let one giant frame pin its scratch forever
+	} else {
+		w.buf = b // retain grown capacity across frames
+	}
 	if err != nil {
 		return err
 	}
@@ -322,16 +430,18 @@ func (w *Writer) Flush() error {
 	return nil
 }
 
-// WriteQueue drains frames from out onto w until out closes, coalescing
-// bursts: frames queued while a flush was in progress are buffered and
-// flushed together, so a pipelined burst of N responses costs one
-// syscall instead of N. (No scheduler yield here, unlike the client's
-// writer: a lock-step peer produces exactly one response at a time, and
-// a yield would only delay its flush.) On a write error it closes conn
-// (unblocking the producing read loop) and keeps draining out so senders
-// never block. The store, cache and LB servers all run their response
-// writers through this.
-func WriteQueue(w *Writer, out <-chan *Msg, conn io.Closer) {
+// WriteQueue drains frames from out onto w (the raw connection) until
+// out closes, coalescing bursts: frames queued while a flush was in
+// progress are gathered and written together, so a pipelined burst of N
+// responses costs one vectored write instead of N syscalls. Msg frames
+// are encoded back-to-back into one scratch buffer with zero
+// intermediate copies; pre-encoded shared frames are passed to the
+// kernel in place. On a write error it closes conn
+// (unblocking the producing read loop) and keeps draining out —
+// discarding each frame's pooled resources — so senders never block.
+// The store, cache and LB servers all run their response writers
+// through this.
+func WriteQueue(w io.Writer, out <-chan Outgoing, conn io.Closer) {
 	WriteQueueFlushed(w, out, conn, nil)
 }
 
@@ -340,58 +450,183 @@ func WriteQueue(w *Writer, out <-chan *Msg, conn io.Closer) {
 // or abandoned because the connection failed or out closed — so a
 // producer can account for frames that are truly done rather than
 // merely queued (the LB's graceful drain needs this).
-func WriteQueueFlushed(w *Writer, out <-chan *Msg, conn io.Closer, flushed func(n int)) {
+func WriteQueueFlushed(w io.Writer, out <-chan Outgoing, conn io.Closer, flushed func(n int)) {
+	var q burst
 	retire := func(n int) {
 		if flushed != nil && n > 0 {
 			flushed(n)
 		}
 	}
-	fail := func(pending int) {
+	fail := func(n int) {
+		q.reset() // release gathered-but-unwritten shared frames
 		if conn != nil {
 			conn.Close()
 		}
-		for range out { // drain until closed so senders never block
-			pending++
+		for o := range out { // drain until closed so senders never block
+			o.Discard()
+			n++
 		}
-		retire(pending)
+		retire(n)
 	}
-	for m := range out {
-		pending, closed, err := drainOnto(w, m, out)
+	for o := range out {
+		n, closed, err := q.gather(o, out)
 		if err != nil {
-			fail(pending)
+			fail(n)
 			return
 		}
+		if !closed {
+			// One scheduler yield before flushing lets an already-runnable
+			// producer (the dispatch loop of a pipelined peer) queue the
+			// responses it has in hand, growing the frames-per-write batch
+			// for the cost of one Gosched. A lock-step peer pays one yield
+			// of latency, not a timer.
+			runtime.Gosched()
+			n2, closed2, err2 := q.gatherMore(out)
+			n += n2
+			closed = closed || closed2
+			if err2 != nil {
+				fail(n)
+				return
+			}
+		}
+		if err := q.flush(w); err != nil {
+			if closed {
+				retire(n)
+				return // connection is going away anyway
+			}
+			fail(n)
+			return
+		}
+		retire(n)
 		if closed {
-			w.Flush() //nolint:errcheck // connection is going away
-			retire(pending)
 			return
 		}
-		if err := w.Flush(); err != nil {
-			fail(pending)
-			return
-		}
-		retire(pending)
 	}
 }
 
-// drainOnto buffers m plus every frame immediately available on out,
-// returning the frames buffered and whether out closed mid-drain. On
-// error the failed frame is included in n (it is retired, not written).
-func drainOnto(w *Writer, m *Msg, out <-chan *Msg) (n int, closed bool, err error) {
+// burst accumulates one coalesced flush for WriteQueue: Msg frames are
+// encoded back-to-back into scratch, shared frames are referenced in
+// place, and the whole ordered sequence goes out as a single vectored
+// write.
+type burst struct {
+	scratch []byte
+	chunks  []burstChunk
+	iov     net.Buffers
+}
+
+// burstChunk is one element of the outgoing vector: a pre-encoded
+// shared frame, or (raw == nil) the scratch span [start:end).
+type burstChunk struct {
+	raw        *SharedFrame
+	start, end int
+}
+
+// gather buffers o plus every frame immediately available on out,
+// reporting how many frames it consumed and whether out closed
+// mid-drain. On an encode error the failed frame is counted as consumed
+// (it is retired, not written).
+func (q *burst) gather(o Outgoing, out <-chan Outgoing) (n int, closed bool, err error) {
 	for {
 		n++
-		if err := w.WriteMsgBuffered(m); err != nil {
+		if err := q.add(o); err != nil {
 			return n, false, err
 		}
 		select {
-		case m2, ok := <-out:
+		case o2, ok := <-out:
 			if !ok {
 				return n, true, nil
 			}
-			m = m2
+			o = o2
 		default:
 			return n, false, nil
 		}
+	}
+}
+
+// gatherMore buffers every frame immediately available on out, without
+// requiring an initial element.
+func (q *burst) gatherMore(out <-chan Outgoing) (n int, closed bool, err error) {
+	for {
+		select {
+		case o, ok := <-out:
+			if !ok {
+				return n, true, nil
+			}
+			n++
+			if err := q.add(o); err != nil {
+				return n, false, err
+			}
+		default:
+			return n, false, nil
+		}
+	}
+}
+
+func (q *burst) add(o Outgoing) error {
+	if o.Raw != nil {
+		q.chunks = append(q.chunks, burstChunk{raw: o.Raw})
+		return nil
+	}
+	start := len(q.scratch)
+	b, err := AppendFrame(q.scratch, o.Msg)
+	q.scratch = b // on error AppendFrame truncated back to start
+	if o.Pooled {
+		PutMsg(o.Msg)
+	}
+	if err != nil {
+		return err
+	}
+	if k := len(q.chunks); k > 0 && q.chunks[k-1].raw == nil {
+		q.chunks[k-1].end = len(b) // adjacent encodes stay one contiguous span
+	} else {
+		q.chunks = append(q.chunks, burstChunk{start: start, end: len(b)})
+	}
+	return nil
+}
+
+// flush writes the gathered burst, releases shared-frame references,
+// and resets for the next burst.
+func (q *burst) flush(w io.Writer) error {
+	var err error
+	switch {
+	case len(q.chunks) == 0:
+	case len(q.chunks) == 1 && q.chunks[0].raw == nil:
+		// Common case: an all-Msg burst is one contiguous write.
+		_, err = w.Write(q.scratch[q.chunks[0].start:q.chunks[0].end])
+	default:
+		q.iov = q.iov[:0]
+		for _, c := range q.chunks {
+			if c.raw != nil {
+				q.iov = append(q.iov, c.raw.Bytes())
+			} else {
+				q.iov = append(q.iov, q.scratch[c.start:c.end])
+			}
+		}
+		// WriteTo consumes a copy of the header so q.iov's backing
+		// array is reused next burst; on a net.Conn it is one writev.
+		bufs := q.iov
+		_, err = bufs.WriteTo(w)
+	}
+	q.reset()
+	if err != nil {
+		return fmt.Errorf("proto: writing burst: %w", err)
+	}
+	return nil
+}
+
+// reset releases shared-frame references and shrinks oversized scratch.
+func (q *burst) reset() {
+	for i, c := range q.chunks {
+		if c.raw != nil {
+			c.raw.Release()
+		}
+		q.chunks[i] = burstChunk{}
+	}
+	q.chunks = q.chunks[:0]
+	if cap(q.scratch) > maxRetainedScratch {
+		q.scratch = nil // don't let one giant burst pin its scratch forever
+	} else {
+		q.scratch = q.scratch[:0]
 	}
 }
 
@@ -577,9 +812,23 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 // Reader decodes frames from an io.Reader.
 // Reader is not safe for concurrent use.
 type Reader struct {
-	br  *bufio.Reader
-	buf []byte
+	br     *bufio.Reader
+	buf    []byte
+	intern map[string]string
+	// hdr is the frame-header scratch. A local array would escape to the
+	// heap through the io.ReadFull interface call — one allocation per
+	// frame on every hot read loop in the system.
+	hdr [4]byte
 }
+
+// internLimit bounds the Reader's key-intern table; when it fills it is
+// swapped for a fresh one, so a churning keyspace costs a periodic
+// re-warm rather than unbounded growth. maxInternLen keeps giant keys
+// out of the table.
+const (
+	internLimit  = 4096
+	maxInternLen = 64
+)
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
@@ -590,38 +839,77 @@ func NewReader(r io.Reader) *Reader {
 // slices alias the Reader's internal buffer and are invalidated by the
 // next ReadMsg; callers keeping data must copy (the cache node does).
 func (r *Reader) ReadMsg() (*Msg, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("proto: reading frame header: %w", err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	if n < 9 {
-		return nil, fmt.Errorf("%w: frame too short (%d bytes)", ErrMalformed, n)
-	}
-	if cap(r.buf) < int(n) {
-		r.buf = make([]byte, n)
-	}
-	r.buf = r.buf[:n]
-	if _, err := io.ReadFull(r.br, r.buf); err != nil {
-		return nil, fmt.Errorf("proto: reading frame body: %w", err)
-	}
-	m := &Msg{Type: MsgType(r.buf[0]), Seq: binary.BigEndian.Uint64(r.buf[1:9])}
-	if err := parsePayload(m, r.buf[9:]); err != nil {
+	m := new(Msg)
+	if err := r.ReadMsgInto(m); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-// cursor is a bounds-checked little parse helper.
+// ReadMsgInto reads and decodes the next frame into m, reusing m's
+// Ops/Reports/Freqs slice capacity so a steady request loop runs
+// allocation-free. Everything reachable from m — byte slices aliasing
+// the Reader's buffer and the reused slices themselves — is invalidated
+// by the next ReadMsg/ReadMsgInto on this Reader; callers keeping data
+// must copy. Short strings (keys, node names) are interned per Reader:
+// they are immutable, shared across frames, and safe to retain.
+func (r *Reader) ReadMsgInto(m *Msg) error {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(r.hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < 9 {
+		return fmt.Errorf("%w: frame too short (%d bytes)", ErrMalformed, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if cap(r.buf) > maxRetainedScratch {
+		// One-off giant frame: keep the array alive only as long as
+		// this Msg's aliases, not for the connection's lifetime.
+		r.buf = nil
+	}
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return fmt.Errorf("proto: reading frame body: %w", err)
+	}
+	ops, reports, freqs := m.Ops[:0], m.Reports[:0], m.Freqs[:0]
+	*m = Msg{Type: MsgType(buf[0]), Seq: binary.BigEndian.Uint64(buf[1:9])}
+	m.Ops, m.Reports, m.Freqs = ops, reports, freqs
+	return parsePayload(m, buf[9:], r)
+}
+
+// internString returns a canonical string for b, so a hot key's name is
+// allocated once per connection instead of once per frame. The map
+// lookup itself is allocation-free (string(b) used as a map index does
+// not escape).
+func (r *Reader) internString(b []byte) string {
+	if s, ok := r.intern[string(b)]; ok {
+		return s
+	}
+	if len(r.intern) >= internLimit {
+		r.intern = nil
+	}
+	if r.intern == nil {
+		r.intern = make(map[string]string, 64)
+	}
+	s := string(b)
+	r.intern[s] = s
+	return s
+}
+
+// cursor is a bounds-checked little parse helper. rd, when set, provides
+// the string-intern table.
 type cursor struct {
 	b   []byte
 	off int
+	rd  *Reader
 }
 
 func (c *cursor) need(n int) ([]byte, error) {
@@ -675,6 +963,9 @@ func (c *cursor) str16() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if c.rd != nil && len(b) <= maxInternLen {
+		return c.rd.internString(b), nil
+	}
 	return string(b), nil
 }
 
@@ -708,8 +999,9 @@ func (c *cursor) strList() ([]string, error) {
 	return out, nil
 }
 
-// ops decodes a batch-op list (shared by MsgBatch and MsgMigrateChunk).
-func (c *cursor) ops() ([]BatchOp, error) {
+// ops decodes a batch-op list (shared by MsgBatch and MsgMigrateChunk)
+// into dst's capacity.
+func (c *cursor) ops(dst []BatchOp) ([]BatchOp, error) {
 	n, err := c.u32()
 	if err != nil {
 		return nil, err
@@ -717,7 +1009,10 @@ func (c *cursor) ops() ([]BatchOp, error) {
 	if n > MaxBatchOps {
 		return nil, fmt.Errorf("%w: %d batch ops", ErrMalformed, n)
 	}
-	ops := make([]BatchOp, 0, min64(uint64(n), 4096))
+	ops := dst
+	if cap(ops) == 0 {
+		ops = make([]BatchOp, 0, min64(uint64(n), 4096))
+	}
 	for i := uint32(0); i < n; i++ {
 		var op BatchOp
 		kind, err := c.u8()
@@ -745,8 +1040,8 @@ func (c *cursor) ops() ([]BatchOp, error) {
 }
 
 // freqs decodes a tracker warm-start list (shared by MsgMigrateDone
-// and MsgRepWrite).
-func (c *cursor) freqs() ([]KeyFreq, error) {
+// and MsgRepWrite) into dst's capacity.
+func (c *cursor) freqs(dst []KeyFreq) ([]KeyFreq, error) {
 	n, err := c.u32()
 	if err != nil {
 		return nil, err
@@ -754,7 +1049,10 @@ func (c *cursor) freqs() ([]KeyFreq, error) {
 	if n > MaxBatchOps {
 		return nil, fmt.Errorf("%w: %d freqs", ErrMalformed, n)
 	}
-	out := make([]KeyFreq, 0, min64(uint64(n), 4096))
+	out := dst
+	if cap(out) == 0 {
+		out = make([]KeyFreq, 0, min64(uint64(n), 4096))
+	}
 	for i := uint32(0); i < n; i++ {
 		var f KeyFreq
 		if f.Key, err = c.str16(); err != nil {
@@ -778,8 +1076,8 @@ func (c *cursor) done() error {
 	return nil
 }
 
-func parsePayload(m *Msg, payload []byte) error {
-	c := &cursor{b: payload}
+func parsePayload(m *Msg, payload []byte, rd *Reader) error {
+	c := &cursor{b: payload, rd: rd}
 	var err error
 	switch m.Type {
 	case MsgGet, MsgFill, MsgSubscribe:
@@ -825,7 +1123,7 @@ func parsePayload(m *Msg, payload []byte) error {
 		if m.Epoch, err = c.u64(); err != nil {
 			return err
 		}
-		if m.Ops, err = c.ops(); err != nil {
+		if m.Ops, err = c.ops(m.Ops); err != nil {
 			return err
 		}
 	case MsgReadReport:
@@ -836,7 +1134,9 @@ func parsePayload(m *Msg, payload []byte) error {
 		if n > MaxBatchOps {
 			return fmt.Errorf("%w: %d reports", ErrMalformed, n)
 		}
-		m.Reports = make([]ReadReport, 0, min64(uint64(n), 4096))
+		if cap(m.Reports) == 0 {
+			m.Reports = make([]ReadReport, 0, min64(uint64(n), 4096))
+		}
 		for i := uint32(0); i < n; i++ {
 			var rp ReadReport
 			if rp.Key, err = c.str16(); err != nil {
@@ -959,21 +1259,21 @@ func parsePayload(m *Msg, payload []byte) error {
 			return err
 		}
 	case MsgMigrateChunk:
-		if m.Ops, err = c.ops(); err != nil {
+		if m.Ops, err = c.ops(m.Ops); err != nil {
 			return err
 		}
 	case MsgMigrateDone:
 		if m.Version, err = c.u64(); err != nil {
 			return err
 		}
-		if m.Freqs, err = c.freqs(); err != nil {
+		if m.Freqs, err = c.freqs(m.Freqs); err != nil {
 			return err
 		}
 	case MsgRepWrite:
-		if m.Ops, err = c.ops(); err != nil {
+		if m.Ops, err = c.ops(m.Ops); err != nil {
 			return err
 		}
-		if m.Freqs, err = c.freqs(); err != nil {
+		if m.Freqs, err = c.freqs(m.Freqs); err != nil {
 			return err
 		}
 	default:

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/core"
+	"freshcache/internal/costmodel"
+	"freshcache/internal/proto"
+)
+
+// readRawFrame reads one length-prefixed wire frame — header included —
+// so tests can compare the exact bytes each subscriber received, not
+// just the parsed Msg.
+func readRawFrame(t *testing.T, br *bufio.Reader) []byte {
+	t.Helper()
+	frame := make([]byte, 4)
+	if _, err := io.ReadFull(br, frame); err != nil {
+		t.Fatalf("frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(frame)
+	frame = append(frame, make([]byte, n)...)
+	if _, err := io.ReadFull(br, frame[4:]); err != nil {
+		t.Fatalf("frame body (%d bytes): %v", n, err)
+	}
+	return frame
+}
+
+// parseFrame decodes a captured raw frame back into a Msg.
+func parseFrame(t *testing.T, frame []byte) *proto.Msg {
+	t.Helper()
+	m, err := proto.NewReader(bytes.NewReader(frame)).ReadMsg()
+	if err != nil {
+		t.Fatalf("parse captured frame: %v", err)
+	}
+	return m
+}
+
+// TestFlushEncodesOncePerEpoch pins the encode-once fan-out contract:
+// every subscriber receives the byte-identical epoch frame, and the
+// batch_encodes counter advances once per flush epoch no matter how
+// many subscribers are attached — O(subscribers) memcpys, O(1) encodes.
+func TestFlushEncodesOncePerEpoch(t *testing.T) {
+	s, addr := startStore(t, Config{
+		Engine: core.Config{Costs: costmodel.Fixed(2, 0.25, 1)},
+	})
+	c := client.New(addr, client.Options{})
+	defer c.Close()
+
+	const nSubs = 4
+	readers := make([]*bufio.Reader, nSubs)
+	for i := range readers {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+		w := proto.NewWriter(conn)
+		if err := w.WriteMsg(&proto.Msg{Type: proto.MsgSubscribe, Seq: 1, Key: fmt.Sprintf("cache-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		readers[i] = bufio.NewReader(conn)
+		if m := parseFrame(t, readRawFrame(t, readers[i])); m.Type != proto.MsgSubResp {
+			t.Fatalf("subscriber %d handshake: %v", i, m.Type)
+		}
+	}
+	base, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const epochs = 3
+	for e := 0; e < epochs; e++ {
+		if _, err := c.Put(fmt.Sprintf("hot-%d", e), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		s.TestFlush()
+		var first []byte
+		for i, br := range readers {
+			frame := readRawFrame(t, br)
+			if i == 0 {
+				first = frame
+				m := parseFrame(t, frame)
+				if m.Type != proto.MsgBatch || len(m.Ops) != 1 || m.Ops[0].Key != fmt.Sprintf("hot-%d", e) {
+					t.Fatalf("epoch %d batch: type=%v ops=%+v", e, m.Type, m.Ops)
+				}
+			} else if !bytes.Equal(frame, first) {
+				t.Fatalf("epoch %d: subscriber %d frame differs from subscriber 0\n s0: %x\n s%d: %x",
+					e, i, first, i, frame)
+			}
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st["batch_encodes"] - base["batch_encodes"]; got != epochs {
+		t.Errorf("batch_encodes advanced %d over %d epochs with %d subscribers; want exactly %d",
+			got, epochs, nSubs, epochs)
+	}
+}
+
+// TestConcurrentConnectionsPooledBufferReuse runs mixed put/get traffic
+// from many connections at once, with a live subscriber and interleaved
+// flushes, and checks every response carries exactly the bytes that were
+// written. Under -race this is the pooled-buffer safety net: frame
+// buffers, Msgs, and shared epoch frames cycle through their pools
+// across connections, and any aliasing bug shows up as a cross-talk
+// value mismatch or a race report.
+func TestConcurrentConnectionsPooledBufferReuse(t *testing.T) {
+	s, addr := startStore(t, Config{
+		Engine: core.Config{Costs: costmodel.Fixed(2, 0.25, 1)},
+	})
+
+	// One subscriber drains epoch frames for the whole run so flushes
+	// exercise the shared-frame fan-out path concurrently with request
+	// traffic.
+	subConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subConn.Close()
+	if err := proto.NewWriter(subConn).WriteMsg(&proto.Msg{Type: proto.MsgSubscribe, Seq: 1, Key: "sub"}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		r := proto.NewReader(subConn)
+		for {
+			if _, err := r.ReadMsg(); err != nil {
+				return
+			}
+		}
+	}()
+
+	const goroutines = 8
+	iters := 400
+	if testing.Short() {
+		iters = 120
+	}
+	errCh := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := client.New(addr, client.Options{})
+			defer c.Close()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%16)
+				want := []byte(fmt.Sprintf("val-%d-%d", g, i))
+				if i%7 == 0 {
+					// Periodic large values force pooled buffers to grow
+					// and then serve small frames again.
+					want = bytes.Repeat(want, 256)
+				}
+				ver, err := c.Put(key, want)
+				if err != nil {
+					errCh <- fmt.Errorf("g%d put %d: %w", g, i, err)
+					return
+				}
+				got, gotVer, err := c.Get(key)
+				if err != nil {
+					errCh <- fmt.Errorf("g%d get %d: %w", g, i, err)
+					return
+				}
+				// The key is only ever written by this goroutine, so the
+				// read must observe exactly the write before it.
+				if gotVer != ver || !bytes.Equal(got, want) {
+					errCh <- fmt.Errorf("g%d iter %d: got v%d %d bytes, want v%d %d bytes",
+						g, i, gotVer, len(got), ver, len(want))
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+			return
+		case err := <-errCh:
+			t.Fatal(err)
+		case <-time.After(5 * time.Millisecond):
+			s.TestFlush()
+		}
+	}
+}

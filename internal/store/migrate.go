@@ -288,7 +288,7 @@ func (s *Server) peer(addr string) *client.Client {
 // with the policy tracker's per-key stats. The migration is registered
 // before the snapshot (both under clMu), so every concurrent write is
 // either in the snapshot or dirty-tracked.
-func (s *Server) handleMigrate(m *proto.Msg, cs *connState, out chan *proto.Msg) *proto.Msg {
+func (s *Server) handleMigrate(m *proto.Msg, cs *connState, out chan proto.Outgoing) *proto.Msg {
 	newRing, err := parseRingMsg(m)
 	if err != nil {
 		return errMsg(m.Seq, "%v", err)
@@ -350,11 +350,13 @@ func (s *Server) handleMigrate(m *proto.Msg, cs *connState, out chan *proto.Msg)
 		Version: s.auth.Version(), Freqs: freqs}
 }
 
-// resolveEntries looks dirty keys back up in the authority.
+// resolveEntries looks dirty keys back up in the authority. The views
+// are borrowed but stable: authority entries are immutable once
+// installed.
 func (s *Server) resolveEntries(keys []string) []kv.MigEntry {
 	out := make([]kv.MigEntry, 0, len(keys))
 	for _, k := range keys {
-		if value, version, ok := s.auth.Get(k); ok {
+		if value, version, ok := s.auth.GetView(k); ok {
 			out = append(out, kv.MigEntry{Key: k, Value: value, Version: version})
 		}
 	}
@@ -363,14 +365,14 @@ func (s *Server) resolveEntries(keys []string) []kv.MigEntry {
 
 // streamChunks queues entries as MIGRATECHUNK frames on the
 // connection's writer, splitting at the chunk bounds.
-func (s *Server) streamChunks(out chan *proto.Msg, seq uint64, entries []kv.MigEntry, moved map[string]struct{}) {
+func (s *Server) streamChunks(out chan proto.Outgoing, seq uint64, entries []kv.MigEntry, moved map[string]struct{}) {
 	ops := make([]proto.BatchOp, 0, migChunkOps)
 	bytes := 0
 	flush := func() {
 		if len(ops) == 0 {
 			return
 		}
-		out <- &proto.Msg{Type: proto.MsgMigrateChunk, Seq: seq, Ops: ops}
+		out <- proto.Outgoing{Msg: &proto.Msg{Type: proto.MsgMigrateChunk, Seq: seq, Ops: ops}, Pooled: true}
 		ops = make([]proto.BatchOp, 0, migChunkOps)
 		bytes = 0
 	}

@@ -120,7 +120,7 @@ func (s *Server) handleRepWrite(m *proto.Msg) *proto.Msg {
 // writes replicate to the requester from here on: a write either lands
 // before the snapshot (streamed) or after the install (pushed live) —
 // both is possible and Restore dedups it.
-func (s *Server) handleRepSync(m *proto.Msg, out chan *proto.Msg) *proto.Msg {
+func (s *Server) handleRepSync(m *proto.Msg, out chan proto.Outgoing) *proto.Msg {
 	newRing, err := parseRingMsg(m)
 	if err != nil {
 		return errMsg(m.Seq, "%v", err)

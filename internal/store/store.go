@@ -92,6 +92,7 @@ type Counters struct {
 	Gets, Fills, Puts       stats.Counter
 	ReadReports             stats.Counter
 	BatchesSent, OpsSent    stats.Counter
+	BatchEncodes            stats.Counter
 	InvalidatesSent         stats.Counter
 	UpdatesSent             stats.Counter
 	SubscribersDropped      stats.Counter
@@ -161,7 +162,7 @@ type Server struct {
 
 type subscriber struct {
 	name string
-	out  chan *proto.Msg
+	out  chan proto.Outgoing
 	conn net.Conn
 
 	// pushMu gates pushes against the connection goroutine closing
@@ -173,17 +174,21 @@ type subscriber struct {
 
 // push try-sends a batch frame; it reports false when the subscriber's
 // queue is full (the caller drops the subscriber) and swallows the
-// frame silently once the connection is gone.
-func (sub *subscriber) push(m *proto.Msg) bool {
+// frame silently once the connection is gone. A frame that does not
+// make it into the queue has its resources discarded here, so callers
+// push-and-forget.
+func (sub *subscriber) push(o proto.Outgoing) bool {
 	sub.pushMu.Lock()
 	defer sub.pushMu.Unlock()
 	if sub.gone {
+		o.Discard()
 		return true
 	}
 	select {
-	case sub.out <- m:
+	case sub.out <- o:
 		return true
 	default:
+		o.Discard()
 		return false
 	}
 }
@@ -343,7 +348,10 @@ func (s *Server) flushOnce() {
 			ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: d.Key})
 			s.c.InvalidatesSent.Inc()
 		case core.ActionUpdate:
-			value, version, ok := s.auth.Get(d.Key)
+			// GetView: entries are immutable once installed, so the
+			// borrowed value stays a stable snapshot through the encode
+			// below without a copy.
+			value, version, ok := s.auth.GetView(d.Key)
 			if !ok {
 				// Deleted between write and flush; invalidate instead.
 				ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: d.Key})
@@ -359,7 +367,7 @@ func (s *Server) flushOnce() {
 
 	s.mu.Lock()
 	s.epoch++
-	msg := &proto.Msg{Type: proto.MsgBatch, Epoch: s.epoch, Ops: ops}
+	batch := proto.Msg{Type: proto.MsgBatch, Epoch: s.epoch, Ops: ops}
 	subs := make([]*subscriber, 0, len(s.subs))
 	for sub := range s.subs {
 		subs = append(subs, sub)
@@ -370,8 +378,28 @@ func (s *Server) flushOnce() {
 		s.c.FlushesWithoutSubscribe.Inc()
 		return
 	}
+	// Encode the epoch frame once and fan the same bytes out to every
+	// subscriber: O(subscribers) memcpys, not O(subscribers) encodes.
+	// Each push holds one frame reference; push releases it on failure.
+	frame, err := proto.EncodeShared(&batch, len(subs))
+	if err != nil {
+		// The batch outgrew MaxFrame. Updates are an optimization —
+		// downgrade them all to bare invalidates (always correct: the
+		// caches refetch) and try once more.
+		for i := range batch.Ops {
+			batch.Ops[i] = proto.BatchOp{Kind: proto.BatchInvalidate, Key: batch.Ops[i].Key}
+		}
+		if frame, err = proto.EncodeShared(&batch, len(subs)); err != nil {
+			// Still too big: skip the push entirely. Subscribers see the
+			// epoch gap on the next flush and resynchronize.
+			s.cfg.Logger.Printf("store: epoch %d batch exceeds frame limit, forcing resync: %v",
+				batch.Epoch, err)
+			return
+		}
+	}
+	s.c.BatchEncodes.Inc()
 	for _, sub := range subs {
-		if sub.push(msg) {
+		if sub.push(proto.Outgoing{Raw: frame}) {
 			s.c.BatchesSent.Inc()
 			s.c.OpsSent.Add(uint64(len(ops)))
 		} else {
@@ -404,34 +432,38 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer s.wg.Done()
 	defer s.c.ConnectionsClosed.Inc()
 
-	out := make(chan *proto.Msg, s.cfg.SubscriberQueue)
+	out := make(chan proto.Outgoing, s.cfg.SubscriberQueue)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		// Coalescing writer: pipelined requests on one connection are
-		// answered with one flush per burst, not one per response; on a
-		// write error it closes conn (unblocking the read loop) and
-		// drains out so senders never block.
-		proto.WriteQueue(proto.NewWriter(conn), out, conn)
+		// answered with one vectored write per burst, not one syscall
+		// per response; on a write error it closes conn (unblocking the
+		// read loop) and drains out so senders never block.
+		proto.WriteQueue(conn, out, conn)
 	}()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
 	var cs connState
+	// One request Msg reused across the whole connection: every dispatch
+	// path either answers synchronously or copies what it keeps (values
+	// are copied, keys are interned strings), so nothing aliases m after
+	// dispatch returns.
+	var m proto.Msg
 	r := proto.NewReader(conn)
 	for {
-		m, err := r.ReadMsg()
-		if err != nil {
+		if err := r.ReadMsgInto(&m); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
 				s.c.MalformedFrames.Inc()
 				s.cfg.Logger.Printf("store: conn %s: %v", conn.RemoteAddr(), err)
 			}
 			break
 		}
-		resp := s.dispatch(m, conn, &cs, out)
+		resp := s.dispatch(&m, conn, &cs, out)
 		if resp != nil {
 			select {
-			case out <- resp:
+			case out <- proto.Outgoing{Msg: resp, Pooled: true}:
 			case <-ctx.Done():
 			}
 		}
@@ -469,7 +501,7 @@ type connState struct {
 // not stall the requests pipelined behind it on this connection (the
 // LB and cache dispatch concurrently for the same reason). Responses
 // may complete out of order; clients demux by Seq.
-func (s *Server) goForward(cs *connState, out chan *proto.Msg, fn func() *proto.Msg) *proto.Msg {
+func (s *Server) goForward(cs *connState, out chan proto.Outgoing, fn func() *proto.Msg) *proto.Msg {
 	if cs.fwdSem == nil {
 		cs.fwdSem = make(chan struct{}, maxConnForwards)
 	}
@@ -480,12 +512,12 @@ func (s *Server) goForward(cs *connState, out chan *proto.Msg, fn func() *proto.
 			<-cs.fwdSem
 			cs.fwd.Done()
 		}()
-		out <- fn()
+		out <- proto.Outgoing{Msg: fn(), Pooled: true}
 	}()
 	return nil
 }
 
-func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan *proto.Msg) *proto.Msg {
+func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan proto.Outgoing) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
 		s.c.Gets.Inc()
@@ -620,12 +652,18 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan *
 }
 
 func (s *Server) getResp(m *proto.Msg) *proto.Msg {
-	value, version, ok := s.auth.Get(m.Key)
+	// GetView avoids the copy: authority entries are immutable once
+	// installed, and the response Msg (pooled, released by the writer
+	// after encode) only ever reads the value.
+	value, version, ok := s.auth.GetView(m.Key)
+	resp := proto.GetMsg()
+	resp.Type, resp.Seq = proto.MsgGetResp, m.Seq
 	if !ok {
-		return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusNotFound}
+		resp.Status = proto.StatusNotFound
+		return resp
 	}
-	return &proto.Msg{Type: proto.MsgGetResp, Seq: m.Seq, Status: proto.StatusOK,
-		Version: version, Value: value}
+	resp.Status, resp.Version, resp.Value = proto.StatusOK, version, value
+	return resp
 }
 
 func (s *Server) statsMap() map[string]uint64 {
@@ -663,6 +701,7 @@ func (s *Server) statsMap() map[string]uint64 {
 		"puts":                s.c.Puts.Value(),
 		"read_reports":        s.c.ReadReports.Value(),
 		"batches_sent":        s.c.BatchesSent.Value(),
+		"batch_encodes":       s.c.BatchEncodes.Value(),
 		"ops_sent":            s.c.OpsSent.Value(),
 		"invalidates_sent":    s.c.InvalidatesSent.Value(),
 		"updates_sent":        s.c.UpdatesSent.Value(),
