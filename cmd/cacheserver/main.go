@@ -18,7 +18,10 @@
 // is watched live: on a ring-epoch publish the cache swaps rings
 // atomically, re-scopes its subscriptions, and stamps entries whose
 // ownership moved with a publish-time + T deadline, preserving bounded
-// staleness through live resharding.
+// staleness through live resharding. Under coordinator HA, -cluster
+// takes the comma-separated coordinator group
+// (-cluster 10.0.0.1:7301,10.0.0.2:7301,10.0.0.3:7301) and the watcher
+// rotates to a surviving coordinator automatically.
 package main
 
 import (
@@ -38,7 +41,7 @@ func main() {
 	addr := flag.String("addr", ":7101", "listen address")
 	storeAddr := flag.String("store", "", "single backing store address")
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
-	clusterAddr := flag.String("cluster", "", "cluster coordinator address (overrides -store/-stores)")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (overrides -store/-stores)")
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
 	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
 	name := flag.String("name", "", "cache name in subscriptions (default addr)")

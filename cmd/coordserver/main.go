@@ -7,7 +7,9 @@
 // Usage:
 //
 //	coordserver -addr :7301 -stores 127.0.0.1:7001,127.0.0.1:7002 [-vnodes 128]
-//	            [-replicas 2] [-lease 2s]
+//	            [-replicas 2] [-lease 2s] [-data /var/lib/freshcache/coord]
+//	            [-peers 10.0.0.1:7301,10.0.0.2:7301,10.0.0.3:7301 -self 10.0.0.1:7301]
+//	            [-leaderlease 1s]
 //
 // Caches (-cluster on cacheserver), the LB (-cluster on lbserver) and
 // tooling (freshctl -cluster) bootstrap their store ring from the
@@ -22,6 +24,17 @@
 // with -cluster, which makes it heartbeat) that stays silent for
 // -lease is removed from the ring and its successors take over the
 // arcs they already replicate.
+//
+// High availability: run three coordservers, each with the full group
+// in -peers and its own address in -self. The group elects a leased
+// leader that replicates every control-plane mutation to a majority
+// before acting; followers redirect mutations to the leader, so every
+// -cluster flag in the system takes the full comma-separated list and
+// any single coordinator can die without operator action. -data points
+// at a directory where the replicated log and election state persist,
+// so a restarted coordinator rejoins at its last published ring epoch.
+// -leaderlease tunes the leadership lease (and thereby the failover
+// detection time for a dead leader).
 package main
 
 import (
@@ -43,6 +56,10 @@ func main() {
 	vnodes := flag.Int("vnodes", freshcache.DefaultVirtualNodes, "virtual nodes per store")
 	replicas := flag.Int("replicas", 1, "replication factor R (1 = no replication)")
 	leaseIv := flag.Duration("lease", 2*time.Second, "liveness lease; a store silent this long is failed over")
+	peers := flag.String("peers", "", "comma-separated full coordinator group for HA (empty = solo)")
+	self := flag.String("self", "", "this coordinator's advertised address within -peers (required with -peers)")
+	dataDir := flag.String("data", "", "directory persisting the replicated log and election state (empty = in-memory)")
+	leaderLease := flag.Duration("leaderlease", time.Second, "coordinator leadership lease / election timeout base (with -peers)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6064; empty = off)")
 	flag.Parse()
 
@@ -58,12 +75,21 @@ func main() {
 		VirtualNodes:  *vnodes,
 		Replicas:      *replicas,
 		LeaseInterval: *leaseIv,
+		SelfAddr:      *self,
+		Peers:         freshcache.SplitCoordAddrs(*peers),
+		DataDir:       *dataDir,
+		LeaderLease:   *leaderLease,
 	})
 	if err != nil {
 		log.Fatalf("coordserver: %v", err)
 	}
-	log.Printf("coordserver: listening on %s, ring epoch 1 over %s (R=%d, lease %v)",
-		*addr, *stores, *replicas, *leaseIv)
+	if *peers != "" {
+		log.Printf("coordserver: listening on %s as %s in group %s (R=%d, store lease %v, leader lease %v)",
+			*addr, *self, *peers, *replicas, *leaseIv, *leaderLease)
+	} else {
+		log.Printf("coordserver: listening on %s over %s (R=%d, lease %v)",
+			*addr, *stores, *replicas, *leaseIv)
+	}
 	if err := co.ListenAndServe(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "coordserver: %v\n", err)
 		os.Exit(1)

@@ -23,7 +23,11 @@
 //	reshard  join a third store into a live cluster under load and record
 //	         the throughput/staleness-violation trajectory
 //	failover kill one store of a replicated (R=2) live cluster under load
-//	         and record the trajectory through the automatic promotion
+//	         and record the trajectory through the automatic promotion;
+//	         with -killcoord, run a 3-coordinator replicated control
+//	         plane, kill its LEADER mid-run (then a store, then restart
+//	         the killed coordinator from disk) and record the whole
+//	         trajectory
 //	all      everything above (except pipeline, reshard and failover)
 //
 // Flags:
@@ -35,6 +39,7 @@
 //	-workers int        concurrent workers for pipeline/reshard/failover (default 64)
 //	-benchtime duration wall-clock window for pipeline/reshard/failover (default 2s / 4s / 4s)
 //	-json               pipeline/reshard/failover: also write BENCH_<name>.json
+//	-killcoord          failover: kill the coordinator leader (HA control plane)
 package main
 
 import (
@@ -66,6 +71,7 @@ func main() {
 	workers := fs.Int("workers", 64, "concurrent workers for the pipeline experiment")
 	benchtime := fs.Duration("benchtime", 0, "wall-clock window for pipeline (default 2s) / reshard (default 4s)")
 	jsonOut := fs.Bool("json", false, "pipeline/hotpath: also write BENCH_<name>.json")
+	killcoord := fs.Bool("killcoord", false, "failover: kill the coordinator LEADER of a 3-coordinator control plane instead of a store only")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
 	o := experiments.Options{Duration: *duration, Seed: *seed, T: *tBound}
@@ -104,6 +110,17 @@ func main() {
 		return reshardBench(*workers, bt, o.T, out)
 	}
 	failover := func(o experiments.Options) error {
+		if *killcoord {
+			out := ""
+			if *jsonOut {
+				out = "BENCH_coordfailover.json"
+			}
+			bt := *benchtime
+			if bt == 0 { // three phases: kill leader, kill store, restart
+				bt = 6 * time.Second
+			}
+			return coordFailoverBench(*workers, bt, o.T, out)
+		}
 		out := ""
 		if *jsonOut {
 			out = "BENCH_failover.json"
@@ -148,7 +165,11 @@ func main() {
 	case "reshard":
 		run("Live resharding under load", reshard)
 	case "failover":
-		run("Kill-a-store failover under load", failover)
+		if *killcoord {
+			run("Kill-the-coordinator-leader failover under load", failover)
+		} else {
+			run("Kill-a-store failover under load", failover)
+		}
 	case "probe":
 		run("Bottleneck probe", probe)
 	case "all":

@@ -8,10 +8,12 @@
 //	freshctl -addr 127.0.0.1:7101 ping
 //	freshctl -addr 127.0.0.1:7101 watch <key>      # poll a key once per second
 //
-// Cluster membership (against the coordinator):
+// Cluster membership (against the coordinator group; -cluster takes a
+// comma-separated list under coordinator HA and follows leader
+// redirects):
 //
 //	freshctl -cluster 127.0.0.1:7301 ring                   # show the published ring
-//	freshctl -cluster 127.0.0.1:7301 status                 # ring + liveness leases + pending changes
+//	freshctl -cluster 127.0.0.1:7301 status                 # coordinators + ring + leases + pending changes
 //	freshctl -cluster 127.0.0.1:7301 join 127.0.0.1:7003    # admit a store, migrating its range in
 //	freshctl -cluster 127.0.0.1:7301 drain 127.0.0.1:7002   # remove a store, migrating its range out
 package main
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7101", "node address (cache, store or lb)")
-	cluster := flag.String("cluster", "", "cluster coordinator address (for ring/join/drain)")
+	cluster := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (for ring/status/join/drain)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -95,11 +97,13 @@ func usage() {
 	os.Exit(2)
 }
 
-// clusterCmd runs one membership command against the coordinator.
-// Joins and drains move data before publishing, so the request timeout
-// is generous.
+// clusterCmd runs one membership command against the coordinator
+// group. -cluster may list several coordinators, comma-separated; the
+// client follows leader redirects, so joins and drains work no matter
+// which group member the operator named first. Joins and drains move
+// data before publishing, so the request timeout is generous.
 func clusterCmd(coordAddr string, args []string) error {
-	c := freshcache.NewClient(coordAddr, freshcache.ClientOptions{
+	c := freshcache.NewCoordClient(coordAddr, freshcache.ClientOptions{
 		MaxAttempts: 1, RequestTimeout: 5 * time.Minute,
 	})
 	defer c.Close()
@@ -111,7 +115,7 @@ func clusterCmd(coordAddr string, args []string) error {
 	case args[0] == "ring" && len(args) == 1:
 		ri, err = c.RingGet()
 	case args[0] == "status" && len(args) == 1:
-		return status(c)
+		return status(c, freshcache.SplitCoordAddrs(coordAddr))
 	case args[0] == "join" && len(args) == 2:
 		ri, err = c.Join(args[1])
 	case args[0] == "drain" && len(args) == 2:
@@ -134,11 +138,13 @@ func printRing(ri freshcache.RingInfo) {
 	}
 }
 
-// status renders the coordinator's view of the cluster: the published
-// ring, each heartbeating store's lease age against the lease
-// interval, pending membership changes, and the change/failover
+// status renders the coordinator group's view of the cluster: the
+// control plane itself (each coordinator's role, term and log
+// position), the published ring, each heartbeating store's lease age
+// against the lease interval plus any consecutive-failure streak the
+// store reported, pending membership changes, and the change/failover
 // counters.
-func status(c *freshcache.Client) error {
+func status(c *freshcache.CoordClient, addrs []string) error {
 	ri, err := c.RingGet()
 	if err != nil {
 		return err
@@ -146,6 +152,25 @@ func status(c *freshcache.Client) error {
 	st, err := c.Stats()
 	if err != nil {
 		return err
+	}
+	if st["coordinators"] > 1 || len(addrs) > 1 {
+		fmt.Printf("control plane (%d coordinators):\n", st["coordinators"])
+		for _, a := range addrs {
+			one := freshcache.NewClient(a, freshcache.ClientOptions{MaxAttempts: 1})
+			cs, err := one.Stats()
+			one.Close()
+			if err != nil {
+				fmt.Printf("  %-24s UNREACHABLE (%v)\n", a, err)
+				continue
+			}
+			role := "follower"
+			if cs["is_leader"] == 1 {
+				role = "LEADER"
+			}
+			fmt.Printf("  %-24s %-8s term=%d log=%d/%d epoch=%d elections=%d\n",
+				a, role, cs["raft_term"], cs["raft_commit_index"], cs["raft_last_index"],
+				cs["ring_epoch"], cs["elections"])
+		}
 	}
 	printRing(ri)
 	lease := st["lease_interval_ms"]
@@ -157,6 +182,9 @@ func status(c *freshcache.Client) error {
 			state := "alive"
 			if age > lease {
 				state = "SUSPECT"
+			}
+			if misses := st["heartbeat_misses["+n+"]"]; misses > 0 {
+				state += fmt.Sprintf(" (recovered from %d missed beats)", misses)
 			}
 			fmt.Printf("  %-24s last heartbeat %5dms ago  %s\n", n, age, state)
 		} else {

@@ -12,7 +12,9 @@
 //	         -caches 127.0.0.1:7101,127.0.0.1:7102
 //
 // With -cluster the store ring comes from the cluster coordinator and
-// the write path reroutes live on every published ring epoch.
+// the write path reroutes live on every published ring epoch. Under
+// coordinator HA, -cluster takes the comma-separated coordinator group
+// and the watcher rotates to a surviving coordinator automatically.
 package main
 
 import (
@@ -31,7 +33,7 @@ func main() {
 	addr := flag.String("addr", ":7201", "listen address")
 	storeAddr := flag.String("store", "", "single backing store address")
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
-	clusterAddr := flag.String("cluster", "", "cluster coordinator address (overrides -store/-stores)")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (overrides -store/-stores)")
 	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6063; empty = off)")
 	flag.Parse()

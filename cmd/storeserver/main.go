@@ -8,7 +8,8 @@
 //	storeserver -addr :7001 -t 500ms [-shard shard-0] [-slo 0.05]
 //	            [-cm 2 -ci 0.25 -cu 1]
 //	            [-bottleneck auto|cpu|network|disk] [-keysize 16 -valsize 256]
-//	            [-cluster 127.0.0.1:7301 -join [-advertise host:port] [-heartbeat 500ms]]
+//	            [-cluster 127.0.0.1:7301[,127.0.0.1:7302,...] -join
+//	             [-advertise host:port] [-heartbeat 500ms]]
 //
 // In a sharded deployment run one storeserver per shard, each with a
 // distinct -shard identity; caches and the LB partition the keyspace
@@ -54,7 +55,7 @@ func main() {
 	keySize := flag.Int("keysize", 16, "representative key size for derived costs")
 	valSize := flag.Int("valsize", 256, "representative value size for derived costs")
 	topk := flag.Int("topk", 1024, "exact slots in the Top-K E[W] tracker")
-	clusterAddr := flag.String("cluster", "", "cluster coordinator address")
+	clusterAddr := flag.String("cluster", "", "cluster coordinator address (comma-separated list under coordinator HA)")
 	join := flag.Bool("join", false, "join the cluster ring at startup (requires -cluster)")
 	advertise := flag.String("advertise", "", "address the cluster dials this store at (default -addr)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
@@ -117,8 +118,9 @@ func main() {
 }
 
 // joinCluster waits until this store answers pings at its advertised
-// address, then asks the coordinator to admit it (which migrates this
-// store's ring arc in before publishing the new epoch).
+// address, then asks the coordinator group to admit it (which migrates
+// this store's ring arc in before publishing the new epoch). coordAddr
+// may list several coordinators; the join follows leader redirects.
 func joinCluster(coordAddr, advertise string) {
 	self := freshcache.NewClient(advertise, freshcache.ClientOptions{MaxAttempts: 1})
 	deadline := time.Now().Add(10 * time.Second)
@@ -131,7 +133,7 @@ func joinCluster(coordAddr, advertise string) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	self.Close()
-	co := freshcache.NewClient(coordAddr, freshcache.ClientOptions{
+	co := freshcache.NewCoordClient(coordAddr, freshcache.ClientOptions{
 		MaxAttempts: 1, RequestTimeout: 2 * time.Minute,
 	})
 	defer co.Close()

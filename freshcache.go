@@ -339,8 +339,25 @@ func FetchRing(coordAddr string, timeout time.Duration) (RingInfo, error) {
 	return cluster.FetchRing(coordAddr, timeout)
 }
 
-// RingWatcher polls the coordinator and delivers newly published rings
-// in epoch order.
+// CoordClient is a coordinator-group client: it takes a comma-separated
+// multi-address coordinator list, follows leader redirects for
+// mutations (Join, Drain, Heartbeat) and rotates past unreachable
+// members for reads — a replicated control plane behaves like one
+// logical endpoint.
+type CoordClient = cluster.CoordClient
+
+// NewCoordClient builds a coordinator-group client for a
+// comma-separated address list.
+func NewCoordClient(addrSpec string, opts ClientOptions) *CoordClient {
+	return cluster.NewCoordClient(addrSpec, opts)
+}
+
+// SplitCoordAddrs parses a comma-separated coordinator address list —
+// the form every -cluster flag accepts.
+func SplitCoordAddrs(spec string) []string { return cluster.SplitAddrs(spec) }
+
+// RingWatcher polls the coordinator group and delivers newly published
+// rings in epoch order, rotating past unreachable coordinators.
 type RingWatcher = cluster.Watcher
 
 // NewRingWatcher builds a watcher invoking onChange for every ring

@@ -49,7 +49,9 @@ type Config struct {
 	// route to shards by consistent hashing over this list.
 	StoreAddrs []string
 	// ClusterAddr, when set, bootstraps the store ring from the cluster
-	// coordinator at that address instead of StoreAddr/StoreAddrs, and
+	// coordinator (a comma-separated group under coordinator HA — the
+	// watcher rotates past dead members) instead of
+	// StoreAddr/StoreAddrs, and
 	// watches it for ring-epoch changes: on a publish the cache swaps
 	// rings atomically, re-scopes its per-shard subscriptions, and
 	// stamps every resident entry whose ownership moved with a hard
@@ -766,16 +768,18 @@ func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
 
 // StatsMap snapshots the node's counters.
 func (s *Server) StatsMap() map[string]uint64 {
-	var stalled, failedPolls uint64
+	var stalled, failedPolls, resumes uint64
 	s.mu.Lock()
 	if s.watch != nil {
 		stalled = s.watch.ConsecutiveFailures()
 		failedPolls = s.watch.FailedPolls()
+		resumes = s.watch.Resumes()
 	}
 	s.mu.Unlock()
 	return map[string]uint64{
 		"watcher_stalled_polls": stalled,
 		"watcher_failed_polls":  failedPolls,
+		"watcher_resumes":       resumes,
 		"failovers":             s.stores.Failovers(),
 		"gets":                  s.c.Gets.Value(),
 		"hits":                  s.c.Hits.Value(),

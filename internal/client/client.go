@@ -333,16 +333,58 @@ func (c *Client) Drain(storeAddr string) (RingInfo, error) {
 
 // Heartbeat renews a store's liveness lease at the coordinator: self is
 // the store's advertised ring identity, version its authority version
-// counter. The response is the coordinator's current published ring, so
-// a store that missed a release catches up from its own heartbeat.
-func (c *Client) Heartbeat(self string, version uint64) (RingInfo, error) {
+// counter, and misses the consecutive heartbeat failures the store saw
+// before this beat got through (zero on a healthy path; surfaced in
+// coordinator stats). The response is the coordinator's current
+// published ring, so a store that missed a release catches up from its
+// own heartbeat.
+func (c *Client) Heartbeat(self string, version, misses uint64) (RingInfo, error) {
 	req := newReq(proto.MsgHeartbeat)
-	req.Key, req.Version = self, version
+	req.Key, req.Version, req.Epoch = self, version, misses
 	resp, err := c.do(req)
 	if err != nil {
 		return RingInfo{}, err
 	}
 	return ringInfo(resp)
+}
+
+// Vote requests this coordinator peer's vote in a leader election:
+// term is the candidate's term, lastIndex/lastTerm identify the
+// candidate's newest replicated-log entry, and candidate its advertised
+// address. It returns whether the vote was granted and the peer's own
+// term (a candidate seeing a higher one steps down).
+func (c *Client) Vote(term, lastIndex, lastTerm uint64, candidate string) (granted bool, peerTerm uint64, err error) {
+	req := newReq(proto.MsgVote)
+	req.Epoch, req.Version, req.Stamp, req.Key = term, lastIndex, int64(lastTerm), candidate
+	resp, err := c.do(req)
+	if err != nil {
+		return false, 0, err
+	}
+	defer proto.PutMsg(resp)
+	if resp.Type != proto.MsgVoteResp {
+		return false, 0, fmt.Errorf("client: unexpected response %v to VOTE", resp.Type)
+	}
+	return resp.Status == proto.StatusOK, resp.Epoch, nil
+}
+
+// Append pushes one replicated-log entry (or, with a nil entry, a pure
+// leadership lease heartbeat) from a coordinator leader to a follower:
+// term is the leader's term, commit its commit index, leader its
+// advertised address and entry the JSON-encoded log record. It returns
+// whether the follower accepted, plus the follower's term and last log
+// index.
+func (c *Client) Append(term, commit uint64, leader string, entry []byte) (ok bool, peerTerm, peerLast uint64, err error) {
+	req := newReq(proto.MsgAppend)
+	req.Epoch, req.Version, req.Key, req.Value = term, commit, leader, entry
+	resp, err := c.do(req)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	defer proto.PutMsg(resp)
+	if resp.Type != proto.MsgAppendResp {
+		return false, 0, 0, fmt.Errorf("client: unexpected response %v to APPEND", resp.Type)
+	}
+	return resp.Status == proto.StatusOK, resp.Epoch, resp.Version, nil
 }
 
 // RepWrite pushes accepted writes (with their primary-assigned

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"freshcache/internal/client"
+)
+
+// SplitAddrs parses a comma-separated coordinator address list
+// ("addr1,addr2,addr3"), trimming whitespace and dropping empties —
+// the form every `-cluster` flag accepts.
+func SplitAddrs(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CoordClient is a coordinator-group client: it holds the multi-address
+// coordinator list, follows NOTLEADER redirects to whichever
+// coordinator currently leads, and rotates to the next address when one
+// stops answering. Reads (RingGet, Stats) are served by any group
+// member; mutations (Join, Drain, Heartbeat) only by the leader — the
+// redirect handling makes both look like one logical endpoint.
+//
+// Safe for concurrent use (the underlying clients multiplex).
+type CoordClient struct {
+	opts client.Options
+
+	mu     sync.Mutex
+	addrs  []string
+	cur    int // index of the address we currently believe leads
+	conns  map[string]*client.Client
+	closed bool
+}
+
+// NewCoordClient builds a client for a comma-separated coordinator
+// address list. Zero-valued opts get the client package defaults.
+func NewCoordClient(addrSpec string, opts client.Options) *CoordClient {
+	return &CoordClient{
+		opts:  opts,
+		addrs: SplitAddrs(addrSpec),
+		conns: make(map[string]*client.Client),
+	}
+}
+
+// Addrs returns the coordinator addresses (leader hints learned at
+// runtime included).
+func (cc *CoordClient) Addrs() []string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return append([]string(nil), cc.addrs...)
+}
+
+// current returns the client for the address currently believed to
+// lead (nil after Close or with an empty address list).
+func (cc *CoordClient) current() *client.Client {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closed || len(cc.addrs) == 0 {
+		return nil
+	}
+	addr := cc.addrs[cc.cur%len(cc.addrs)]
+	c := cc.conns[addr]
+	if c == nil {
+		c = client.New(addr, cc.opts)
+		cc.conns[addr] = c
+	}
+	return c
+}
+
+// rotate advances to the next coordinator address.
+func (cc *CoordClient) rotate() {
+	cc.mu.Lock()
+	if len(cc.addrs) > 0 {
+		cc.cur = (cc.cur + 1) % len(cc.addrs)
+	}
+	cc.mu.Unlock()
+}
+
+// setLeader points the client at a redirect target, learning addresses
+// outside the configured list (an operator may have replaced a dead
+// coordinator without restarting every client).
+func (cc *CoordClient) setLeader(addr string) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for i, a := range cc.addrs {
+		if a == addr {
+			cc.cur = i
+			return
+		}
+	}
+	cc.addrs = append(cc.addrs, addr)
+	cc.cur = len(cc.addrs) - 1
+}
+
+// do runs call against the believed leader, following NOTLEADER
+// redirects and rotating past unreachable coordinators. It gives the
+// group two full passes (an election in progress answers every address
+// with a hint-less NOTLEADER for up to a leader lease) with a short
+// breather between them, then surfaces the last error.
+func (cc *CoordClient) do(call func(*client.Client) error) error {
+	n := len(cc.Addrs())
+	if n == 0 {
+		return errors.New("cluster: no coordinator addresses")
+	}
+	attempts := 2*n + 2
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		c := cc.current()
+		if c == nil {
+			return client.ErrClosed
+		}
+		err := call(c)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if hint, ok := leaderHint(err); ok {
+			if hint != "" {
+				cc.setLeader(hint)
+			} else {
+				cc.rotate() // mid-election; ask the next member
+			}
+			if i >= n {
+				time.Sleep(50 * time.Millisecond)
+			}
+			continue
+		}
+		if errors.Is(err, client.ErrServer) || errors.Is(err, client.ErrNotFound) {
+			return err // a live coordinator refused; rotating won't help
+		}
+		cc.rotate() // transport failure: that coordinator may be down
+	}
+	return lastErr
+}
+
+// RingGet fetches the current published ring from any group member.
+func (cc *CoordClient) RingGet() (ri client.RingInfo, err error) {
+	err = cc.do(func(c *client.Client) error {
+		ri, err = c.RingGet()
+		return err
+	})
+	return ri, err
+}
+
+// Heartbeat renews a store's liveness lease at the leader.
+func (cc *CoordClient) Heartbeat(self string, version, misses uint64) (ri client.RingInfo, err error) {
+	err = cc.do(func(c *client.Client) error {
+		ri, err = c.Heartbeat(self, version, misses)
+		return err
+	})
+	return ri, err
+}
+
+// Join admits a store into the ring via the leader.
+func (cc *CoordClient) Join(storeAddr string) (ri client.RingInfo, err error) {
+	err = cc.do(func(c *client.Client) error {
+		ri, err = c.Join(storeAddr)
+		return err
+	})
+	return ri, err
+}
+
+// Drain removes a store from the ring via the leader.
+func (cc *CoordClient) Drain(storeAddr string) (ri client.RingInfo, err error) {
+	err = cc.do(func(c *client.Client) error {
+		ri, err = c.Drain(storeAddr)
+		return err
+	})
+	return ri, err
+}
+
+// Stats fetches the counter map of the first answering group member.
+func (cc *CoordClient) Stats() (st map[string]uint64, err error) {
+	err = cc.do(func(c *client.Client) error {
+		st, err = c.Stats()
+		return err
+	})
+	return st, err
+}
+
+// Ping probes the first answering group member.
+func (cc *CoordClient) Ping() error {
+	return cc.do(func(c *client.Client) error { return c.Ping() })
+}
+
+// Close tears down every per-address connection.
+func (cc *CoordClient) Close() {
+	cc.mu.Lock()
+	conns := cc.conns
+	cc.conns, cc.closed = nil, true
+	cc.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"freshcache/internal/client"
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
+	"freshcache/internal/xrand"
 )
 
 // Config configures a coordinator.
@@ -84,14 +85,31 @@ type Config struct {
 	// ChangeTimeout bounds one membership change's store RPCs (the
 	// adopt pull can move a lot of data); defaults to 60s.
 	ChangeTimeout time.Duration
+	// SelfAddr is this coordinator's advertised address within Peers.
+	// Required when Peers is set; it is the identity peers vote for and
+	// the redirect target NOTLEADER refusals carry.
+	SelfAddr string
+	// Peers is the full coordinator group, SelfAddr included. Empty (or
+	// one address) runs the coordinator solo, exactly as before this
+	// field existed: no elections, no replication traffic. With three
+	// or more, the group elects a leased leader that replicates every
+	// control-plane mutation to a majority before acting on it.
+	Peers []string
+	// DataDir, when set, persists the replicated log, ring snapshots
+	// and election state under this directory, so a restarted
+	// coordinator resumes at its last published epoch instead of
+	// amnesia. Empty keeps everything in memory.
+	DataDir string
+	// LeaderLease is the coordinator leadership lease and election
+	// timeout base: a leader renews it by reaching a majority, a
+	// follower campaigns after (1–1.5)× of it without leader contact.
+	// Defaults to 1s. Only meaningful with Peers.
+	LeaderLease time.Duration
 	// Logger receives diagnostics; nil uses the standard logger.
 	Logger *log.Logger
 }
 
 func (c *Config) fill() error {
-	if len(c.Stores) == 0 {
-		return errors.New("cluster: at least one initial store is required")
-	}
 	if c.VirtualNodes <= 0 {
 		c.VirtualNodes = ring.DefaultVirtualNodes
 	}
@@ -110,8 +128,25 @@ func (c *Config) fill() error {
 	if c.ChangeTimeout <= 0 {
 		c.ChangeTimeout = 60 * time.Second
 	}
+	if c.LeaderLease <= 0 {
+		c.LeaderLease = time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
+	}
+	if len(c.Peers) > 0 {
+		if c.SelfAddr == "" {
+			return errors.New("cluster: Peers requires SelfAddr")
+		}
+		found := false
+		for _, p := range c.Peers {
+			if p == c.SelfAddr {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("cluster: SelfAddr %s is not in Peers %v", c.SelfAddr, c.Peers)
+		}
 	}
 	return nil
 }
@@ -120,6 +155,7 @@ func (c *Config) fill() error {
 type lease struct {
 	lastBeat time.Time
 	version  uint64 // authority version counter from the last beat
+	misses   uint64 // consecutive-failure streak the store last reported
 	failing  bool   // failover in progress; suppresses re-detection
 }
 
@@ -160,27 +196,123 @@ type Coordinator struct {
 	inflightInvolved map[string]struct{}
 	inflightClients  []*client.Client
 
+	// ---- Replicated control plane (multi-coordinator mode) ----
+	self        string   // our advertised address within the group
+	peers       []string // the other coordinators (empty = solo mode)
+	quorum      int      // majority of the full group, self included
+	leaderLease time.Duration
+
+	// proposeMu serializes log appends: each full-state entry must
+	// snapshot the state left by the previous one.
+	proposeMu sync.Mutex
+
+	// repMu guards the election/log state below. Never held together
+	// with mu (state snapshots and applies take them in turn).
+	repMu           sync.Mutex
+	role            role
+	term            uint64
+	votedFor        string
+	leaderAddr      string // believed leader ("" while unknown)
+	lastHeard       time.Time
+	majorityAt      time.Time // leader: last majority-acked round
+	electionTimeout time.Duration
+	lastIndex       uint64
+	lastTerm        uint64
+	lastEntry       logEntry
+	commitIdx       uint64
+	appliedIdx      uint64
+	elections       uint64 // candidacies started (stats)
+	rng             *xrand.PCG
+
+	disk      *diskLog
+	peerConns map[string]*client.Client
+
 	ln     net.Listener
 	cancel chan struct{}
 	wg     sync.WaitGroup
 }
 
-// New builds a coordinator; the initial ring is epoch 1.
+// New builds a coordinator. A fresh one publishes cfg.Stores as ring
+// epoch 1; one restarted over a non-empty DataDir restores its
+// replicated log instead and resumes at its last recorded epoch
+// (cfg.Stores is then only the fallback for an empty log).
 func New(cfg Config) (*Coordinator, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	if _, err := ring.New(cfg.Stores, cfg.VirtualNodes); err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
-	}
-	return &Coordinator{
+	co := &Coordinator{
 		cfg:         cfg,
-		epoch:       1,
-		nodes:       append([]string(nil), cfg.Stores...),
-		publishedAt: time.Now(),
+		self:        cfg.SelfAddr,
+		leaderLease: cfg.LeaderLease,
 		leases:      make(map[string]*lease),
 		cancel:      make(chan struct{}),
-	}, nil
+	}
+	for _, p := range cfg.Peers {
+		if p != cfg.SelfAddr {
+			co.peers = append(co.peers, p)
+		}
+	}
+	co.quorum = (len(co.peers)+1)/2 + 1
+	restored := false
+	if cfg.DataDir != "" {
+		disk, meta, entries, err := openDiskLog(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		co.disk = disk
+		co.term, co.votedFor = meta.Term, meta.VotedFor
+		for _, e := range entries {
+			if e.supersedes(co.lastTerm, co.lastIndex) {
+				co.lastTerm, co.lastIndex, co.lastEntry = e.Term, e.Index, e
+			}
+		}
+		if co.lastIndex > 0 {
+			// Replay to exactly the newest entry on disk: full-state
+			// entries make the last one the whole story.
+			co.commitIdx, co.appliedIdx = co.lastIndex, co.lastIndex
+			e := co.lastEntry
+			co.epoch = e.Epoch
+			co.nodes = append([]string(nil), e.Nodes...)
+			co.publishedAt = time.Unix(0, e.Stamp)
+			co.pending, co.pendingKind = e.Pending, e.PendingKind
+			now := time.Now()
+			for _, a := range e.Leases {
+				co.leases[a] = &lease{lastBeat: now}
+			}
+			restored = true
+			cfg.Logger.Printf("cluster: restored from %s: ring epoch %d over %d stores (term %d, log index %d)",
+				cfg.DataDir, co.epoch, len(co.nodes), co.term, co.lastIndex)
+		}
+	}
+	if !restored {
+		if len(cfg.Stores) == 0 {
+			return nil, errors.New("cluster: at least one initial store is required")
+		}
+		if _, err := ring.New(cfg.Stores, cfg.VirtualNodes); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		co.epoch = 1
+		co.nodes = append([]string(nil), cfg.Stores...)
+		co.publishedAt = time.Now()
+	}
+	if len(co.peers) == 0 {
+		// Solo mode: always the leader, no election machinery.
+		co.role = roleLeader
+		co.leaderAddr = co.self
+	} else {
+		co.role = roleFollower
+		co.lastHeard = time.Now()
+		co.rng = xrand.New(seedFor(co.self), 1)
+		co.electionTimeout = co.randTimeoutLocked()
+		rto := peerRPCTimeout(co.leaderLease)
+		co.peerConns = make(map[string]*client.Client, len(co.peers))
+		for _, p := range co.peers {
+			co.peerConns[p] = client.New(p, client.Options{
+				MaxConns: 1, DialTimeout: rto, RequestTimeout: rto, MaxAttempts: 1,
+			})
+		}
+	}
+	return co, nil
 }
 
 // RingInfo snapshots the current published ring.
@@ -215,6 +347,15 @@ func (co *Coordinator) Serve(ln net.Listener) error {
 	co.mu.Unlock()
 	co.wg.Add(1)
 	go co.detectLoop()
+	if len(co.peers) > 0 {
+		co.wg.Add(2)
+		go co.electionLoop()
+		go co.pulseLoop()
+	} else if p, _ := co.pendingChange(); p != "" {
+		// A solo coordinator restarted over a latched change resumes
+		// its recovery immediately; in group mode becomeLeader does.
+		co.scheduleRecovery()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -250,6 +391,12 @@ func (co *Coordinator) Close() error {
 		err = ln.Close()
 	}
 	co.wg.Wait()
+	for _, c := range co.peerConns {
+		c.Close()
+	}
+	if cerr := co.disk.close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -293,10 +440,23 @@ func ringResp(seq uint64, ri client.RingInfo) *proto.Msg {
 func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
 	switch m.Type {
 	case proto.MsgRingGet:
+		// Served from any group member's committed state: watchers only
+		// move forward on epoch, so a follower mid-catch-up is merely
+		// quiet, never wrong.
 		return ringResp(m.Seq, co.RingInfo())
 	case proto.MsgHeartbeat:
-		co.noteHeartbeat(m.Key, m.Version)
+		// Lease renewal must reach the leader — it runs the failure
+		// detector; a follower redirects so stores hunt the leader down.
+		if !co.isLeaderNow() {
+			return &proto.Msg{Type: proto.MsgErr, Seq: m.Seq,
+				Err: notLeaderError(co.currentLeader()).Error()}
+		}
+		co.noteHeartbeat(m.Key, m.Version, m.Epoch)
 		return ringResp(m.Seq, co.RingInfo())
+	case proto.MsgVote:
+		return co.handleVote(m)
+	case proto.MsgAppend:
+		return co.handleAppend(m)
 	case proto.MsgJoin:
 		ri, err := co.Join(m.Key)
 		if err != nil {
@@ -323,6 +483,11 @@ func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
 // lease ages (ms) so `freshctl status` can render liveness.
 func (co *Coordinator) statsMap() map[string]uint64 {
 	now := time.Now()
+	isLeader := co.isLeaderNow()
+	co.repMu.Lock()
+	term, lastIdx, commit := co.term, co.lastIndex, co.commitIdx
+	leaderAddr, elections := co.leaderAddr, co.elections
+	co.repMu.Unlock()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	st := map[string]uint64{
@@ -336,36 +501,67 @@ func (co *Coordinator) statsMap() map[string]uint64 {
 		"failovers":         co.failovers,
 		"rollbacks":         co.rollbacks,
 		"heartbeats":        co.heartbeats,
+		"coordinators":      uint64(len(co.peers) + 1),
+		"raft_term":         term,
+		"raft_last_index":   lastIdx,
+		"raft_commit_index": commit,
+		"elections":         elections,
+	}
+	if isLeader {
+		st["is_leader"] = 1
+	} else {
+		st["is_leader"] = 0
+	}
+	if leaderAddr != "" {
+		st["leader["+leaderAddr+"]"] = 1
 	}
 	if co.pending != "" {
 		st["pending["+co.pendingKind+" "+co.pending+"]"] = 1
 	}
 	for addr, ls := range co.leases {
 		st["lease_age_ms["+addr+"]"] = uint64(now.Sub(ls.lastBeat) / time.Millisecond)
+		if ls.misses > 0 {
+			st["heartbeat_misses["+addr+"]"] = ls.misses
+		}
 	}
 	return st
 }
 
-// noteHeartbeat renews a store's liveness lease.
-func (co *Coordinator) noteHeartbeat(addr string, version uint64) {
+// noteHeartbeat renews a store's liveness lease; misses is the
+// consecutive-failure streak the store reported overcoming to deliver
+// this beat. A first-ever beat replicates the registration to the
+// coordinator group (best effort, off the heartbeat path), so a new
+// leader inherits the detector's watch list.
+func (co *Coordinator) noteHeartbeat(addr string, version, misses uint64) {
 	if addr == "" {
 		return
 	}
 	co.mu.Lock()
-	defer co.mu.Unlock()
 	co.heartbeats++
 	ls := co.leases[addr]
-	if ls == nil {
+	isNew := ls == nil
+	if isNew {
 		ls = &lease{}
 		co.leases[addr] = ls
 	}
 	ls.lastBeat = time.Now()
+	ls.misses = misses
 	// A recovered store re-arms its detection: without this, a store
 	// once declared suspect (e.g. the unremovable-last-member path)
 	// would be exempt from failure detection forever after.
 	ls.failing = false
 	if version > ls.version {
 		ls.version = version
+	}
+	co.mu.Unlock()
+	if isNew && (len(co.peers) > 0 || co.disk != nil) {
+		co.wg.Add(1)
+		go func() {
+			defer co.wg.Done()
+			if err := co.propose("lease", nil); err != nil {
+				co.cfg.Logger.Printf("cluster: replicating lease registration of %s: %v", addr, err)
+			}
+		}()
 	}
 }
 
@@ -455,13 +651,16 @@ func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
 	if addr == "" {
 		return client.RingInfo{}, errors.New("cluster: join: empty store address")
 	}
+	if !co.isLeaderNow() {
+		return client.RingInfo{}, notLeaderError(co.currentLeader())
+	}
 	if err := co.admitChange(addr); err != nil {
 		return client.RingInfo{}, err
 	}
 	cur := co.RingInfo()
 	for _, n := range cur.Nodes {
 		if n == addr {
-			co.setPending("", "") // a pending join that in fact published
+			co.clearPending() // a pending join that in fact published
 			return client.RingInfo{}, fmt.Errorf("cluster: join: %s is already a ring member", addr)
 		}
 	}
@@ -475,18 +674,28 @@ func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
 		co.noteFailed()
 		return client.RingInfo{}, fmt.Errorf("cluster: join: store %s unreachable: %w", addr, err)
 	}
+	// Latch (and replicate) the change before the first donor mutates:
+	// from here on, a coordinator crash leaves the latch on a majority
+	// and the next leader resumes or rolls the adoption back.
+	if err := co.setPending(addr, "join"); err != nil {
+		co.noteFailed()
+		return client.RingInfo{}, fmt.Errorf("cluster: join: %w", err)
+	}
 	co.cfg.Logger.Printf("cluster: join %s: adopting from %v (epoch %d)", addr, cur.Nodes, cand.Epoch)
 	if err := joiner.Adopt(cand, addr, cur.Nodes); err != nil {
-		// A donor may already have switched its arc to forwarding;
-		// latch the change and let the recovery loop retry or roll it
-		// back — the cluster self-heals without an operator retry.
-		co.setPending(addr, "join")
+		// A donor may already have switched its arc to forwarding; the
+		// latch is already replicated — let the recovery loop retry or
+		// roll it back, no operator retry needed.
 		co.noteFailed()
 		co.scheduleRecovery()
 		return client.RingInfo{}, fmt.Errorf("cluster: join: adopt failed (auto-retrying): %w", err)
 	}
-	co.setPending("", "")
-	ri := co.publish(cand)
+	ri, err := co.publish(cand) // the ring entry clears the latch
+	if err != nil {
+		co.noteFailed()
+		co.scheduleRecovery()
+		return client.RingInfo{}, fmt.Errorf("cluster: join: %w", err)
+	}
 	co.mu.Lock()
 	co.joins++
 	co.mu.Unlock()
@@ -503,6 +712,9 @@ func (co *Coordinator) Join(addr string) (client.RingInfo, error) {
 func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 	co.changeMu.Lock()
 	defer co.changeMu.Unlock()
+	if !co.isLeaderNow() {
+		return client.RingInfo{}, notLeaderError(co.currentLeader())
+	}
 	if err := co.admitChange(addr); err != nil {
 		return client.RingInfo{}, err
 	}
@@ -514,7 +726,7 @@ func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 		}
 	}
 	if len(remaining) == len(cur.Nodes) {
-		co.setPending("", "") // a pending drain that in fact published
+		co.clearPending() // a pending drain that in fact published
 		return client.RingInfo{}, fmt.Errorf("cluster: drain: %s is not a ring member", addr)
 	}
 	if len(remaining) == 0 {
@@ -523,6 +735,10 @@ func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 	cand := cur
 	cand.Epoch = cur.Epoch + 1
 	cand.Nodes = remaining
+	if err := co.setPending(addr, "drain"); err != nil {
+		co.noteFailed()
+		return client.RingInfo{}, fmt.Errorf("cluster: drain: %w", err)
+	}
 	co.cfg.Logger.Printf("cluster: drain %s: %d stores adopting (epoch %d)",
 		addr, len(remaining), cand.Epoch)
 	co.beginAdoption(append([]string{addr}, remaining...)...)
@@ -530,15 +746,18 @@ func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 	for _, node := range remaining {
 		err := co.adoptClient(node).Adopt(cand, node, []string{addr})
 		if err != nil {
-			co.setPending(addr, "drain")
 			co.noteFailed()
 			co.scheduleRecovery()
 			return client.RingInfo{}, fmt.Errorf("cluster: drain: adopt by %s failed (auto-retrying): %w",
 				node, err)
 		}
 	}
-	co.setPending("", "")
-	ri := co.publish(cand)
+	ri, err := co.publish(cand) // the ring entry clears the latch
+	if err != nil {
+		co.noteFailed()
+		co.scheduleRecovery()
+		return client.RingInfo{}, fmt.Errorf("cluster: drain: %w", err)
+	}
 	co.mu.Lock()
 	co.drains++
 	co.mu.Unlock()
@@ -548,15 +767,25 @@ func (co *Coordinator) Drain(addr string) (client.RingInfo, error) {
 	return ri, nil
 }
 
-// publish installs the candidate ring as the current one.
-func (co *Coordinator) publish(cand client.RingInfo) client.RingInfo {
-	co.mu.Lock()
-	co.epoch = cand.Epoch
-	co.nodes = cand.Nodes
-	co.publishedAt = time.Now()
-	cand.PublishedAt = co.publishedAt
-	co.mu.Unlock()
-	return cand
+// publish replicates the candidate ring to a coordinator majority and
+// installs it as the current one. The same entry clears the pending
+// latch — a change completes or stays latched atomically, there is no
+// window where a crash loses one but keeps the other. An error means
+// the ring did NOT publish (this coordinator lost its leadership or
+// its quorum) and the caller's change must not proceed.
+func (co *Coordinator) publish(cand client.RingInfo) (client.RingInfo, error) {
+	stamp := time.Now()
+	err := co.propose("ring", func(e *logEntry) {
+		e.Epoch = cand.Epoch
+		e.Nodes = append([]string(nil), cand.Nodes...)
+		e.Stamp = stamp.UnixNano()
+		e.Pending, e.PendingKind = "", ""
+	})
+	if err != nil {
+		return client.RingInfo{}, fmt.Errorf("cluster: publish epoch %d: %w", cand.Epoch, err)
+	}
+	cand.PublishedAt = stamp
+	return cand, nil
 }
 
 // release tells each target store the ring is published so it can drop
@@ -587,12 +816,26 @@ func (co *Coordinator) noteFailed() {
 	co.mu.Unlock()
 }
 
-// setPending records (or clears) the incomplete-change latch; caller
-// holds changeMu.
-func (co *Coordinator) setPending(addr, kind string) {
-	co.mu.Lock()
-	co.pending, co.pendingKind = addr, kind
-	co.mu.Unlock()
+// setPending records (or clears) the incomplete-change latch,
+// replicating it to the coordinator group before anything acts on it —
+// a leader crash mid-change leaves the latch on a majority, so the
+// next leader resumes or rolls the change back instead of stranding
+// half-switched donors. No-op (and no log entry) when the latch
+// already holds the requested value. Caller holds changeMu.
+func (co *Coordinator) setPending(addr, kind string) error {
+	if cur, curKind := co.pendingChange(); cur == addr && curKind == kind {
+		return nil
+	}
+	return co.propose("pending", func(e *logEntry) {
+		e.Pending, e.PendingKind = addr, kind
+	})
+}
+
+// clearPending drops the latch (replicated like setPending).
+func (co *Coordinator) clearPending() {
+	if err := co.setPending("", ""); err != nil {
+		co.cfg.Logger.Printf("cluster: clearing pending latch: %v", err)
+	}
 }
 
 func (co *Coordinator) pendingChange() (addr, kind string) {
@@ -640,6 +883,11 @@ func (co *Coordinator) recoveryLoop() {
 		case <-co.cancel:
 			return
 		case <-time.After(co.cfg.RecoveryInterval):
+		}
+		if !co.isLeaderNow() {
+			// Only the leader may mutate stores; the change stays
+			// latched on a majority and the next leader resumes it.
+			return
 		}
 		addr, kind := co.pendingChange()
 		if addr == "" {
@@ -719,11 +967,16 @@ func (co *Coordinator) rollbackPending(addr, kind string, alive bool) {
 			c.Close()
 		}
 	}
-	ri := co.publish(cand)
+	ri, err := co.publish(cand) // the ring entry clears the latch
+	if err != nil {
+		// Lost leadership mid-rollback: the latch stays replicated and
+		// the new leader redoes the rollback (the pulls are idempotent).
+		co.cfg.Logger.Printf("cluster: rollback of pending %s of %s: %v", kind, addr, err)
+		return
+	}
 	co.mu.Lock()
 	co.rollbacks++
 	co.mu.Unlock()
-	co.setPending("", "")
 	co.release(ri, append(append([]string(nil), cur.Nodes...), addr))
 	co.cfg.Logger.Printf("cluster: rolled back pending %s of %s: republished epoch %d over %d stores",
 		kind, addr, ri.Epoch, len(ri.Nodes))
@@ -753,6 +1006,13 @@ func (co *Coordinator) detectLoop() {
 }
 
 func (co *Coordinator) checkLeases() {
+	// Only a leader with a live majority lease may declare stores dead:
+	// a partitioned ex-leader acting on silence it caused itself would
+	// fail over healthy shards (and its publishes would be rejected
+	// anyway). Followers grace every lease when they take over.
+	if !co.isLeaderNow() {
+		return
+	}
 	now := time.Now()
 	type deadStore struct {
 		addr    string
@@ -803,6 +1063,9 @@ func (co *Coordinator) checkLeases() {
 func (co *Coordinator) failover(addr string, version uint64) {
 	co.changeMu.Lock()
 	defer co.changeMu.Unlock()
+	if !co.isLeaderNow() {
+		return // deposed while queued; the new leader re-detects
+	}
 	// Re-check liveness: the store may have resumed heartbeating while
 	// this goroutine waited out changeMu (a blip just over the lease,
 	// or an aborted adoption unwinding). Removing it now would discard
@@ -857,12 +1120,12 @@ func (co *Coordinator) failover(addr string, version uint64) {
 	cand.Nodes = remaining
 	if pending != "" {
 		// Any half-done change is moot under the new membership; the
-		// republish below retires its forward switches. Its adopters
-		// may hold candidate epoch cur+1 with a different node list,
-		// and equal-epoch installs are skipped — burn an epoch so the
-		// failover ring dominates every copy of it.
+		// republish below retires its forward switches (and its ring
+		// entry clears the latch). Its adopters may hold candidate
+		// epoch cur+1 with a different node list, and equal-epoch
+		// installs are skipped — burn an epoch so the failover ring
+		// dominates every copy of it.
 		co.cfg.Logger.Printf("cluster: abandoning pending %s of %s for the failover of %s", kind, pending, addr)
-		co.setPending("", "")
 		cand.Epoch = cur.Epoch + 2
 	}
 	// Fence: survivors bump their version counters past the dead
@@ -880,7 +1143,14 @@ func (co *Coordinator) failover(addr string, version uint64) {
 			c.Close()
 		}
 	}
-	ri := co.publish(cand)
+	ri, err := co.publish(cand)
+	if err != nil {
+		// Deposed mid-failover: the dead store stays published until
+		// the new leader's own detector (its leases were graced, so it
+		// re-measures the silence) removes it.
+		co.cfg.Logger.Printf("cluster: failover of %s: %v", addr, err)
+		return
+	}
 	co.mu.Lock()
 	co.failovers++
 	co.mu.Unlock()

@@ -1,0 +1,579 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/proto"
+)
+
+// The coordinator group replicates its control-plane state with a
+// small Raft-style protocol over the existing wire format:
+//
+//   - Terms are monotonic election epochs (proto.MsgVote/MsgVoteResp),
+//     persisted with the vote so a restart cannot double-vote. A
+//     candidate needs a majority of the group, and voters only grant
+//     to a candidate whose replicated log is at least as up to date —
+//     so every committed entry survives any election.
+//   - The leader owns all mutations. Each mutation becomes a logEntry
+//     carrying the complete control-plane state, is fsynced locally,
+//     pushed to every peer (proto.MsgAppend/MsgAppendResp), and only
+//     applied — and answered to the client — once a majority holds it.
+//   - The leader's periodic empty appends double as a leadership
+//     lease: a leader that cannot reach a majority for LeaderLease
+//     steps down and stops accepting mutations, so two leaders can
+//     never both publish (the stale one's appends are term-rejected).
+//   - Followers serve reads (ring polls, stats) from committed state
+//     and answer mutations with a NOTLEADER redirect carrying the
+//     leader's address.
+//
+// Because entries are full state, catch-up needs no log walk: the
+// leader attaches its newest committed entry to every pulse, and a
+// follower that missed any number of entries is current again after
+// one append.
+
+// role is a coordinator's place in the group.
+type role uint8
+
+// Coordinator roles.
+const (
+	roleFollower role = iota
+	roleCandidate
+	roleLeader
+)
+
+func (r role) String() string {
+	switch r {
+	case roleLeader:
+		return "leader"
+	case roleCandidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// notLeaderPrefix marks mutation refusals by a non-leader coordinator;
+// the remainder of the error text is the refuser's current leader hint
+// (possibly empty mid-election). CoordClient redirects on it.
+const notLeaderPrefix = "NOTLEADER "
+
+// notLeaderError builds the refusal carrying a leader hint.
+func notLeaderError(leader string) error {
+	return fmt.Errorf("%s%s", notLeaderPrefix, leader)
+}
+
+// leaderHint extracts the redirect target from a NOTLEADER refusal
+// (possibly wrapped by the client as an ErrServer). ok reports whether
+// err is such a refusal at all; addr may still be empty mid-election.
+func leaderHint(err error) (addr string, ok bool) {
+	if err == nil {
+		return "", false
+	}
+	s := err.Error()
+	i := strings.Index(s, notLeaderPrefix)
+	if i < 0 {
+		return "", false
+	}
+	return strings.TrimSpace(s[i+len(notLeaderPrefix):]), true
+}
+
+// isLeaderNow reports whether this coordinator may act as leader right
+// now: it holds the role and has heard a majority within LeaderLease.
+// A solo coordinator (no peers) always leads.
+func (co *Coordinator) isLeaderNow() bool {
+	if len(co.peers) == 0 {
+		return true
+	}
+	co.repMu.Lock()
+	defer co.repMu.Unlock()
+	return co.role == roleLeader && time.Since(co.majorityAt) <= co.leaderLease
+}
+
+// currentLeader returns the address this coordinator believes leads
+// the group ("" while unknown, e.g. mid-election).
+func (co *Coordinator) currentLeader() string {
+	if len(co.peers) == 0 {
+		return co.self
+	}
+	co.repMu.Lock()
+	defer co.repMu.Unlock()
+	return co.leaderAddr
+}
+
+// Leader returns the believed leader address ("" while unknown) and
+// whether this coordinator is it, with a live majority lease.
+func (co *Coordinator) Leader() (string, bool) {
+	return co.currentLeader(), co.isLeaderNow()
+}
+
+// Term returns the current election term (0 in solo mode until state
+// is replicated).
+func (co *Coordinator) Term() uint64 {
+	co.repMu.Lock()
+	defer co.repMu.Unlock()
+	return co.term
+}
+
+// peerConn returns the persistent client for one coordinator peer.
+func (co *Coordinator) peerConn(addr string) *client.Client {
+	return co.peerConns[addr]
+}
+
+// peerRPCTimeout bounds one vote/append exchange: half the leader
+// lease (an RPC slower than that is useless for lease renewal),
+// clamped to sane bounds.
+func peerRPCTimeout(lease time.Duration) time.Duration {
+	rto := lease / 2
+	if rto < 100*time.Millisecond {
+		rto = 100 * time.Millisecond
+	}
+	if rto > 2*time.Second {
+		rto = 2 * time.Second
+	}
+	return rto
+}
+
+// randTimeoutLocked draws a fresh election timeout in
+// [LeaderLease, 1.5·LeaderLease): longer than the leader's pulse
+// period so a healthy leader is never challenged, jittered so
+// concurrent candidacies de-synchronize. Caller holds repMu.
+func (co *Coordinator) randTimeoutLocked() time.Duration {
+	return co.leaderLease + time.Duration(co.rng.Float64()*float64(co.leaderLease)/2)
+}
+
+// seedFor derives the election-jitter seed from the coordinator's
+// identity and boot time, so restarted peers do not draw identical
+// timeout sequences.
+func seedFor(self string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(self))
+	return h.Sum64() ^ uint64(time.Now().UnixNano())
+}
+
+// persistMetaLocked durably records the term/vote pair; caller holds
+// repMu. A persistence failure is logged, not fatal: the coordinator
+// keeps serving, it just may double-vote after a crash (no worse than
+// running without -data at all).
+func (co *Coordinator) persistMetaLocked() {
+	if co.disk == nil {
+		return
+	}
+	if err := co.disk.putMeta(co.term, co.votedFor); err != nil {
+		co.cfg.Logger.Printf("cluster: persisting election meta: %v", err)
+	}
+}
+
+// observeTerm adopts a newer term seen in any peer response: whatever
+// this coordinator was doing (leading, campaigning), someone moved the
+// group past it, so it reverts to follower with a fresh vote.
+func (co *Coordinator) observeTerm(t uint64) {
+	co.repMu.Lock()
+	defer co.repMu.Unlock()
+	if t <= co.term {
+		return
+	}
+	if co.role == roleLeader {
+		co.cfg.Logger.Printf("cluster: coordinator %s deposed: term %d supersedes its term %d", co.self, t, co.term)
+	}
+	co.term = t
+	co.votedFor = ""
+	co.role = roleFollower
+	co.leaderAddr = ""
+	co.lastHeard = time.Now()
+	co.persistMetaLocked()
+}
+
+// ---- RPC handlers (follower side) ----
+
+// handleVote answers a candidate's MsgVote.
+func (co *Coordinator) handleVote(m *proto.Msg) *proto.Msg {
+	co.repMu.Lock()
+	defer co.repMu.Unlock()
+	if m.Epoch > co.term {
+		if co.role == roleLeader {
+			co.cfg.Logger.Printf("cluster: coordinator %s deposed by candidate %s (term %d)", co.self, m.Key, m.Epoch)
+		}
+		co.term, co.votedFor, co.role, co.leaderAddr = m.Epoch, "", roleFollower, ""
+		co.persistMetaLocked()
+	}
+	// Grant only within the current term, once, and only to a candidate
+	// whose log is at least as up to date — the Raft election
+	// restriction that keeps committed entries on every possible leader.
+	candLastTerm := uint64(m.Stamp)
+	upToDate := candLastTerm > co.lastTerm ||
+		(candLastTerm == co.lastTerm && m.Version >= co.lastIndex)
+	granted := m.Epoch == co.term &&
+		(co.votedFor == "" || co.votedFor == m.Key) && upToDate
+	if granted {
+		co.votedFor = m.Key
+		co.lastHeard = time.Now() // a live candidacy defers our own
+		co.persistMetaLocked()
+	}
+	st := proto.StatusError
+	if granted {
+		st = proto.StatusOK
+	}
+	return &proto.Msg{Type: proto.MsgVoteResp, Seq: m.Seq, Epoch: co.term, Status: st}
+}
+
+// handleAppend answers a leader's MsgAppend: renews the leadership
+// lease, stores an attached entry if it supersedes the local newest,
+// and applies it once the leader's commit index covers it. A stale
+// term is rejected outright — the partitioned ex-leader's publishes
+// die here.
+func (co *Coordinator) handleAppend(m *proto.Msg) *proto.Msg {
+	co.repMu.Lock()
+	if m.Epoch < co.term {
+		resp := &proto.Msg{Type: proto.MsgAppendResp, Seq: m.Seq,
+			Epoch: co.term, Version: co.lastIndex, Status: proto.StatusError}
+		co.repMu.Unlock()
+		return resp
+	}
+	if m.Epoch > co.term {
+		co.term, co.votedFor = m.Epoch, ""
+		co.persistMetaLocked()
+	}
+	if co.role == roleLeader && m.Key != co.self {
+		co.cfg.Logger.Printf("cluster: coordinator %s deposed by leader %s (term %d)", co.self, m.Key, m.Epoch)
+	}
+	co.role = roleFollower
+	co.leaderAddr = m.Key
+	co.lastHeard = time.Now()
+	if len(m.Value) > 0 {
+		var e logEntry
+		if err := json.Unmarshal(m.Value, &e); err != nil {
+			resp := &proto.Msg{Type: proto.MsgAppendResp, Seq: m.Seq,
+				Epoch: co.term, Version: co.lastIndex, Status: proto.StatusError}
+			co.repMu.Unlock()
+			return resp
+		}
+		if e.supersedes(co.lastTerm, co.lastIndex) {
+			co.lastTerm, co.lastIndex, co.lastEntry = e.Term, e.Index, e
+			if co.disk != nil {
+				if err := co.disk.append(e); err != nil {
+					co.cfg.Logger.Printf("cluster: persisting replicated entry %d/%d: %v", e.Term, e.Index, err)
+				}
+			}
+		}
+	}
+	// Apply the newest held entry once the leader's commit index covers
+	// it; entries are full state, so nothing in between is needed.
+	var apply *logEntry
+	if co.lastIndex > 0 && co.lastIndex <= m.Version && co.appliedIdx < co.lastIndex {
+		e := co.lastEntry
+		apply = &e
+	}
+	resp := &proto.Msg{Type: proto.MsgAppendResp, Seq: m.Seq,
+		Epoch: co.term, Version: co.lastIndex, Status: proto.StatusOK}
+	co.repMu.Unlock()
+	if apply != nil {
+		co.applyEntry(*apply)
+	}
+	return resp
+}
+
+// ---- Log application and proposal (leader side) ----
+
+// snapshotEntry captures the complete current control-plane state as a
+// log entry body (term/index/kind assigned by propose).
+func (co *Coordinator) snapshotEntry() logEntry {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	leases := make([]string, 0, len(co.leases))
+	for a := range co.leases {
+		leases = append(leases, a)
+	}
+	e := logEntry{
+		Epoch:    co.epoch,
+		Nodes:    append([]string(nil), co.nodes...),
+		VNodes:   co.cfg.VirtualNodes,
+		Replicas: co.cfg.Replicas,
+		Stamp:    co.publishedAt.UnixNano(),
+		Pending:  co.pending, PendingKind: co.pendingKind,
+		Leases: leases,
+	}
+	return e
+}
+
+// applyEntry installs a committed entry's state. Lease entries merge:
+// a store named in the entry is registered with a fresh lease if
+// unknown, but a live local lastBeat is never clobbered.
+func (co *Coordinator) applyEntry(e logEntry) {
+	now := time.Now()
+	co.mu.Lock()
+	co.epoch = e.Epoch
+	co.nodes = append([]string(nil), e.Nodes...)
+	if e.Stamp != 0 {
+		co.publishedAt = time.Unix(0, e.Stamp)
+	}
+	co.pending, co.pendingKind = e.Pending, e.PendingKind
+	for _, a := range e.Leases {
+		if co.leases[a] == nil {
+			co.leases[a] = &lease{lastBeat: now}
+		}
+	}
+	co.mu.Unlock()
+	co.repMu.Lock()
+	if co.appliedIdx < e.Index {
+		co.appliedIdx = e.Index
+	}
+	co.repMu.Unlock()
+}
+
+// propose replicates one control-plane mutation: it snapshots the
+// current state into a full-state entry, lets mut shape it, fsyncs it
+// locally, pushes it to every peer and — only once a majority holds
+// it — applies it and returns nil. Every mutation path (ring publish,
+// pending latch, lease registration) funnels through here, so nothing
+// takes effect on this coordinator that a leader crash could lose.
+func (co *Coordinator) propose(kind string, mut func(*logEntry)) error {
+	co.proposeMu.Lock()
+	defer co.proposeMu.Unlock()
+	e := co.snapshotEntry()
+	e.Kind = kind
+	if mut != nil {
+		mut(&e)
+	}
+	co.repMu.Lock()
+	if len(co.peers) > 0 && (co.role != roleLeader || time.Since(co.majorityAt) > co.leaderLease) {
+		leader := co.leaderAddr
+		co.repMu.Unlock()
+		return notLeaderError(leader)
+	}
+	term := co.term
+	e.Term, e.Index = term, co.lastIndex+1
+	co.lastTerm, co.lastIndex, co.lastEntry = e.Term, e.Index, e
+	var perr error
+	if co.disk != nil {
+		perr = co.disk.append(e)
+	}
+	commit := co.commitIdx
+	co.repMu.Unlock()
+	if perr != nil {
+		return fmt.Errorf("cluster: persisting %s entry: %w", kind, perr)
+	}
+	if len(co.peers) > 0 {
+		acks, maxTerm := co.broadcastAppend(term, commit, &e)
+		if maxTerm > term {
+			co.observeTerm(maxTerm)
+		}
+		if acks+1 < co.quorum {
+			return fmt.Errorf("cluster: %s entry %d/%d reached %d/%d coordinators, not a quorum",
+				kind, e.Term, e.Index, acks+1, co.quorum)
+		}
+	}
+	co.repMu.Lock()
+	if co.commitIdx < e.Index {
+		co.commitIdx = e.Index
+	}
+	co.majorityAt = time.Now()
+	co.repMu.Unlock()
+	co.applyEntry(e)
+	return nil
+}
+
+// broadcastAppend pushes one append round to every peer concurrently —
+// with an entry attached (propose, catch-up) or without (pure lease
+// pulse) — and returns the ack count and the highest term seen.
+func (co *Coordinator) broadcastAppend(term, commit uint64, e *logEntry) (acks int, maxTerm uint64) {
+	var buf []byte
+	var need uint64
+	if e != nil {
+		b, err := json.Marshal(*e)
+		if err != nil {
+			return 0, 0
+		}
+		buf, need = b, e.Index
+	}
+	type res struct {
+		ok   bool
+		term uint64
+	}
+	ch := make(chan res, len(co.peers))
+	for _, p := range co.peers {
+		go func(p string) {
+			ok, pTerm, pLast, err := co.peerConn(p).Append(term, commit, co.self, buf)
+			ch <- res{ok: err == nil && ok && pLast >= need, term: pTerm}
+		}(p)
+	}
+	for range co.peers {
+		r := <-ch
+		if r.ok {
+			acks++
+		}
+		if r.term > maxTerm {
+			maxTerm = r.term
+		}
+	}
+	return acks, maxTerm
+}
+
+// ---- Election and leadership loops ----
+
+// electionLoop watches for leader silence and campaigns when the
+// jittered election timeout elapses without a valid append or granted
+// candidacy. Runs only in multi-coordinator mode.
+func (co *Coordinator) electionLoop() {
+	defer co.wg.Done()
+	tick := co.leaderLease / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-co.cancel:
+			return
+		case <-ticker.C:
+		}
+		co.repMu.Lock()
+		if co.role == roleLeader {
+			co.repMu.Unlock()
+			continue // pulseLoop owns lease accounting and step-down
+		}
+		if time.Since(co.lastHeard) <= co.electionTimeout {
+			co.repMu.Unlock()
+			continue
+		}
+		co.term++
+		co.votedFor = co.self
+		co.role = roleCandidate
+		co.elections++
+		co.lastHeard = time.Now()
+		co.electionTimeout = co.randTimeoutLocked()
+		co.persistMetaLocked()
+		term, lastIdx, lastTerm := co.term, co.lastIndex, co.lastTerm
+		co.repMu.Unlock()
+		co.runElection(term, lastIdx, lastTerm)
+	}
+}
+
+// runElection solicits every peer's vote for term and takes leadership
+// on a majority.
+func (co *Coordinator) runElection(term, lastIdx, lastTerm uint64) {
+	type res struct {
+		granted bool
+		term    uint64
+	}
+	ch := make(chan res, len(co.peers))
+	for _, p := range co.peers {
+		go func(p string) {
+			granted, pTerm, err := co.peerConn(p).Vote(term, lastIdx, lastTerm, co.self)
+			ch <- res{granted: err == nil && granted, term: pTerm}
+		}(p)
+	}
+	votes := 1 // self
+	for range co.peers {
+		r := <-ch
+		if r.term > term {
+			co.observeTerm(r.term)
+			return
+		}
+		if r.granted {
+			votes++
+		}
+	}
+	if votes < co.quorum {
+		return // split or lost; the timeout re-fires with fresh jitter
+	}
+	co.becomeLeader(term)
+}
+
+// becomeLeader installs leadership for term: graces every store lease
+// (silence is measured against this leader's reign, not the dead
+// one's), commits a no-op entry to seal any predecessor tail under the
+// new term, and resumes recovery of a replicated pending change.
+func (co *Coordinator) becomeLeader(term uint64) {
+	co.repMu.Lock()
+	if co.role != roleCandidate || co.term != term {
+		co.repMu.Unlock()
+		return
+	}
+	co.role = roleLeader
+	co.leaderAddr = co.self
+	co.majorityAt = time.Now()
+	co.repMu.Unlock()
+	co.cfg.Logger.Printf("cluster: coordinator %s elected leader for term %d", co.self, term)
+	now := time.Now()
+	co.mu.Lock()
+	for _, ls := range co.leases {
+		ls.lastBeat = now
+		ls.failing = false
+	}
+	pending := co.pending
+	co.mu.Unlock()
+	co.wg.Add(1)
+	go func() {
+		defer co.wg.Done()
+		if err := co.propose("noop", nil); err != nil {
+			co.cfg.Logger.Printf("cluster: leader %s could not commit its no-op entry: %v", co.self, err)
+			return
+		}
+		if pending != "" {
+			co.cfg.Logger.Printf("cluster: leader %s inherited a pending change for %s; recovering it", co.self, pending)
+			co.scheduleRecovery()
+		}
+	}()
+}
+
+// pulseLoop is the leader's heartbeat: a few times per lease it pushes
+// an append round (carrying the newest committed entry, so stragglers
+// catch up for free) and refreshes the majority lease from the acks. A
+// leader that cannot renew for a full lease steps down — mutations are
+// already refused by then (isLeaderNow), this just restores the
+// follower role so it can vote again.
+func (co *Coordinator) pulseLoop() {
+	defer co.wg.Done()
+	tick := co.leaderLease / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-co.cancel:
+			return
+		case <-ticker.C:
+		}
+		co.repMu.Lock()
+		if co.role != roleLeader {
+			co.repMu.Unlock()
+			continue
+		}
+		if time.Since(co.majorityAt) > co.leaderLease {
+			co.cfg.Logger.Printf("cluster: coordinator %s lost its majority lease; stepping down from term %d", co.self, co.term)
+			co.role = roleFollower
+			co.leaderAddr = ""
+			co.lastHeard = time.Now()
+			co.electionTimeout = co.randTimeoutLocked()
+			co.repMu.Unlock()
+			continue
+		}
+		term, commit := co.term, co.commitIdx
+		var e *logEntry
+		if co.lastIndex > 0 && co.lastIndex <= commit {
+			ce := co.lastEntry
+			e = &ce
+		}
+		co.repMu.Unlock()
+		acks, maxTerm := co.broadcastAppend(term, commit, e)
+		if maxTerm > term {
+			co.observeTerm(maxTerm)
+			continue
+		}
+		if acks+1 >= co.quorum {
+			co.repMu.Lock()
+			if co.role == roleLeader && co.term == term {
+				co.majorityAt = time.Now()
+			}
+			co.repMu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/cluster"
+)
+
+// startGroup boots an n-coordinator replicated control plane on
+// loopback with pre-allocated listeners (every member needs the full
+// peer list before any member starts). dataDirs may be nil (in-memory)
+// or hold one directory per member.
+func startGroup(t *testing.T, n int, lease time.Duration, stores []string, dataDirs []string) ([]*cluster.Coordinator, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i], addrs[i] = ln, ln.Addr().String()
+	}
+	coords := make([]*cluster.Coordinator, n)
+	for i := range coords {
+		cfg := cluster.Config{
+			Stores: stores, LeaseInterval: time.Hour, Logger: quiet(),
+			SelfAddr: addrs[i], Peers: addrs, LeaderLease: lease,
+		}
+		if dataDirs != nil {
+			cfg.DataDir = dataDirs[i]
+		}
+		co, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords[i] = co
+		go co.Serve(lns[i]) //nolint:errcheck
+		t.Cleanup(func() { co.Close() })
+	}
+	return coords, addrs
+}
+
+// leaderOf returns the index of the group member currently holding
+// leadership with a live majority lease, or -1.
+func leaderOf(coords []*cluster.Coordinator) int {
+	for i, co := range coords {
+		if co == nil {
+			continue
+		}
+		if _, isLeader := co.Leader(); isLeader {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestLeaderKillPromotesFollower is the control-plane HA acceptance
+// test: a 3-coordinator group elects exactly one leased leader, killing
+// it promotes a follower within a few leader leases, and a CoordClient
+// pointed at the whole group keeps landing mutations (here: a store
+// heartbeat, which only the leader accepts) across the transition.
+func TestLeaderKillPromotesFollower(t *testing.T) {
+	const lease = 200 * time.Millisecond
+	coords, addrs := startGroup(t, 3, lease, []string{"127.0.0.1:1"}, nil)
+
+	waitFor(t, 20*lease, "group never elected a leader", func() bool {
+		return leaderOf(coords) >= 0
+	})
+	victim := leaderOf(coords)
+
+	// A mutation routed through the group finds the leader (follower
+	// NOTLEADER redirects included — the client may start anywhere).
+	cc := cluster.NewCoordClient(addrs[(victim+1)%3], client.Options{MaxAttempts: 1})
+	defer cc.Close()
+	if _, err := cc.Heartbeat("fake-store:1", 1, 0); err != nil {
+		t.Fatalf("heartbeat via follower redirect: %v", err)
+	}
+
+	killedAt := time.Now()
+	coords[victim].Close()
+	coords[victim] = nil
+
+	waitFor(t, 10*lease, "no follower took over after the leader kill", func() bool {
+		return leaderOf(coords) >= 0
+	})
+	took := time.Since(killedAt)
+	newLeader := leaderOf(coords)
+	if newLeader == victim {
+		t.Fatalf("dead coordinator %d still counted as leader", victim)
+	}
+	// Detection (one lease of silence) + jittered campaign + vote round.
+	if took > 5*lease {
+		t.Errorf("promotion took %v, want within ~%v", took, 5*lease)
+	}
+	if term := coords[newLeader].Term(); term < 2 {
+		t.Errorf("new leader's term = %d, want >= 2 (a fresh election)", term)
+	}
+
+	// The multi-address client keeps working against the new leader.
+	cc2 := cluster.NewCoordClient(addrs[0]+","+addrs[1]+","+addrs[2], client.Options{MaxAttempts: 1})
+	defer cc2.Close()
+	if _, err := cc2.Heartbeat("fake-store:1", 2, 0); err != nil {
+		t.Fatalf("heartbeat after failover: %v", err)
+	}
+}
+
+// TestStaleTermPublishRejected pins the fencing property down at the
+// wire level: once the group's term has moved on, an append carrying an
+// older term — a partitioned ex-leader trying to publish — is rejected
+// by every member and mutates nothing.
+func TestStaleTermPublishRejected(t *testing.T) {
+	const lease = 200 * time.Millisecond
+	coords, addrs := startGroup(t, 3, lease, []string{"127.0.0.1:1"}, nil)
+	waitFor(t, 20*lease, "group never elected a leader", func() bool {
+		return leaderOf(coords) >= 0
+	})
+
+	// A forged full-state entry a stale leader might push: term 0
+	// predates every elected term (the first election uses term >= 1).
+	entry, err := json.Marshal(map[string]any{
+		"index": 99, "term": 0, "kind": "ring",
+		"epoch": 99, "nodes": []string{"999.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, addr := range addrs {
+		c := client.New(addr, client.Options{MaxAttempts: 1})
+		before, err := c.RingGet()
+		if err != nil {
+			t.Fatalf("ring from %d: %v", i, err)
+		}
+		ok, peerTerm, _, err := c.Append(0, 99, "stale-leader:1", entry)
+		if err != nil {
+			t.Fatalf("append to %d: %v", i, err)
+		}
+		if ok {
+			t.Errorf("coordinator %d accepted a term-0 append", i)
+		}
+		if peerTerm < 1 {
+			t.Errorf("coordinator %d echoed term %d, want >= 1", i, peerTerm)
+		}
+		after, err := c.RingGet()
+		if err != nil {
+			t.Fatalf("ring from %d: %v", i, err)
+		}
+		if after.Epoch != before.Epoch || after.Epoch == 99 {
+			t.Errorf("coordinator %d's ring moved %d -> %d on a stale append", i, before.Epoch, after.Epoch)
+		}
+		c.Close()
+	}
+
+	// A stale-term VOTE is refused the same way.
+	c := client.New(addrs[0], client.Options{MaxAttempts: 1})
+	defer c.Close()
+	granted, peerTerm, err := c.Vote(0, 0, 0, "stale-candidate:1")
+	if err != nil {
+		t.Fatalf("vote: %v", err)
+	}
+	if granted {
+		t.Error("coordinator granted a term-0 vote")
+	}
+	if peerTerm < 1 {
+		t.Errorf("vote response echoed term %d, want >= 1", peerTerm)
+	}
+}
+
+// TestRestartReplaysPersistedLog drives a coordinator with a data
+// directory through real membership churn (join then drain, two ring
+// publishes), kills it, and asserts a restart over the same directory
+// replays the log to the exact pre-crash epoch and membership — before
+// any network traffic.
+func TestRestartReplaysPersistedLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "coord")
+	_, addrA := startStore(t, "A")
+	_, addrB := startStore(t, "B")
+	_, addrC := startStore(t, "C")
+
+	co, err := cluster.New(cluster.Config{
+		Stores: []string{addrA, addrB}, LeaseInterval: time.Hour,
+		Logger: quiet(), DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go co.Serve(ln) //nolint:errcheck
+
+	if _, err := co.Join(addrC); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if _, err := co.Drain(addrC); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	before := co.RingInfo()
+	if before.Epoch != 3 {
+		t.Fatalf("epoch after join+drain = %d, want 3", before.Epoch)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart over the same directory; cfg.Stores is deliberately stale
+	// (the pre-churn list) — the log, not the flag, must win.
+	re, err := cluster.New(cluster.Config{
+		Stores: []string{addrA, addrB}, LeaseInterval: time.Hour,
+		Logger: quiet(), DataDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer re.Close()
+	after := re.RingInfo()
+	if after.Epoch != before.Epoch {
+		t.Fatalf("restarted epoch = %d, want exact pre-crash epoch %d", after.Epoch, before.Epoch)
+	}
+	if fmt.Sprint(after.Nodes) != fmt.Sprint(before.Nodes) {
+		t.Fatalf("restarted nodes = %v, want %v", after.Nodes, before.Nodes)
+	}
+	if after.PublishedAt.UnixNano() != before.PublishedAt.UnixNano() {
+		t.Errorf("restarted publish stamp = %v, want %v (staleness deadlines key off it)",
+			after.PublishedAt, before.PublishedAt)
+	}
+}
+
+// TestRestartEmptyDataDir checks the other side of the restore path: a
+// data directory with nothing in it falls back to cfg.Stores exactly
+// like a coordinator without one.
+func TestRestartEmptyDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "coord")
+	co, err := cluster.New(cluster.Config{
+		Stores: []string{"127.0.0.1:1"}, LeaseInterval: time.Hour,
+		Logger: quiet(), DataDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.RingInfo().Epoch; got != 1 {
+		t.Fatalf("fresh coordinator epoch = %d, want 1", got)
+	}
+	co.Close()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("data dir was not created: %v", err)
+	}
+}
+
+// TestWatcherResumesAfterCoordinatorRestart exercises the watcher's
+// stall/resume accounting end to end: polls fail while the coordinator
+// is down, and the first successful poll after the restart clears the
+// consecutive counter, bumps Resumes and fires the OnResume hook with
+// the streak length.
+func TestWatcherResumesAfterCoordinatorRestart(t *testing.T) {
+	co, err := cluster.New(cluster.Config{
+		Stores: []string{"127.0.0.1:1"}, LeaseInterval: time.Hour, Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go co.Serve(ln) //nolint:errcheck
+
+	streaks := make(chan uint64, 16)
+	var polled atomic.Bool
+	w := cluster.NewWatcher(addr, 10*time.Millisecond, 0, func(client.RingInfo) { polled.Store(true) })
+	w.SetLogger(quiet())
+	w.OnResume(func(streak uint64) { streaks <- streak })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	waitFor(t, 5*time.Second, "watcher never polled the live coordinator", func() bool {
+		return polled.Load()
+	})
+	co.Close()
+	waitFor(t, 5*time.Second, "watcher never noticed the dead coordinator", func() bool {
+		return w.ConsecutiveFailures() >= 3
+	})
+
+	// Same address, fresh coordinator: the next poll ends the streak.
+	co2, err := cluster.New(cluster.Config{
+		Stores: []string{"127.0.0.1:1"}, LeaseInterval: time.Hour, Logger: quiet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ln2 net.Listener
+	waitFor(t, 5*time.Second, "could not rebind the coordinator address", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	go co2.Serve(ln2) //nolint:errcheck
+	t.Cleanup(func() { co2.Close() })
+
+	waitFor(t, 5*time.Second, "watcher never resumed", func() bool {
+		return w.Resumes() == 1 && w.ConsecutiveFailures() == 0
+	})
+	select {
+	case streak := <-streaks:
+		if streak < 3 {
+			t.Errorf("OnResume streak = %d, want >= 3", streak)
+		}
+	default:
+		t.Error("OnResume hook never fired")
+	}
+}

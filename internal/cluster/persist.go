@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// logEntry is one record of the coordinator's replicated control-plane
+// log. Every entry carries the complete control-plane state (ring,
+// pending-change latch, registered leases) rather than a delta: entries
+// are tiny (a handful of addresses), and full-state records make both
+// follower catch-up and restart recovery a single-entry affair — a
+// follower that missed any number of entries is current again after the
+// leader's next append, and a restarted coordinator resumes at exactly
+// the last entry on its disk.
+type logEntry struct {
+	// Index and Term order entries: (Term, Index) lexicographic order
+	// decides which of two entries supersedes the other.
+	Index uint64 `json:"index"`
+	Term  uint64 `json:"term"`
+	// Kind names the mutation that produced the entry: "ring" (a ring
+	// publish), "pending" (the incomplete-change latch moved), "lease"
+	// (a new store registered with the failure detector) or "noop" (a
+	// fresh leader committing its predecessors' tail).
+	Kind string `json:"kind"`
+	// The replicated control-plane state, whole.
+	Epoch       uint64   `json:"epoch"`
+	Nodes       []string `json:"nodes"`
+	VNodes      int      `json:"vnodes"`
+	Replicas    int      `json:"replicas"`
+	Stamp       int64    `json:"stamp"` // ring publish time, unix ns
+	Pending     string   `json:"pending,omitempty"`
+	PendingKind string   `json:"pending_kind,omitempty"`
+	Leases      []string `json:"leases,omitempty"`
+}
+
+// supersedes reports whether e is newer than the (term, index) pair.
+func (e logEntry) supersedes(term, index uint64) bool {
+	return e.Term > term || (e.Term == term && e.Index > index)
+}
+
+// persistMeta is the durable election state: the term this coordinator
+// has seen and the candidate it voted for in it. Persisted before a
+// vote is granted or a candidacy announced, so a restart cannot double-
+// vote within one term.
+type persistMeta struct {
+	Term     uint64 `json:"term"`
+	VotedFor string `json:"voted_for,omitempty"`
+}
+
+// compactAfter bounds log.jsonl: once this many entries follow the last
+// snapshot, the newest entry becomes the snapshot and the log truncates.
+// Entries are full state, so the snapshot is just the last entry.
+const compactAfter = 1024
+
+// diskLog is the on-disk form of the replicated log under one
+// directory:
+//
+//	meta.json     — {"term": N, "voted_for": "addr"}; replaced
+//	                atomically (tmp + rename) on every term/vote change.
+//	snapshot.json — the last compacted logEntry, replaced atomically.
+//	log.jsonl     — one JSON logEntry per line, appended and fsynced
+//	                per entry (control-plane mutations are rare), cut
+//	                back to empty whenever snapshot.json advances.
+//
+// Recovery reads meta, then snapshot, then replays log.jsonl in order;
+// the last surviving (term, index)-max entry is the state the
+// coordinator resumes with. A torn final line (crash mid-append) is
+// discarded.
+type diskLog struct {
+	dir string
+	f   *os.File // log.jsonl append handle
+	n   int      // entries appended since the last snapshot
+}
+
+// openDiskLog opens (creating if needed) the durable log in dir and
+// returns it along with the recovered election meta and every entry on
+// disk, snapshot first, in file order.
+func openDiskLog(dir string) (*diskLog, persistMeta, []logEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, persistMeta{}, nil, fmt.Errorf("cluster: data dir %s: %w", dir, err)
+	}
+	var meta persistMeta
+	if b, err := os.ReadFile(filepath.Join(dir, "meta.json")); err == nil {
+		if err := json.Unmarshal(b, &meta); err != nil {
+			return nil, persistMeta{}, nil, fmt.Errorf("cluster: corrupt %s/meta.json: %w", dir, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, persistMeta{}, nil, err
+	}
+	var entries []logEntry
+	if b, err := os.ReadFile(filepath.Join(dir, "snapshot.json")); err == nil {
+		var snap logEntry
+		if err := json.Unmarshal(b, &snap); err != nil {
+			return nil, persistMeta{}, nil, fmt.Errorf("cluster: corrupt %s/snapshot.json: %w", dir, err)
+		}
+		entries = append(entries, snap)
+	} else if !os.IsNotExist(err) {
+		return nil, persistMeta{}, nil, err
+	}
+	logPath := filepath.Join(dir, "log.jsonl")
+	n := 0
+	if f, err := os.Open(logPath); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e logEntry
+			if err := json.Unmarshal(line, &e); err != nil {
+				// A torn tail from a crash mid-append; everything before
+				// it is intact and fsynced, so stop here.
+				break
+			}
+			entries = append(entries, e)
+			n++
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, persistMeta{}, nil, fmt.Errorf("cluster: reading %s: %w", logPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, persistMeta{}, nil, err
+	}
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, persistMeta{}, nil, err
+	}
+	return &diskLog{dir: dir, f: f, n: n}, meta, entries, nil
+}
+
+// putMeta durably replaces the election meta (tmp write + fsync +
+// rename).
+func (d *diskLog) putMeta(term uint64, votedFor string) error {
+	b, err := json.Marshal(persistMeta{Term: term, VotedFor: votedFor})
+	if err != nil {
+		return err
+	}
+	return d.atomicWrite("meta.json", b)
+}
+
+// append durably appends one entry to log.jsonl, compacting into
+// snapshot.json when the log has grown past compactAfter.
+func (d *diskLog) append(e logEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := d.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.n++
+	if d.n >= compactAfter {
+		return d.compact(e)
+	}
+	return nil
+}
+
+// compact promotes e (the newest entry, which carries full state) to
+// the snapshot and truncates the log.
+func (d *diskLog) compact(e logEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if err := d.atomicWrite("snapshot.json", b); err != nil {
+		return err
+	}
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(d.dir, "log.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	d.f, d.n = f, 0
+	return nil
+}
+
+func (d *diskLog) atomicWrite(name string, b []byte) error {
+	tmp := filepath.Join(d.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(d.dir, name))
+}
+
+func (d *diskLog) close() error {
+	if d == nil || d.f == nil {
+		return nil
+	}
+	return d.f.Close()
+}

@@ -4,24 +4,37 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"freshcache/internal/client"
 )
 
-// FetchRing fetches the coordinator's published ring, retrying until
-// the deadline — the startup path for caches, LBs and benches that
+// FetchRing fetches the coordinator group's published ring, retrying
+// (and rotating through the comma-separated address list) until the
+// deadline — the startup path for caches, LBs and benches that
 // bootstrap their store list from the cluster instead of flags.
 func FetchRing(coordAddr string, timeout time.Duration) (client.RingInfo, error) {
-	c := client.New(coordAddr, client.Options{
-		MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
-	})
-	defer c.Close()
+	addrs := SplitAddrs(coordAddr)
+	if len(addrs) == 0 {
+		return client.RingInfo{}, fmt.Errorf("cluster: no coordinator address in %q", coordAddr)
+	}
+	conns := make([]*client.Client, len(addrs))
+	for i, a := range addrs {
+		conns[i] = client.New(a, client.Options{
+			MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
+		})
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
 	deadline := time.Now().Add(timeout)
 	var lastErr error
-	for {
-		ri, err := c.RingGet()
+	for i := 0; ; i++ {
+		ri, err := conns[i%len(conns)].RingGet()
 		if err == nil {
 			return ri, nil
 		}
@@ -29,55 +42,77 @@ func FetchRing(coordAddr string, timeout time.Duration) (client.RingInfo, error)
 		if time.Now().After(deadline) {
 			return client.RingInfo{}, fmt.Errorf("cluster: fetching ring from %s: %w", coordAddr, lastErr)
 		}
-		time.Sleep(100 * time.Millisecond)
+		if i%len(conns) == len(conns)-1 {
+			time.Sleep(100 * time.Millisecond) // breathe between full passes
+		}
 	}
 }
 
 // stallThreshold is how many consecutive failed polls make a watcher
-// consider its coordinator unreachable (and say so, once).
+// consider its coordinator group unreachable (and say so, once).
 const stallThreshold = 5
 
-// Watcher polls the coordinator for ring-epoch changes and delivers
-// each newly published ring exactly once, in epoch order. Polling (as
-// opposed to a push stream) keeps the control plane stateless about
-// its watchers and degrades gracefully: a watcher that misses an
-// epoch simply swaps straight to the latest one.
+// Watcher polls the coordinator group for ring-epoch changes and
+// delivers each newly published ring exactly once, in epoch order.
+// Polling (as opposed to a push stream) keeps the control plane
+// stateless about its watchers and degrades gracefully: a watcher that
+// misses an epoch simply swaps straight to the latest one.
+//
+// The watcher takes a comma-separated multi-address coordinator list
+// and rotates to the next coordinator when one stops answering, so a
+// single coordinator crash costs at most one poll interval. A poll
+// only counts as failed once every address has been tried.
 //
 // Poll failures are tolerated — the data plane keeps serving under
 // its current ring — but not invisible: consecutive failures are
-// counted (ConsecutiveFailures, OnStall), and crossing stallThreshold
-// logs one line, as does the recovery, so a dead coordinator is
-// distinguishable from a quiet one.
+// counted (ConsecutiveFailures, OnStall), crossing stallThreshold logs
+// one line, and the first successful poll after any failure streak
+// clears the stall state, fires the OnResume hook and bumps Resumes —
+// so stats distinguish "stalled right now" from "stalled earlier,
+// recovered".
 type Watcher struct {
-	addr      string
+	addrSpec  string
+	addrs     []string
+	cur       int
 	interval  time.Duration
 	onChange  func(client.RingInfo)
 	lastEpoch uint64
-	c         *client.Client
+	conns     []*client.Client
 	logger    *log.Logger
 
 	onStall     func(consecutive uint64, err error)
+	onResume    func(failedStreak uint64)
 	consecutive atomic.Uint64
 	failedPolls atomic.Uint64
+	resumes     atomic.Uint64
 }
 
 // NewWatcher builds a watcher that invokes onChange for every ring
-// published after sinceEpoch. onChange runs on the watcher goroutine;
-// keep it brief (an atomic swap plus bookkeeping).
+// published after sinceEpoch. coordAddr may list several coordinators,
+// comma-separated. onChange runs on the watcher goroutine; keep it
+// brief (an atomic swap plus bookkeeping).
 func NewWatcher(coordAddr string, interval time.Duration, sinceEpoch uint64, onChange func(client.RingInfo)) *Watcher {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
-	return &Watcher{
-		addr:      coordAddr,
+	addrs := SplitAddrs(coordAddr)
+	if len(addrs) == 0 {
+		addrs = []string{coordAddr}
+	}
+	w := &Watcher{
+		addrSpec:  strings.Join(addrs, ","),
+		addrs:     addrs,
 		interval:  interval,
 		onChange:  onChange,
 		lastEpoch: sinceEpoch,
 		logger:    log.Default(),
-		c: client.New(coordAddr, client.Options{
-			MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
-		}),
 	}
+	for _, a := range addrs {
+		w.conns = append(w.conns, client.New(a, client.Options{
+			MaxConns: 1, DialTimeout: time.Second, RequestTimeout: 2 * time.Second, MaxAttempts: 1,
+		}))
+	}
+	return w
 }
 
 // SetLogger routes the stall/recovery lines; call before Run.
@@ -92,16 +127,44 @@ func (w *Watcher) SetLogger(l *log.Logger) {
 // Run. Stats surfaces use it to export coordinator reachability.
 func (w *Watcher) OnStall(fn func(consecutive uint64, err error)) { w.onStall = fn }
 
+// OnResume installs a hook invoked (on the watcher goroutine) on the
+// first successful poll after one or more failures, with the length of
+// the failure streak it ended; call before Run.
+func (w *Watcher) OnResume(fn func(failedStreak uint64)) { w.onResume = fn }
+
 // ConsecutiveFailures returns how many polls in a row have failed
-// (zero while the coordinator answers).
+// (zero while the coordinator group answers).
 func (w *Watcher) ConsecutiveFailures() uint64 { return w.consecutive.Load() }
 
 // FailedPolls returns the cumulative failed poll count.
 func (w *Watcher) FailedPolls() uint64 { return w.failedPolls.Load() }
 
+// Resumes returns how many failure streaks have ended in a successful
+// poll — each is one "coordinator went away and came back" episode.
+func (w *Watcher) Resumes() uint64 { return w.resumes.Load() }
+
+// poll tries every coordinator once, starting from the last one that
+// answered, and returns the first ring it gets.
+func (w *Watcher) poll() (client.RingInfo, error) {
+	var lastErr error
+	for range w.conns {
+		ri, err := w.conns[w.cur].RingGet()
+		if err == nil {
+			return ri, nil
+		}
+		lastErr = err
+		w.cur = (w.cur + 1) % len(w.conns)
+	}
+	return client.RingInfo{}, lastErr
+}
+
 // Run polls until ctx is done.
 func (w *Watcher) Run(ctx context.Context) {
-	defer w.c.Close()
+	defer func() {
+		for _, c := range w.conns {
+			c.Close()
+		}
+	}()
 	ticker := time.NewTicker(w.interval)
 	defer ticker.Stop()
 	for {
@@ -109,7 +172,7 @@ func (w *Watcher) Run(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
-			ri, err := w.c.RingGet()
+			ri, err := w.poll()
 			if err != nil {
 				w.failedPolls.Add(1)
 				n := w.consecutive.Add(1)
@@ -117,13 +180,19 @@ func (w *Watcher) Run(ctx context.Context) {
 					w.onStall(n, err)
 				}
 				if n == stallThreshold {
-					w.logger.Printf("cluster: watcher: coordinator %s unreachable for %d consecutive polls (last: %v); serving under ring epoch %d",
-						w.addr, n, err, w.lastEpoch)
+					w.logger.Printf("cluster: watcher: coordinators %s unreachable for %d consecutive polls (last: %v); serving under ring epoch %d",
+						w.addrSpec, n, err, w.lastEpoch)
 				}
 				continue
 			}
-			if n := w.consecutive.Swap(0); n >= stallThreshold {
-				w.logger.Printf("cluster: watcher: coordinator %s reachable again after %d failed polls", w.addr, n)
+			if n := w.consecutive.Swap(0); n > 0 {
+				w.resumes.Add(1)
+				if w.onResume != nil {
+					w.onResume(n)
+				}
+				if n >= stallThreshold {
+					w.logger.Printf("cluster: watcher: coordinators %s reachable again after %d failed polls", w.addrSpec, n)
+				}
 			}
 			if ri.Epoch <= w.lastEpoch {
 				continue

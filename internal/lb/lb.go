@@ -39,7 +39,8 @@ type Config struct {
 	// writes route to shards by consistent hashing over this list.
 	StoreAddrs []string
 	// ClusterAddr, when set, bootstraps the store ring from the
-	// cluster coordinator at that address instead of
+	// cluster coordinator (a comma-separated group under coordinator
+	// HA — the watcher rotates past dead members) instead of
 	// StoreAddr/StoreAddrs, and watches it: a newly published ring
 	// epoch atomically reroutes the write path. The cache ring stays
 	// static — only the store tier reshards dynamically.
@@ -370,11 +371,12 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong}
 	case proto.MsgStats:
-		var stalled, failedPolls uint64
+		var stalled, failedPolls, resumes uint64
 		s.mu.Lock()
 		if s.watch != nil {
 			stalled = s.watch.ConsecutiveFailures()
 			failedPolls = s.watch.FailedPolls()
+			resumes = s.watch.Resumes()
 		}
 		s.mu.Unlock()
 		return &proto.Msg{Type: proto.MsgStatsResp, Stats: map[string]uint64{
@@ -388,6 +390,7 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 			"failovers":             s.stores.Failovers(),
 			"watcher_stalled_polls": stalled,
 			"watcher_failed_polls":  failedPolls,
+			"watcher_resumes":       resumes,
 		}}
 	default:
 		s.c.MalformedFrames.Inc()

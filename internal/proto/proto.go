@@ -110,9 +110,11 @@ const (
 	// with MsgPong.
 	MsgRelease
 	// MsgHeartbeat is a store→coordinator liveness lease renewal: Key is
-	// the store's advertised ring identity and Version its authority
+	// the store's advertised ring identity, Version its authority
 	// version counter (the failure detector fences survivors past the
-	// last reported counter of a dead store). Answered with MsgRingResp
+	// last reported counter of a dead store), and Epoch the store's
+	// consecutive heartbeat-failure streak before this beat got through
+	// (surfaced in coordinator stats). Answered with MsgRingResp
 	// carrying the current published ring, so heartbeats double as ring
 	// anti-entropy for stores that missed a release.
 	MsgHeartbeat
@@ -131,6 +133,23 @@ const (
 	// semantics and answered with MsgPong; a primary acknowledges a
 	// client write only after every replica's PONG.
 	MsgRepWrite
+	// MsgVote is a coordinator candidate→peer leader-election request:
+	// Epoch the candidate's term, Version/Stamp the index and term of its
+	// last replicated-log entry (the voter grants only to a candidate
+	// whose log is at least as up to date), Key its advertised address.
+	MsgVote
+	// MsgVoteResp answers MsgVote: Status OK grants the vote, Epoch
+	// echoes the voter's current term so a stale candidate steps down.
+	MsgVoteResp
+	// MsgAppend is a coordinator leader→follower replication push and
+	// leadership lease renewal: Epoch the leader's term, Key its
+	// advertised address, Version the commit index, Value a JSON-encoded
+	// replicated-log entry (empty for a pure lease heartbeat).
+	MsgAppend
+	// MsgAppendResp answers MsgAppend: Status OK acknowledges the entry
+	// (or heartbeat), Epoch the follower's term, Version the index of
+	// the follower's last accepted log entry.
+	MsgAppendResp
 )
 
 var msgNames = map[MsgType]string{
@@ -145,6 +164,8 @@ var msgNames = map[MsgType]string{
 	MsgMigrateDone: "MIGRATEDONE", MsgMigrateAck: "MIGRATEACK",
 	MsgRelease: "RELEASE", MsgHeartbeat: "HEARTBEAT",
 	MsgRepSync: "REPSYNC", MsgRepWrite: "REPWRITE",
+	MsgVote: "VOTE", MsgVoteResp: "VOTERESP",
+	MsgAppend: "APPEND", MsgAppendResp: "APPENDRESP",
 }
 
 // String returns the wire name of the message type.
@@ -767,7 +788,27 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 		return appendString16(b, m.Key)
 	case MsgHeartbeat:
 		b = binary.BigEndian.AppendUint64(b, m.Version)
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		return appendString16(b, m.Key)
+	case MsgVote:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint64(b, m.Version)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Stamp))
+		return appendString16(b, m.Key)
+	case MsgVoteResp:
+		b = append(b, byte(m.Status))
+		return binary.BigEndian.AppendUint64(b, m.Epoch), nil
+	case MsgAppend:
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		b = binary.BigEndian.AppendUint64(b, m.Version)
+		if b, err = appendString16(b, m.Key); err != nil {
+			return b, err
+		}
+		return appendBytes32(b, m.Value)
+	case MsgAppendResp:
+		b = append(b, byte(m.Status))
+		b = binary.BigEndian.AppendUint64(b, m.Epoch)
+		return binary.BigEndian.AppendUint64(b, m.Version), nil
 	case MsgAdopt, MsgRepSync:
 		b = binary.BigEndian.AppendUint64(b, m.Epoch)
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Version))
@@ -1201,7 +1242,59 @@ func parsePayload(m *Msg, payload []byte, rd *Reader) error {
 		if m.Version, err = c.u64(); err != nil {
 			return err
 		}
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
 		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+	case MsgVote:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+		stamp, err := c.u64()
+		if err != nil {
+			return err
+		}
+		m.Stamp = int64(stamp)
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+	case MsgVoteResp:
+		st, err := c.u8()
+		if err != nil {
+			return err
+		}
+		m.Status = Status(st)
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+	case MsgAppend:
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Version, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Key, err = c.str16(); err != nil {
+			return err
+		}
+		if m.Value, err = c.bytes32(); err != nil {
+			return err
+		}
+	case MsgAppendResp:
+		st, err := c.u8()
+		if err != nil {
+			return err
+		}
+		m.Status = Status(st)
+		if m.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		if m.Version, err = c.u64(); err != nil {
 			return err
 		}
 	case MsgAdopt, MsgRepSync:

@@ -55,7 +55,14 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: MsgRingResp, Seq: 16, Epoch: 1, Version: 64, Nodes: []string{"a:1"}},
 		{Type: MsgJoin, Seq: 17, Key: "c:3"},
 		{Type: MsgDrain, Seq: 18, Key: "b:2"},
-		{Type: MsgHeartbeat, Seq: 18, Key: "b:2", Version: 4711},
+		{Type: MsgHeartbeat, Seq: 18, Key: "b:2", Version: 4711, Epoch: 3},
+		{Type: MsgVote, Seq: 30, Epoch: 7, Version: 12, Stamp: 6, Key: "c:9301"},
+		{Type: MsgVoteResp, Seq: 30, Epoch: 7, Status: StatusOK},
+		{Type: MsgVoteResp, Seq: 31, Epoch: 9, Status: StatusError},
+		{Type: MsgAppend, Seq: 32, Epoch: 7, Version: 12, Key: "c:9301",
+			Value: []byte(`{"index":13,"term":7}`)},
+		{Type: MsgAppend, Seq: 33, Epoch: 7, Version: 13, Key: "c:9301"},
+		{Type: MsgAppendResp, Seq: 32, Epoch: 7, Version: 13, Status: StatusOK},
 		{Type: MsgAdopt, Seq: 19, Epoch: 4, Version: 128, Replicas: 2, Key: "c:3",
 			Nodes: []string{"a:1", "b:2", "c:3"}, Donors: []string{"a:1", "b:2"}},
 		{Type: MsgRepSync, Seq: 19, Epoch: 4, Version: 128, Replicas: 3, Key: "c:3",

@@ -35,8 +35,10 @@ import (
 	"time"
 
 	"freshcache/internal/client"
+	"freshcache/internal/cluster"
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
+	"freshcache/internal/xrand"
 )
 
 // repSyncAttempts bounds a replica bootstrap's retries per (primary,
@@ -303,39 +305,65 @@ func (s *Server) pullRepSync(primary string, epoch uint64, r *ring.Ring, self st
 }
 
 // heartbeatLoop renews this store's liveness lease at the coordinator
-// once per HeartbeatInterval. Each beat carries the authority version
-// counter (the failure detector's promotion fence input) and each
-// response carries the current published ring — anti-entropy for a
-// store that missed a release.
+// group once per HeartbeatInterval. Each beat carries the authority
+// version counter (the failure detector's promotion fence input) plus
+// the current miss streak, and each response carries the current
+// published ring — anti-entropy for a store that missed a release.
+//
+// ClusterAddr may list several coordinators; the CoordClient follows
+// NOTLEADER redirects so beats land on whichever coordinator leads.
+// While the group is unreachable the loop backs off exponentially
+// (doubling per miss, capped at 4× the interval) with ±25% jitter, so
+// a restarted coordinator is not greeted by every store's retry burst
+// on the same tick.
 func (s *Server) heartbeatLoop(ctx context.Context) {
 	defer s.wg.Done()
 	timeout := 2 * s.cfg.HeartbeatInterval
 	if timeout < time.Second {
 		timeout = time.Second
 	}
-	hb := client.New(s.cfg.ClusterAddr, client.Options{
+	hb := cluster.NewCoordClient(s.cfg.ClusterAddr, client.Options{
 		MaxConns: 1, DialTimeout: timeout, RequestTimeout: timeout, MaxAttempts: 1,
 	})
 	defer hb.Close()
-	ticker := time.NewTicker(s.cfg.HeartbeatInterval)
-	defer ticker.Stop()
-	misses := 0
+	base := s.cfg.HeartbeatInterval
+	maxDelay := 4 * base
+	rng := xrand.New(uint64(time.Now().UnixNano()), 1)
+	jitter := func(d time.Duration) time.Duration {
+		// ±25%: spread the retries of independently-backing-off stores.
+		return d + time.Duration((rng.Float64()-0.5)*0.5*float64(d))
+	}
+	timer := time.NewTimer(jitter(base))
+	defer timer.Stop()
+	var misses uint64
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
-		ri, err := hb.Heartbeat(s.cfg.AdvertiseAddr, s.auth.Version())
+		ri, err := hb.Heartbeat(s.cfg.AdvertiseAddr, s.auth.Version(), misses)
 		if err != nil {
 			misses++
+			s.hbMisses.Store(misses)
 			if misses == 3 { // one line per outage, not per beat
-				s.cfg.Logger.Printf("store %s: coordinator %s unreachable for %d heartbeats: %v",
+				s.cfg.Logger.Printf("store %s: coordinators %s unreachable for %d heartbeats: %v",
 					s.cfg.ShardID, s.cfg.ClusterAddr, misses, err)
 			}
+			delay := base << min(misses, 8)
+			if delay > maxDelay || delay <= 0 {
+				delay = maxDelay
+			}
+			timer.Reset(jitter(delay))
 			continue
 		}
+		if misses >= 3 {
+			s.cfg.Logger.Printf("store %s: coordinators %s reachable again after %d missed heartbeats",
+				s.cfg.ShardID, s.cfg.ClusterAddr, misses)
+		}
 		misses = 0
+		s.hbMisses.Store(0)
+		timer.Reset(jitter(base))
 		s.c.HeartbeatsSent.Inc()
 		s.clMu.RLock()
 		cur, known := s.clusterEpoch, s.clusterRing != nil

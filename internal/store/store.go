@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freshcache/internal/client"
@@ -49,7 +50,8 @@ type Config struct {
 	// against a misbehaving cache flooding the tracker); defaults 65536.
 	MaxReportCount uint32
 	// ClusterAddr, when set, starts a heartbeat loop against the
-	// cluster coordinator at that address: each beat renews this
+	// cluster coordinator (a comma-separated group under coordinator
+	// HA; beats follow leader redirects): each beat renews this
 	// store's liveness lease (the failure detector's input) and the
 	// response carries the current published ring, so a store that
 	// missed a release catches up from its own heartbeat.
@@ -153,6 +155,11 @@ type Server struct {
 	repMu        sync.Mutex
 	pendingFreqs map[string]proto.KeyFreq
 	repSyncing   map[string]uint64
+
+	// hbMisses is the heartbeat loop's current consecutive-failure
+	// streak (zero while the coordinator answers), exported in stats
+	// and piggybacked on the next successful beat.
+	hbMisses atomic.Uint64
 
 	ln     net.Listener
 	cancel context.CancelFunc
@@ -688,6 +695,7 @@ func (s *Server) statsMap() map[string]uint64 {
 		"rep_syncs":           s.c.RepSyncs.Value(),
 		"rep_syncs_served":    s.c.RepSyncsServed.Value(),
 		"heartbeats_sent":     s.c.HeartbeatsSent.Value(),
+		"heartbeat_misses":    s.hbMisses.Load(),
 		"migrations_active":   activeMigs,
 		"migrations_out":      s.c.MigrationsOut.Value(),
 		"migrations_in":       s.c.MigrationsIn.Value(),
