@@ -28,13 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
 
 	"freshcache"
+	"freshcache/internal/obs"
 )
 
 func main() {
@@ -45,23 +44,18 @@ func main() {
 	t := flag.Duration("t", 500*time.Millisecond, "staleness bound")
 	capacity := flag.Int("capacity", 100000, "resident objects (0 = unbounded)")
 	name := flag.String("name", "", "cache name in subscriptions (default addr)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6062; empty = off)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:6062; empty = off)")
+	slowTrace := flag.Duration("slowtrace", 0, "log traced requests at least this slow (0 = off)")
 	flag.Parse()
-
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("cacheserver: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Printf("cacheserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
-	}
 
 	if *name == "" {
 		*name = "cache@" + *addr
 	}
 	cfg := freshcache.CacheConfig{
-		Capacity: *capacity,
-		T:        *t,
-		Name:     *name,
+		Capacity:           *capacity,
+		T:                  *t,
+		Name:               *name,
+		SlowTraceThreshold: *slowTrace,
 	}
 	switch {
 	case *clusterAddr != "":
@@ -76,6 +70,9 @@ func main() {
 	srv, err := freshcache.NewCacheServer(cfg)
 	if err != nil {
 		log.Fatalf("cacheserver: %v", err)
+	}
+	if *obsAddr != "" {
+		obs.Serve(*obsAddr, "cacheserver", srv.Metrics(), nil)
 	}
 	targets := strings.Join(srv.Ring().Nodes(), ",")
 	if cfg.ClusterAddr != "" {

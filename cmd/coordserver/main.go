@@ -41,13 +41,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
 
 	"freshcache"
+	"freshcache/internal/obs"
 )
 
 func main() {
@@ -60,15 +59,8 @@ func main() {
 	self := flag.String("self", "", "this coordinator's advertised address within -peers (required with -peers)")
 	dataDir := flag.String("data", "", "directory persisting the replicated log and election state (empty = in-memory)")
 	leaderLease := flag.Duration("leaderlease", time.Second, "coordinator leadership lease / election timeout base (with -peers)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6064; empty = off)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:6064; empty = off)")
 	flag.Parse()
-
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("coordserver: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Printf("coordserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
-	}
 
 	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{
 		Stores:        strings.Split(*stores, ","),
@@ -82,6 +74,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("coordserver: %v", err)
+	}
+	if *obsAddr != "" {
+		obs.Serve(*obsAddr, "coordserver", co.Metrics(), nil)
 	}
 	if *peers != "" {
 		log.Printf("coordserver: listening on %s as %s in group %s (R=%d, store lease %v, leader lease %v)",

@@ -45,6 +45,10 @@ type failoverReport struct {
 	TotalErrors  int              `json:"total_errors"`
 	Violations   int              `json:"violations"`
 	Buckets      []failoverBucket `json:"buckets"`
+	// NodeMetrics is each node's end-of-run stats snapshot (the same
+	// registries /metrics renders), keyed by role — the failover
+	// counters and replication lag land in the recorded artifact.
+	NodeMetrics map[string]map[string]uint64 `json:"node_metrics,omitempty"`
 }
 
 const failoverBucketWidth = 100 * time.Millisecond
@@ -329,6 +333,13 @@ func failoverBench(workers int, benchtime time.Duration, tBound float64, jsonPat
 		report.TotalWrites += b.Writes
 		report.TotalErrors += b.Errors
 		report.Violations += b.Violations
+	}
+	report.NodeMetrics = map[string]map[string]uint64{
+		"coordinator": co.Metrics().StatsMap(),
+		"lb":          balancer.StatsMap(),
+	}
+	for i, st := range stores {
+		report.NodeMetrics[fmt.Sprintf("store-%d", i)] = st.Metrics().StatsMap()
 	}
 
 	w := tw()

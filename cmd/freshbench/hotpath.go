@@ -42,6 +42,11 @@ type hotpathReport struct {
 	// GCCycles is how many collections the measurement window triggered.
 	GCCycles uint32 `json:"gc_cycles"`
 
+	// StoreMetrics is the store's end-of-run stats snapshot (the same
+	// registry /metrics renders), so a recorded run carries the server's
+	// own view — hit/fill mix, malformed frames, served-age sample count.
+	StoreMetrics map[string]uint64 `json:"store_metrics,omitempty"`
+
 	Baseline          *hotpathBaseline `json:"baseline,omitempty"`
 	SpeedupVsBaseline float64          `json:"speedup_vs_baseline,omitempty"`
 }
@@ -50,7 +55,7 @@ type hotpathReport struct {
 // the multiplexed transport, recording throughput, latency percentiles,
 // and whole-process allocation rates. It is the acceptance benchmark
 // for the zero-allocation hot-path work; pair it with the servers'
-// -pprof flag to see where the remaining cycles go.
+// -obs flag to see where the remaining cycles go.
 func hotpathBench(workers int, benchtime time.Duration, jsonPath string) error {
 	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: time.Hour, ShardID: "bench"})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -111,6 +116,9 @@ func hotpathBench(workers int, benchtime time.Duration, jsonPath string) error {
 	if res.Ops > 0 {
 		report.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
 		report.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(res.Ops)
+	}
+	if st, err := c.Stats(); err == nil {
+		report.StoreMetrics = st
 	}
 	if base := loadPipelineBaseline("BENCH_pipeline.json"); base != nil {
 		report.Baseline = base

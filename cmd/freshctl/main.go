@@ -7,6 +7,9 @@
 //	freshctl -addr 127.0.0.1:7101 stats
 //	freshctl -addr 127.0.0.1:7101 ping
 //	freshctl -addr 127.0.0.1:7101 watch <key>      # poll a key once per second
+//	freshctl -addr 127.0.0.1:7201 trace <key>      # traced GET: per-hop latency tree
+//	freshctl -addr 127.0.0.1:7201 trace <key> <v>  # traced PUT
+//	freshctl top host:6061 host:6062 ...           # live cluster-wide /metrics rates
 //
 // Cluster membership (against the coordinator group; -cluster takes a
 // comma-separated list under coordinator HA and follows leader
@@ -32,6 +35,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7101", "node address (cache, store or lb)")
 	cluster := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (for ring/status/join/drain)")
+	interval := flag.Duration("interval", time.Second, "poll interval for top")
+	samples := flag.Int("samples", 0, "top samples before exiting (0 = until killed)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -39,6 +44,15 @@ func main() {
 	}
 
 	switch args[0] {
+	case "top":
+		if len(args) < 2 {
+			usage()
+		}
+		if err := topCmd(args[1:], *interval, *samples); err != nil {
+			fmt.Fprintf(os.Stderr, "freshctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "ring", "join", "drain", "status":
 		if *cluster == "" {
 			fmt.Fprintln(os.Stderr, "freshctl: the", args[0], "command needs -cluster <coordinator>")
@@ -82,6 +96,11 @@ func main() {
 			usage()
 		}
 		err = watch(c, args[1])
+	case "trace":
+		if len(args) != 2 && len(args) != 3 {
+			usage()
+		}
+		err = traceCmd(c, args[1:])
 	default:
 		usage()
 	}
@@ -92,8 +111,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key>
-       freshctl -cluster host:port <ring | status | join storeaddr | drain storeaddr>`)
+	fmt.Fprintln(os.Stderr, `usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key | trace key [value]>
+       freshctl -cluster host:port <ring | status | join storeaddr | drain storeaddr>
+       freshctl [-interval 1s] [-samples n] top <obs-addr> [obs-addr ...]`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// topCmd live-polls /metrics from the given nodes and renders the
+// cluster-wide counter rates, highest first — a `top` for the cache
+// tier. Each target may be host:port or a full URL; /metrics is
+// appended when no path is given. samples == 0 polls until killed.
+func topCmd(targets []string, interval time.Duration, samples int) error {
+	urls := make([]string, len(targets))
+	for i, t := range targets {
+		u := t
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if !strings.Contains(u[strings.Index(u, "://")+3:], "/") {
+			u += "/metrics"
+		}
+		urls[i] = u
+	}
+	prev := make(map[string]float64)
+	prevAt := time.Now()
+	for n := 0; samples == 0 || n < samples; n++ {
+		if n > 0 {
+			time.Sleep(interval)
+		}
+		cur := make(map[string]float64)
+		types := make(map[string]string)
+		up := 0
+		for _, u := range urls {
+			if err := scrape(u, cur, types); err != nil {
+				fmt.Printf("%-40s %v\n", u, err)
+				continue
+			}
+			up++
+		}
+		now := time.Now()
+		elapsed := now.Sub(prevAt).Seconds()
+		render(cur, prev, types, up, len(urls), elapsed, n > 0)
+		prev, prevAt = cur, now
+	}
+	return nil
+}
+
+// scrape fetches one node's /metrics and accumulates samples by family
+// (labels stripped), summing across series and nodes. Histogram bucket
+// and sum series are skipped — count carries the family's throughput.
+func scrape(url string, acc map[string]float64, types map[string]string) error {
+	c := http.Client{Timeout: 2 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			if f := strings.Fields(line); len(f) == 4 {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := parseSample(line)
+		if !ok || strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum") {
+			continue
+		}
+		name = strings.TrimSuffix(name, "_count")
+		acc[name] += value
+	}
+	return sc.Err()
+}
+
+// parseSample splits one exposition line into family name (labels
+// stripped) and value.
+func parseSample(line string) (name string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", 0, false
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		i = strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", 0, false
+		}
+		name, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i] // optional timestamp
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return name, v, true
+}
+
+// render clears the screen and prints counter rates (vs the previous
+// sample) above the gauge values, highest first.
+func render(cur, prev map[string]float64, types map[string]string, up, total int, elapsed float64, haveRates bool) {
+	type row struct {
+		name string
+		v    float64
+	}
+	var counters, gauges []row
+	for name, v := range cur {
+		if types[name] == "gauge" {
+			gauges = append(gauges, row{name, v})
+			continue
+		}
+		rate := 0.0
+		if haveRates && elapsed > 0 {
+			if d := v - prev[name]; d > 0 {
+				rate = d / elapsed
+			}
+		}
+		counters = append(counters, row{name, rate})
+	}
+	sort.Slice(counters, func(i, j int) bool {
+		if counters[i].v != counters[j].v {
+			return counters[i].v > counters[j].v
+		}
+		return counters[i].name < counters[j].name
+	})
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+
+	fmt.Print("\x1b[2J\x1b[H")
+	fmt.Printf("freshcache top — %d/%d nodes up, %s\n\n", up, total, time.Now().Format("15:04:05"))
+	fmt.Println("counters (per second, cluster-wide):")
+	shown := 0
+	for _, r := range counters {
+		if shown >= 20 {
+			break
+		}
+		if !haveRates {
+			fmt.Printf("  %-52s (first sample)\n", r.name)
+		} else {
+			fmt.Printf("  %-52s %10.1f/s\n", r.name, r.v)
+		}
+		shown++
+		if !haveRates && shown >= 5 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+	fmt.Println("\ngauges (cluster-wide sums):")
+	for _, r := range gauges {
+		fmt.Printf("  %-52s %12.0f\n", r.name, r.v)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/proto"
+)
+
+// traceCmd runs one traced GET (or PUT, when a value is given) and
+// pretty-prints the hop tree from the response's accumulated spans.
+func traceCmd(c *freshcache.Client, args []string) error {
+	id := newTraceID()
+	var (
+		t   *proto.Trace
+		err error
+	)
+	start := time.Now()
+	if len(args) == 2 {
+		var ver uint64
+		ver, t, err = c.PutTraced(args[0], []byte(args[1]), id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK version=%d\n", ver)
+	} else {
+		var (
+			v   []byte
+			ver uint64
+		)
+		v, ver, t, err = c.GetTraced(args[0], id)
+		switch {
+		case errors.Is(err, freshcache.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			return err
+		default:
+			fmt.Printf("%s  (version %d)\n", v, ver)
+		}
+	}
+	rtt := time.Since(start)
+	if t == nil || len(t.Spans) == 0 {
+		fmt.Printf("trace %016x: no spans in response (server predates tracing?)\n", id)
+		return nil
+	}
+	printTrace(t, rtt)
+	return nil
+}
+
+// newTraceID draws a random sampled trace ID.
+func newTraceID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// printTrace renders the hop tree. Spans arrive innermost hop first;
+// each hop's duration includes everything downstream of it, so the tree
+// prints outermost first, indenting each hop under the enclosing one,
+// with self-time (own duration minus directly nested spans) alongside.
+func printTrace(t *proto.Trace, rtt time.Duration) {
+	fmt.Printf("trace %016x  client rtt %v, %d hops:\n", t.ID, rtt, len(t.Spans))
+	n := len(t.Spans)
+	for i := n - 1; i >= 0; i-- {
+		s := t.Spans[i]
+		depth := n - 1 - i
+		self := time.Duration(s.Dur - nestedDur(t.Spans, i))
+		fmt.Printf("  %*s%-16s %10v  (self %v)\n",
+			2*depth, "", s.Node, time.Duration(s.Dur), self)
+	}
+}
+
+// nestedDur sums the durations of the spans directly nested inside
+// span i: spans whose interval lies within i's and within no closer
+// enclosing span.
+func nestedDur(spans []proto.Span, i int) int64 {
+	var sum int64
+	outer := spans[i]
+	for j, s := range spans {
+		if j == i || !contains(outer, s) {
+			continue
+		}
+		direct := true
+		for k, mid := range spans {
+			if k == i || k == j {
+				continue
+			}
+			if contains(outer, mid) && contains(mid, s) {
+				direct = false
+				break
+			}
+		}
+		if direct {
+			sum += s.Dur
+		}
+	}
+	return sum
+}
+
+func contains(outer, inner proto.Span) bool {
+	return inner.Start >= outer.Start && inner.Start+inner.Dur <= outer.Start+outer.Dur &&
+		!(inner.Start == outer.Start && inner.Dur == outer.Dur && inner.Node == outer.Node)
+}

@@ -21,12 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 
 	"freshcache"
+	"freshcache/internal/obs"
 )
 
 func main() {
@@ -35,17 +34,14 @@ func main() {
 	stores := flag.String("stores", "", "comma-separated store shard addresses (overrides -store)")
 	clusterAddr := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (overrides -store/-stores)")
 	caches := flag.String("caches", "127.0.0.1:7101", "comma-separated cache addresses")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6063; empty = off)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:6063; empty = off)")
+	slowTrace := flag.Duration("slowtrace", 0, "log traced requests at least this slow (0 = off)")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("lbserver: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Printf("lbserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
+	cfg := freshcache.LBConfig{
+		CacheAddrs:         strings.Split(*caches, ","),
+		SlowTraceThreshold: *slowTrace,
 	}
-
-	cfg := freshcache.LBConfig{CacheAddrs: strings.Split(*caches, ",")}
 	switch {
 	case *clusterAddr != "":
 		cfg.ClusterAddr = *clusterAddr
@@ -59,6 +55,9 @@ func main() {
 	srv, err := freshcache.NewLoadBalancer(cfg)
 	if err != nil {
 		log.Fatalf("lbserver: %v", err)
+	}
+	if *obsAddr != "" {
+		obs.Serve(*obsAddr, "lbserver", srv.Metrics(), nil)
 	}
 	targets := strings.Join(srv.StoreRing().Nodes(), ",")
 	if cfg.ClusterAddr != "" {

@@ -31,8 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strings"
 	"time"
@@ -40,6 +38,7 @@ import (
 	"freshcache"
 	"freshcache/internal/core"
 	"freshcache/internal/costmodel"
+	"freshcache/internal/obs"
 	"freshcache/internal/sysprobe"
 )
 
@@ -60,15 +59,9 @@ func main() {
 	advertise := flag.String("advertise", "", "address the cluster dials this store at (default -addr)")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
 		"liveness lease renewal interval (requires -cluster; keep well under the coordinator's -lease)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6061; empty = off)")
+	obsAddr := flag.String("obs", "", "serve /metrics and /debug/pprof/ on this address (e.g. 127.0.0.1:6061; empty = off)")
+	slowTrace := flag.Duration("slowtrace", 0, "log traced requests at least this slow (0 = off)")
 	flag.Parse()
-
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("storeserver: pprof on http://%s/debug/pprof/", *pprofAddr)
-			log.Printf("storeserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
-	}
 
 	if *shard == "" {
 		*shard = "shard@" + *addr
@@ -91,8 +84,9 @@ func main() {
 		log.Fatalf("storeserver: %v", err)
 	}
 	cfg := freshcache.StoreConfig{
-		ShardID: *shard,
-		T:       *t,
+		ShardID:            *shard,
+		T:                  *t,
+		SlowTraceThreshold: *slowTrace,
 		Engine: core.Config{
 			Costs:   costs,
 			SLO:     *slo,
@@ -107,6 +101,9 @@ func main() {
 		cfg.HeartbeatInterval = *heartbeat
 	}
 	srv := freshcache.NewStoreServer(cfg)
+	if *obsAddr != "" {
+		obs.Serve(*obsAddr, "storeserver", srv.Metrics(), nil)
+	}
 	if *clusterAddr != "" && *join {
 		go joinCluster(*clusterAddr, *advertise)
 	}

@@ -74,6 +74,10 @@ type Config struct {
 	// RetryInterval paces subscription reconnects; defaults to T/2
 	// capped to [10ms, 1s].
 	RetryInterval time.Duration
+	// SlowTraceThreshold, when positive, makes traced requests that take
+	// at least this long emit a one-line span log. Zero disables the
+	// slow log (traces still propagate on the wire).
+	SlowTraceThreshold time.Duration
 	// Logger receives diagnostics; nil uses the standard logger.
 	Logger *log.Logger
 }
@@ -130,6 +134,14 @@ type Counters struct {
 	ReadReportsSent                     stats.Counter
 	MalformedFrames                     stats.Counter
 	RingSwaps                           stats.Counter // cluster ring epochs applied
+	// DeadlineExpired counts reads that found a resident entry past its
+	// hard freshness deadline — the bounded-staleness guarantee turned a
+	// would-be hit into a miss. A rising rate means push channels (or
+	// ring handoffs) are cutting entries off before refetch.
+	DeadlineExpired stats.Counter
+	// NearMisses counts fresh serves within 10% of T of the entry's hard
+	// deadline: the early-warning margin before DeadlineExpired moves.
+	NearMisses stats.Counter
 }
 
 // shardSub is the per-authority-shard subscription state, owned by that
@@ -156,6 +168,14 @@ type Server struct {
 	kv     *kv.Cache
 	stores *client.Sharded
 	c      Counters
+
+	reg      *stats.Registry
+	spanName string
+	// servedAge samples the age of every fresh hit as age/T permille
+	// (see the store's ageRatioScale); fillRTT samples miss-fill round
+	// trips to the authority in nanoseconds.
+	servedAge stats.Histogram
+	fillRTT   stats.Histogram
 
 	// subMu guards the live subscription set; subscriptions start and
 	// stop as the store ring gains and loses members.
@@ -217,11 +237,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:        cfg,
 		kv:         kv.NewCache(cfg.Capacity),
 		stores:     stores,
+		spanName:   "cache:" + cfg.Name,
 		subs:       make(map[string]*shardSub),
 		readCounts: make(map[string]uint32),
 		filling:    make(map[string]int),
 		voided:     make(map[string]bool),
 	}
+	s.reg = s.buildRegistry()
 	if cfg.ClusterAddr != "" {
 		// On-demand failover: a fill or forwarded write whose owner
 		// just crashed refreshes the ring straight from the coordinator
@@ -411,21 +433,47 @@ func (s *Server) Close() error {
 // node can be embedded in-process (the examples do this) as well as
 // served over TCP.
 func (s *Server) Get(key string) ([]byte, uint64, error) {
+	return s.get(key, nil)
+}
+
+// get is Get with an optional hop recorder: a traced miss fill
+// propagates the trace ID to the authority and merges the store's span
+// into this hop's record, so the client's hop tree shows where a miss
+// actually spent its time.
+func (s *Server) get(key string, tr *proto.SpanRec) ([]byte, uint64, error) {
 	s.c.Gets.Inc()
 	s.noteRead(key)
 	now := time.Now()
 	e, found, fresh := s.kv.Get(key, now)
 	if fresh {
 		s.c.Hits.Inc()
+		s.observeFreshServe(&e, now)
 		return e.Value, e.Version, nil
 	}
 	if found {
 		s.c.StaleMisses.Inc()
+		if !e.Stale && !e.ExpireAt.IsZero() && !now.Before(e.ExpireAt) {
+			// Not invalidated — the hard deadline alone cut it off.
+			s.c.DeadlineExpired.Inc()
+		}
 	} else {
 		s.c.ColdMisses.Inc()
 	}
 	s.beginFill(key)
-	value, version, err := s.stores.Fill(key)
+	fillStart := time.Now()
+	var (
+		value   []byte
+		version uint64
+		err     error
+	)
+	if tr != nil {
+		var ft *proto.Trace
+		value, version, ft, err = s.stores.FillTraced(key, tr.ID())
+		tr.Add(ft)
+	} else {
+		value, version, err = s.stores.Fill(key)
+	}
+	s.fillRTT.Observe(float64(time.Since(fillStart)))
 	if err != nil {
 		s.endFill(key)
 		if errors.Is(err, client.ErrNotFound) && found {
@@ -443,6 +491,22 @@ func (s *Server) Get(key string) ([]byte, uint64, error) {
 		s.kv.Invalidate(key)
 	}
 	return value, version, nil
+}
+
+// observeFreshServe records freshness telemetry for a fresh hit: the
+// served copy's age relative to T, and whether the serve landed inside
+// the near-miss margin (within 10% of T of a hard deadline).
+func (s *Server) observeFreshServe(e *kv.Entry, now time.Time) {
+	if !e.FreshAt.IsZero() {
+		if age := now.Sub(e.FreshAt); age > 0 {
+			s.servedAge.Observe(float64(age) / float64(s.cfg.T) * stats.AgeRatioScale)
+		} else {
+			s.servedAge.Observe(0)
+		}
+	}
+	if !e.ExpireAt.IsZero() && e.ExpireAt.Sub(now) <= s.cfg.T/10 {
+		s.c.NearMisses.Inc()
+	}
 }
 
 // beginFill registers an in-flight miss fill for key.
@@ -495,7 +559,16 @@ func (s *Server) voidOwnedFills(owned func(key string) bool) {
 // Put forwards a write to the store shard owning key (writes bypass the
 // cache).
 func (s *Server) Put(key string, value []byte) (uint64, error) {
+	return s.put(key, value, nil)
+}
+
+func (s *Server) put(key string, value []byte, tr *proto.SpanRec) (uint64, error) {
 	s.c.Puts.Inc()
+	if tr != nil {
+		version, pt, err := s.stores.PutTraced(key, value, tr.ID())
+		tr.Add(pt)
+		return version, err
+	}
 	return s.stores.Put(key, value)
 }
 
@@ -720,9 +793,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 				<-sem
 				dispatchers.Done()
 			}()
-			resp := s.dispatch(m)
+			tr := proto.StartSpan(m, s.spanName)
+			resp := s.dispatch(m, tr)
 			proto.PutMsg(m)
-			out <- proto.Outgoing{Msg: resp, Pooled: true}
+			out <- proto.Outgoing{Msg: s.finishTrace(tr, resp), Pooled: true}
 		}(m)
 	}
 	dispatchers.Wait()
@@ -731,10 +805,21 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	conn.Close()
 }
 
-func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
+// finishTrace closes a traced request's hop span on its response and
+// emits the slow-request span log when the hop exceeded the configured
+// threshold. Both are no-ops for untraced requests (nil recorder).
+func (s *Server) finishTrace(tr *proto.SpanRec, resp *proto.Msg) *proto.Msg {
+	resp = tr.Finish(resp)
+	if th := s.cfg.SlowTraceThreshold; th > 0 && resp != nil && resp.Trace != nil && tr.Elapsed() >= th {
+		s.cfg.Logger.Printf("cache: %s", proto.TraceLogLine(resp.Trace, s.spanName, tr.Elapsed()))
+	}
+	return resp
+}
+
+func (s *Server) dispatch(m *proto.Msg, tr *proto.SpanRec) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
-		value, version, err := s.Get(m.Key)
+		value, version, err := s.get(m.Key, tr)
 		resp := proto.GetMsg()
 		resp.Seq = m.Seq
 		switch {
@@ -747,7 +832,7 @@ func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
 		}
 		return resp
 	case proto.MsgPut:
-		version, err := s.Put(m.Key, m.Value)
+		version, err := s.put(m.Key, m.Value, tr)
 		resp := proto.GetMsg()
 		resp.Seq = m.Seq
 		if err != nil {
@@ -766,41 +851,97 @@ func (s *Server) dispatch(m *proto.Msg) *proto.Msg {
 	}
 }
 
-// StatsMap snapshots the node's counters.
-func (s *Server) StatsMap() map[string]uint64 {
-	var stalled, failedPolls, resumes uint64
-	s.mu.Lock()
-	if s.watch != nil {
-		stalled = s.watch.ConsecutiveFailures()
-		failedPolls = s.watch.FailedPolls()
-		resumes = s.watch.Resumes()
+// buildRegistry wires every cache metric — the Counters struct, the
+// computed gauges the legacy stats map carried, and the freshness
+// histograms — into one registry rendered by both /metrics and
+// MsgStatsResp.
+func (s *Server) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	counter := func(name, help, key string, c *stats.Counter) {
+		r.Counter("freshcache_cache_"+name, help, key, c)
 	}
-	s.mu.Unlock()
-	return map[string]uint64{
-		"watcher_stalled_polls": stalled,
-		"watcher_failed_polls":  failedPolls,
-		"watcher_resumes":       resumes,
-		"failovers":             s.stores.Failovers(),
-		"gets":                  s.c.Gets.Value(),
-		"hits":                  s.c.Hits.Value(),
-		"stale_misses":          s.c.StaleMisses.Value(),
-		"cold_misses":           s.c.ColdMisses.Value(),
-		"puts":                  s.c.Puts.Value(),
-		"invalidates_applied":   s.c.InvalidatesApplied.Value(),
-		"updates_applied":       s.c.UpdatesApplied.Value(),
-		"updates_ignored":       s.c.UpdatesIgnored.Value(),
-		"batches_applied":       s.c.BatchesApplied.Value(),
-		"epoch_gaps":            s.c.EpochGaps.Value(),
-		"resyncs":               s.c.Resyncs.Value(),
-		"disconnects":           s.c.Disconnects.Value(),
-		"keys_resynced":         s.c.KeysResynced.Value(),
-		"keys_deadlined":        s.c.KeysDeadlined.Value(),
-		"read_reports_sent":     s.c.ReadReportsSent.Value(),
-		"malformed_frames":      s.c.MalformedFrames.Value(),
-		"ring_swaps":            s.c.RingSwaps.Value(),
-		"ring_epoch":            s.stores.Epoch(),
-		"stores":                uint64(s.stores.Len()),
-		"resident":              uint64(s.kv.Len()),
-		"evictions":             s.kv.Evictions(),
+	gauge := func(name, help, key string, fn func() float64) {
+		r.Gauge("freshcache_cache_"+name, help, key, fn)
 	}
+	counter("gets_total", "Client GET requests served.", "gets", &s.c.Gets)
+	counter("hits_total", "GETs served fresh from the resident set.", "hits", &s.c.Hits)
+	counter("puts_total", "Client PUTs forwarded to the owning store.", "puts", &s.c.Puts)
+	counter("invalidates_applied_total", "Pushed invalidates applied to resident keys.", "invalidates_applied", &s.c.InvalidatesApplied)
+	counter("updates_applied_total", "Pushed updates applied to resident keys.", "updates_applied", &s.c.UpdatesApplied)
+	counter("updates_ignored_total", "Pushed updates dropped for non-resident keys.", "updates_ignored", &s.c.UpdatesIgnored)
+	counter("batches_applied_total", "Push batches applied.", "batches_applied", &s.c.BatchesApplied)
+	counter("epoch_gaps_total", "Push epoch gaps detected (missed batches).", "epoch_gaps", &s.c.EpochGaps)
+	counter("resyncs_total", "Shard-scoped resynchronizations run.", "resyncs", &s.c.Resyncs)
+	counter("disconnects_total", "Store subscription disconnects.", "disconnects", &s.c.Disconnects)
+	counter("keys_resynced_total", "Resident keys invalidated by resyncs.", "keys_resynced", &s.c.KeysResynced)
+	counter("keys_deadlined_total", "Resident keys stamped with a hard staleness deadline.", "keys_deadlined", &s.c.KeysDeadlined)
+	counter("read_reports_sent_total", "Read-report flushes delivered to the stores.", "read_reports_sent", &s.c.ReadReportsSent)
+	counter("malformed_frames_total", "Frames rejected as malformed.", "malformed_frames", &s.c.MalformedFrames)
+	counter("ring_swaps_total", "Cluster ring epochs applied.", "ring_swaps", &s.c.RingSwaps)
+	counter("deadline_expired_total",
+		"Reads that found a resident entry past its hard freshness deadline (bounded-staleness violations prevented).",
+		"deadline_expired", &s.c.DeadlineExpired)
+	counter("near_miss_serves_total",
+		"Fresh serves within 10% of T of the entry's hard deadline.",
+		"near_misses", &s.c.NearMisses)
+
+	// Miss causes, labeled so hit ratio decomposition is one query.
+	r.LabeledCounter("freshcache_cache_misses_total", "GET misses by cause.",
+		[]string{"kind"}, []string{"stale"}, "stale_misses", &s.c.StaleMisses)
+	r.LabeledCounter("freshcache_cache_misses_total", "GET misses by cause.",
+		[]string{"kind"}, []string{"cold"}, "cold_misses", &s.c.ColdMisses)
+
+	gauge("watcher_stalled_polls", "Consecutive failed coordinator polls.", "watcher_stalled_polls", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.ConsecutiveFailures())
+	})
+	gauge("watcher_failed_polls", "Total failed coordinator polls.", "watcher_failed_polls", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.FailedPolls())
+	})
+	gauge("watcher_resumes", "Coordinator poll streams resumed after failures.", "watcher_resumes", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.Resumes())
+	})
+	gauge("failovers", "Owner failovers taken by the sharded store client.", "failovers", func() float64 {
+		return float64(s.stores.Failovers())
+	})
+	gauge("ring_epoch", "Cluster ring epoch this cache routes by.", "ring_epoch", func() float64 {
+		return float64(s.stores.Epoch())
+	})
+	gauge("stores", "Store shards in the routing ring.", "stores", func() float64 {
+		return float64(s.stores.Len())
+	})
+	gauge("resident", "Resident entries (including stale ones).", "resident", func() float64 {
+		return float64(s.kv.Len())
+	})
+	gauge("evictions", "LRU evictions.", "evictions", func() float64 {
+		return float64(s.kv.Evictions())
+	})
+
+	r.Histogram("freshcache_cache_served_age_ratio",
+		"Age of fresh hits at serve time, as a fraction of the staleness bound T.",
+		stats.AgeRatioBuckets, stats.AgeRatioScale, "served_age_samples", &s.servedAge)
+	r.Histogram("freshcache_cache_fill_rtt_seconds",
+		"Miss-fill round-trip latency to the authority stores.",
+		stats.LatencySecondsBuckets, 1e9, "", &s.fillRTT)
+	return r
 }
+
+// Metrics exposes the cache's metric registry (the /metrics source).
+func (s *Server) Metrics() *stats.Registry { return s.reg }
+
+// StatsMap snapshots the node's counters.
+func (s *Server) StatsMap() map[string]uint64 { return s.reg.StatsMap() }

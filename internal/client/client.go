@@ -189,6 +189,47 @@ func getResult(resp *proto.Msg, key string) ([]byte, uint64, error) {
 	}
 }
 
+// GetTraced is Get with wire-level tracing: the request carries traceID
+// and the returned Trace holds every hop's span, innermost first. Pass
+// it to a proto.SpanRec via Add when relaying, or render it directly.
+func (c *Client) GetTraced(key string, traceID uint64) ([]byte, uint64, *proto.Trace, error) {
+	return c.getTraced(proto.MsgGet, key, traceID)
+}
+
+// FillTraced is Fill with wire-level tracing.
+func (c *Client) FillTraced(key string, traceID uint64) ([]byte, uint64, *proto.Trace, error) {
+	return c.getTraced(proto.MsgFill, key, traceID)
+}
+
+func (c *Client) getTraced(t proto.MsgType, key string, traceID uint64) ([]byte, uint64, *proto.Trace, error) {
+	req := newReq(t)
+	req.Key = key
+	req.Trace = &proto.Trace{ID: traceID}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	tr := resp.Trace
+	value, version, err := getResult(resp, key)
+	return value, version, tr, err
+}
+
+// PutTraced is Put with wire-level tracing.
+func (c *Client) PutTraced(key string, value []byte, traceID uint64) (uint64, *proto.Trace, error) {
+	req := newReq(proto.MsgPut)
+	req.Key, req.Value = key, value
+	req.Trace = &proto.Trace{ID: traceID}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer proto.PutMsg(resp)
+	if resp.Type != proto.MsgPutResp || resp.Status != proto.StatusOK {
+		return 0, nil, fmt.Errorf("client: PUT %q failed: %v/%v", key, resp.Type, resp.Status)
+	}
+	return resp.Version, resp.Trace, nil
+}
+
 // Put writes value under key and returns the assigned version.
 func (c *Client) Put(key string, value []byte) (uint64, error) {
 	req := newReq(proto.MsgPut)

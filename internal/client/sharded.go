@@ -260,6 +260,33 @@ func (s *Sharded) Put(key string, value []byte) (version uint64, err error) {
 	return version, err
 }
 
+// GetTraced fetches key from its owning shard with wire-level tracing.
+func (s *Sharded) GetTraced(key string, traceID uint64) (value []byte, version uint64, tr *proto.Trace, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		value, version, tr, err = c.GetTraced(key, traceID)
+		return err
+	})
+	return value, version, tr, err
+}
+
+// FillTraced performs a traced cache miss fill against key's owner.
+func (s *Sharded) FillTraced(key string, traceID uint64) (value []byte, version uint64, tr *proto.Trace, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		value, version, tr, err = c.FillTraced(key, traceID)
+		return err
+	})
+	return value, version, tr, err
+}
+
+// PutTraced writes key to its owning shard with wire-level tracing.
+func (s *Sharded) PutTraced(key string, value []byte, traceID uint64) (version uint64, tr *proto.Trace, err error) {
+	err = s.keyCall(key, func(c *Client) error {
+		version, tr, err = c.PutTraced(key, value, traceID)
+		return err
+	})
+	return version, tr, err
+}
+
 // ReadReport partitions reports by ring owner and ships each slice to
 // its shard, so every store's policy engine sees exactly the read
 // traffic for the keys it owns. The first error is returned after all

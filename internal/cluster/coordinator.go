@@ -57,6 +57,7 @@ import (
 	"freshcache/internal/client"
 	"freshcache/internal/proto"
 	"freshcache/internal/ring"
+	"freshcache/internal/stats"
 	"freshcache/internal/xrand"
 )
 
@@ -227,6 +228,8 @@ type Coordinator struct {
 	disk      *diskLog
 	peerConns map[string]*client.Client
 
+	reg *stats.Registry
+
 	ln     net.Listener
 	cancel chan struct{}
 	wg     sync.WaitGroup
@@ -312,6 +315,7 @@ func New(cfg Config) (*Coordinator, error) {
 			})
 		}
 	}
+	co.reg = co.buildRegistry()
 	return co, nil
 }
 
@@ -481,50 +485,110 @@ func (co *Coordinator) dispatch(m *proto.Msg) *proto.Msg {
 
 // statsMap snapshots the coordinator's state, including per-store
 // lease ages (ms) so `freshctl status` can render liveness.
-func (co *Coordinator) statsMap() map[string]uint64 {
-	now := time.Now()
-	isLeader := co.isLeaderNow()
-	co.repMu.Lock()
-	term, lastIdx, commit := co.term, co.lastIndex, co.commitIdx
-	leaderAddr, elections := co.leaderAddr, co.elections
-	co.repMu.Unlock()
-	co.mu.Lock()
-	defer co.mu.Unlock()
-	st := map[string]uint64{
-		"ring_epoch":        co.epoch,
-		"stores":            uint64(len(co.nodes)),
-		"replicas":          uint64(co.cfg.Replicas),
-		"lease_interval_ms": uint64(co.cfg.LeaseInterval / time.Millisecond),
-		"joins":             co.joins,
-		"drains":            co.drains,
-		"failed":            co.failed,
-		"failovers":         co.failovers,
-		"rollbacks":         co.rollbacks,
-		"heartbeats":        co.heartbeats,
-		"coordinators":      uint64(len(co.peers) + 1),
-		"raft_term":         term,
-		"raft_last_index":   lastIdx,
-		"raft_commit_index": commit,
-		"elections":         elections,
-	}
-	if isLeader {
-		st["is_leader"] = 1
-	} else {
-		st["is_leader"] = 0
-	}
-	if leaderAddr != "" {
-		st["leader["+leaderAddr+"]"] = 1
-	}
-	if co.pending != "" {
-		st["pending["+co.pendingKind+" "+co.pending+"]"] = 1
-	}
-	for addr, ls := range co.leases {
-		st["lease_age_ms["+addr+"]"] = uint64(now.Sub(ls.lastBeat) / time.Millisecond)
-		if ls.misses > 0 {
-			st["heartbeat_misses["+addr+"]"] = ls.misses
+func (co *Coordinator) statsMap() map[string]uint64 { return co.reg.StatsMap() }
+
+// Metrics exposes the coordinator's metric registry (the /metrics
+// source).
+func (co *Coordinator) Metrics() *stats.Registry { return co.reg }
+
+// buildRegistry wires the coordinator's control-plane state into one
+// registry rendered by both /metrics and MsgStatsResp. The dynamic
+// bracket keys of the legacy map (lease_age_ms[addr], ...) become
+// labeled gauge families; their wire-map spellings are preserved so
+// `freshctl status` keeps parsing them.
+func (co *Coordinator) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	// Monotonic event counts, kept under co.mu / co.repMu rather than in
+	// atomic counters; read through closures at render time.
+	muCount := func(fn func() uint64) func() float64 {
+		return func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			return float64(fn())
 		}
 	}
-	return st
+	repCount := func(fn func() uint64) func() float64 {
+		return func() float64 {
+			co.repMu.Lock()
+			defer co.repMu.Unlock()
+			return float64(fn())
+		}
+	}
+	r.CounterFunc("freshcache_coord_joins_total", "Store joins admitted.", "joins", muCount(func() uint64 { return co.joins }))
+	r.CounterFunc("freshcache_coord_drains_total", "Store drains completed.", "drains", muCount(func() uint64 { return co.drains }))
+	r.CounterFunc("freshcache_coord_stores_failed_total", "Stores declared dead by the failure detector.", "failed", muCount(func() uint64 { return co.failed }))
+	r.CounterFunc("freshcache_coord_failovers_total", "Automatic failovers published.", "failovers", muCount(func() uint64 { return co.failovers }))
+	r.CounterFunc("freshcache_coord_rollbacks_total", "Membership changes rolled back.", "rollbacks", muCount(func() uint64 { return co.rollbacks }))
+	r.CounterFunc("freshcache_coord_heartbeats_total", "Store liveness heartbeats received.", "heartbeats", muCount(func() uint64 { return co.heartbeats }))
+	r.CounterFunc("freshcache_coord_elections_total", "Leadership candidacies started.", "elections", repCount(func() uint64 { return co.elections }))
+
+	gauge := func(name, help, key string, fn func() float64) {
+		r.Gauge("freshcache_coord_"+name, help, key, fn)
+	}
+	gauge("ring_epoch", "Currently published ring epoch.", "ring_epoch", muCount(func() uint64 { return co.epoch }))
+	gauge("stores", "Stores in the published ring.", "stores", muCount(func() uint64 { return uint64(len(co.nodes)) }))
+	gauge("replicas", "Configured replication factor R.", "replicas", func() float64 { return float64(co.cfg.Replicas) })
+	gauge("lease_interval_ms", "Liveness lease interval in milliseconds.", "lease_interval_ms", func() float64 {
+		return float64(co.cfg.LeaseInterval / time.Millisecond)
+	})
+	gauge("coordinators", "Coordinator group size, self included.", "coordinators", func() float64 {
+		return float64(len(co.peers) + 1)
+	})
+	gauge("raft_term", "Current election term.", "raft_term", repCount(func() uint64 { return co.term }))
+	gauge("raft_last_index", "Last replicated log index.", "raft_last_index", repCount(func() uint64 { return co.lastIndex }))
+	gauge("raft_commit_index", "Highest committed log index.", "raft_commit_index", repCount(func() uint64 { return co.commitIdx }))
+	gauge("is_leader", "1 while this coordinator holds the leadership lease.", "is_leader", func() float64 {
+		if co.isLeaderNow() {
+			return 1
+		}
+		return 0
+	})
+
+	r.GaugeVec("freshcache_coord_leader", "The coordinator currently believed leader (value 1).",
+		"addr", "leader[%s]", func() map[string]float64 {
+			co.repMu.Lock()
+			defer co.repMu.Unlock()
+			if co.leaderAddr == "" {
+				return nil
+			}
+			return map[string]float64{co.leaderAddr: 1}
+		})
+	r.GaugeVec("freshcache_coord_pending_change", "A membership change stuck mid-adopt (value 1).",
+		"change", "pending[%s]", func() map[string]float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			if co.pending == "" {
+				return nil
+			}
+			return map[string]float64{co.pendingKind + " " + co.pending: 1}
+		})
+	r.GaugeVec("freshcache_coord_lease_age_ms", "Milliseconds since each store's last liveness heartbeat.",
+		"store", "lease_age_ms[%s]", func() map[string]float64 {
+			now := time.Now()
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			out := make(map[string]float64, len(co.leases))
+			for addr, ls := range co.leases {
+				out[addr] = float64(now.Sub(ls.lastBeat) / time.Millisecond)
+			}
+			return out
+		})
+	r.GaugeVec("freshcache_coord_heartbeat_misses", "Consecutive-failure streak each store last reported.",
+		"store", "heartbeat_misses[%s]", func() map[string]float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			var out map[string]float64
+			for addr, ls := range co.leases {
+				if ls.misses > 0 {
+					if out == nil {
+						out = make(map[string]float64)
+					}
+					out[addr] = float64(ls.misses)
+				}
+			}
+			return out
+		})
+	return r
 }
 
 // noteHeartbeat renews a store's liveness lease; misses is the

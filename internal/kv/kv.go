@@ -33,6 +33,11 @@ type Entry struct {
 	// ExpireAt, when nonzero, is a hard freshness deadline (the TTL
 	// fallback used after subscription gaps); reads past it are misses.
 	ExpireAt time.Time
+	// FreshAt is when this copy was last confirmed consistent with the
+	// authority (fill install or pushed update) — the origin of the
+	// entry's age for freshness telemetry. Stamped by Put/Update when
+	// zero.
+	FreshAt time.Time
 }
 
 // fresh reports whether the entry may be served at time now.
@@ -101,6 +106,9 @@ func (c *Cache) Get(key string, now time.Time) (e Entry, found, fresh bool) {
 // the resident copy has a version strictly newer than e.Version —
 // protecting a pushed update from being clobbered by a slower miss fill.
 func (c *Cache) Put(key string, e Entry) bool {
+	if e.FreshAt.IsZero() {
+		e.FreshAt = time.Now()
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,7 +158,7 @@ func (c *Cache) Update(key string, value []byte, version uint64) bool {
 		return false
 	}
 	if version >= n.e.Version {
-		n.e = Entry{Value: value, Version: version}
+		n.e = Entry{Value: value, Version: version, FreshAt: time.Now()}
 	}
 	return true
 }
@@ -391,6 +399,20 @@ func (a *Authority) GetView(key string) (value []byte, version uint64, ok bool) 
 		return nil, 0, false
 	}
 	return e.value, e.version, true
+}
+
+// GetViewAged is GetView plus the entry's write time, for serve-path
+// freshness telemetry; one lookup instead of GetView+LastWrite. The
+// value carries GetView's immutability contract.
+func (a *Authority) GetViewAged(key string) (value []byte, version uint64, written time.Time, ok bool) {
+	s := a.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, time.Time{}, false
+	}
+	return e.value, e.version, e.written, true
 }
 
 // Version returns the current global version counter. It may run ahead

@@ -56,6 +56,10 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight proxied
 	// requests before tearing down the upstream pools; defaults to 5s.
 	DrainTimeout time.Duration
+	// SlowTraceThreshold, when positive, makes traced requests that take
+	// at least this long emit a one-line span log. Zero disables the
+	// slow log (traces still propagate on the wire).
+	SlowTraceThreshold time.Duration
 	// Logger receives diagnostics; nil uses the standard logger.
 	Logger *log.Logger
 }
@@ -73,6 +77,13 @@ type Server struct {
 	cacheRing *ring.Ring
 	caches    []*client.Client
 	c         Counters
+
+	reg *stats.Registry
+	// readRTT and writeRTT sample the upstream round trip of every
+	// proxied read (to the affine cache) and write (to the owning
+	// store) in nanoseconds.
+	readRTT  stats.Histogram
+	writeRTT stats.Histogram
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -140,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 	for _, addr := range cacheRing.Nodes() {
 		s.caches = append(s.caches, client.New(addr, client.Options{}))
 	}
+	s.reg = s.buildRegistry()
 	if cfg.ClusterAddr != "" {
 		// On-demand failover for the write path: a write whose owner
 		// just crashed refreshes the ring from the coordinator and
@@ -328,11 +340,12 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 				<-sem
 				dispatchers.Done()
 			}()
-			resp := s.route(m)
+			tr := proto.StartSpan(m, "lb")
+			resp := s.route(m, tr)
 			resp.Seq = m.Seq
 			proto.PutMsg(m)
 			// inflight is released by the writer post-flush.
-			out <- proto.Outgoing{Msg: resp, Pooled: true}
+			out <- proto.Outgoing{Msg: s.finishTrace(tr, resp), Pooled: true}
 		}(m)
 	}
 	dispatchers.Wait()
@@ -341,11 +354,35 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	conn.Close()
 }
 
-func (s *Server) route(m *proto.Msg) *proto.Msg {
+// finishTrace closes a traced request's hop span on its response and
+// emits the slow-request span log when the hop exceeded the configured
+// threshold. Both are no-ops for untraced requests (nil recorder).
+func (s *Server) finishTrace(tr *proto.SpanRec, resp *proto.Msg) *proto.Msg {
+	resp = tr.Finish(resp)
+	if th := s.cfg.SlowTraceThreshold; th > 0 && resp != nil && resp.Trace != nil && tr.Elapsed() >= th {
+		s.cfg.Logger.Printf("lb: %s", proto.TraceLogLine(resp.Trace, "lb", tr.Elapsed()))
+	}
+	return resp
+}
+
+func (s *Server) route(m *proto.Msg, tr *proto.SpanRec) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
 		s.c.Reads.Inc()
-		value, version, err := s.cacheFor(m.Key).Get(m.Key)
+		start := time.Now()
+		var (
+			value   []byte
+			version uint64
+			err     error
+		)
+		if tr != nil {
+			var ct *proto.Trace
+			value, version, ct, err = s.cacheFor(m.Key).GetTraced(m.Key, tr.ID())
+			tr.Add(ct)
+		} else {
+			value, version, err = s.cacheFor(m.Key).Get(m.Key)
+		}
+		s.readRTT.Observe(float64(time.Since(start)))
 		resp := proto.GetMsg()
 		switch {
 		case err == nil:
@@ -359,7 +396,19 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 		return resp
 	case proto.MsgPut:
 		s.c.Writes.Inc()
-		version, err := s.stores.Put(m.Key, m.Value)
+		start := time.Now()
+		var (
+			version uint64
+			err     error
+		)
+		if tr != nil {
+			var st *proto.Trace
+			version, st, err = s.stores.PutTraced(m.Key, m.Value, tr.ID())
+			tr.Add(st)
+		} else {
+			version, err = s.stores.Put(m.Key, m.Value)
+		}
+		s.writeRTT.Observe(float64(time.Since(start)))
 		resp := proto.GetMsg()
 		if err != nil {
 			s.c.Errors.Inc()
@@ -371,29 +420,71 @@ func (s *Server) route(m *proto.Msg) *proto.Msg {
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong}
 	case proto.MsgStats:
-		var stalled, failedPolls, resumes uint64
-		s.mu.Lock()
-		if s.watch != nil {
-			stalled = s.watch.ConsecutiveFailures()
-			failedPolls = s.watch.FailedPolls()
-			resumes = s.watch.Resumes()
-		}
-		s.mu.Unlock()
-		return &proto.Msg{Type: proto.MsgStatsResp, Stats: map[string]uint64{
-			"reads":                 s.c.Reads.Value(),
-			"writes":                s.c.Writes.Value(),
-			"errors":                s.c.Errors.Value(),
-			"malformed_frames":      s.c.MalformedFrames.Value(),
-			"caches":                uint64(len(s.caches)),
-			"stores":                uint64(s.stores.Len()),
-			"ring_epoch":            s.stores.Epoch(),
-			"failovers":             s.stores.Failovers(),
-			"watcher_stalled_polls": stalled,
-			"watcher_failed_polls":  failedPolls,
-			"watcher_resumes":       resumes,
-		}}
+		return &proto.Msg{Type: proto.MsgStatsResp, Stats: s.StatsMap()}
 	default:
 		s.c.MalformedFrames.Inc()
 		return &proto.Msg{Type: proto.MsgErr, Err: fmt.Sprintf("lb: unexpected message %v", m.Type)}
 	}
 }
+
+// buildRegistry wires every balancer metric into one registry rendered
+// by both /metrics and MsgStatsResp.
+func (s *Server) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	r.Counter("freshcache_lb_reads_total", "GETs proxied to the cache tier.", "reads", &s.c.Reads)
+	r.Counter("freshcache_lb_writes_total", "PUTs proxied to the store tier.", "writes", &s.c.Writes)
+	r.Counter("freshcache_lb_errors_total", "Proxied requests that failed upstream.", "errors", &s.c.Errors)
+	r.Counter("freshcache_lb_malformed_frames_total", "Frames rejected as malformed.", "malformed_frames", &s.c.MalformedFrames)
+	gauge := func(name, help, key string, fn func() float64) {
+		r.Gauge("freshcache_lb_"+name, help, key, fn)
+	}
+	gauge("caches", "Cache nodes on the read-path ring.", "caches", func() float64 {
+		return float64(len(s.caches))
+	})
+	gauge("stores", "Store shards on the write-path ring.", "stores", func() float64 {
+		return float64(s.stores.Len())
+	})
+	gauge("ring_epoch", "Cluster ring epoch writes route by.", "ring_epoch", func() float64 {
+		return float64(s.stores.Epoch())
+	})
+	gauge("failovers", "Owner failovers taken by the sharded store client.", "failovers", func() float64 {
+		return float64(s.stores.Failovers())
+	})
+	gauge("watcher_stalled_polls", "Consecutive failed coordinator polls.", "watcher_stalled_polls", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.ConsecutiveFailures())
+	})
+	gauge("watcher_failed_polls", "Total failed coordinator polls.", "watcher_failed_polls", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.FailedPolls())
+	})
+	gauge("watcher_resumes", "Coordinator poll streams resumed after failures.", "watcher_resumes", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.watch == nil {
+			return 0
+		}
+		return float64(s.watch.Resumes())
+	})
+	r.Histogram("freshcache_lb_read_rtt_seconds",
+		"Upstream round-trip latency of proxied reads.",
+		stats.LatencySecondsBuckets, 1e9, "", &s.readRTT)
+	r.Histogram("freshcache_lb_write_rtt_seconds",
+		"Upstream round-trip latency of proxied writes.",
+		stats.LatencySecondsBuckets, 1e9, "", &s.writeRTT)
+	return r
+}
+
+// Metrics exposes the balancer's metric registry (the /metrics source).
+func (s *Server) Metrics() *stats.Registry { return s.reg }
+
+// StatsMap snapshots the balancer's counters.
+func (s *Server) StatsMap() map[string]uint64 { return s.reg.StatsMap() }

@@ -1,0 +1,48 @@
+// Package obs serves the operational HTTP surface shared by every
+// freshcache server binary: the node's metric registry rendered as
+// Prometheus text exposition at /metrics, plus the net/http/pprof
+// profiling suite at /debug/pprof/ — one opt-in listener per process
+// (the -obs flag).
+package obs
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+
+	"freshcache/internal/stats"
+)
+
+// Handler returns the observability mux for one node: /metrics backed
+// by reg, and the pprof handlers mounted explicitly (no dependence on
+// http.DefaultServeMux, so embedding processes never leak profiling
+// endpoints onto their own mux).
+func Handler(reg *stats.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// A client gone mid-render surfaces as a write error; there is
+		// nobody left to report it to.
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability listener in the background, the way
+// the server binaries use it; name prefixes the log lines. Errors are
+// logged, not returned — a broken metrics listener must not take the
+// data plane down with it.
+func Serve(addr, name string, reg *stats.Registry, logger *log.Logger) {
+	if logger == nil {
+		logger = log.Default()
+	}
+	go func() {
+		logger.Printf("%s: metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", name, addr, addr)
+		logger.Printf("%s: observability server: %v", name, http.ListenAndServe(addr, Handler(reg)))
+	}()
+}

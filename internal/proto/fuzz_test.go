@@ -36,12 +36,23 @@ func FuzzReadMsg(f *testing.F) {
 	stats := encodeSeed(f, &Msg{Type: MsgStatsResp, Seq: 3, Stats: map[string]uint64{"hits": 5}})
 	ring := encodeSeed(f, &Msg{Type: MsgRingResp, Seq: 4, Epoch: 3, Version: 128,
 		Replicas: 2, Nodes: []string{"a:1", "b:2"}})
+	traced := encodeSeed(f, &Msg{Type: MsgGet, Seq: 5, Key: "user:42",
+		Trace: &Trace{ID: 0xfeedface}})
+	tracedResp := encodeSeed(f, &Msg{Type: MsgGetResp, Seq: 5, Status: StatusOK,
+		Version: 7, Value: []byte("v"),
+		Trace: &Trace{ID: 0xfeedface, Spans: []Span{
+			{Node: "store", Start: 1, Dur: 2},
+			{Node: "cache", Start: 3, Dur: 4},
+		}}})
 	f.Add(get)
 	f.Add(put)
 	f.Add(batch)
 	f.Add(append(append([]byte(nil), get...), put...))
 	f.Add(append(append([]byte(nil), batch...), stats...))
 	f.Add(ring)
+	f.Add(traced)
+	f.Add(tracedResp)
+	f.Add(append(append([]byte(nil), traced...), get...))
 	// Malformed shapes the unit tests pin individually.
 	f.Add([]byte{0, 0, 0, 0})                               // zero-length frame
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                   // oversize length prefix

@@ -5,9 +5,10 @@
 // Every message is one length-prefixed frame:
 //
 //	u32  payload length (big-endian, excludes itself)
-//	u8   message type
+//	u8   message type (high bit: trace block present)
 //	u64  sequence number (echoed in responses; 0 on pushes)
-//	...  type-specific payload
+//	...  optional trace block (trace ID + per-hop spans), then the
+//	     type-specific payload
 //
 // Strings and byte blobs are u16/u32 length-prefixed. The protocol is
 // deliberately request/response plus one server-push stream (BATCH frames
@@ -25,6 +26,7 @@ import (
 	"math"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -253,6 +255,10 @@ type Msg struct {
 	Freqs    []KeyFreq // tracker warm-start stats (MsgMigrateDone, MsgRepWrite)
 	Stamp    int64     // ring publish time, unix nanoseconds (MsgRingResp)
 	Replicas uint32    // cluster replication factor R (ring messages)
+	// Trace, when non-nil, marks the frame as traced: the encoder sets
+	// traceFlag on the type byte and inserts the trace block after the
+	// sequence number. Nil on every untraced frame (the common case).
+	Trace *Trace
 }
 
 // Limits enforced on both sides of every connection.
@@ -391,9 +397,18 @@ func NewWriter(w io.Writer) *Writer {
 func AppendFrame(buf []byte, m *Msg) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length placeholder
-	buf = append(buf, byte(m.Type))
+	tb := byte(m.Type)
+	if m.Trace != nil {
+		tb |= traceFlag
+	}
+	buf = append(buf, tb)
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 	var err error
+	if m.Trace != nil {
+		if buf, err = appendTrace(buf, m.Trace); err != nil {
+			return buf[:start], err
+		}
+	}
 	buf, err = appendPayload(buf, m)
 	if err != nil {
 		return buf[:start], err
@@ -767,11 +782,18 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 			return b, fmt.Errorf("%w: %d stats", ErrMalformed, len(m.Stats))
 		}
 		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Stats)))
-		for k, v := range m.Stats {
+		// Sorted keys: stats frames render identically across runs, so
+		// freshctl output and tests don't depend on map iteration order.
+		keys := make([]string, 0, len(m.Stats))
+		for k := range m.Stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
 			if b, err = appendString16(b, k); err != nil {
 				return b, err
 			}
-			b = binary.BigEndian.AppendUint64(b, v)
+			b = binary.BigEndian.AppendUint64(b, m.Stats[k])
 		}
 		return b, nil
 	case MsgErr:
@@ -921,9 +943,20 @@ func (r *Reader) ReadMsgInto(m *Msg) error {
 		return fmt.Errorf("proto: reading frame body: %w", err)
 	}
 	ops, reports, freqs := m.Ops[:0], m.Reports[:0], m.Freqs[:0]
-	*m = Msg{Type: MsgType(buf[0]), Seq: binary.BigEndian.Uint64(buf[1:9])}
+	tb := buf[0]
+	*m = Msg{Type: MsgType(tb &^ traceFlag), Seq: binary.BigEndian.Uint64(buf[1:9])}
 	m.Ops, m.Reports, m.Freqs = ops, reports, freqs
-	return parsePayload(m, buf[9:], r)
+	payload := buf[9:]
+	if tb&traceFlag != 0 {
+		c := &cursor{b: payload, rd: r}
+		tr, err := parseTrace(c)
+		if err != nil {
+			return err
+		}
+		m.Trace = tr
+		payload = payload[c.off:]
+	}
+	return parsePayload(m, payload, r)
 }
 
 // internString returns a canonical string for b, so a hot key's name is

@@ -1,0 +1,179 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		// Request: trace ID only, no spans yet.
+		{Type: MsgGet, Seq: 1, Key: "user:42", Trace: &Trace{ID: 0xdeadbeef}},
+		// Response: accumulated hop spans, innermost first.
+		{Type: MsgGetResp, Seq: 1, Status: StatusOK, Version: 9, Value: []byte("v"),
+			Trace: &Trace{ID: 0xdeadbeef, Spans: []Span{
+				{Node: "store@a:1", Start: 1700000000000000000, Dur: 120_000},
+				{Node: "cache@b:2", Start: 1700000000000000100, Dur: 480_000},
+				{Node: "lb@c:3", Start: 1700000000000000200, Dur: 910_000},
+			}}},
+		{Type: MsgPut, Seq: 2, Key: "k", Value: []byte("v"), Trace: &Trace{ID: 1}},
+		{Type: MsgPutResp, Seq: 2, Status: StatusOK, Version: 3,
+			Trace: &Trace{ID: 1, Spans: []Span{{Node: "store", Start: 5, Dur: 7}}}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got.Trace, m.Trace) {
+			t.Errorf("%v trace round trip: got %+v, want %+v", m.Type, got.Trace, m.Trace)
+		}
+		if got.Key != m.Key || !bytes.Equal(got.Value, m.Value) || got.Version != m.Version {
+			t.Errorf("%v payload corrupted by trace block: %+v", m.Type, got)
+		}
+	}
+}
+
+// A traced frame and its untraced twin must decode to the same message
+// apart from the trace, and an untraced frame must decode with a nil
+// Trace — old peers never see phantom traces.
+func TestTraceAbsentTolerated(t *testing.T) {
+	plain := &Msg{Type: MsgGet, Seq: 7, Key: "k"}
+	traced := &Msg{Type: MsgGet, Seq: 7, Key: "k", Trace: &Trace{ID: 99}}
+
+	gotPlain := roundTrip(t, plain)
+	if gotPlain.Trace != nil {
+		t.Fatalf("untraced frame decoded with trace: %+v", gotPlain.Trace)
+	}
+	gotTraced := roundTrip(t, traced)
+	if gotTraced.Trace == nil || gotTraced.Trace.ID != 99 {
+		t.Fatalf("traced frame lost its trace: %+v", gotTraced.Trace)
+	}
+	gotTraced.Trace = nil
+	if !reflect.DeepEqual(gotPlain, gotTraced) {
+		t.Errorf("trace block changed payload decoding: %+v vs %+v", gotPlain, gotTraced)
+	}
+
+	fPlain, err := AppendFrame(nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fTraced, err := AppendFrame(nil, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fTraced[4]&traceFlag == 0 {
+		t.Error("traced frame missing flag bit")
+	}
+	if fPlain[4]&traceFlag != 0 {
+		t.Error("untraced frame has flag bit set")
+	}
+}
+
+func TestTraceSpanLimit(t *testing.T) {
+	tr := &Trace{ID: 1, Spans: make([]Span, MaxTraceSpans+1)}
+	if _, err := AppendFrame(nil, &Msg{Type: MsgGet, Key: "k", Trace: tr}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("over-limit span count encoded: %v", err)
+	}
+
+	// Decoder must reject a hand-built frame claiming too many spans.
+	frame, err := AppendFrame(nil, &Msg{Type: MsgGet, Key: "k",
+		Trace: &Trace{ID: 1, Spans: []Span{{Node: "n"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span count byte sits after len(4) + type(1) + seq(8) + id(8).
+	frame[4+1+8+8] = MaxTraceSpans + 1
+	r := NewReader(bytes.NewReader(frame))
+	if _, err := r.ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("decoder accepted %d spans: %v", MaxTraceSpans+1, err)
+	}
+}
+
+func TestTraceTruncatedBlock(t *testing.T) {
+	frame, err := AppendFrame(nil, &Msg{Type: MsgGet, Seq: 1, Key: "key",
+		Trace: &Trace{ID: 42, Spans: []Span{{Node: "store", Start: 1, Dur: 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes out of the middle and fix up the length prefix: every
+	// truncation must surface as a clean malformed-frame error.
+	for cut := 9; cut < len(frame)-4; cut++ {
+		mut := append([]byte(nil), frame[:cut]...)
+		mut[0] = byte((cut - 4) >> 24)
+		mut[1] = byte((cut - 4) >> 16)
+		mut[2] = byte((cut - 4) >> 8)
+		mut[3] = byte(cut - 4)
+		r := NewReader(bytes.NewReader(mut))
+		if _, err := r.ReadMsg(); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSpanRecLifecycle(t *testing.T) {
+	// Untraced request: everything is a no-op.
+	var nilRec *SpanRec
+	if rec := StartSpan(&Msg{Type: MsgGet}, "store"); rec != nil {
+		t.Fatal("StartSpan on untraced msg should return nil")
+	}
+	resp := &Msg{Type: MsgGetResp}
+	if nilRec.Finish(resp); resp.Trace != nil {
+		t.Fatal("nil recorder attached a trace")
+	}
+	nilRec.Add(&Trace{ID: 1}) // must not panic
+
+	// Traced request through two nested hops.
+	req := &Msg{Type: MsgGet, Key: "k", Trace: &Trace{ID: 77}}
+	outer := StartSpan(req, "cache")
+	inner := StartSpan(req, "store")
+	time.Sleep(time.Millisecond)
+	innerResp := inner.Finish(&Msg{Type: MsgGetResp})
+	outer.Add(innerResp.Trace)
+	out := outer.Finish(&Msg{Type: MsgGetResp})
+
+	tr := out.Trace
+	if tr == nil || tr.ID != 77 {
+		t.Fatalf("trace missing or wrong ID: %+v", tr)
+	}
+	if len(tr.Spans) != 2 || tr.Spans[0].Node != "store" || tr.Spans[1].Node != "cache" {
+		t.Fatalf("span order wrong (want innermost first): %+v", tr.Spans)
+	}
+	for _, s := range tr.Spans {
+		if s.Dur <= 0 || s.Start <= 0 {
+			t.Errorf("span %s has empty timing: %+v", s.Node, s)
+		}
+	}
+	if tr.Spans[1].Dur < tr.Spans[0].Dur {
+		t.Errorf("outer span shorter than inner: %+v", tr.Spans)
+	}
+}
+
+func TestSpanRecOverflowDropsOldest(t *testing.T) {
+	spans := make([]Span, MaxTraceSpans)
+	for i := range spans {
+		spans[i] = Span{Node: "hop", Start: int64(i), Dur: 1}
+	}
+	req := &Msg{Type: MsgGet, Trace: &Trace{ID: 5, Spans: spans}}
+	rec := StartSpan(req, "last")
+	resp := rec.Finish(&Msg{Type: MsgGetResp})
+	if len(resp.Trace.Spans) != MaxTraceSpans {
+		t.Fatalf("span count = %d, want %d", len(resp.Trace.Spans), MaxTraceSpans)
+	}
+	last := resp.Trace.Spans[len(resp.Trace.Spans)-1]
+	if last.Node != "last" {
+		t.Errorf("newest span evicted instead of oldest: %+v", last)
+	}
+	// And the result still encodes.
+	if _, err := AppendFrame(nil, resp); err != nil {
+		t.Errorf("overflowed trace fails to encode: %v", err)
+	}
+}
+
+func TestTraceNodeNameTooLong(t *testing.T) {
+	tr := &Trace{ID: 1, Spans: []Span{{Node: strings.Repeat("x", MaxKey+1)}}}
+	if _, err := AppendFrame(nil, &Msg{Type: MsgGet, Key: "k", Trace: tr}); !errors.Is(err, ErrMalformed) {
+		t.Errorf("oversized node name encoded: %v", err)
+	}
+}

@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a zero-dependency metrics registry. Servers register their
+// existing Counter/Histogram primitives (plus gauge closures) once at
+// construction; the registry then renders two views of the same data:
+// Prometheus text exposition for /metrics, and the flat uint64 map carried
+// by MsgStatsResp. Registration is cheap and happens at startup; rendering
+// walks live primitives, so both views always reflect current values.
+//
+// Metric names follow Prometheus conventions (snake_case, _total suffix on
+// counters); the optional statsKey preserves each metric's legacy wire-map
+// key so freshctl and existing tests keep working.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	labelNames      []string
+	series          []*series
+
+	// Dynamic single-label gauge family: fn returns label-value → sample
+	// at render time. statsKeyFmt, if non-empty, must contain one %s and
+	// maps each label value to its legacy wire-map key.
+	vecLabel    string
+	vecFn       func() map[string]float64
+	statsKeyFmt string
+}
+
+type series struct {
+	labelVals []string
+	statsKey  string
+
+	counter *Counter
+	gaugeFn func() float64
+
+	hist   *Histogram
+	bounds []float64 // upper bounds, in display units, ascending
+	scale  float64   // sample units per display unit (1e9 for ns→s)
+}
+
+// AgeRatioBuckets are the served-age histogram bounds in units of the
+// staleness bound T, dense around the guarantee boundary at 1.0 so
+// violation proximity is visible at any configured T.
+var AgeRatioBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 5, 10, 100}
+
+// AgeRatioScale converts a stored age/T sample (permille — the log
+// histogram cannot distinguish values below 1) back to a plain ratio.
+const AgeRatioScale = 1000
+
+// LatencySecondsBuckets are the exposition bounds for histograms whose
+// samples are nanoseconds, rendered in seconds.
+var LatencySecondsBuckets = []float64{
+	0.000_05, 0.000_1, 0.000_25, 0.000_5,
+	0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help, typ string, labelNames []string) *family {
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, labelNames: labelNames}
+		r.fams[name] = f
+	}
+	if f.typ != typ {
+		panic("stats: metric " + name + " registered with conflicting types")
+	}
+	return f
+}
+
+// Counter registers an unlabeled counter. statsKey, if non-empty, is the
+// metric's key in the legacy StatsMap view.
+func (r *Registry) Counter(name, help, statsKey string, c *Counter) {
+	r.LabeledCounter(name, help, nil, nil, statsKey, c)
+}
+
+// LabeledCounter registers one labeled counter series. All series of a
+// family must use the same label names.
+func (r *Registry) LabeledCounter(name, help string, labelNames, labelVals []string, statsKey string, c *Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter", labelNames)
+	f.series = append(f.series, &series{labelVals: labelVals, statsKey: statsKey, counter: c})
+}
+
+// CounterFunc registers a counter backed by a closure — for monotonic
+// counts kept under a server's own lock rather than in a Counter.
+func (r *Registry) CounterFunc(name, help, statsKey string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter", nil)
+	f.series = append(f.series, &series{statsKey: statsKey, gaugeFn: fn})
+}
+
+// Gauge registers an unlabeled gauge backed by a closure, evaluated at
+// render time.
+func (r *Registry) Gauge(name, help, statsKey string, fn func() float64) {
+	r.LabeledGauge(name, help, nil, nil, statsKey, fn)
+}
+
+// LabeledGauge registers one labeled gauge series.
+func (r *Registry) LabeledGauge(name, help string, labelNames, labelVals []string, statsKey string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge", labelNames)
+	f.series = append(f.series, &series{labelVals: labelVals, statsKey: statsKey, gaugeFn: fn})
+}
+
+// GaugeVec registers a gauge family whose series set is dynamic: fn is
+// called at render time and yields one sample per label value (e.g. one
+// lease age per store address). statsKeyFmt, if non-empty, must contain
+// one %s; each label value is formatted through it to produce that
+// series' legacy wire-map key.
+func (r *Registry) GaugeVec(name, help, label, statsKeyFmt string, fn func() map[string]float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge", []string{label})
+	f.vecLabel, f.vecFn, f.statsKeyFmt = label, fn, statsKeyFmt
+}
+
+// Histogram registers a histogram. bounds are the exposition bucket upper
+// bounds in display units, ascending; scale converts stored samples to
+// display units (samples recorded in nanoseconds with scale 1e9 render as
+// seconds). statsKey, if non-empty, maps the sample count into StatsMap.
+func (r *Registry) Histogram(name, help string, bounds []float64, scale float64, statsKey string, h *Histogram) {
+	r.LabeledHistogram(name, help, nil, nil, bounds, scale, statsKey, h)
+}
+
+// LabeledHistogram registers one labeled histogram series.
+func (r *Registry) LabeledHistogram(name, help string, labelNames, labelVals []string, bounds []float64, scale float64, statsKey string, h *Histogram) {
+	if scale <= 0 {
+		scale = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "histogram", labelNames)
+	f.series = append(f.series, &series{
+		labelVals: labelVals, statsKey: statsKey,
+		hist: h, bounds: bounds, scale: scale,
+	})
+}
+
+// StatsMap renders every registered metric with a statsKey into the flat
+// uint64 map carried by MsgStatsResp. Gauges are rounded and clamped at
+// zero; histograms contribute their sample count.
+func (r *Registry) StatsMap() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.fams)*2)
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			if s.statsKey == "" {
+				continue
+			}
+			switch {
+			case s.counter != nil:
+				out[s.statsKey] = s.counter.Value()
+			case s.gaugeFn != nil:
+				out[s.statsKey] = clampU64(s.gaugeFn())
+			case s.hist != nil:
+				out[s.statsKey] = s.hist.Count()
+			}
+		}
+		if f.vecFn != nil && f.statsKeyFmt != "" {
+			for lv, v := range f.vecFn() {
+				out[fmt.Sprintf(f.statsKeyFmt, lv)] = clampU64(v)
+			}
+		}
+	}
+	return out
+}
+
+func clampU64(v float64) uint64 {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(math.Round(v))
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), families and series in sorted order so output
+// is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		series := append([]*series(nil), f.series...)
+		sort.Slice(series, func(i, j int) bool {
+			return labelKey(series[i].labelVals) < labelKey(series[j].labelVals)
+		})
+		for _, s := range series {
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPairs(f.labelNames, s.labelVals), s.counter.Value())
+			case s.gaugeFn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelPairs(f.labelNames, s.labelVals), formatFloat(s.gaugeFn()))
+			case s.hist != nil:
+				writeHistogram(&b, f.name, f.labelNames, s)
+			}
+		}
+		if f.vecFn != nil {
+			samples := f.vecFn()
+			lvs := make([]string, 0, len(samples))
+			for lv := range samples {
+				lvs = append(lvs, lv)
+			}
+			sort.Strings(lvs)
+			for _, lv := range lvs {
+				fmt.Fprintf(&b, "%s%s %s\n", f.name,
+					labelPairs(f.labelNames, []string{lv}), formatFloat(samples[lv]))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(b *strings.Builder, name string, labelNames []string, s *series) {
+	scaled := make([]float64, len(s.bounds))
+	for i, ub := range s.bounds {
+		scaled[i] = ub * s.scale
+	}
+	counts, count, sum := s.hist.Cumulative(scaled)
+	for i, ub := range s.bounds {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			labelPairs(append(labelNames, "le"), append(s.labelVals, formatFloat(ub))), counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+		labelPairs(append(labelNames, "le"), append(s.labelVals, "+Inf")), count)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labelPairs(labelNames, s.labelVals), formatFloat(sum/s.scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelPairs(labelNames, s.labelVals), count)
+}
+
+func labelKey(vals []string) string { return strings.Join(vals, "\xff") }
+
+func labelPairs(names, vals []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample the way Prometheus expects: integral
+// values without an exponent, everything else in shortest-round-trip
+// form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+
+	var gets, hits Counter
+	gets.Add(100)
+	hits.Add(73)
+	r.Counter("fc_test_gets_total", "Total GET requests.", "gets", &gets)
+	r.Counter("fc_test_hits_total", "GETs served fresh.", "hits", &hits)
+
+	var upd, inv Counter
+	upd.Add(9)
+	inv.Add(4)
+	r.LabeledCounter("fc_test_decisions_total", "Push decisions by action.",
+		[]string{"action"}, []string{"update"}, "updates_sent", &upd)
+	r.LabeledCounter("fc_test_decisions_total", "Push decisions by action.",
+		[]string{"action"}, []string{"invalidate"}, "invalidates_sent", &inv)
+
+	r.Gauge("fc_test_keys", "Resident keys.", "keys", func() float64 { return 42 })
+	r.Gauge("fc_test_ratio", "A fractional gauge.", "", func() float64 { return 0.625 })
+
+	r.GaugeVec("fc_test_lease_age_ms", "Lease age per store.", "store", "lease_age_ms[%s]",
+		func() map[string]float64 {
+			return map[string]float64{"b:2": 31, "a:1": 12}
+		})
+
+	var h Histogram
+	for _, v := range []float64{0.5, 2, 2, 30, 400} {
+		h.Observe(v)
+	}
+	r.Histogram("fc_test_latency_seconds", "Request latency.",
+		[]float64{0.000_001, 0.000_01, 0.000_1}, 1e3, "latency_count", &h)
+	return r
+}
+
+func TestRegistryPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "registry.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus rendering drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistryStatsMap(t *testing.T) {
+	m := buildTestRegistry().StatsMap()
+	want := map[string]uint64{
+		"gets": 100, "hits": 73,
+		"updates_sent": 9, "invalidates_sent": 4,
+		"keys":              42,
+		"lease_age_ms[a:1]": 12, "lease_age_ms[b:2]": 31,
+		"latency_count": 5,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("StatsMap[%q] = %d, want %d", k, m[k], v)
+		}
+	}
+	if _, ok := m[""]; ok {
+		t.Error("metric without statsKey leaked into StatsMap")
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	var a, b strings.Builder
+	r := buildTestRegistry()
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Inc()
+	r.LabeledCounter("fc_esc_total", "escaping", []string{"who"},
+		[]string{"a\"b\\c\nd"}, "", &c)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `who="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", sb.String())
+	}
+}
+
+// Cumulative bucket counts must be monotone non-decreasing in the
+// bound, bounded by the total count, and count every sample at +Inf.
+func TestPropHistogramCumulative(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		var h Histogram
+		kept := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Observe(math.Abs(math.Mod(x, 1e9)))
+			kept++
+		}
+		rng := rand.New(rand.NewSource(seed))
+		bounds := make([]float64, 6)
+		for i := range bounds {
+			bounds[i] = rng.Float64() * 1e9
+		}
+		sort.Float64s(bounds)
+		counts, count, _ := h.Cumulative(bounds)
+		if count != uint64(kept) {
+			return false
+		}
+		var prev uint64
+		for _, c := range counts {
+			if c < prev || c > count {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Re-bucketing onto bounds at the log buckets' own edges is exact: a
+// cumulative count at bucketLow(b) equals the samples in buckets ≤ b.
+func TestHistogramCumulativeEdges(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i))
+	}
+	counts, count, sum := h.Cumulative([]float64{0, 1, 10, 100, 1e6})
+	if count != 1000 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum != 999*1000/2 {
+		t.Errorf("sum = %v", sum)
+	}
+	if counts[len(counts)-1] != 1000 {
+		t.Errorf("largest bound should cover all samples, got %d", counts[len(counts)-1])
+	}
+	// Samples 0 land in bucket 0 (rep 0); bound 0 must include them.
+	if counts[0] == 0 {
+		t.Error("bound 0 should include the zero bucket")
+	}
+	// Within log-bucket error (~7%), ~10 samples are ≤ 10 and ~100 ≤ 100.
+	if counts[2] < 10 || counts[2] > 12 {
+		t.Errorf("counts at 10 = %d, want ≈ 10..12", counts[2])
+	}
+	if counts[3] < 100 || counts[3] > 110 {
+		t.Errorf("counts at 100 = %d, want ≈ 100..110", counts[3])
+	}
+}

@@ -30,9 +30,27 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
-// Reset zeroes the counter. Resets racing with Add may lose increments;
-// callers that need exactness should quiesce writers first.
-func (c *Counter) Reset() { c.n.Store(0) }
+// Window reads per-interval deltas from monotonic counters. The old
+// reset-after-read pattern (Counter.Reset) lost increments that raced
+// with the reset; a Window instead remembers the value it last saw per
+// counter and reports the difference, so every increment lands in
+// exactly one interval. A Window is not safe for concurrent use; give
+// each snapshot loop its own.
+type Window struct {
+	last map[*Counter]uint64
+}
+
+// Delta returns c's increase since the previous Delta(c) on this window
+// (or since zero on first read).
+func (w *Window) Delta(c *Counter) uint64 {
+	if w.last == nil {
+		w.last = make(map[*Counter]uint64)
+	}
+	v := c.Value()
+	d := v - w.last[c]
+	w.last[c] = v
+	return d
+}
 
 // Mean tracks an online mean and variance using Welford's algorithm.
 // Mean is NOT safe for concurrent use; guard it externally or use one per
@@ -207,6 +225,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 	}
 	return h.max
+}
+
+// Cumulative re-buckets the histogram onto the given ascending upper
+// bounds (in sample units) for Prometheus-style exposition: counts[i] is
+// the number of samples ≤ bounds[i], using each log bucket's lower edge
+// as its representative value so the result never understates a
+// sample's bucket by more than one log step (~7%). Also returns the
+// total count and sum.
+func (h *Histogram) Cumulative(bounds []float64) (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(bounds))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		rep := bucketLow(b)
+		for i, ub := range bounds {
+			if rep <= ub {
+				counts[i] += n
+			}
+		}
+	}
+	return counts, h.count, h.sum
 }
 
 // Snapshot is a point-in-time summary of a Histogram.

@@ -14,9 +14,49 @@ func TestCounter(t *testing.T) {
 	if c.Value() != 42 {
 		t.Errorf("Value = %d", c.Value())
 	}
-	c.Reset()
-	if c.Value() != 0 {
-		t.Error("Reset failed")
+	var w Window
+	if d := w.Delta(&c); d != 42 {
+		t.Errorf("first Delta = %d, want 42", d)
+	}
+	c.Add(8)
+	if d := w.Delta(&c); d != 8 {
+		t.Errorf("second Delta = %d, want 8", d)
+	}
+	if c.Value() != 50 {
+		t.Errorf("Delta must not disturb the counter: Value = %d", c.Value())
+	}
+}
+
+// Every increment lands in exactly one window interval, even when reads
+// race with writers — the property the old Reset-based snapshots lost.
+func TestWindowNoLostIncrements(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 10000
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	var w Window
+	var total uint64
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for sampling := true; sampling; {
+		select {
+		case <-done:
+			sampling = false
+		default:
+		}
+		total += w.Delta(&c)
+	}
+	total += w.Delta(&c)
+	if total != writers*perWriter {
+		t.Errorf("summed deltas = %d, want %d", total, writers*perWriter)
 	}
 }
 

@@ -80,12 +80,14 @@ func (s *Server) replicateWrite(resp *proto.Msg, key string, value []byte, reps 
 	}
 	// R−1 is 1 in the common deployment; sequential fan-out keeps the
 	// failure semantics simple (first unreachable replica aborts).
+	start := time.Now()
 	for _, rep := range reps {
 		if err := s.peer(rep).RepWrite(ops, freqs); err != nil {
 			return errMsg(resp.Seq, "store: replicating %q to %s: %v", key, rep, err)
 		}
 		s.c.RepWritesOut.Inc()
 	}
+	s.repRTT.Observe(float64(time.Since(start)))
 	return resp
 }
 

@@ -26,7 +26,7 @@ func TestRepWriteOrdering(t *testing.T) {
 	s := New(Config{ShardID: "replica", T: time.Hour})
 	cs := &connState{}
 	for v := uint64(1); v <= 5; v++ {
-		resp := s.dispatch(repWrite("k", fmt.Sprintf("v%d", v), v), nil, cs, nil)
+		resp := s.dispatch(repWrite("k", fmt.Sprintf("v%d", v), v), nil, cs, nil, nil)
 		if resp.Type != proto.MsgPong {
 			t.Fatalf("repwrite v%d answered %v", v, resp.Type)
 		}
@@ -38,7 +38,7 @@ func TestRepWriteOrdering(t *testing.T) {
 
 	// A stale duplicate (primary retry / reordered frame) must not
 	// regress the entry or the version counter.
-	s.dispatch(repWrite("k", "v3", 3), nil, cs, nil)
+	s.dispatch(repWrite("k", "v3", 3), nil, cs, nil, nil)
 	value, version, _ = s.Authority().Get("k")
 	if version != 5 || string(value) != "v5" {
 		t.Fatalf("stale push regressed the entry to %q v%d", value, version)
@@ -60,8 +60,8 @@ func TestRepWriteOrdering(t *testing.T) {
 func TestPromotionVersionMonotonic(t *testing.T) {
 	s := New(Config{ShardID: "replica", T: time.Hour})
 	cs := &connState{}
-	s.dispatch(repWrite("a", "x", 41), nil, cs, nil)
-	s.dispatch(repWrite("b", "y", 97), nil, cs, nil)
+	s.dispatch(repWrite("a", "x", 41), nil, cs, nil, nil)
+	s.dispatch(repWrite("b", "y", 97), nil, cs, nil, nil)
 
 	// Promotion: the replica becomes the authority and serves writes.
 	got := s.Authority().Put("a", []byte("promoted"), time.Now())

@@ -63,6 +63,10 @@ type Config struct {
 	// 500ms. Keep it at a small fraction of the coordinator's lease
 	// interval so one dropped beat does not cost the lease.
 	HeartbeatInterval time.Duration
+	// SlowTraceThreshold, when positive, makes traced requests that take
+	// at least this long emit a structured one-line span log. Zero
+	// disables the slow log; tracing itself is always request-driven.
+	SlowTraceThreshold time.Duration
 	// Logger receives connection-level diagnostics; nil uses the
 	// standard logger.
 	Logger *log.Logger
@@ -117,10 +121,23 @@ type Counters struct {
 
 // Server is a live store node.
 type Server struct {
-	cfg    Config
-	auth   *kv.Authority
-	engine *core.Engine
-	c      Counters
+	cfg      Config
+	auth     *kv.Authority
+	engine   *core.Engine
+	c        Counters
+	reg      *stats.Registry
+	spanName string
+	// servedAge is the per-shard served-entry age distribution as an
+	// age/T ratio (stored in permille), observed on every locally served
+	// GET/FILL — the paper's freshness guarantee made visible: mass near
+	// or past ratio 1 means entries are being served close to (or beyond)
+	// one staleness bound after their write.
+	servedAge stats.Histogram
+	// repRTT is the replication fan-out latency per acknowledged write
+	// (nanoseconds) — the failover-lag signal: acks are withheld until
+	// replicas confirm, so this is exactly the staleness a promotion
+	// could add.
+	repRTT stats.Histogram
 
 	mu    sync.Mutex
 	subs  map[*subscriber]struct{}
@@ -211,10 +228,11 @@ func (sub *subscriber) retire() {
 // New builds a store server.
 func New(cfg Config) *Server {
 	cfg.fill()
-	return &Server{
+	s := &Server{
 		cfg:          cfg,
 		auth:         kv.NewAuthority(),
 		engine:       core.NewEngine(cfg.Engine),
+		spanName:     "store:" + cfg.ShardID,
 		subs:         make(map[*subscriber]struct{}),
 		forwardDirty: make(map[string]struct{}),
 		peers:        make(map[string]*client.Client),
@@ -222,7 +240,117 @@ func New(cfg Config) *Server {
 		repSyncing:   make(map[string]uint64),
 		closed:       make(chan struct{}),
 	}
+	s.reg = s.buildRegistry()
+	return s
 }
+
+// buildRegistry wires every store metric — the Counters struct, the
+// computed gauges the legacy stats map carried, and the freshness
+// histograms — into one registry rendered by both /metrics and
+// MsgStatsResp.
+func (s *Server) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	counter := func(name, help, key string, c *stats.Counter) {
+		r.Counter("freshcache_store_"+name, help, key, c)
+	}
+	gauge := func(name, help, key string, fn func() float64) {
+		r.Gauge("freshcache_store_"+name, help, key, fn)
+	}
+	counter("gets_total", "Client GET requests received.", "gets", &s.c.Gets)
+	counter("fills_total", "Cache miss fills served.", "fills", &s.c.Fills)
+	counter("puts_total", "Client PUT requests received.", "puts", &s.c.Puts)
+	counter("read_reports_total", "Read-report frames ingested.", "read_reports", &s.c.ReadReports)
+	counter("batches_sent_total", "Batch push frames delivered to subscribers.", "batches_sent", &s.c.BatchesSent)
+	counter("batch_encodes_total", "Batch frames encoded (one per flush with subscribers).", "batch_encodes", &s.c.BatchEncodes)
+	counter("ops_sent_total", "Batch operations delivered to subscribers.", "ops_sent", &s.c.OpsSent)
+	counter("subscribers_dropped_total", "Subscribers disconnected for not keeping up.", "subscribers_dropped", &s.c.SubscribersDropped)
+	counter("malformed_frames_total", "Frames rejected as malformed.", "malformed_frames", &s.c.MalformedFrames)
+	counter("connections_accepted_total", "TCP connections accepted.", "", &s.c.ConnectionsAccepted)
+	counter("connections_closed_total", "TCP connections closed.", "", &s.c.ConnectionsClosed)
+	counter("empty_flushes_total", "Flushes with no subscriber to push to.", "", &s.c.FlushesWithoutSubscribe)
+	counter("migrations_out_total", "Outbound key-range migrations completed.", "migrations_out", &s.c.MigrationsOut)
+	counter("migrations_in_total", "Inbound key-range migrations completed.", "migrations_in", &s.c.MigrationsIn)
+	counter("keys_migrated_out_total", "Keys streamed to adopting stores.", "keys_migrated_out", &s.c.KeysMigratedOut)
+	counter("keys_migrated_in_total", "Keys received from donor stores.", "keys_migrated_in", &s.c.KeysMigratedIn)
+	counter("forwarded_puts_total", "PUTs forwarded to their new ring owner.", "forwarded_puts", &s.c.ForwardedPuts)
+	counter("forwarded_reads_total", "GETs/FILLs forwarded to their new ring owner.", "forwarded_reads", &s.c.ForwardedReads)
+	counter("keys_released_total", "Keys dropped after losing ring ownership.", "keys_released", &s.c.KeysReleased)
+	counter("rep_writes_out_total", "Replication writes pushed to replicas.", "rep_writes_out", &s.c.RepWritesOut)
+	counter("rep_writes_in_total", "Replication writes applied from primaries.", "rep_writes_in", &s.c.RepWritesIn)
+	counter("rep_syncs_total", "Replica bootstrap syncs run.", "rep_syncs", &s.c.RepSyncs)
+	counter("rep_syncs_served_total", "Replica bootstrap syncs served as primary.", "rep_syncs_served", &s.c.RepSyncsServed)
+	counter("heartbeats_sent_total", "Coordinator liveness heartbeats sent.", "heartbeats_sent", &s.c.HeartbeatsSent)
+
+	// The update-vs-invalidate policy outcome, labeled so the push mix
+	// is one query: sum by (action).
+	r.LabeledCounter("freshcache_store_push_decisions_total",
+		"Freshness push decisions by action.",
+		[]string{"action"}, []string{"invalidate"}, "invalidates_sent", &s.c.InvalidatesSent)
+	r.LabeledCounter("freshcache_store_push_decisions_total",
+		"Freshness push decisions by action.",
+		[]string{"action"}, []string{"update"}, "updates_sent", &s.c.UpdatesSent)
+
+	gauge("subscribers", "Currently subscribed caches.", "subscribers", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.subs))
+	})
+	gauge("epoch", "Current batch flush epoch.", "epoch", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.epoch)
+	})
+	gauge("keys", "Resident authoritative keys.", "keys", func() float64 {
+		return float64(s.auth.Len())
+	})
+	gauge("ring_epoch", "Cluster ring epoch this store serves under.", "ring_epoch", func() float64 {
+		s.clMu.RLock()
+		defer s.clMu.RUnlock()
+		return float64(s.clusterEpoch)
+	})
+	gauge("replicas", "Cluster replication factor R.", "replicas", func() float64 {
+		s.clMu.RLock()
+		defer s.clMu.RUnlock()
+		if s.replicas < 0 {
+			return 0
+		}
+		return float64(s.replicas)
+	})
+	gauge("migrations_active", "Outbound migrations in progress.", "migrations_active", func() float64 {
+		s.clMu.RLock()
+		defer s.clMu.RUnlock()
+		return float64(len(s.outMigs))
+	})
+	gauge("heartbeat_miss_streak", "Consecutive failed coordinator heartbeats.", "heartbeat_misses", func() float64 {
+		return float64(s.hbMisses.Load())
+	})
+	gauge("engine_flushes", "Policy engine flush cycles.", "engine_flushes", func() float64 {
+		return float64(s.engine.Stats().Flushes)
+	})
+	gauge("engine_invalidates", "Invalidate decisions made by the engine.", "engine_inv_sent", func() float64 {
+		return float64(s.engine.Stats().InvalidatesSent)
+	})
+	gauge("engine_updates", "Update decisions made by the engine.", "engine_upd_sent", func() float64 {
+		return float64(s.engine.Stats().UpdatesSent)
+	})
+	gauge("engine_invalidates_skipped", "Invalidates skipped as redundant.", "engine_inv_skipped", func() float64 {
+		return float64(s.engine.Stats().SkippedInvalidates)
+	})
+	gauge("tracker_bytes", "Policy tracker memory footprint.", "tracker_bytes", func() float64 {
+		return float64(s.engine.Stats().TrackerBytes)
+	})
+
+	r.Histogram("freshcache_store_served_age_ratio",
+		"Age of served entries at serve time, as a fraction of the staleness bound T.",
+		stats.AgeRatioBuckets, stats.AgeRatioScale, "served_age_samples", &s.servedAge)
+	r.Histogram("freshcache_store_replication_rtt_seconds",
+		"Replication fan-out latency per acknowledged write.",
+		stats.LatencySecondsBuckets, 1e9, "", &s.repRTT)
+	return r
+}
+
+// Metrics exposes the store's metric registry (the /metrics source).
+func (s *Server) Metrics() *stats.Registry { return s.reg }
 
 // ShardID returns this store's shard identity.
 func (s *Server) ShardID() string { return s.cfg.ShardID }
@@ -467,8 +595,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			}
 			break
 		}
-		resp := s.dispatch(&m, conn, &cs, out)
+		tr := proto.StartSpan(&m, s.spanName)
+		resp := s.dispatch(&m, conn, &cs, out, tr)
 		if resp != nil {
+			resp = s.finishTrace(tr, resp)
 			select {
 			case out <- proto.Outgoing{Msg: resp, Pooled: true}:
 			case <-ctx.Done():
@@ -508,7 +638,7 @@ type connState struct {
 // not stall the requests pipelined behind it on this connection (the
 // LB and cache dispatch concurrently for the same reason). Responses
 // may complete out of order; clients demux by Seq.
-func (s *Server) goForward(cs *connState, out chan proto.Outgoing, fn func() *proto.Msg) *proto.Msg {
+func (s *Server) goForward(cs *connState, out chan proto.Outgoing, tr *proto.SpanRec, fn func() *proto.Msg) *proto.Msg {
 	if cs.fwdSem == nil {
 		cs.fwdSem = make(chan struct{}, maxConnForwards)
 	}
@@ -519,18 +649,32 @@ func (s *Server) goForward(cs *connState, out chan proto.Outgoing, fn func() *pr
 			<-cs.fwdSem
 			cs.fwd.Done()
 		}()
-		out <- proto.Outgoing{Msg: fn(), Pooled: true}
+		out <- proto.Outgoing{Msg: s.finishTrace(tr, fn()), Pooled: true}
 	}()
 	return nil
 }
 
-func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan proto.Outgoing) *proto.Msg {
+// finishTrace closes a traced request's hop span on its response and
+// emits the slow-request span log when the hop exceeded the threshold.
+// A nil recorder (every untraced request) passes through untouched.
+func (s *Server) finishTrace(tr *proto.SpanRec, resp *proto.Msg) *proto.Msg {
+	if tr == nil {
+		return resp
+	}
+	tr.Finish(resp)
+	if th := s.cfg.SlowTraceThreshold; th > 0 && resp != nil && resp.Trace != nil && tr.Elapsed() >= th {
+		s.cfg.Logger.Printf("store: %s", proto.TraceLogLine(resp.Trace, s.spanName, tr.Elapsed()))
+	}
+	return resp
+}
+
+func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan proto.Outgoing, tr *proto.SpanRec) *proto.Msg {
 	switch m.Type {
 	case proto.MsgGet:
 		s.c.Gets.Inc()
 		if target := s.forwardTarget(m.Key); target != "" {
 			seq, key := m.Seq, m.Key
-			return s.goForward(cs, out, func() *proto.Msg {
+			return s.goForward(cs, out, tr, func() *proto.Msg {
 				return s.forwardGet(seq, key, target, false)
 			})
 		}
@@ -540,7 +684,7 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan p
 		s.c.Fills.Inc()
 		if target := s.forwardTarget(m.Key); target != "" {
 			seq, key := m.Seq, m.Key
-			return s.goForward(cs, out, func() *proto.Msg {
+			return s.goForward(cs, out, tr, func() *proto.Msg {
 				return s.forwardGet(seq, key, target, true)
 			})
 		}
@@ -562,11 +706,11 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan p
 			// Accepted locally; the ack is withheld until every replica
 			// holds the write, so an acknowledged write survives this
 			// store's crash.
-			return s.goForward(cs, out, func() *proto.Msg {
+			return s.goForward(cs, out, tr, func() *proto.Msg {
 				return s.replicateWrite(resp, key, value, reps)
 			})
 		}
-		return s.goForward(cs, out, func() *proto.Msg {
+		return s.goForward(cs, out, tr, func() *proto.Msg {
 			return s.forwardPut(seq, key, value, target)
 		})
 	case proto.MsgSubscribe:
@@ -659,69 +803,33 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan p
 }
 
 func (s *Server) getResp(m *proto.Msg) *proto.Msg {
-	// GetView avoids the copy: authority entries are immutable once
+	// GetViewAged avoids the copy: authority entries are immutable once
 	// installed, and the response Msg (pooled, released by the writer
 	// after encode) only ever reads the value.
-	value, version, ok := s.auth.GetView(m.Key)
+	value, version, written, ok := s.auth.GetViewAged(m.Key)
 	resp := proto.GetMsg()
 	resp.Type, resp.Seq = proto.MsgGetResp, m.Seq
 	if !ok {
 		resp.Status = proto.StatusNotFound
 		return resp
 	}
+	s.observeServedAge(written)
 	resp.Status, resp.Version, resp.Value = proto.StatusOK, version, value
 	return resp
 }
 
+// observeServedAge records a served entry's age since its last write as
+// a fraction of T (in permille; Observe is mutex+array, no allocation).
+func (s *Server) observeServedAge(written time.Time) {
+	if written.IsZero() {
+		return
+	}
+	age := time.Since(written)
+	s.servedAge.Observe(float64(age) / float64(s.cfg.T) * stats.AgeRatioScale)
+}
+
+// statsMap renders the registry's legacy wire-map view; the same
+// registry backs /metrics, so both surfaces always agree.
 func (s *Server) statsMap() map[string]uint64 {
-	es := s.engine.Stats()
-	s.mu.Lock()
-	nsubs := uint64(len(s.subs))
-	epoch := s.epoch
-	s.mu.Unlock()
-	s.clMu.RLock()
-	ringEpoch := s.clusterEpoch
-	activeMigs := uint64(len(s.outMigs))
-	replicas := uint64(0)
-	if s.replicas > 0 {
-		replicas = uint64(s.replicas)
-	}
-	s.clMu.RUnlock()
-	return map[string]uint64{
-		"ring_epoch":          ringEpoch,
-		"replicas":            replicas,
-		"rep_writes_out":      s.c.RepWritesOut.Value(),
-		"rep_writes_in":       s.c.RepWritesIn.Value(),
-		"rep_syncs":           s.c.RepSyncs.Value(),
-		"rep_syncs_served":    s.c.RepSyncsServed.Value(),
-		"heartbeats_sent":     s.c.HeartbeatsSent.Value(),
-		"heartbeat_misses":    s.hbMisses.Load(),
-		"migrations_active":   activeMigs,
-		"migrations_out":      s.c.MigrationsOut.Value(),
-		"migrations_in":       s.c.MigrationsIn.Value(),
-		"keys_migrated_out":   s.c.KeysMigratedOut.Value(),
-		"keys_migrated_in":    s.c.KeysMigratedIn.Value(),
-		"forwarded_puts":      s.c.ForwardedPuts.Value(),
-		"forwarded_reads":     s.c.ForwardedReads.Value(),
-		"keys_released":       s.c.KeysReleased.Value(),
-		"gets":                s.c.Gets.Value(),
-		"fills":               s.c.Fills.Value(),
-		"puts":                s.c.Puts.Value(),
-		"read_reports":        s.c.ReadReports.Value(),
-		"batches_sent":        s.c.BatchesSent.Value(),
-		"batch_encodes":       s.c.BatchEncodes.Value(),
-		"ops_sent":            s.c.OpsSent.Value(),
-		"invalidates_sent":    s.c.InvalidatesSent.Value(),
-		"updates_sent":        s.c.UpdatesSent.Value(),
-		"subscribers_dropped": s.c.SubscribersDropped.Value(),
-		"malformed_frames":    s.c.MalformedFrames.Value(),
-		"subscribers":         nsubs,
-		"epoch":               epoch,
-		"keys":                uint64(s.auth.Len()),
-		"engine_flushes":      es.Flushes,
-		"engine_inv_sent":     es.InvalidatesSent,
-		"engine_upd_sent":     es.UpdatesSent,
-		"engine_inv_skipped":  es.SkippedInvalidates,
-		"tracker_bytes":       uint64(es.TrackerBytes),
-	}
+	return s.reg.StatsMap()
 }

@@ -1,0 +1,302 @@
+package freshcache_test
+
+import (
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/obs"
+	"freshcache/internal/proto"
+	"freshcache/internal/stats"
+)
+
+// obsStack boots a store + cache + LB chain on loopback and returns the
+// three servers plus a client talking to the LB.
+func obsStack(t *testing.T, T time.Duration) (*freshcache.StoreServer, *freshcache.CacheServer, *freshcache.LoadBalancer, *freshcache.Client) {
+	t.Helper()
+	st := freshcache.NewStoreServer(freshcache.StoreConfig{T: T, ShardID: "obs-store"})
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go st.Serve(sln) //nolint:errcheck
+	t.Cleanup(func() { st.Close() })
+
+	ca, err := freshcache.NewCacheServer(freshcache.CacheConfig{
+		StoreAddr: sln.Addr().String(), T: T, Name: "obs-cache",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ca.Serve(cln) //nolint:errcheck
+	t.Cleanup(func() { ca.Close() })
+
+	balancer, err := freshcache.NewLoadBalancer(freshcache.LBConfig{
+		StoreAddr:  sln.Addr().String(),
+		CacheAddrs: []string{cln.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go balancer.Serve(bln) //nolint:errcheck
+	t.Cleanup(func() { balancer.Close() })
+
+	c := freshcache.NewClient(bln.Addr().String(), freshcache.ClientOptions{})
+	t.Cleanup(func() { c.Close() })
+	return st, ca, balancer, c
+}
+
+// TestTraceEndToEnd runs a traced cache-miss GET through LB → cache →
+// store and checks the response carries the full hop tree: at least
+// three spans, each with a nonzero duration, outer hops enclosing
+// inner ones.
+func TestTraceEndToEnd(t *testing.T) {
+	_, _, _, c := obsStack(t, 40*time.Millisecond)
+
+	if _, err := c.Put("traced-key", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	const traceID uint64 = 0xabcdef0123456789
+	// Cache-miss read: the cache has never seen the key, so the fill
+	// goes all the way to the store and every hop contributes a span.
+	v, _, tr, err := c.GetTraced("traced-key", traceID)
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("GetTraced = %q, %v", v, err)
+	}
+	if tr == nil {
+		t.Fatal("traced GET returned no trace")
+	}
+	if tr.ID != traceID {
+		t.Fatalf("trace ID = %#x, want %#x", tr.ID, traceID)
+	}
+	if len(tr.Spans) < 3 {
+		t.Fatalf("cache-miss GET recorded %d hops %v, want >= 3 (lb, cache, store)", len(tr.Spans), tr.Spans)
+	}
+	// Spans accumulate innermost hop first; the store must be inside
+	// the cache, the cache inside the LB.
+	names := make([]string, len(tr.Spans))
+	for i, s := range tr.Spans {
+		names[i] = s.Node
+		if s.Dur <= 0 {
+			t.Errorf("hop %s has non-positive duration %d", s.Node, s.Dur)
+		}
+		if s.Start <= 0 {
+			t.Errorf("hop %s has zero start", s.Node)
+		}
+	}
+	want := []string{"store:obs-store", "cache:obs-cache", "lb"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("hop order = %v, want %v", names, want)
+		}
+	}
+	for i := 0; i+1 < len(tr.Spans); i++ {
+		if tr.Spans[i].Dur > tr.Spans[i+1].Dur {
+			t.Errorf("inner hop %s (%d ns) outlasts enclosing %s (%d ns)",
+				tr.Spans[i].Node, tr.Spans[i].Dur, tr.Spans[i+1].Node, tr.Spans[i+1].Dur)
+		}
+	}
+
+	// A fresh-hit read stops at the cache: two hops, no store span.
+	_, _, tr, err = c.GetTraced("traced-key", traceID+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || len(tr.Spans) != 2 {
+		t.Fatalf("fresh-hit trace = %+v, want exactly [cache lb]", tr)
+	}
+
+	// Traced writes go LB → store.
+	_, tr, err = c.PutTraced("traced-key", []byte("v2"), traceID+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || len(tr.Spans) != 2 ||
+		tr.Spans[0].Node != "store:obs-store" || tr.Spans[1].Node != "lb" {
+		t.Fatalf("traced PUT spans = %+v, want [store:obs-store lb]", tr)
+	}
+
+	// Untraced requests stay untraced end to end.
+	if _, _, err := c.Get("traced-key"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsEndToEnd scrapes /metrics from all four server types and
+// checks each renders parseable Prometheus text including the freshness
+// telemetry families, and that the wire stats map agrees with the
+// registry.
+func TestMetricsEndToEnd(t *testing.T) {
+	const T = 30 * time.Millisecond
+	st, ca, balancer, c := obsStack(t, T)
+
+	co, err := freshcache.NewCoordinator(freshcache.CoordinatorConfig{Stores: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+
+	// Drive some traffic so counters and histograms have samples: a
+	// write, a miss fill, fresh hits, and a re-read after the bound.
+	if _, err := c.Put("mk", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Get("mk"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(2 * T)
+	if _, _, err := c.Get("mk"); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape := func(name string, reg *stats.Registry) string {
+		t.Helper()
+		srv := httptest.NewServer(obs.Handler(reg))
+		defer srv.Close()
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: content type %q", name, ct)
+		}
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("%s: reading body: %v", name, err)
+		}
+		body := string(blob)
+		for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+			if line == "" {
+				t.Errorf("%s: blank exposition line", name)
+			}
+			if strings.HasPrefix(line, "#") {
+				if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+					t.Errorf("%s: malformed comment %q", name, line)
+				}
+				continue
+			}
+			if _, _, ok := parseExpositionLine(line); !ok {
+				t.Errorf("%s: unparseable sample %q", name, line)
+			}
+		}
+		return body
+	}
+
+	storeText := scrape("store", st.Metrics())
+	for _, want := range []string{
+		"# TYPE freshcache_store_served_age_ratio histogram",
+		"freshcache_store_served_age_ratio_bucket{le=\"1\"}",
+		"freshcache_store_gets_total",
+		"freshcache_store_push_decisions_total{action=\"invalidate\"}",
+		"freshcache_store_replication_rtt_seconds_count",
+	} {
+		if !strings.Contains(storeText, want) {
+			t.Errorf("store /metrics missing %q", want)
+		}
+	}
+	cacheText := scrape("cache", ca.Metrics())
+	for _, want := range []string{
+		"# TYPE freshcache_cache_served_age_ratio histogram",
+		"freshcache_cache_served_age_ratio_count",
+		"freshcache_cache_deadline_expired_total",
+		"freshcache_cache_near_miss_serves_total",
+		"freshcache_cache_misses_total{kind=\"cold\"} 1",
+		"freshcache_cache_hits_total",
+	} {
+		if !strings.Contains(cacheText, want) {
+			t.Errorf("cache /metrics missing %q", want)
+		}
+	}
+	lbText := scrape("lb", balancer.Metrics())
+	for _, want := range []string{
+		"freshcache_lb_reads_total 6",
+		"freshcache_lb_writes_total 1",
+		"freshcache_lb_read_rtt_seconds_bucket",
+	} {
+		if !strings.Contains(lbText, want) {
+			t.Errorf("lb /metrics missing %q", want)
+		}
+	}
+	coordText := scrape("coordinator", co.Metrics())
+	for _, want := range []string{
+		"freshcache_coord_ring_epoch 1",
+		"freshcache_coord_is_leader 1",
+		"freshcache_coord_heartbeats_total",
+	} {
+		if !strings.Contains(coordText, want) {
+			t.Errorf("coordinator /metrics missing %q", want)
+		}
+	}
+
+	// The wire stats map is the same registry: spot-check agreement.
+	stMap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stMap["reads"] != 6 || stMap["writes"] != 1 {
+		t.Errorf("lb stats map = reads %d writes %d, want 6/1", stMap["reads"], stMap["writes"])
+	}
+	caMap := ca.StatsMap()
+	if caMap["gets"] != 6 || caMap["cold_misses"] != 1 {
+		t.Errorf("cache stats map = gets %d cold %d, want 6/1", caMap["gets"], caMap["cold_misses"])
+	}
+	if caMap["served_age_samples"] == 0 {
+		t.Error("cache recorded no served-age samples despite fresh hits")
+	}
+}
+
+// parseExpositionLine splits "name{labels} value" / "name value".
+func parseExpositionLine(line string) (name, value string, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", false
+		}
+		name, rest = line[:i], strings.TrimSpace(line[j+1:])
+	} else {
+		i = strings.IndexByte(line, ' ')
+		if i < 0 {
+			return "", "", false
+		}
+		name, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	if name == "" || rest == "" {
+		return "", "", false
+	}
+	return name, rest, true
+}
+
+// TestTraceSamplingOffNoOverhead checks an untraced response never grows
+// a trace and the span recorder tolerates the nil fast path (the hot
+// path's only cost with sampling off).
+func TestTraceSamplingOffNoOverhead(t *testing.T) {
+	m := &proto.Msg{Type: proto.MsgGet, Key: "k"}
+	if rec := proto.StartSpan(m, "node"); rec != nil {
+		t.Fatal("untraced request produced a span recorder")
+	}
+	var rec *proto.SpanRec
+	rec.Add(&proto.Trace{ID: 1})
+	if rec.ID() != 0 || rec.Elapsed() != 0 {
+		t.Fatal("nil recorder leaked state")
+	}
+	resp := &proto.Msg{Type: proto.MsgGetResp}
+	if out := rec.Finish(resp); out != resp || out.Trace != nil {
+		t.Fatal("nil recorder attached a trace")
+	}
+}
