@@ -19,7 +19,9 @@
 //	hotpath  measure the zero-allocation hot path on a live store:
 //	         throughput, latency percentiles, and whole-process
 //	         allocs/op, compared against the committed
-//	         BENCH_pipeline.json baseline when present
+//	         BENCH_pipeline.json baseline when present; sweeps the
+//	         batched MGET path at 1, 8 and 32 keys/frame (-batch N
+//	         pins a single point)
 //	reshard  join a third store into a live cluster under load and record
 //	         the throughput/staleness-violation trajectory
 //	failover kill one store of a replicated (R=2) live cluster under load
@@ -71,6 +73,7 @@ func main() {
 	workers := fs.Int("workers", 64, "concurrent workers for the pipeline experiment")
 	benchtime := fs.Duration("benchtime", 0, "wall-clock window for pipeline (default 2s) / reshard (default 4s)")
 	jsonOut := fs.Bool("json", false, "pipeline/hotpath: also write BENCH_<name>.json")
+	batch := fs.Int("batch", 0, "hotpath: keys per MGET frame (0 = sweep 1,8,32)")
 	killcoord := fs.Bool("killcoord", false, "failover: kill the coordinator LEADER of a 3-coordinator control plane instead of a store only")
 	fs.Parse(os.Args[2:]) //nolint:errcheck // ExitOnError
 
@@ -96,7 +99,7 @@ func main() {
 		if bt == 0 {
 			bt = 2 * time.Second
 		}
-		return hotpathBench(*workers, bt, out)
+		return hotpathBench(*workers, bt, out, *batch)
 	}
 	reshard := func(o experiments.Options) error {
 		out := ""

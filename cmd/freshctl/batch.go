@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"freshcache"
+	"freshcache/internal/proto"
+)
+
+// mget issues one batched read for all keys and prints the per-key
+// outcomes in request order. With -trace, the per-hop latency tree
+// follows — per-shard fan-outs render as sibling hops under the node
+// that scattered them.
+func mget(c *freshcache.Client, keys []string, traced bool) error {
+	start := time.Now()
+	var (
+		res []freshcache.MGetResult
+		t   *proto.Trace
+		err error
+	)
+	if traced {
+		res, t, err = c.MGetTraced(keys, newTraceID())
+	} else {
+		res, err = c.MGet(keys)
+	}
+	if err != nil {
+		return err
+	}
+	w := 0
+	for _, k := range keys {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	for i, k := range keys {
+		r := res[i]
+		switch {
+		case r.Err != nil:
+			fmt.Printf("%-*s  ERROR %v\n", w, k, r.Err)
+		case !r.Found:
+			fmt.Printf("%-*s  (not found)\n", w, k)
+		default:
+			fmt.Printf("%-*s  %s (version %d)\n", w, k, r.Value, r.Version)
+		}
+	}
+	finishTrace(t, traced, time.Since(start))
+	return nil
+}
+
+// mput parses key=value pairs, writes them in one batched frame, and
+// prints the per-key outcome in request order.
+func mput(c *freshcache.Client, pairs []string, traced bool) error {
+	keys := make([]string, len(pairs))
+	vals := make([][]byte, len(pairs))
+	for i, p := range pairs {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("mput: argument %q is not key=value", p)
+		}
+		keys[i], vals[i] = k, []byte(v)
+	}
+	start := time.Now()
+	var (
+		res []freshcache.MPutResult
+		t   *proto.Trace
+		err error
+	)
+	if traced {
+		res, t, err = c.MPutTraced(keys, vals, newTraceID())
+	} else {
+		res, err = c.MPut(keys, vals)
+	}
+	if err != nil {
+		return err
+	}
+	w := 0
+	for _, k := range keys {
+		if len(k) > w {
+			w = len(k)
+		}
+	}
+	for i, k := range keys {
+		if res[i].Err != nil {
+			fmt.Printf("%-*s  ERROR %v\n", w, k, res[i].Err)
+			continue
+		}
+		fmt.Printf("%-*s  OK version=%d\n", w, k, res[i].Version)
+	}
+	finishTrace(t, traced, time.Since(start))
+	return nil
+}
+
+// finishTrace prints the hop tree after a traced batch, or notes the
+// absence of spans.
+func finishTrace(t *proto.Trace, traced bool, rtt time.Duration) {
+	if !traced {
+		return
+	}
+	if t == nil || len(t.Spans) == 0 {
+		fmt.Println("trace: no spans in response (server predates tracing?)")
+		return
+	}
+	printTrace(t, rtt)
+}

@@ -4,6 +4,9 @@
 //
 //	freshctl -addr 127.0.0.1:7101 get <key>
 //	freshctl -addr 127.0.0.1:7101 put <key> <value>
+//	freshctl -addr 127.0.0.1:7101 mget k1 k2 ...             # batched read, one frame
+//	freshctl -addr 127.0.0.1:7101 mput k1=v1 k2=v2 ...       # batched write, one frame
+//	freshctl -addr 127.0.0.1:7101 -trace mget k1 k2 ...      # + per-hop fan-out tree
 //	freshctl -addr 127.0.0.1:7101 stats
 //	freshctl -addr 127.0.0.1:7101 ping
 //	freshctl -addr 127.0.0.1:7101 watch <key>      # poll a key once per second
@@ -37,6 +40,7 @@ func main() {
 	cluster := flag.String("cluster", "", "cluster coordinator address(es), comma-separated (for ring/status/join/drain)")
 	interval := flag.Duration("interval", time.Second, "poll interval for top")
 	samples := flag.Int("samples", 0, "top samples before exiting (0 = until killed)")
+	traced := flag.Bool("trace", false, "render the per-hop latency tree for mget/mput")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -101,6 +105,16 @@ func main() {
 			usage()
 		}
 		err = traceCmd(c, args[1:])
+	case "mget":
+		if len(args) < 2 {
+			usage()
+		}
+		err = mget(c, args[1:], *traced)
+	case "mput":
+		if len(args) < 2 {
+			usage()
+		}
+		err = mput(c, args[1:], *traced)
 	default:
 		usage()
 	}
@@ -112,6 +126,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: freshctl [-addr host:port] <get key | put key value | stats | ping | watch key | trace key [value]>
+       freshctl [-addr host:port] [-trace] <mget key... | mput key=value...>
        freshctl -cluster host:port <ring | status | join storeaddr | drain storeaddr>
        freshctl [-interval 1s] [-samples n] top <obs-addr> [obs-addr ...]`)
 	os.Exit(2)

@@ -82,8 +82,30 @@ func scrape(url string, acc map[string]float64, types map[string]string) error {
 		}
 		name = strings.TrimSuffix(name, "_count")
 		acc[name] += value
+		if strings.HasSuffix(name, "_batch_ops_total") {
+			// Keep the batch mix visible: one extra row per operation,
+			// summed across tiers and nodes, alongside the family total.
+			if op := labelValue(line, "op"); op != "" {
+				acc["batch_ops{op="+op+"}"] += value
+			}
+		}
 	}
 	return sc.Err()
+}
+
+// labelValue extracts one label's value from an exposition line, or ""
+// when the label is absent.
+func labelValue(line, label string) string {
+	i := strings.Index(line, label+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(label)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 // parseSample splits one exposition line into family name (labels

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"freshcache"
@@ -60,16 +61,34 @@ func newTraceID() uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
-// printTrace renders the hop tree. Spans arrive innermost hop first;
-// each hop's duration includes everything downstream of it, so the tree
-// prints outermost first, indenting each hop under the enclosing one,
-// with self-time (own duration minus directly nested spans) alongside.
+// printTrace renders the hop tree. Each hop's duration includes
+// everything downstream of it, so a span's depth is the number of spans
+// whose interval encloses it — which handles batched fan-outs, where
+// one hop scatters to several upstreams and the sub-hops are siblings,
+// not a chain. Hops print in start order (outermost first among
+// same-start spans), with self-time (own duration minus directly
+// nested spans) alongside.
 func printTrace(t *proto.Trace, rtt time.Duration) {
 	fmt.Printf("trace %016x  client rtt %v, %d hops:\n", t.ID, rtt, len(t.Spans))
-	n := len(t.Spans)
-	for i := n - 1; i >= 0; i-- {
+	order := make([]int, len(t.Spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := t.Spans[order[a]], t.Spans[order[b]]
+		if sa.Start != sb.Start {
+			return sa.Start < sb.Start
+		}
+		return sa.Dur > sb.Dur
+	})
+	for _, i := range order {
 		s := t.Spans[i]
-		depth := n - 1 - i
+		depth := 0
+		for j, outer := range t.Spans {
+			if j != i && contains(outer, s) {
+				depth++
+			}
+		}
 		self := time.Duration(s.Dur - nestedDur(t.Spans, i))
 		fmt.Printf("  %*s%-16s %10v  (self %v)\n",
 			2*depth, "", s.Node, time.Duration(s.Dur), self)

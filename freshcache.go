@@ -281,6 +281,15 @@ type (
 // NewClient builds a client for a freshcache node address.
 func NewClient(addr string, opts ClientOptions) *Client { return client.New(addr, opts) }
 
+// MGetResult is one key's outcome inside a batched read
+// (Client.MGet / ShardedClient.MGet); MPutResult one key's outcome
+// inside a batched write. Batches report per-key status — one key's
+// miss or failure never fails its batch-mates.
+type (
+	MGetResult = client.MGetResult
+	MPutResult = client.MPutResult
+)
+
 // ErrNotFound reports a missing key from Client.Get.
 var ErrNotFound = client.ErrNotFound
 

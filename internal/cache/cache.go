@@ -142,6 +142,13 @@ type Counters struct {
 	// NearMisses counts fresh serves within 10% of T of the entry's hard
 	// deadline: the early-warning margin before DeadlineExpired moves.
 	NearMisses stats.Counter
+	// FillsDeduped counts miss fills that coalesced onto an already
+	// in-flight fill for the same key (single-flight), each one a store
+	// round trip not taken.
+	FillsDeduped stats.Counter
+	// MGetKeys/MPutKeys count the keys carried by multi-key requests
+	// (batch.go).
+	MGetKeys, MPutKeys stats.Counter
 }
 
 // shardSub is the per-authority-shard subscription state, owned by that
@@ -176,6 +183,9 @@ type Server struct {
 	// trips to the authority in nanoseconds.
 	servedAge stats.Histogram
 	fillRTT   stats.Histogram
+	// batchSize is the keys-per-request distribution of multi-key
+	// operations (MGET/MPUT).
+	batchSize stats.Histogram
 
 	// subMu guards the live subscription set; subscriptions start and
 	// stop as the store ring gains and loses members.
@@ -186,17 +196,19 @@ type Server struct {
 	readMu     sync.Mutex
 	readCounts map[string]uint32
 
-	// fillMu guards the fill/invalidate race: a batched invalidate (or a
-	// resync) that lands while a miss fill for the same key is in flight
-	// refers to a write the fill's response may predate. Without
-	// tracking, the fill would install that pre-write value as fresh —
-	// and because the store-side engine then believes the cache copy is
-	// already invalid, it deduplicates every later invalidate away,
-	// leaving the entry stale forever. Fills voided here are installed
-	// stale instead, so the next read refetches.
-	fillMu  sync.Mutex
-	filling map[string]int // in-flight fill count per key
-	voided  map[string]bool
+	// fillMu guards the single-flight fill table. One flight per key
+	// serves two jobs at once. First, coalescing: every concurrent miss
+	// for a key — single Gets and batch members alike — joins the one
+	// in-flight store round trip instead of issuing its own. Second, the
+	// fill/invalidate race: a batched invalidate (or a resync) that lands
+	// while a fill is in flight refers to a write the fill's response may
+	// predate. Without tracking, the fill would install that pre-write
+	// value as fresh — and because the store-side engine then believes
+	// the cache copy is already invalid, it deduplicates every later
+	// invalidate away, leaving the entry stale forever. Flights voided
+	// here are installed stale instead, so the next read refetches.
+	fillMu sync.Mutex
+	fills  map[string]*flight
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -240,8 +252,7 @@ func New(cfg Config) (*Server, error) {
 		spanName:   "cache:" + cfg.Name,
 		subs:       make(map[string]*shardSub),
 		readCounts: make(map[string]uint32),
-		filling:    make(map[string]int),
-		voided:     make(map[string]bool),
+		fills:      make(map[string]*flight),
 	}
 	s.reg = s.buildRegistry()
 	if cfg.ClusterAddr != "" {
@@ -459,7 +470,45 @@ func (s *Server) get(key string, tr *proto.SpanRec) ([]byte, uint64, error) {
 	} else {
 		s.c.ColdMisses.Inc()
 	}
-	s.beginFill(key)
+	value, version, err := s.fill(key, tr)
+	if err != nil {
+		if errors.Is(err, client.ErrNotFound) && found {
+			// Deleted upstream; drop our stale copy.
+			s.kv.Delete(key)
+		}
+		return nil, 0, err
+	}
+	return value, version, nil
+}
+
+// flight is one in-flight miss fill: the leader that created it runs
+// the store round trip; every other miss for the key (concurrent single
+// Gets, overlapping batch members) blocks on done and shares the
+// result. The result fields are written exactly once, before done is
+// closed; voided is written only under fillMu while the flight is still
+// in the table.
+type flight struct {
+	done    chan struct{}
+	value   []byte
+	version uint64
+	err     error
+	voided  bool
+}
+
+// fill resolves one miss through the single-flight table: join the
+// key's in-flight fill if there is one, otherwise lead a new one.
+func (s *Server) fill(key string, tr *proto.SpanRec) ([]byte, uint64, error) {
+	s.fillMu.Lock()
+	if f := s.fills[key]; f != nil {
+		s.c.FillsDeduped.Inc()
+		s.fillMu.Unlock()
+		<-f.done
+		return f.value, f.version, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.fills[key] = f
+	s.fillMu.Unlock()
+
 	fillStart := time.Now()
 	var (
 		value   []byte
@@ -474,23 +523,28 @@ func (s *Server) get(key string, tr *proto.SpanRec) ([]byte, uint64, error) {
 		value, version, err = s.stores.Fill(key)
 	}
 	s.fillRTT.Observe(float64(time.Since(fillStart)))
-	if err != nil {
-		s.endFill(key)
-		if errors.Is(err, client.ErrNotFound) && found {
-			// Deleted upstream; drop our stale copy.
-			s.kv.Delete(key)
-		}
-		return nil, 0, err
+	s.settleFill(key, f, value, version, err)
+	return f.value, f.version, f.err
+}
+
+// settleFill installs a completed fill's result, retires the flight,
+// and releases its waiters. A flight voided by an invalidate or resync
+// installs stale: the value may predate the write the invalidate
+// announced. Serving it once is within the bound (the write is younger
+// than T), but the copy must not stay fresh — the next read refetches.
+func (s *Server) settleFill(key string, f *flight, value []byte, version uint64, err error) {
+	if err == nil {
+		s.kv.Put(key, kv.Entry{Value: value, Version: version})
 	}
-	s.kv.Put(key, kv.Entry{Value: value, Version: version})
-	if s.endFill(key) {
-		// An invalidate or resync raced this fill: the value may predate
-		// the write it announced. Serving it once is within the bound
-		// (the write is younger than T), but the copy must not stay
-		// fresh — mark it stale so the next read refetches.
+	s.fillMu.Lock()
+	voided := f.voided
+	delete(s.fills, key)
+	s.fillMu.Unlock()
+	if err == nil && voided {
 		s.kv.Invalidate(key)
 	}
-	return value, version, nil
+	f.value, f.version, f.err = value, version, err
+	close(f.done)
 }
 
 // observeFreshServe records freshness telemetry for a fresh hit: the
@@ -509,37 +563,12 @@ func (s *Server) observeFreshServe(e *kv.Entry, now time.Time) {
 	}
 }
 
-// beginFill registers an in-flight miss fill for key.
-func (s *Server) beginFill(key string) {
-	s.fillMu.Lock()
-	s.filling[key]++
-	s.fillMu.Unlock()
-}
-
-// endFill deregisters a fill and reports whether an invalidate or
-// resync landed while it was in flight.
-func (s *Server) endFill(key string) (voided bool) {
-	s.fillMu.Lock()
-	defer s.fillMu.Unlock()
-	n := s.filling[key] - 1
-	if n <= 0 {
-		delete(s.filling, key)
-	} else {
-		s.filling[key] = n
-	}
-	voided = s.voided[key]
-	if n <= 0 {
-		delete(s.voided, key)
-	}
-	return voided
-}
-
-// voidFill marks key's in-flight fills (if any) as overtaken by an
+// voidFill marks key's in-flight fill (if any) as overtaken by an
 // invalidation.
 func (s *Server) voidFill(key string) {
 	s.fillMu.Lock()
-	if s.filling[key] > 0 {
-		s.voided[key] = true
+	if f := s.fills[key]; f != nil {
+		f.voided = true
 	}
 	s.fillMu.Unlock()
 }
@@ -548,9 +577,9 @@ func (s *Server) voidFill(key string) {
 // (owned nil means all).
 func (s *Server) voidOwnedFills(owned func(key string) bool) {
 	s.fillMu.Lock()
-	for key := range s.filling {
+	for key, f := range s.fills {
 		if owned == nil || owned(key) {
-			s.voided[key] = true
+			f.voided = true
 		}
 	}
 	s.fillMu.Unlock()
@@ -786,6 +815,24 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// are interned strings — immutable, safe to hold.)
 			m.Value = append([]byte(nil), m.Value...)
 		}
+		if len(m.Ops) > 0 {
+			// Batched writes: each op's value aliases the reader buffer
+			// too. One backing buffer copies them all — one allocation
+			// per batch, not per key.
+			total := 0
+			for i := range m.Ops {
+				total += len(m.Ops[i].Value)
+			}
+			buf := make([]byte, 0, total)
+			for i := range m.Ops {
+				if m.Ops[i].Value == nil {
+					continue
+				}
+				start := len(buf)
+				buf = append(buf, m.Ops[i].Value...)
+				m.Ops[i].Value = buf[start:len(buf):len(buf)]
+			}
+		}
 		sem <- struct{}{}
 		dispatchers.Add(1)
 		go func(m *proto.Msg) {
@@ -841,6 +888,14 @@ func (s *Server) dispatch(m *proto.Msg, tr *proto.SpanRec) *proto.Msg {
 		}
 		resp.Type, resp.Status, resp.Version = proto.MsgPutResp, proto.StatusOK, version
 		return resp
+	case proto.MsgMGet:
+		s.c.MGetKeys.Add(uint64(len(m.Keys)))
+		s.batchSize.Observe(float64(len(m.Keys)))
+		return s.mgetResp(m, tr)
+	case proto.MsgMPut:
+		s.c.MPutKeys.Add(uint64(len(m.Ops)))
+		s.batchSize.Observe(float64(len(m.Ops)))
+		return s.mputResp(m, tr)
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
 	case proto.MsgStats:
@@ -884,6 +939,18 @@ func (s *Server) buildRegistry() *stats.Registry {
 	counter("near_miss_serves_total",
 		"Fresh serves within 10% of T of the entry's hard deadline.",
 		"near_misses", &s.c.NearMisses)
+	counter("fills_deduped_total",
+		"Miss fills coalesced onto an already in-flight fill for the same key.",
+		"fills_deduped", &s.c.FillsDeduped)
+
+	// Multi-key traffic, labeled by operation so the batch mix is one
+	// query: sum by (op).
+	r.LabeledCounter("freshcache_cache_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mget"}, "mget_ops", &s.c.MGetKeys)
+	r.LabeledCounter("freshcache_cache_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mput"}, "mput_ops", &s.c.MPutKeys)
 
 	// Miss causes, labeled so hit ratio decomposition is one query.
 	r.LabeledCounter("freshcache_cache_misses_total", "GET misses by cause.",
@@ -937,6 +1004,9 @@ func (s *Server) buildRegistry() *stats.Registry {
 	r.Histogram("freshcache_cache_fill_rtt_seconds",
 		"Miss-fill round-trip latency to the authority stores.",
 		stats.LatencySecondsBuckets, 1e9, "", &s.fillRTT)
+	r.Histogram("freshcache_cache_batch_size",
+		"Keys per multi-key request (MGET/MPUT).",
+		stats.BatchSizeBuckets, 1, "batch_size_samples", &s.batchSize)
 	return r
 }
 

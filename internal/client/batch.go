@@ -1,0 +1,247 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"freshcache/internal/proto"
+)
+
+// MGetResult is one key's outcome inside a batched read: exactly one of
+// {Found, Err} classifies the key (Found=false with a nil Err is a
+// clean not-found). A batch never fails wholesale on a per-key problem;
+// only transport-level failures surface as the call's error.
+type MGetResult struct {
+	Value   []byte
+	Version uint64
+	Found   bool
+	// Err is a per-key failure (set by the sharded scatter path when
+	// one shard's sub-batch failed; always nil on a single-node MGet
+	// that returned at all).
+	Err error
+}
+
+// MPutResult is one key's outcome inside a batched write: the assigned
+// version, or a per-key error from the sharded scatter path.
+type MPutResult struct {
+	Version uint64
+	Err     error
+}
+
+// MGet fetches every key in one frame — one sequence number, one demux
+// wakeup for the whole set. Results are in request order, one per key;
+// missing keys report Found=false rather than failing the batch.
+func (c *Client) MGet(keys []string) ([]MGetResult, error) {
+	res, _, err := c.mget(proto.MsgMGet, keys, 0)
+	return res, err
+}
+
+// MFill is the cache-internal batch read used to service misses: like
+// MGet but the store records cache fills rather than client reads.
+func (c *Client) MFill(keys []string) ([]MGetResult, error) {
+	res, _, err := c.mget(proto.MsgMFill, keys, 0)
+	return res, err
+}
+
+// MFillTraced is MFill with wire-level tracing.
+func (c *Client) MFillTraced(keys []string, traceID uint64) ([]MGetResult, *proto.Trace, error) {
+	return c.mget(proto.MsgMFill, keys, traceID)
+}
+
+// MGetTraced is MGet with wire-level tracing.
+func (c *Client) MGetTraced(keys []string, traceID uint64) ([]MGetResult, *proto.Trace, error) {
+	return c.mget(proto.MsgMGet, keys, traceID)
+}
+
+func (c *Client) mget(t proto.MsgType, keys []string, traceID uint64) ([]MGetResult, *proto.Trace, error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	req := newReq(t)
+	req.Keys = keys
+	if traceID != 0 {
+		req.Trace = &proto.Trace{ID: traceID}
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := resp.Trace
+	res, err := mgetResults(resp, keys)
+	return res, tr, err
+}
+
+// mgetResults consumes (and releases) resp, mapping its op list back
+// onto the request's key order.
+func mgetResults(resp *proto.Msg, keys []string) ([]MGetResult, error) {
+	defer proto.PutMsg(resp)
+	if resp.Type != proto.MsgMGetResp {
+		return nil, fmt.Errorf("client: unexpected response %v to MGET", resp.Type)
+	}
+	if len(resp.Ops) != len(keys) {
+		return nil, fmt.Errorf("client: MGET answered %d keys for %d requested",
+			len(resp.Ops), len(keys))
+	}
+	out := make([]MGetResult, len(keys))
+	for i, op := range resp.Ops {
+		if op.Key != keys[i] {
+			return nil, fmt.Errorf("client: MGET response out of order: key %q at slot %d (want %q)",
+				op.Key, i, keys[i])
+		}
+		if op.Kind == proto.BatchUpdate {
+			out[i] = MGetResult{Value: op.Value, Version: op.Version, Found: true}
+		}
+	}
+	return out, nil
+}
+
+// MPut writes values[i] under keys[i] for every i in one frame and
+// returns per-key results in request order. A BatchInvalidate op in the
+// response marks a key whose write failed at an upstream shard (the LB
+// encodes partial scatter failures this way); it surfaces as that key's
+// Err, not the call's.
+func (c *Client) MPut(keys []string, values [][]byte) ([]MPutResult, error) {
+	res, _, err := c.mput(keys, values, 0)
+	return res, err
+}
+
+// MPutTraced is MPut with wire-level tracing.
+func (c *Client) MPutTraced(keys []string, values [][]byte, traceID uint64) ([]MPutResult, *proto.Trace, error) {
+	return c.mput(keys, values, traceID)
+}
+
+func (c *Client) mput(keys []string, values [][]byte, traceID uint64) ([]MPutResult, *proto.Trace, error) {
+	if len(keys) != len(values) {
+		return nil, nil, fmt.Errorf("client: MPUT with %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	req := newReq(proto.MsgMPut)
+	ops := req.Ops[:0]
+	for i, k := range keys {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchUpdate, Key: k, Value: values[i]})
+	}
+	req.Ops = ops
+	if traceID != 0 {
+		req.Trace = &proto.Trace{ID: traceID}
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := resp.Trace
+	defer proto.PutMsg(resp)
+	if resp.Type != proto.MsgMPutResp {
+		return nil, nil, fmt.Errorf("client: unexpected response %v to MPUT", resp.Type)
+	}
+	if len(resp.Ops) != len(keys) {
+		return nil, nil, fmt.Errorf("client: MPUT answered %d keys for %d requested",
+			len(resp.Ops), len(keys))
+	}
+	out := make([]MPutResult, len(keys))
+	for i, op := range resp.Ops {
+		if op.Key != keys[i] {
+			return nil, nil, fmt.Errorf("client: MPUT response out of order: key %q at slot %d (want %q)",
+				op.Key, i, keys[i])
+		}
+		if op.Kind == proto.BatchInvalidate {
+			out[i] = MPutResult{Err: fmt.Errorf("%w: MPUT of %q failed upstream", ErrServer, op.Key)}
+			continue
+		}
+		out[i] = MPutResult{Version: op.Version}
+	}
+	return out, tr, nil
+}
+
+// coalescer merges single-key Gets issued within one window into one
+// wire MGET (Options.CoalesceWindow). The first Get of a window arms a
+// flush timer; the gathered batch goes out when the timer fires or
+// maxBatch keys have joined, whichever is first.
+type coalescer struct {
+	c        *Client
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending []coalesceWaiter
+}
+
+type coalesceWaiter struct {
+	key string
+	ch  chan coalesceResult
+}
+
+type coalesceResult struct {
+	value   []byte
+	version uint64
+	found   bool
+	err     error
+}
+
+func (co *coalescer) get(key string) ([]byte, uint64, error) {
+	w := coalesceWaiter{key: key, ch: make(chan coalesceResult, 1)}
+	co.mu.Lock()
+	co.pending = append(co.pending, w)
+	if len(co.pending) >= co.maxBatch {
+		batch := co.pending
+		co.pending = nil
+		co.mu.Unlock()
+		// The caller that fills the batch flushes it inline: it is about
+		// to block on its own slot anyway, and this keeps a full-rate
+		// workload from ever waiting out the window.
+		co.flush(batch)
+	} else {
+		if len(co.pending) == 1 {
+			time.AfterFunc(co.window, co.timerFlush)
+		}
+		co.mu.Unlock()
+	}
+	res := <-w.ch
+	if res.err != nil {
+		return nil, 0, res.err
+	}
+	if !res.found {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return res.value, res.version, nil
+}
+
+func (co *coalescer) timerFlush() {
+	co.mu.Lock()
+	batch := co.pending
+	co.pending = nil
+	co.mu.Unlock()
+	if len(batch) > 0 {
+		co.flush(batch)
+	}
+}
+
+func (co *coalescer) flush(batch []coalesceWaiter) {
+	if len(batch) == 1 {
+		// A lone waiter gains nothing from the batch framing; issue the
+		// plain single-key GET.
+		v, ver, err := co.c.singleGet(batch[0].key)
+		res := coalesceResult{value: v, version: ver, found: err == nil}
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			res.err = err
+		}
+		batch[0].ch <- res
+		return
+	}
+	keys := make([]string, len(batch))
+	for i, w := range batch {
+		keys[i] = w.key
+	}
+	results, err := co.c.MGet(keys)
+	for i, w := range batch {
+		if err != nil {
+			w.ch <- coalesceResult{err: err}
+			continue
+		}
+		r := results[i]
+		w.ch <- coalesceResult{value: r.Value, version: r.Version, found: r.Found, err: r.Err}
+	}
+}

@@ -71,6 +71,18 @@ type Options struct {
 	// multiplexed one). Defaults to 3. A failure after the request may
 	// have been written is never retried — retrying could double-apply.
 	MaxAttempts int
+	// CoalesceWindow, when positive, enables the adaptive Get coalescer:
+	// single-key Gets issued within one window are merged into one wire
+	// MGET. The first Get in a window arms the flush; the batch goes out
+	// when the window elapses or CoalesceMaxBatch keys have gathered,
+	// whichever is first — so under load the window never adds latency
+	// (batches fill before it expires) and an idle caller pays at most
+	// one window. Off by default: it trades a bounded latency hit for
+	// fewer frames, which only wins on high-fan-in clients.
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch caps the keys merged into one coalesced MGET;
+	// defaults to 32.
+	CoalesceMaxBatch int
 }
 
 func (o *Options) fill() {
@@ -90,6 +102,9 @@ func (o *Options) fill() {
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
 	}
+	if o.CoalesceMaxBatch <= 0 {
+		o.CoalesceMaxBatch = 32
+	}
 }
 
 // transport moves one request/response exchange; implementations assign
@@ -103,6 +118,7 @@ type transport interface {
 type Client struct {
 	addr string
 	tr   transport
+	co   *coalescer // non-nil when Options.CoalesceWindow is set
 }
 
 // New builds a client for addr. No connection is made until first use.
@@ -114,7 +130,11 @@ func New(addr string, opts Options) *Client {
 	} else {
 		tr = newMux(addr, opts)
 	}
-	return &Client{addr: addr, tr: tr}
+	c := &Client{addr: addr, tr: tr}
+	if opts.CoalesceWindow > 0 {
+		c.co = &coalescer{c: c, window: opts.CoalesceWindow, maxBatch: opts.CoalesceMaxBatch}
+	}
+	return c
 }
 
 // Addr returns the target address.
@@ -150,8 +170,18 @@ func newReq(t proto.MsgType) *proto.Msg {
 }
 
 // Get fetches key's value and version. It reports ErrNotFound for
-// missing keys.
+// missing keys. With Options.CoalesceWindow set, concurrent Gets may be
+// merged into one wire MGET.
 func (c *Client) Get(key string) ([]byte, uint64, error) {
+	if c.co != nil {
+		return c.co.get(key)
+	}
+	return c.singleGet(key)
+}
+
+// singleGet is the raw one-key GET, bypassing the coalescer (which
+// calls it itself for a batch of one).
+func (c *Client) singleGet(key string) ([]byte, uint64, error) {
 	req := newReq(proto.MsgGet)
 	req.Key = key
 	resp, err := c.do(req)

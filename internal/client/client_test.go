@@ -65,6 +65,27 @@ func echoServer(t *testing.T) (addr string, requests *sync.Map) {
 						resp = &proto.Msg{Type: proto.MsgStatsResp, Seq: m.Seq, Stats: map[string]uint64{"x": 1}}
 					case proto.MsgReadReport:
 						resp = &proto.Msg{Type: proto.MsgPong, Seq: m.Seq}
+					case proto.MsgMGet, proto.MsgMFill:
+						resp = &proto.Msg{Type: proto.MsgMGetResp, Seq: m.Seq}
+						mu.Lock()
+						for _, k := range m.Keys {
+							if v, ok := store[k]; ok {
+								resp.Ops = append(resp.Ops, proto.BatchOp{
+									Kind: proto.BatchUpdate, Key: k, Version: 1, Value: v})
+							} else {
+								resp.Ops = append(resp.Ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: k})
+							}
+						}
+						mu.Unlock()
+					case proto.MsgMPut:
+						resp = &proto.Msg{Type: proto.MsgMPutResp, Seq: m.Seq}
+						mu.Lock()
+						for _, op := range m.Ops {
+							store[op.Key] = append([]byte(nil), op.Value...)
+							resp.Ops = append(resp.Ops, proto.BatchOp{
+								Kind: proto.BatchUpdate, Key: op.Key, Version: 1})
+						}
+						mu.Unlock()
 					default:
 						resp = &proto.Msg{Type: proto.MsgErr, Seq: m.Seq, Err: "nope"}
 					}

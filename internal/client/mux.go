@@ -517,6 +517,27 @@ func (mc *muxConn) readLoop() {
 			// invalidates it.
 			m.Value = append([]byte(nil), m.Value...)
 		}
+		if len(m.Ops) > 0 {
+			// Batched responses (MGETRESP/MPUTRESP): each op's value
+			// aliases the reader's buffer too. Copy them all through one
+			// backing buffer — one allocation per batch, not per key. The
+			// op keys are interned strings, safe to retain; the Ops slice
+			// itself belongs to this pooled Msg.
+			total := 0
+			for i := range m.Ops {
+				total += len(m.Ops[i].Value)
+			}
+			if total > 0 {
+				buf := make([]byte, 0, total)
+				for i := range m.Ops {
+					if m.Ops[i].Value != nil {
+						start := len(buf)
+						buf = append(buf, m.Ops[i].Value...)
+						m.Ops[i].Value = buf[start:len(buf):len(buf)]
+					}
+				}
+			}
+		}
 		w.ch <- muxResult{m: m}
 	}
 }

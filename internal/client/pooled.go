@@ -152,6 +152,12 @@ func (p *pooledTransport) doOnce(req *proto.Msg) (*proto.Msg, bool, error) {
 		copy(v, resp.Value)
 		resp.Value = v
 	}
+	for i := range resp.Ops {
+		// Batched responses: each op's value aliases the read buffer too.
+		if resp.Ops[i].Value != nil {
+			resp.Ops[i].Value = append([]byte(nil), resp.Ops[i].Value...)
+		}
+	}
 	p.checkin(pc, true)
 	return resp, false, nil
 }

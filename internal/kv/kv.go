@@ -101,6 +101,50 @@ func (c *Cache) Get(key string, now time.Time) (e Entry, found, fresh bool) {
 	return n.e, true, n.e.fresh(now)
 }
 
+// GetBatch looks up every key in one pass over the shard set: keys are
+// visited grouped by shard with one lock acquisition per distinct
+// shard, and report is called exactly once per key with its index in
+// keys (in shard-grouped order, not input order). The reported Entry is
+// a copy, like Get's. This is the batch serve path's amortization: a
+// 32-key MGet pays at most one lock per occupied shard instead of 32.
+func (c *Cache) GetBatch(keys []string, now time.Time, report func(i int, e Entry, found, fresh bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	if len(keys) == 1 {
+		e, found, fresh := c.Get(keys[0], now)
+		report(0, e, found, fresh)
+		return
+	}
+	sids := make([]uint8, len(keys))
+	var occupied [numShards]bool
+	for i, k := range keys {
+		sid := uint8(sketch.Hash(k) & (numShards - 1))
+		sids[i] = sid
+		occupied[sid] = true
+	}
+	for sid := 0; sid < numShards; sid++ {
+		if !occupied[sid] {
+			continue
+		}
+		s := &c.shards[sid]
+		s.mu.Lock()
+		for i, k := range keys {
+			if int(sids[i]) != sid {
+				continue
+			}
+			n := s.m[k]
+			if n == nil {
+				report(i, Entry{}, false, false)
+				continue
+			}
+			s.touch(n)
+			report(i, n.e, true, n.e.fresh(now))
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Put inserts or overwrites the entry for key, evicting LRU residents of
 // the same shard if needed. It returns false (and does not store) when
 // the resident copy has a version strictly newer than e.Version —
@@ -413,6 +457,87 @@ func (a *Authority) GetViewAged(key string) (value []byte, version uint64, writt
 		return nil, 0, time.Time{}, false
 	}
 	return e.value, e.version, e.written, true
+}
+
+// GetViewAgedBatch is GetViewAged over a key set with one RLock
+// acquisition per distinct stripe: keys are visited grouped by stripe
+// and report is called exactly once per key with its index in keys (in
+// stripe-grouped order, not input order). Values carry GetView's
+// immutability contract.
+func (a *Authority) GetViewAgedBatch(keys []string, report func(i int, value []byte, version uint64, written time.Time, ok bool)) {
+	if len(keys) == 0 {
+		return
+	}
+	if len(keys) == 1 {
+		v, ver, w, ok := a.GetViewAged(keys[0])
+		report(0, v, ver, w, ok)
+		return
+	}
+	sids := make([]uint8, len(keys))
+	var occupied [numShards]bool
+	for i, k := range keys {
+		sid := uint8(sketch.Hash(k) & (numShards - 1))
+		sids[i] = sid
+		occupied[sid] = true
+	}
+	for sid := 0; sid < numShards; sid++ {
+		if !occupied[sid] {
+			continue
+		}
+		s := &a.shards[sid]
+		s.mu.RLock()
+		for i, k := range keys {
+			if int(sids[i]) != sid {
+				continue
+			}
+			e, ok := s.m[k]
+			if !ok {
+				report(i, nil, 0, time.Time{}, false)
+				continue
+			}
+			report(i, e.value, e.version, e.written, ok)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// PutBatch stores values[i] under keys[i] for every i, grouping by
+// stripe so the batch pays one lock acquisition (and one version draw
+// per key, in input order within a stripe) per distinct stripe instead
+// of per key, and writes each assigned version into versions[i]. Values
+// are copied, as in Put. A duplicate key keeps the later op's value —
+// version order within the stripe matches input order, so the
+// higher-indexed write carries the higher version.
+func (a *Authority) PutBatch(keys []string, values [][]byte, versions []uint64, now time.Time) {
+	if len(keys) == 1 {
+		versions[0] = a.Put(keys[0], values[0], now)
+		return
+	}
+	sids := make([]uint8, len(keys))
+	var occupied [numShards]bool
+	for i, k := range keys {
+		sid := uint8(sketch.Hash(k) & (numShards - 1))
+		sids[i] = sid
+		occupied[sid] = true
+	}
+	for sid := 0; sid < numShards; sid++ {
+		if !occupied[sid] {
+			continue
+		}
+		s := &a.shards[sid]
+		s.mu.Lock()
+		for i, k := range keys {
+			if int(sids[i]) != sid {
+				continue
+			}
+			cp := make([]byte, len(values[i]))
+			copy(cp, values[i])
+			v := a.version.Add(1)
+			s.m[k] = authEntry{value: cp, version: v, written: now}
+			versions[i] = v
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Version returns the current global version counter. It may run ahead

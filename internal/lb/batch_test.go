@@ -1,0 +1,68 @@
+package lb
+
+import (
+	"fmt"
+	"testing"
+
+	"freshcache/internal/client"
+)
+
+// A batched read through the LB splits by cache affinity, fans out, and
+// reassembles in request order; a batched write scatters to the stores.
+// Both keep per-key not-found identity and feed the batch telemetry.
+func TestBatchThroughLB(t *testing.T) {
+	lbAddr, caches, _ := startCluster(t, 2)
+	c := client.New(lbAddr, client.Options{})
+	defer c.Close()
+
+	var keys []string
+	var vals [][]byte
+	for i := 0; i < 32; i++ {
+		keys = append(keys, fmt.Sprintf("bk-%d", i))
+		vals = append(vals, []byte(fmt.Sprintf("bv-%d", i)))
+	}
+	wres, err := c.MPut(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range wres {
+		if r.Err != nil || r.Version == 0 {
+			t.Errorf("MPut[%s] = %+v", keys[i], r)
+		}
+	}
+
+	rkeys := append(append([]string(nil), keys...), "bk-ghost")
+	rres, err := c.MGet(rkeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		r := rres[i]
+		if r.Err != nil || !r.Found || string(r.Value) != string(vals[i]) {
+			t.Errorf("MGet[%s] = %+v, want %q", k, r, vals[i])
+		}
+	}
+	if last := rres[len(rres)-1]; last.Err != nil || last.Found {
+		t.Errorf("ghost key = %+v, want clean not-found", last)
+	}
+
+	// The 33-key read spread across both affine caches (32 keys hash to
+	// both halves of a 2-cache ring with overwhelming probability).
+	servedA := caches[0].StatsMap()["gets"]
+	servedB := caches[1].StatsMap()["gets"]
+	if servedA == 0 || servedB == 0 || servedA+servedB != 33 {
+		t.Errorf("batch fan-out served %d + %d keys, want all 33 across both caches", servedA, servedB)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["mget_ops"] != 33 || st["mput_ops"] != 32 || st["batch_size_samples"] != 2 {
+		t.Errorf("lb batch telemetry: mget_ops=%d mput_ops=%d samples=%d",
+			st["mget_ops"], st["mput_ops"], st["batch_size_samples"])
+	}
+	if st["reads"] != 33 || st["writes"] != 32 {
+		t.Errorf("lb read/write accounting: reads=%d writes=%d", st["reads"], st["writes"])
+	}
+}

@@ -68,6 +68,9 @@ type Config struct {
 type Counters struct {
 	Reads, Writes, Errors stats.Counter
 	MalformedFrames       stats.Counter
+	// MGetKeys/MPutKeys count the keys carried by multi-key requests
+	// (batch.go).
+	MGetKeys, MPutKeys stats.Counter
 }
 
 // Server is a live load balancer.
@@ -84,6 +87,9 @@ type Server struct {
 	// store) in nanoseconds.
 	readRTT  stats.Histogram
 	writeRTT stats.Histogram
+	// batchSize is the keys-per-request distribution of multi-key
+	// operations (MGET/MPUT).
+	batchSize stats.Histogram
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -333,6 +339,23 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 			// are interned strings — immutable, safe to hold.)
 			m.Value = append([]byte(nil), m.Value...)
 		}
+		if len(m.Ops) > 0 {
+			// Batched writes: each op's value aliases the reader buffer
+			// too. One backing buffer copies them all.
+			total := 0
+			for i := range m.Ops {
+				total += len(m.Ops[i].Value)
+			}
+			buf := make([]byte, 0, total)
+			for i := range m.Ops {
+				if m.Ops[i].Value == nil {
+					continue
+				}
+				start := len(buf)
+				buf = append(buf, m.Ops[i].Value...)
+				m.Ops[i].Value = buf[start:len(buf):len(buf)]
+			}
+		}
 		sem <- struct{}{}
 		dispatchers.Add(1)
 		go func(m *proto.Msg) {
@@ -417,6 +440,16 @@ func (s *Server) route(m *proto.Msg, tr *proto.SpanRec) *proto.Msg {
 		}
 		resp.Type, resp.Status, resp.Version = proto.MsgPutResp, proto.StatusOK, version
 		return resp
+	case proto.MsgMGet:
+		s.c.Reads.Add(uint64(len(m.Keys)))
+		s.c.MGetKeys.Add(uint64(len(m.Keys)))
+		s.batchSize.Observe(float64(len(m.Keys)))
+		return s.routeMGet(m, tr)
+	case proto.MsgMPut:
+		s.c.Writes.Add(uint64(len(m.Ops)))
+		s.c.MPutKeys.Add(uint64(len(m.Ops)))
+		s.batchSize.Observe(float64(len(m.Ops)))
+		return s.routeMPut(m, tr)
 	case proto.MsgPing:
 		return &proto.Msg{Type: proto.MsgPong}
 	case proto.MsgStats:
@@ -435,6 +468,12 @@ func (s *Server) buildRegistry() *stats.Registry {
 	r.Counter("freshcache_lb_writes_total", "PUTs proxied to the store tier.", "writes", &s.c.Writes)
 	r.Counter("freshcache_lb_errors_total", "Proxied requests that failed upstream.", "errors", &s.c.Errors)
 	r.Counter("freshcache_lb_malformed_frames_total", "Frames rejected as malformed.", "malformed_frames", &s.c.MalformedFrames)
+	r.LabeledCounter("freshcache_lb_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mget"}, "mget_ops", &s.c.MGetKeys)
+	r.LabeledCounter("freshcache_lb_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mput"}, "mput_ops", &s.c.MPutKeys)
 	gauge := func(name, help, key string, fn func() float64) {
 		r.Gauge("freshcache_lb_"+name, help, key, fn)
 	}
@@ -480,6 +519,9 @@ func (s *Server) buildRegistry() *stats.Registry {
 	r.Histogram("freshcache_lb_write_rtt_seconds",
 		"Upstream round-trip latency of proxied writes.",
 		stats.LatencySecondsBuckets, 1e9, "", &s.writeRTT)
+	r.Histogram("freshcache_lb_batch_size",
+		"Keys per multi-key request (MGET/MPUT).",
+		stats.BatchSizeBuckets, 1, "batch_size_samples", &s.batchSize)
 	return r
 }
 

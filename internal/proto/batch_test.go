@@ -1,0 +1,157 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Round trips for the multi-key message family, bare and with a trace
+// block, since batched frames carry the optional trace the same way
+// single-key ones do.
+func TestRoundTripMultiKey(t *testing.T) {
+	msgs := []*Msg{
+		{Type: MsgMGet, Seq: 1, Keys: []string{"a", "b", "c"}},
+		{Type: MsgMGet, Seq: 2, Keys: []string{"only"}},
+		{Type: MsgMFill, Seq: 3, Keys: []string{"x", "y"}},
+		{Type: MsgMGetResp, Seq: 4, Ops: []BatchOp{
+			{Kind: BatchUpdate, Key: "a", Version: 7, Value: []byte("va")},
+			{Kind: BatchInvalidate, Key: "b"},
+			{Kind: BatchUpdate, Key: "c", Version: 9, Value: []byte("vc")},
+		}},
+		{Type: MsgMPut, Seq: 5, Ops: []BatchOp{
+			{Kind: BatchUpdate, Key: "k1", Value: []byte("v1")},
+			{Kind: BatchUpdate, Key: "k2", Value: []byte("v2")},
+		}},
+		{Type: MsgMPutResp, Seq: 6, Ops: []BatchOp{
+			{Kind: BatchUpdate, Key: "k1", Version: 11},
+			{Kind: BatchInvalidate, Key: "k2"}, // per-key upstream failure
+		}},
+		{Type: MsgMGet, Seq: 7, Keys: []string{"t1", "t2"},
+			Trace: &Trace{ID: 0xdecafbad}},
+		{Type: MsgMGetResp, Seq: 8,
+			Ops: []BatchOp{{Kind: BatchUpdate, Key: "t1", Version: 2, Value: []byte("v")}},
+			Trace: &Trace{ID: 0xdecafbad, Spans: []Span{
+				{Node: "store-a", Start: 1, Dur: 5},
+				{Node: "store-b", Start: 2, Dur: 3},
+			}}},
+		{Type: MsgMPut, Seq: 9,
+			Ops:   []BatchOp{{Kind: BatchUpdate, Key: "k", Value: []byte("v")}},
+			Trace: &Trace{ID: 1}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		for i := range got.Ops {
+			if len(got.Ops[i].Value) == 0 {
+				got.Ops[i].Value = nil
+			}
+		}
+		want := *m
+		for i := range want.Ops {
+			if len(want.Ops[i].Value) == 0 {
+				want.Ops[i].Value = nil
+			}
+		}
+		gotCopy := *got
+		if !reflect.DeepEqual(&gotCopy, &want) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", m.Type, gotCopy, want)
+		}
+	}
+}
+
+// An empty key set round-trips (the client short-circuits zero-key
+// batches, but the wire format must still be total).
+func TestRoundTripEmptyMGet(t *testing.T) {
+	got := roundTrip(t, &Msg{Type: MsgMGet, Seq: 1})
+	if got.Type != MsgMGet || len(got.Keys) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// frameOf wraps a hand-built payload in a length prefix.
+func frameOf(payload []byte) *Reader {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	return NewReader(&buf)
+}
+
+// An MGET whose declared key count exceeds MaxBatchOps is rejected
+// before any allocation proportional to the claim.
+func TestMGetKeyCountOverLimitRejected(t *testing.T) {
+	payload := []byte{byte(MsgMGet), 0, 0, 0, 0, 0, 0, 0, 1}
+	payload = binary.BigEndian.AppendUint32(payload, MaxBatchOps+1)
+	if _, err := frameOf(payload).ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// An MGET whose key list is truncated mid-entry is malformed.
+func TestMGetTruncatedKeysRejected(t *testing.T) {
+	payload := []byte{byte(MsgMGet), 0, 0, 0, 0, 0, 0, 0, 1}
+	payload = binary.BigEndian.AppendUint32(payload, 2) // claims two keys
+	payload = append(payload, 0, 1, 'a')                // delivers one
+	if _, err := frameOf(payload).ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// A multi-key response with an undefined op kind is malformed, same as
+// the push-batch path.
+func TestMGetRespBadKindRejected(t *testing.T) {
+	payload := []byte{byte(MsgMGetResp), 0, 0, 0, 0, 0, 0, 0, 1}
+	payload = binary.BigEndian.AppendUint32(payload, 1)
+	payload = append(payload, 7) // undefined kind
+	payload = append(payload, 0, 1, 'k')
+	if _, err := frameOf(payload).ReadMsg(); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// Encoding more than MaxBatchOps keys is refused on the write side too.
+func TestMGetEncodeOverLimitRejected(t *testing.T) {
+	m := &Msg{Type: MsgMGet, Keys: make([]string, MaxBatchOps+1)}
+	if _, err := AppendFrame(nil, m); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+// Pooled reuse: a large MGET's Keys capacity is kept and reused by the
+// next decode on the same Msg, so a steady batch loop does not
+// reallocate the key slice.
+func TestReadMsgIntoReusesKeys(t *testing.T) {
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = "key-abcdefgh"
+	}
+	frame1, err := AppendFrame(nil, &Msg{Type: MsgMGet, Seq: 1, Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2, err := AppendFrame(nil, &Msg{Type: MsgMGet, Seq: 2, Keys: keys[:8]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(append(append([]byte(nil), frame1...), frame2...)))
+	var m Msg
+	if err := r.ReadMsgInto(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Keys) != 64 {
+		t.Fatalf("first decode got %d keys", len(m.Keys))
+	}
+	firstCap := cap(m.Keys)
+	if err := r.ReadMsgInto(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Keys) != 8 {
+		t.Fatalf("second decode got %d keys", len(m.Keys))
+	}
+	if cap(m.Keys) != firstCap {
+		t.Errorf("second decode reallocated Keys: cap %d -> %d", firstCap, cap(m.Keys))
+	}
+}

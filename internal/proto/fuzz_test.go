@@ -44,6 +44,28 @@ func FuzzReadMsg(f *testing.F) {
 			{Node: "store", Start: 1, Dur: 2},
 			{Node: "cache", Start: 3, Dur: 4},
 		}}})
+	mget := encodeSeed(f, &Msg{Type: MsgMGet, Seq: 6, Keys: []string{"a", "b", "c"}})
+	mfill := encodeSeed(f, &Msg{Type: MsgMFill, Seq: 7, Keys: []string{"x"}})
+	mgetResp := encodeSeed(f, &Msg{Type: MsgMGetResp, Seq: 6, Ops: []BatchOp{
+		{Kind: BatchUpdate, Key: "a", Version: 3, Value: []byte("va")},
+		{Kind: BatchInvalidate, Key: "b"},
+	}})
+	mput := encodeSeed(f, &Msg{Type: MsgMPut, Seq: 8, Ops: []BatchOp{
+		{Kind: BatchUpdate, Key: "k1", Value: []byte("v1")},
+		{Kind: BatchUpdate, Key: "k2", Value: []byte("v2")},
+	}})
+	mputResp := encodeSeed(f, &Msg{Type: MsgMPutResp, Seq: 8, Ops: []BatchOp{
+		{Kind: BatchUpdate, Key: "k1", Version: 4},
+		{Kind: BatchInvalidate, Key: "k2"},
+	}})
+	tracedMGet := encodeSeed(f, &Msg{Type: MsgMGet, Seq: 9, Keys: []string{"a", "b"},
+		Trace: &Trace{ID: 0xdecafbad}})
+	tracedMGetResp := encodeSeed(f, &Msg{Type: MsgMGetResp, Seq: 9,
+		Ops: []BatchOp{{Kind: BatchUpdate, Key: "a", Version: 1, Value: []byte("v")}},
+		Trace: &Trace{ID: 0xdecafbad, Spans: []Span{
+			{Node: "store-a", Start: 1, Dur: 5},
+			{Node: "store-b", Start: 2, Dur: 3},
+		}}})
 	f.Add(get)
 	f.Add(put)
 	f.Add(batch)
@@ -53,6 +75,14 @@ func FuzzReadMsg(f *testing.F) {
 	f.Add(traced)
 	f.Add(tracedResp)
 	f.Add(append(append([]byte(nil), traced...), get...))
+	f.Add(mget)
+	f.Add(mfill)
+	f.Add(mgetResp)
+	f.Add(mput)
+	f.Add(mputResp)
+	f.Add(tracedMGet)
+	f.Add(tracedMGetResp)
+	f.Add(append(append([]byte(nil), mget...), mgetResp...))
 	// Malformed shapes the unit tests pin individually.
 	f.Add([]byte{0, 0, 0, 0})                               // zero-length frame
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                   // oversize length prefix

@@ -152,6 +152,27 @@ const (
 	// (or heartbeat), Epoch the follower's term, Version the index of
 	// the follower's last accepted log entry.
 	MsgAppendResp
+	// MsgMGet is a multi-key client read: Keys set. One frame, one
+	// sequence number, one demux wakeup for the whole key set — the
+	// fixed per-op costs (frame header, seq rendezvous, lock
+	// acquisitions) amortize across the batch.
+	MsgMGet
+	// MsgMGetResp answers MsgMGet/MsgMFill: Ops carries one entry per
+	// requested key, in request order — BatchUpdate (key, value,
+	// version) for a hit, BatchInvalidate (key only) for not-found —
+	// so one missing key never fails the batch.
+	MsgMGetResp
+	// MsgMPut is a multi-key client write: Ops carries BatchUpdate
+	// entries (key, value; the version field is ignored on requests).
+	MsgMPut
+	// MsgMPutResp answers MsgMPut: Ops carries one BatchUpdate per
+	// written key, in request order, with the assigned Version and an
+	// empty value.
+	MsgMPutResp
+	// MsgMFill is the batch analogue of MsgFill: a cache miss-fill for
+	// several keys at once. Keys set; the store records cache fills
+	// (NoteFilled) instead of client reads and answers with MsgMGetResp.
+	MsgMFill
 )
 
 var msgNames = map[MsgType]string{
@@ -168,6 +189,9 @@ var msgNames = map[MsgType]string{
 	MsgRepSync: "REPSYNC", MsgRepWrite: "REPWRITE",
 	MsgVote: "VOTE", MsgVoteResp: "VOTERESP",
 	MsgAppend: "APPEND", MsgAppendResp: "APPENDRESP",
+	MsgMGet: "MGET", MsgMGetResp: "MGETRESP",
+	MsgMPut: "MPUT", MsgMPutResp: "MPUTRESP",
+	MsgMFill: "MFILL",
 }
 
 // String returns the wire name of the message type.
@@ -246,6 +270,7 @@ type Msg struct {
 	Status  Status
 	Epoch   uint64
 	Ops     []BatchOp
+	Keys    []string // multi-key read key set (MsgMGet, MsgMFill)
 	Reports []ReadReport
 	Stats   map[string]uint64
 	Err     string
@@ -683,6 +708,23 @@ func appendStringList(b []byte, list []string) ([]byte, error) {
 	return b, nil
 }
 
+// appendKeys encodes a multi-key read's key set (MsgMGet, MsgMFill).
+// Unlike appendStringList this is bounded by MaxBatchOps, not MaxNodes:
+// a batch read legitimately names far more keys than a ring has nodes.
+func appendKeys(b []byte, keys []string) ([]byte, error) {
+	if len(keys) > MaxBatchOps {
+		return b, fmt.Errorf("%w: %d keys", ErrMalformed, len(keys))
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(keys)))
+	var err error
+	for _, k := range keys {
+		if b, err = appendString16(b, k); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
 // appendOps encodes a batch-op list (shared by MsgBatch and
 // MsgMigrateChunk).
 func appendOps(b []byte, ops []BatchOp) ([]byte, error) {
@@ -867,6 +909,10 @@ func appendPayload(b []byte, m *Msg) ([]byte, error) {
 			return b, err
 		}
 		return appendFreqs(b, m.Freqs)
+	case MsgMGet, MsgMFill:
+		return appendKeys(b, m.Keys)
+	case MsgMGetResp, MsgMPut, MsgMPutResp:
+		return appendOps(b, m.Ops)
 	default:
 		return b, fmt.Errorf("%w: unknown type %v", ErrMalformed, m.Type)
 	}
@@ -910,7 +956,7 @@ func (r *Reader) ReadMsg() (*Msg, error) {
 }
 
 // ReadMsgInto reads and decodes the next frame into m, reusing m's
-// Ops/Reports/Freqs slice capacity so a steady request loop runs
+// Ops/Keys/Reports/Freqs slice capacity so a steady request loop runs
 // allocation-free. Everything reachable from m — byte slices aliasing
 // the Reader's buffer and the reused slices themselves — is invalidated
 // by the next ReadMsg/ReadMsgInto on this Reader; callers keeping data
@@ -942,10 +988,10 @@ func (r *Reader) ReadMsgInto(m *Msg) error {
 	if _, err := io.ReadFull(r.br, buf); err != nil {
 		return fmt.Errorf("proto: reading frame body: %w", err)
 	}
-	ops, reports, freqs := m.Ops[:0], m.Reports[:0], m.Freqs[:0]
+	ops, keys, reports, freqs := m.Ops[:0], m.Keys[:0], m.Reports[:0], m.Freqs[:0]
 	tb := buf[0]
 	*m = Msg{Type: MsgType(tb &^ traceFlag), Seq: binary.BigEndian.Uint64(buf[1:9])}
-	m.Ops, m.Reports, m.Freqs = ops, reports, freqs
+	m.Ops, m.Keys, m.Reports, m.Freqs = ops, keys, reports, freqs
 	payload := buf[9:]
 	if tb&traceFlag != 0 {
 		c := &cursor{b: payload, rd: r}
@@ -1111,6 +1157,30 @@ func (c *cursor) ops(dst []BatchOp) ([]BatchOp, error) {
 		ops = append(ops, op)
 	}
 	return ops, nil
+}
+
+// keys decodes a multi-key read's key set (MsgMGet, MsgMFill) into
+// dst's capacity.
+func (c *cursor) keys(dst []string) ([]string, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, fmt.Errorf("%w: %d keys", ErrMalformed, n)
+	}
+	out := dst
+	if cap(out) == 0 {
+		out = make([]string, 0, min64(uint64(n), 4096))
+	}
+	for i := uint32(0); i < n; i++ {
+		s, err := c.str16()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // freqs decodes a tracker warm-start list (shared by MsgMigrateDone
@@ -1400,6 +1470,14 @@ func parsePayload(m *Msg, payload []byte, rd *Reader) error {
 			return err
 		}
 		if m.Freqs, err = c.freqs(m.Freqs); err != nil {
+			return err
+		}
+	case MsgMGet, MsgMFill:
+		if m.Keys, err = c.keys(m.Keys); err != nil {
+			return err
+		}
+	case MsgMGetResp, MsgMPut, MsgMPutResp:
+		if m.Ops, err = c.ops(m.Ops); err != nil {
 			return err
 		}
 	default:

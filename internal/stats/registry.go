@@ -65,6 +65,11 @@ var LatencySecondsBuckets = []float64{
 	0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
+// BatchSizeBuckets are the exposition bounds for the multi-key request
+// size histograms (keys per MGET/MPUT), power-of-two spaced across the
+// practical batch range.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{fams: make(map[string]*family)}

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"time"
+
+	"freshcache/internal/client"
+	"freshcache/internal/proto"
+)
+
+// Multi-key request serving. The batched forms exist to amortize the
+// per-request costs of the hot path — one frame, one dispatch, one
+// authority lock per touched stripe instead of one per key — while
+// keeping the per-key semantics of the single-key forms exactly: the
+// same freshness accounting, the same cluster forwarding, the same
+// replication ack rules, key by key.
+
+// batchPart is one proxy target's slice of a batch: the keys routed to
+// it, their positions in the original request, and (for writes) their
+// values.
+type batchPart struct {
+	keys []string
+	vals [][]byte // writes only
+	idx  []int
+}
+
+// dispatchMGet serves MGET/MFILL. The all-local case — every key owned
+// here, the only case on the benchmark hot path — answers synchronously
+// from one authority pass. As soon as any key must be proxied the whole
+// batch moves to a forward goroutine so the cross-node round trips
+// never stall the requests pipelined behind it.
+func (s *Server) dispatchMGet(m *proto.Msg, cs *connState, out chan proto.Outgoing, tr *proto.SpanRec, fill bool) *proto.Msg {
+	s.clMu.RLock()
+	clustered := s.clusterRing != nil || len(s.outMigs) > 0
+	s.clMu.RUnlock()
+	if clustered {
+		for _, k := range m.Keys {
+			if s.forwardTarget(k) != "" {
+				// m is reused by the connection's read loop; the key
+				// strings are interned, only the slice must be copied.
+				seq, keys := m.Seq, append([]string(nil), m.Keys...)
+				return s.goForward(cs, out, tr, func() *proto.Msg {
+					return s.mgetForward(seq, keys, fill)
+				})
+			}
+		}
+	}
+	return s.mgetResp(m.Seq, m.Keys, fill)
+}
+
+// mgetResp serves a batch entirely from the local authority: one pass
+// grouped by stripe, response ops in request order (BatchUpdate = hit,
+// BatchInvalidate = not found), per-key served-age and engine
+// accounting identical to N single GETs/FILLs.
+func (s *Server) mgetResp(seq uint64, keys []string, fill bool) *proto.Msg {
+	resp := proto.GetMsg()
+	resp.Type, resp.Seq = proto.MsgMGetResp, seq
+	ops := resp.Ops[:0]
+	for _, k := range keys {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: k})
+	}
+	// GetViewAgedBatch borrows: authority entries are immutable once
+	// installed, so the values stay stable snapshots through the encode,
+	// exactly as in the single-key getResp.
+	s.auth.GetViewAgedBatch(keys, func(i int, value []byte, version uint64, written time.Time, ok bool) {
+		if !ok {
+			return
+		}
+		s.observeServedAge(written)
+		ops[i] = proto.BatchOp{Kind: proto.BatchUpdate, Key: keys[i], Value: value, Version: version}
+	})
+	for _, k := range keys {
+		if fill {
+			s.engine.NoteFilled(k)
+		} else {
+			s.engine.ObserveRead(k)
+		}
+	}
+	resp.Ops = ops
+	return resp
+}
+
+// mgetForward serves a batch with cluster awareness: the locally owned
+// keys in one authority pass, the rest proxied to their owners as one
+// sub-batch per owner. Runs on a forward goroutine. A proxy failure
+// fails the whole request (like the single-key forward path) rather
+// than silently reporting reachable keys as missing.
+func (s *Server) mgetForward(seq uint64, keys []string, fill bool) *proto.Msg {
+	resp := proto.GetMsg()
+	resp.Type, resp.Seq = proto.MsgMGetResp, seq
+	ops := resp.Ops[:0]
+	for _, k := range keys {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchInvalidate, Key: k})
+	}
+	var local batchPart
+	remote := make(map[string]*batchPart)
+	for i, k := range keys {
+		if target := s.forwardTarget(k); target != "" {
+			p := remote[target]
+			if p == nil {
+				p = &batchPart{}
+				remote[target] = p
+			}
+			p.keys = append(p.keys, k)
+			p.idx = append(p.idx, i)
+			continue
+		}
+		local.keys = append(local.keys, k)
+		local.idx = append(local.idx, i)
+	}
+	if len(local.keys) > 0 {
+		s.auth.GetViewAgedBatch(local.keys, func(j int, value []byte, version uint64, written time.Time, ok bool) {
+			if !ok {
+				return
+			}
+			s.observeServedAge(written)
+			ops[local.idx[j]] = proto.BatchOp{Kind: proto.BatchUpdate, Key: local.keys[j], Value: value, Version: version}
+		})
+		for _, k := range local.keys {
+			if fill {
+				s.engine.NoteFilled(k)
+			} else {
+				s.engine.ObserveRead(k)
+			}
+		}
+	}
+	for target, p := range remote {
+		peer := s.peer(target)
+		var (
+			res []client.MGetResult
+			err error
+		)
+		if fill {
+			res, err = peer.MFill(p.keys)
+		} else {
+			res, err = peer.MGet(p.keys)
+		}
+		s.c.ForwardedReads.Add(uint64(len(p.keys)))
+		if err != nil {
+			proto.PutMsg(resp)
+			return errMsg(seq, "store: forwarding batch read (%d keys) to %s: %v", len(p.keys), target, err)
+		}
+		for j, r := range res {
+			if r.Found {
+				ops[p.idx[j]] = proto.BatchOp{Kind: proto.BatchUpdate, Key: p.keys[j], Value: r.Value, Version: r.Version}
+			}
+		}
+	}
+	resp.Ops = ops
+	return resp
+}
+
+// dispatchMPut applies a batched write with routePut's exact per-key
+// contract — migration dirty-tracking, ownership forwarding, withheld
+// acks under replication — but pays the classification pass and the
+// authority locks once per batch instead of once per key. Local writes
+// apply synchronously on the connection goroutine (so pipelined writes
+// on one connection keep their order); replication fan-out and owner
+// forwarding, when needed, complete on a forward goroutine.
+func (s *Server) dispatchMPut(m *proto.Msg, cs *connState, out chan proto.Outgoing, tr *proto.SpanRec) *proto.Msg {
+	n := len(m.Ops)
+	// Copy out of the reused request Msg: keys are interned strings, but
+	// the values alias the reader's frame buffer. One backing buffer
+	// holds every value copy (one allocation per batch, not per key).
+	total := 0
+	for i := range m.Ops {
+		if m.Ops[i].Kind != proto.BatchUpdate {
+			return errMsg(m.Seq, "store: MPUT op %d has kind %d, want update", i, m.Ops[i].Kind)
+		}
+		total += len(m.Ops[i].Value)
+	}
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	buf := make([]byte, 0, total)
+	for i := range m.Ops {
+		keys[i] = m.Ops[i].Key
+		start := len(buf)
+		buf = append(buf, m.Ops[i].Value...)
+		vals[i] = buf[start:len(buf):len(buf)]
+	}
+
+	// Classify every key under one read-locked pass (the same lock
+	// bracket routePut uses, so a migration's snapshot-plus-dirty-set
+	// stays exhaustive), then apply all local writes with one lock per
+	// authority stripe.
+	type dirtyRec struct {
+		om  *outMigration
+		key string
+	}
+	var (
+		versions = make([]uint64, n)
+		local    batchPart
+		localIdx []int
+		dirties  []dirtyRec
+		fwd      map[string]*batchPart
+		reps     map[string][]int // replica addr -> request indices it must hold
+	)
+	now := time.Now()
+	s.clMu.RLock()
+	for i, k := range keys {
+		target, migLocal := "", false
+		for _, om := range s.outMigs {
+			if !om.owns(k) {
+				continue
+			}
+			if om.forward {
+				target = om.requester
+			} else {
+				migLocal = true
+				dirties = append(dirties, dirtyRec{om, k})
+			}
+			break
+		}
+		if target == "" && !migLocal && s.clusterRing != nil && s.clusterRing.OwnerAddr(k) != s.selfAddr {
+			target = s.clusterRing.OwnerAddr(k)
+		}
+		if target != "" {
+			if fwd == nil {
+				fwd = make(map[string]*batchPart)
+			}
+			p := fwd[target]
+			if p == nil {
+				p = &batchPart{}
+				fwd[target] = p
+			}
+			p.keys = append(p.keys, k)
+			p.vals = append(p.vals, vals[i])
+			p.idx = append(p.idx, i)
+			continue
+		}
+		local.keys = append(local.keys, k)
+		local.vals = append(local.vals, vals[i])
+		localIdx = append(localIdx, i)
+		for _, rep := range s.replicaTargetsLocked(k) {
+			if reps == nil {
+				reps = make(map[string][]int)
+			}
+			reps[rep] = append(reps[rep], i)
+		}
+	}
+	if len(local.keys) > 0 {
+		lv := make([]uint64, len(local.keys))
+		s.auth.PutBatch(local.keys, local.vals, lv, now)
+		for j, i := range localIdx {
+			versions[i] = lv[j]
+		}
+		for _, d := range dirties {
+			d.om.noteDirty(d.key)
+		}
+	}
+	s.clMu.RUnlock()
+
+	for _, k := range local.keys {
+		s.engine.ObserveWrite(k)
+	}
+	if fwd != nil {
+		// Forwarded keys still owe old-epoch subscribers an invalidate on
+		// the next flush, exactly as single-key forwarded puts do.
+		s.fdMu.Lock()
+		for _, p := range fwd {
+			for _, k := range p.keys {
+				s.forwardDirty[k] = struct{}{}
+			}
+		}
+		s.fdMu.Unlock()
+	}
+
+	resp := proto.GetMsg()
+	resp.Type, resp.Seq = proto.MsgMPutResp, m.Seq
+	ops := resp.Ops[:0]
+	for i, k := range keys {
+		ops = append(ops, proto.BatchOp{Kind: proto.BatchUpdate, Key: k, Version: versions[i]})
+	}
+	resp.Ops = ops
+	if fwd == nil && reps == nil {
+		return resp
+	}
+	return s.goForward(cs, out, tr, func() *proto.Msg {
+		return s.mputFinish(resp, keys, vals, versions, fwd, reps)
+	})
+}
+
+// mputFinish completes a batched write's network legs on a forward
+// goroutine: one MsgRepWrite burst per replica (the ack for a key is
+// withheld — reported failed — if a replica holding it cannot confirm,
+// the batch generalization of replicateWrite's all-or-nothing ack) and
+// one MPUT per forwarded owner. A key that fails either leg answers as
+// BatchInvalidate in the response, which the client surfaces as that
+// key's error; the rest of the batch acknowledges normally.
+func (s *Server) mputFinish(resp *proto.Msg, keys []string, vals [][]byte, versions []uint64,
+	fwd map[string]*batchPart, reps map[string][]int) *proto.Msg {
+	fail := func(i int) {
+		resp.Ops[i] = proto.BatchOp{Kind: proto.BatchInvalidate, Key: keys[i]}
+	}
+	if len(reps) > 0 {
+		start := time.Now()
+		acked := false
+		for rep, idxs := range reps {
+			ops := make([]proto.BatchOp, 0, len(idxs))
+			var freqs []proto.KeyFreq
+			for _, i := range idxs {
+				ops = append(ops, proto.BatchOp{Kind: proto.BatchUpdate, Key: keys[i], Value: vals[i], Version: versions[i]})
+				if reads, writes := s.engine.KeyFreq(keys[i]); reads+writes > 0 {
+					freqs = append(freqs, proto.KeyFreq{Key: keys[i], Reads: reads, Writes: writes})
+				}
+			}
+			if err := s.peer(rep).RepWrite(ops, freqs); err != nil {
+				s.cfg.Logger.Printf("store %s: replicating %d batched keys to %s: %v",
+					s.cfg.ShardID, len(idxs), rep, err)
+				for _, i := range idxs {
+					fail(i)
+				}
+				continue
+			}
+			s.c.RepWritesOut.Inc()
+			acked = true
+		}
+		if acked {
+			s.repRTT.Observe(float64(time.Since(start)))
+		}
+	}
+	for target, p := range fwd {
+		res, err := s.peer(target).MPut(p.keys, p.vals)
+		s.c.ForwardedPuts.Add(uint64(len(p.keys)))
+		if err != nil {
+			for _, i := range p.idx {
+				fail(i)
+			}
+			continue
+		}
+		for j, r := range res {
+			if r.Err != nil {
+				fail(p.idx[j])
+				continue
+			}
+			resp.Ops[p.idx[j]] = proto.BatchOp{Kind: proto.BatchUpdate, Key: p.keys[j], Version: r.Version}
+		}
+	}
+	return resp
+}

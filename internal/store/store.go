@@ -117,6 +117,9 @@ type Counters struct {
 	RepWritesOut, RepWritesIn stats.Counter
 	RepSyncs, RepSyncsServed  stats.Counter
 	HeartbeatsSent            stats.Counter
+	// Multi-key operation counters (batch.go): keys carried by MGET/MFILL
+	// and MPUT requests.
+	MGetKeys, MPutKeys stats.Counter
 }
 
 // Server is a live store node.
@@ -138,6 +141,10 @@ type Server struct {
 	// replicas confirm, so this is exactly the staleness a promotion
 	// could add.
 	repRTT stats.Histogram
+	// batchSize is the keys-per-request distribution of multi-key
+	// operations (MGET/MFILL/MPUT) — the amortization factor of the
+	// batched hot path made visible.
+	batchSize stats.Histogram
 
 	mu    sync.Mutex
 	subs  map[*subscriber]struct{}
@@ -281,6 +288,15 @@ func (s *Server) buildRegistry() *stats.Registry {
 	counter("rep_syncs_served_total", "Replica bootstrap syncs served as primary.", "rep_syncs_served", &s.c.RepSyncsServed)
 	counter("heartbeats_sent_total", "Coordinator liveness heartbeats sent.", "heartbeats_sent", &s.c.HeartbeatsSent)
 
+	// Multi-key traffic, labeled by operation so the batch mix is one
+	// query: sum by (op).
+	r.LabeledCounter("freshcache_store_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mget"}, "mget_ops", &s.c.MGetKeys)
+	r.LabeledCounter("freshcache_store_batch_ops_total",
+		"Keys carried by multi-key requests, by operation.",
+		[]string{"op"}, []string{"mput"}, "mput_ops", &s.c.MPutKeys)
+
 	// The update-vs-invalidate policy outcome, labeled so the push mix
 	// is one query: sum by (action).
 	r.LabeledCounter("freshcache_store_push_decisions_total",
@@ -346,6 +362,9 @@ func (s *Server) buildRegistry() *stats.Registry {
 	r.Histogram("freshcache_store_replication_rtt_seconds",
 		"Replication fan-out latency per acknowledged write.",
 		stats.LatencySecondsBuckets, 1e9, "", &s.repRTT)
+	r.Histogram("freshcache_store_batch_size",
+		"Keys per multi-key request (MGET/MFILL/MPUT).",
+		stats.BatchSizeBuckets, 1, "batch_size_samples", &s.batchSize)
 	return r
 }
 
@@ -693,6 +712,14 @@ func (s *Server) dispatch(m *proto.Msg, conn net.Conn, cs *connState, out chan p
 		// invalidation state).
 		s.engine.NoteFilled(m.Key)
 		return s.getResp(m)
+	case proto.MsgMGet, proto.MsgMFill:
+		s.c.MGetKeys.Add(uint64(len(m.Keys)))
+		s.batchSize.Observe(float64(len(m.Keys)))
+		return s.dispatchMGet(m, cs, out, tr, m.Type == proto.MsgMFill)
+	case proto.MsgMPut:
+		s.c.MPutKeys.Add(uint64(len(m.Ops)))
+		s.batchSize.Observe(float64(len(m.Ops)))
+		return s.dispatchMPut(m, cs, out, tr)
 	case proto.MsgPut:
 		s.c.Puts.Inc()
 		resp, target, reps := s.routePut(m)

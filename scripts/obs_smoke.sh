@@ -37,9 +37,12 @@ wait_port() {
 wait_port "$STORE"; wait_port "$CACHE"; wait_port "$LB"; wait_port "$COORD"
 
 # Traffic so the freshness telemetry has samples: a write, a cache-miss
-# fill, then fresh hits.
+# fill, then fresh hits — plus one batched write and read so the batch
+# metric families have samples on every tier.
 "$BIN"/freshctl -addr "$LB" put smoke-key hello
 for _ in 1 2 3; do "$BIN"/freshctl -addr "$LB" get smoke-key >/dev/null; done
+"$BIN"/freshctl -addr "$LB" mput smoke-b1=x smoke-b2=y smoke-b3=z
+"$BIN"/freshctl -addr "$LB" mget smoke-b1 smoke-b2 smoke-b3 smoke-ghost >/dev/null
 
 check_metrics() { # name obs-addr family...
     local name=$1 addr=$2; shift 2
@@ -64,15 +67,24 @@ check_metrics() { # name obs-addr family...
 check_metrics store "$OBS_STORE" \
     freshcache_store_gets_total \
     freshcache_store_served_age_ratio_bucket \
-    freshcache_store_push_decisions_total
+    freshcache_store_push_decisions_total \
+    'freshcache_store_batch_ops_total{op="mget"}' \
+    'freshcache_store_batch_ops_total{op="mput"}' \
+    freshcache_store_batch_size_bucket
 check_metrics cache "$OBS_CACHE" \
     freshcache_cache_hits_total \
     freshcache_cache_served_age_ratio_bucket \
     freshcache_cache_deadline_expired_total \
-    freshcache_cache_near_miss_serves_total
+    freshcache_cache_near_miss_serves_total \
+    freshcache_cache_fills_deduped_total \
+    'freshcache_cache_batch_ops_total{op="mget"}' \
+    freshcache_cache_batch_size_bucket
 check_metrics lb "$OBS_LB" \
     freshcache_lb_reads_total \
-    freshcache_lb_read_rtt_seconds_bucket
+    freshcache_lb_read_rtt_seconds_bucket \
+    'freshcache_lb_batch_ops_total{op="mget"}' \
+    'freshcache_lb_batch_ops_total{op="mput"}' \
+    freshcache_lb_batch_size_bucket
 check_metrics coordinator "$OBS_COORD" \
     freshcache_coord_ring_epoch \
     freshcache_coord_is_leader
