@@ -528,9 +528,12 @@ func (co *Coordinator) buildRegistry() *stats.Registry {
 	gauge("ring_epoch", "Currently published ring epoch.", "ring_epoch", muCount(func() uint64 { return co.epoch }))
 	gauge("stores", "Stores in the published ring.", "stores", muCount(func() uint64 { return uint64(len(co.nodes)) }))
 	gauge("replicas", "Configured replication factor R.", "replicas", func() float64 { return float64(co.cfg.Replicas) })
-	gauge("lease_interval_ms", "Liveness lease interval in milliseconds.", "lease_interval_ms", func() float64 {
-		return float64(co.cfg.LeaseInterval / time.Millisecond)
-	})
+	// Exposition is in seconds (Prometheus base unit); the legacy wire
+	// keys freshctl parses stay in milliseconds via the StatsMap scale.
+	r.GaugeScaled("freshcache_coord_lease_interval_seconds", "Liveness lease interval in seconds.",
+		"lease_interval_ms", 1000, func() float64 {
+			return co.cfg.LeaseInterval.Seconds()
+		})
 	gauge("coordinators", "Coordinator group size, self included.", "coordinators", func() float64 {
 		return float64(len(co.peers) + 1)
 	})
@@ -562,14 +565,14 @@ func (co *Coordinator) buildRegistry() *stats.Registry {
 			}
 			return map[string]float64{co.pendingKind + " " + co.pending: 1}
 		})
-	r.GaugeVec("freshcache_coord_lease_age_ms", "Milliseconds since each store's last liveness heartbeat.",
-		"store", "lease_age_ms[%s]", func() map[string]float64 {
+	r.GaugeVecScaled("freshcache_coord_lease_age_seconds", "Seconds since each store's last liveness heartbeat.",
+		"store", "lease_age_ms[%s]", 1000, func() map[string]float64 {
 			now := time.Now()
 			co.mu.Lock()
 			defer co.mu.Unlock()
 			out := make(map[string]float64, len(co.leases))
 			for addr, ls := range co.leases {
-				out[addr] = float64(now.Sub(ls.lastBeat) / time.Millisecond)
+				out[addr] = now.Sub(ls.lastBeat).Seconds()
 			}
 			return out
 		})

@@ -35,6 +35,7 @@ type family struct {
 	vecLabel    string
 	vecFn       func() map[string]float64
 	statsKeyFmt string
+	vecScale    float64 // exposition units per wire-map unit (1000 for s→ms keys)
 }
 
 type series struct {
@@ -43,6 +44,10 @@ type series struct {
 
 	counter *Counter
 	gaugeFn func() float64
+	// statsScale multiplies gaugeFn's value in the StatsMap view only
+	// (1 when unset): exposition stays in base units (seconds) while a
+	// legacy wire key like lease_interval_ms keeps milliseconds.
+	statsScale float64
 
 	hist   *Histogram
 	bounds []float64 // upper bounds, in display units, ascending
@@ -117,6 +122,16 @@ func (r *Registry) Gauge(name, help, statsKey string, fn func() float64) {
 	r.LabeledGauge(name, help, nil, nil, statsKey, fn)
 }
 
+// GaugeScaled is Gauge with a StatsMap conversion factor: fn reports in
+// the metric's base unit (seconds), and the legacy wire key keeps its
+// historical unit by multiplying by statsScale (1000 for an _ms key).
+func (r *Registry) GaugeScaled(name, help, statsKey string, statsScale float64, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge", nil)
+	f.series = append(f.series, &series{statsKey: statsKey, gaugeFn: fn, statsScale: statsScale})
+}
+
 // LabeledGauge registers one labeled gauge series.
 func (r *Registry) LabeledGauge(name, help string, labelNames, labelVals []string, statsKey string, fn func() float64) {
 	r.mu.Lock()
@@ -131,10 +146,17 @@ func (r *Registry) LabeledGauge(name, help string, labelNames, labelVals []strin
 // one %s; each label value is formatted through it to produce that
 // series' legacy wire-map key.
 func (r *Registry) GaugeVec(name, help, label, statsKeyFmt string, fn func() map[string]float64) {
+	r.GaugeVecScaled(name, help, label, statsKeyFmt, 1, fn)
+}
+
+// GaugeVecScaled is GaugeVec with a StatsMap conversion factor: fn
+// reports in the metric's base unit, and each wire key keeps its
+// historical unit by multiplying by statsScale (1000 for _ms keys).
+func (r *Registry) GaugeVecScaled(name, help, label, statsKeyFmt string, statsScale float64, fn func() map[string]float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.fam(name, help, "gauge", []string{label})
-	f.vecLabel, f.vecFn, f.statsKeyFmt = label, fn, statsKeyFmt
+	f.vecLabel, f.vecFn, f.statsKeyFmt, f.vecScale = label, fn, statsKeyFmt, statsScale
 }
 
 // Histogram registers a histogram. bounds are the exposition bucket upper
@@ -175,14 +197,22 @@ func (r *Registry) StatsMap() map[string]uint64 {
 			case s.counter != nil:
 				out[s.statsKey] = s.counter.Value()
 			case s.gaugeFn != nil:
-				out[s.statsKey] = clampU64(s.gaugeFn())
+				scale := s.statsScale
+				if scale == 0 {
+					scale = 1
+				}
+				out[s.statsKey] = clampU64(s.gaugeFn() * scale)
 			case s.hist != nil:
 				out[s.statsKey] = s.hist.Count()
 			}
 		}
 		if f.vecFn != nil && f.statsKeyFmt != "" {
+			scale := f.vecScale
+			if scale == 0 {
+				scale = 1
+			}
 			for lv, v := range f.vecFn() {
-				out[fmt.Sprintf(f.statsKeyFmt, lv)] = clampU64(v)
+				out[fmt.Sprintf(f.statsKeyFmt, lv)] = clampU64(v * scale)
 			}
 		}
 	}

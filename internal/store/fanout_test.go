@@ -27,6 +27,9 @@ func readRawFrame(t *testing.T, br *bufio.Reader) []byte {
 		t.Fatalf("frame header: %v", err)
 	}
 	n := binary.BigEndian.Uint32(frame)
+	if n > proto.MaxFrame {
+		t.Fatalf("frame body claims %d bytes, over the %d cap", n, proto.MaxFrame)
+	}
 	frame = append(frame, make([]byte, n)...)
 	if _, err := io.ReadFull(br, frame[4:]); err != nil {
 		t.Fatalf("frame body (%d bytes): %v", n, err)

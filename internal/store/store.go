@@ -841,6 +841,7 @@ func (s *Server) getResp(m *proto.Msg) *proto.Msg {
 		return resp
 	}
 	s.observeServedAge(written)
+	//freshlint:ignore borrowedview authority entries are immutable once installed; the pooled resp only reads Value during encode, within the entry's lifetime
 	resp.Status, resp.Version, resp.Value = proto.StatusOK, version, value
 	return resp
 }

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Static-analysis gate: formatting, stock vet, the freshlint analyzer
+# suite (tools/freshlint), and — when their pinned binaries are on PATH
+# (CI installs them; offline dev boxes may not have them) — staticcheck
+# and govulncheck.
+#
+# Exits nonzero if any section finds anything. Every finding is also
+# appended to $LINT_REPORT (default lint-findings.txt) so CI can upload
+# one artifact with the full list.
+set -u
+cd "$(dirname "$0")/.."
+
+report="${LINT_REPORT:-lint-findings.txt}"
+: >"$report"
+fail=0
+
+# section <name> <cmd...>: run a check, tee findings into the report.
+section() {
+  local name="$1"
+  shift
+  local out
+  echo "==> $name"
+  if out=$("$@" 2>&1); then
+    [ -n "$out" ] && echo "$out"
+    return 0
+  fi
+  status=$?
+  echo "$out"
+  {
+    echo "== $name =="
+    echo "$out"
+    echo
+  } >>"$report"
+  fail=1
+  return 0
+}
+
+# gofmt has no useful exit status; wrap it so unformatted files fail.
+gofmt_check() {
+  local out
+  out=$(gofmt -l .)
+  if [ -n "$out" ]; then
+    echo "gofmt needed on:"
+    echo "$out"
+    return 1
+  fi
+}
+
+freshlint_build() {
+  (cd tools/freshlint && go build -o bin/freshlint ./cmd/freshlint)
+}
+
+# The analyzer fixtures are the suite's executable spec: run them before
+# trusting the binary's verdict on the main tree.
+freshlint_selftest() {
+  (cd tools/freshlint && go vet ./... && go test ./...)
+}
+
+section "gofmt" gofmt_check
+section "go vet" go vet ./...
+section "freshlint self-test" freshlint_selftest
+section "freshlint build" freshlint_build
+if [ -x tools/freshlint/bin/freshlint ]; then
+  section "freshlint" go vet -vettool="$PWD/tools/freshlint/bin/freshlint" ./...
+fi
+
+if command -v staticcheck >/dev/null 2>&1; then
+  section "staticcheck" staticcheck ./...
+else
+  echo "==> staticcheck not installed; skipping (CI installs the pinned version)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  section "govulncheck" govulncheck ./...
+else
+  echo "==> govulncheck not installed; skipping (CI installs the pinned version)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo
+  echo "lint: findings recorded in $report"
+  exit 1
+fi
+echo "lint: clean"
+rm -f "$report"

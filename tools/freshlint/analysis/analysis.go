@@ -1,0 +1,68 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis API surface that freshlint's
+// analyzers are written against.
+//
+// The build environment for this repository is fully offline (empty
+// module cache, no proxy), so the real x/tools module cannot be
+// fetched. Rather than vendoring ~40k lines, this package mirrors the
+// subset freshlint needs — Analyzer, Pass, Diagnostic — with identical
+// field names and semantics, so each analyzer is source-portable to
+// x/tools by swapping one import path. Facts, SSA, and the dependency
+// graph between analyzers are intentionally out of scope: every
+// freshlint analyzer is a self-contained single-package pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass: a named invariant and the
+// function that checks a single package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -NAME enable flags
+	// and //freshlint:ignore directives. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then the full invariant it enforces.
+	Doc string
+
+	// Run applies the analyzer to a package. It returns an
+	// analyzer-specific result (unused by freshlint's drivers, kept for
+	// x/tools parity) and an error only for internal failures —
+	// invariant violations are reported via pass.Report, not errors.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and the sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers wrap it with the
+	// //freshlint:ignore filter before handing the Pass to Run.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one reported violation, anchored to a source
+// position.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}

@@ -1,0 +1,251 @@
+// Package analysistest runs an analyzer over GOPATH-layout fixture
+// packages under an analyzer's testdata/src directory and checks its
+// diagnostics against // want "regexp" comments, mirroring the x/tools
+// package of the same name (see the analysis package for why this is a
+// local reimplementation).
+//
+// Fixture packages live at testdata/src/<importpath>/*.go and may
+// import each other by that path (e.g. a fixture package can import
+// "freshcache/internal/proto" resolved to
+// testdata/src/freshcache/internal/proto) — so fixtures exercise the
+// exact package paths and type names the analyzers match against the
+// real repository. Standard-library imports are type-checked from
+// GOROOT source.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"freshcache/tools/freshlint/analysis"
+	"freshcache/tools/freshlint/internal/checker"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// SharedTestData returns the module-level testdata directory shared by
+// every analyzer's tests (one fixture tree, so the freshcache/internal
+// stub packages are written once).
+func SharedTestData() string {
+	dir, err := filepath.Abs(filepath.Join("..", "testdata"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each fixture package under testdata/src and reports any
+// mismatch between produced diagnostics and // want expectations as
+// test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			t.Helper()
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loaded),
+	}
+	ld.stdlib = importer.ForCompiler(ld.fset, "source", nil)
+
+	target, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture package %s: %v", pkgpath, err)
+	}
+
+	findings, err := checker.Run(ld.fset, target.files, target.pkg, target.info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants, err := parseWants(ld.fset, target.files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.Posn.Filename || w.line != f.Posn.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Posn, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving fixture-local imports
+// recursively and everything else through the GOROOT source importer.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*loaded
+	stdlib   types.Importer
+	stack    []string
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s: %v", path, ld.stack)
+		}
+		return p, nil
+	}
+	ld.pkgs[path] = nil // cycle marker
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: (*chainImporter)(ld)}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// chainImporter resolves fixture-local packages first, then delegates
+// to the GOROOT source importer.
+type chainImporter loader
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(c)
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.stdlib.Import(path)
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func parseWants(fset *token.FileSet, files []*ast.File) ([]want, error) {
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s: malformed want pattern %q (want quoted regexps)", posn, rest)
+					}
+					end := 1
+					for end < len(rest) {
+						if rest[end] == '\\' {
+							end += 2
+							continue
+						}
+						if rest[end] == '"' {
+							break
+						}
+						end++
+					}
+					if end >= len(rest) {
+						return nil, fmt.Errorf("%s: unterminated want pattern %q", posn, rest)
+					}
+					lit := rest[:end+1]
+					rest = strings.TrimSpace(rest[end+1:])
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", posn, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", posn, lit, err)
+					}
+					wants = append(wants, want{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,12 @@
+package borrowedview_test
+
+import (
+	"testing"
+
+	"freshcache/tools/freshlint/analysistest"
+	"freshcache/tools/freshlint/borrowedview"
+)
+
+func TestBorrowedView(t *testing.T) {
+	analysistest.Run(t, analysistest.SharedTestData(), borrowedview.Analyzer, "borrowedview")
+}

@@ -1,0 +1,31 @@
+// Command freshlint is the freshcache static-analysis suite, run as a
+// vet tool:
+//
+//	go build -o bin/freshlint ./cmd/freshlint   (from tools/freshlint)
+//	go vet -vettool=$PWD/tools/freshlint/bin/freshlint ./...
+//
+// It bundles the five repository analyzers — msgpool, borrowedview,
+// stripelock, wirebounds, metricname — behind the cmd/go vet driver
+// protocol (see the unitchecker package). False positives are
+// suppressed in place with a //freshlint:ignore <analyzer> <reason>
+// directive on or immediately above the flagged line.
+package main
+
+import (
+	"freshcache/tools/freshlint/borrowedview"
+	"freshcache/tools/freshlint/metricname"
+	"freshcache/tools/freshlint/msgpool"
+	"freshcache/tools/freshlint/stripelock"
+	"freshcache/tools/freshlint/unitchecker"
+	"freshcache/tools/freshlint/wirebounds"
+)
+
+func main() {
+	unitchecker.Main(
+		msgpool.Analyzer,
+		borrowedview.Analyzer,
+		stripelock.Analyzer,
+		wirebounds.Analyzer,
+		metricname.Analyzer,
+	)
+}

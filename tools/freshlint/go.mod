@@ -1,0 +1,3 @@
+module freshcache/tools/freshlint
+
+go 1.24

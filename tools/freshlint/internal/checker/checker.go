@@ -1,0 +1,148 @@
+// Package checker runs a set of analyzers over one type-checked
+// package and applies the //freshlint:ignore suppression directives.
+// It is the shared core of the two drivers: the unitchecker (go vet
+// -vettool protocol) and the analysistest fixture runner.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"freshcache/tools/freshlint/analysis"
+)
+
+// A Finding is one diagnostic attributed to the analyzer that produced
+// it, with its position resolved.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Posn, f.Message, f.Analyzer)
+}
+
+// An ignoreDirective is one parsed //freshlint:ignore comment. It
+// suppresses findings of the named analyzer (or every analyzer, for
+// name "all") on the directive's own line and on the line immediately
+// below — so it works both as a trailing comment on the flagged line
+// and as a standalone comment above it.
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+const ignorePrefix = "//freshlint:ignore"
+
+func parseIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Finding) {
+	var dirs []ignoreDirective
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Analyzer: "freshlint",
+						Posn:     posn,
+						Message:  "malformed //freshlint:ignore directive: want \"//freshlint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					file:     posn.Filename,
+					line:     posn.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+func (d ignoreDirective) matches(f Finding) bool {
+	if d.analyzer != "all" && d.analyzer != f.Analyzer {
+		return false
+	}
+	if d.file != f.Posn.Filename {
+		return false
+	}
+	return f.Posn.Line == d.line || f.Posn.Line == d.line+1
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// findings, sorted by position. Panics inside an analyzer are
+// translated into errors naming it, so one broken analyzer cannot take
+// down a whole vet run silently.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	ignores, malformed := parseIgnores(fset, files)
+	findings := malformed
+
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Posn:     fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := runProtected(a, pass); err != nil {
+			return nil, err
+		}
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range ignores {
+			if d.matches(f) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Posn, kept[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}
+
+func runProtected(a *analysis.Analyzer, pass *analysis.Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("freshlint: analyzer %s panicked on %s: %v", a.Name, pass.Pkg.Path(), r)
+		}
+	}()
+	_, err = a.Run(pass)
+	return err
+}

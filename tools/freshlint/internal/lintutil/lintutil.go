@@ -1,0 +1,144 @@
+// Package lintutil holds the small type-query vocabulary the freshlint
+// analyzers share: resolving callees, matching repository packages by
+// path suffix, and evaluating compile-time string constants.
+package lintutil
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PkgPathIs reports whether a package path denotes the repository
+// package identified by suffix — e.g. suffix "internal/proto" matches
+// both the real "freshcache/internal/proto" and a test fixture loaded
+// under the same GOPATH-style path. A bare suffix match on a path
+// component boundary keeps the analyzers working if the module is ever
+// renamed or vendored.
+func PkgPathIs(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// Callee returns the *types.Func called by call (package function or
+// method, through selections), or nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function
+// <pkgSuffix>.<name>.
+func IsPkgFunc(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return PkgPathIs(fn.Pkg().Path(), pkgSuffix)
+}
+
+// IsMethod reports whether fn is the method <pkgSuffix>.<recvType>.<name>
+// (pointer or value receiver).
+func IsMethod(fn *types.Func, pkgSuffix, recvType, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || !PkgPathIs(fn.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := NamedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == recvType
+}
+
+// NamedOf returns the named type under t, dereferencing one level of
+// pointer, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// TypeIs reports whether t (after dereferencing one pointer level) is
+// the named type <pkgSuffix>.<name>.
+func TypeIs(t types.Type, pkgSuffix, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Name() != name || n.Obj().Pkg() == nil {
+		return false
+	}
+	return PkgPathIs(n.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// ConstString evaluates expr as a compile-time string constant.
+func ConstString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// VarOf resolves expr to the *types.Var it names, or nil if expr is not
+// a plain identifier for a variable.
+func VarOf(info *types.Info, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// UsesVar reports whether any identifier inside n resolves to v.
+func UsesVar(info *types.Info, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// FuncBodies visits every function body in the file — declarations and
+// function literals — calling fn once per body with the enclosing
+// declaration name ("" for literals).
+func FuncBodies(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd.Name.Name, fd.Body)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			fn("", fl.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"freshcache/tools/freshlint/analysistest"
+	"freshcache/tools/freshlint/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.SharedTestData(), metricname.Analyzer, "metricname")
+}

@@ -1,0 +1,275 @@
+// Package msgpool enforces the pooled-Msg lifecycle contract from
+// internal/proto: a *proto.Msg obtained from proto.GetMsg is owned by
+// exactly one party, must be handed off or released by proto.PutMsg,
+// and must never be touched after its release — PutMsg zeroes the
+// struct and recycles it, so a late field read observes another
+// request's data (or zero), which on the serving path silently corrupts
+// a served value.
+package msgpool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"freshcache/tools/freshlint/analysis"
+	"freshcache/tools/freshlint/internal/lintutil"
+)
+
+const protoPkg = "internal/proto"
+
+// Analyzer checks the pooled proto.Msg ownership contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "msgpool",
+	Doc: `check proto.GetMsg/PutMsg pooled-Msg lifecycle
+
+A Msg from proto.GetMsg must be released by exactly one proto.PutMsg or
+handed off (returned, queued as a Pooled Outgoing, passed to another
+owner). After PutMsg(m) — or after queuing proto.Outgoing{Msg: m,
+Pooled: true} — m belongs to the pool: reads of its fields race with
+the next request that draws it, so retained fields must be copied out
+before release. The analyzer flags straight-line uses after release,
+double releases, and Msgs that are never released nor handed off.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Use-after-release and double-release: statement sequences.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkSeq(pass, n.List)
+			case *ast.CaseClause:
+				checkSeq(pass, n.Body)
+			case *ast.CommClause:
+				checkSeq(pass, n.Body)
+			}
+			return true
+		})
+		// Leaks: whole function bodies.
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLeaks(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// releasedBy returns the pooled-Msg variable this statement releases:
+// a direct proto.PutMsg(m) call, or a hand-off of ownership to a write
+// queue via a proto.Outgoing{Msg: m, Pooled: true} literal anywhere in
+// the statement (the queue releases m once the frame is encoded or
+// abandoned).
+func releasedBy(pass *analysis.Pass, stmt ast.Stmt) *types.Var {
+	if es, ok := stmt.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if v := putMsgArg(pass, call); v != nil {
+				return v
+			}
+		}
+	}
+	var released *types.Var
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if released != nil {
+			return false
+		}
+		if cl, ok := n.(*ast.CompositeLit); ok {
+			if v := pooledOutgoingMsg(pass, cl); v != nil {
+				released = v
+				return false
+			}
+		}
+		return true
+	})
+	return released
+}
+
+func putMsgArg(pass *analysis.Pass, call *ast.CallExpr) *types.Var {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if !lintutil.IsPkgFunc(fn, protoPkg, "PutMsg") || len(call.Args) != 1 {
+		return nil
+	}
+	return lintutil.VarOf(pass.TypesInfo, call.Args[0])
+}
+
+// pooledOutgoingMsg matches proto.Outgoing{Msg: m, Pooled: true} and
+// returns m's variable.
+func pooledOutgoingMsg(pass *analysis.Pass, cl *ast.CompositeLit) *types.Var {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || !lintutil.TypeIs(tv.Type, protoPkg, "Outgoing") {
+		return nil
+	}
+	var msg *types.Var
+	pooled := false
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Msg":
+			msg = lintutil.VarOf(pass.TypesInfo, kv.Value)
+		case "Pooled":
+			if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && id.Name == "true" {
+				pooled = true
+			}
+		}
+	}
+	if !pooled {
+		return nil
+	}
+	return msg
+}
+
+// checkSeq walks one statement sequence tracking which pooled Msg
+// variables have been released, reporting straight-line uses after the
+// release.
+func checkSeq(pass *analysis.Pass, stmts []ast.Stmt) {
+	released := make(map[*types.Var]token.Pos)
+	for _, stmt := range stmts {
+		if len(released) > 0 {
+			reportUsesAfterRelease(pass, stmt, released)
+		}
+		// A reassignment gives the variable a fresh Msg: stop tracking.
+		if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			for _, lhs := range as.Lhs {
+				if v := lintutil.VarOf(pass.TypesInfo, lhs); v != nil {
+					delete(released, v)
+				}
+			}
+		}
+		if v := releasedBy(pass, stmt); v != nil {
+			if _, twice := released[v]; twice {
+				pass.Reportf(stmt.Pos(), "pooled Msg %s is released twice (second PutMsg or Pooled hand-off)", v.Name())
+			}
+			released[v] = stmt.Pos()
+		}
+	}
+}
+
+func reportUsesAfterRelease(pass *analysis.Pass, stmt ast.Stmt, released map[*types.Var]token.Pos) {
+	// Identifiers written by a plain assignment are re-bindings, not
+	// reads of the released Msg.
+	assigned := make(map[*ast.Ident]bool)
+	if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				assigned[id] = true
+			}
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || assigned[id] {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, rel := released[v]; rel {
+			pass.Reportf(id.Pos(), "use of pooled Msg %s after PutMsg: copy retained fields out before releasing", v.Name())
+		}
+		return true
+	})
+}
+
+// checkLeaks flags Msgs from proto.GetMsg that are neither released by
+// PutMsg nor handed off: every later use is a plain field access, so
+// ownership dead-ends and the Msg never returns to the pool.
+func checkLeaks(pass *analysis.Pass, body *ast.BlockStmt) {
+	type state struct {
+		pos      token.Pos
+		released bool
+		escaped  bool
+	}
+	gets := make(map[*types.Var]*state)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !lintutil.IsPkgFunc(lintutil.Callee(pass.TypesInfo, call), protoPkg, "GetMsg") {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			gets[v] = &state{pos: as.Pos()}
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	// Classify every other occurrence of each tracked variable by its
+	// immediate parent: field accesses are neutral, PutMsg releases,
+	// anything else (argument, return, send, composite literal, alias)
+	// transfers ownership out of this function's view.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		st, tracked := gets[v]
+		if !tracked {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if p.X == id {
+				return true // field access: neutral
+			}
+		case *ast.CallExpr:
+			if fn := lintutil.Callee(pass.TypesInfo, p); lintutil.IsPkgFunc(fn, protoPkg, "PutMsg") {
+				st.released = true
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // rebinding, not a use
+				}
+			}
+		}
+		st.escaped = true
+		return true
+	}
+	ast.Inspect(body, visit)
+
+	for v, st := range gets {
+		if !st.released && !st.escaped {
+			pass.Reportf(st.pos, "pooled Msg %s from proto.GetMsg is never released: add proto.PutMsg or hand ownership off", v.Name())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package msgpool_test
+
+import (
+	"testing"
+
+	"freshcache/tools/freshlint/analysistest"
+	"freshcache/tools/freshlint/msgpool"
+)
+
+func TestMsgpool(t *testing.T) {
+	analysistest.Run(t, analysistest.SharedTestData(), msgpool.Analyzer, "msgpool")
+}

@@ -1,0 +1,284 @@
+// Package stripelock enforces the authority stripe-lock discipline
+// from internal/kv: batch paths visit stripes one at a time in
+// ascending index order (one Lock/Unlock pair per stripe, never two
+// stripes held at once), and nothing that can block — a net.Conn
+// write, a channel send, a time.Sleep — runs while a stripe lock is
+// held. Holding a stripe across a blocking call wedges every reader
+// and writer hashing to it; holding two stripes in arbitrary order
+// deadlocks against a concurrent batch visiting them the other way.
+package stripelock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"freshcache/tools/freshlint/analysis"
+	"freshcache/tools/freshlint/internal/lintutil"
+)
+
+const kvPkg = "internal/kv"
+
+// stripeOwner names the struct types whose mutexes are stripe locks.
+var stripeOwner = map[string]bool{
+	"authShard": true, // kv.Authority stripes
+	"kvShard":   true, // kv.Cache stripes, if so named
+}
+
+// Analyzer checks stripe-lock ordering and no-blocking-while-held.
+var Analyzer = &analysis.Analyzer{
+	Name: "stripelock",
+	Doc: `check kv authority stripe-lock ordering and blocking calls under stripe locks
+
+Stripe locks (the per-shard mutexes inside kv.Authority) must be taken
+one stripe at a time: batch paths iterate stripe indices in ascending
+order, locking and unlocking each before the next. The analyzer flags a
+stripe lock acquired while another is held, a stripe lock acquired in a
+loop but not released in the same iteration (including defer-in-loop
+unlocks, which pile every stripe up until return), descending stripe
+loops, and — while any stripe lock is held — time.Sleep calls, channel
+sends, and calls on net connections.`,
+	Run: run,
+}
+
+type heldLock struct {
+	recv string // types.ExprString of the receiver, e.g. "s.mu"
+	pos  ast.Node
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		lintutil.FuncBodies(file, func(_ string, body *ast.BlockStmt) {
+			var held []heldLock
+			scanSeq(pass, body.List, &held, false)
+		})
+	}
+	return nil, nil
+}
+
+// lockCall classifies call as a stripe mutex operation, returning the
+// receiver expression string and which operation it is.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (recv string, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	// Receiver must be a mutex field of a stripe-owner struct:
+	// <stripe>.mu.Lock() where <stripe> is an authShard.
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ownerTv, ok := pass.TypesInfo.Types[muSel.X]
+	if !ok {
+		return "", ""
+	}
+	named := lintutil.NamedOf(ownerTv.Type)
+	if named == nil || !stripeOwner[named.Obj().Name()] {
+		return "", ""
+	}
+	if named.Obj().Pkg() == nil || !lintutil.PkgPathIs(named.Obj().Pkg().Path(), kvPkg) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+// scanSeq walks one statement sequence maintaining the held-lock set.
+// inLoop marks sequences that are a loop body, where locks must not
+// leak into the next iteration.
+func scanSeq(pass *analysis.Pass, stmts []ast.Stmt, held *[]heldLock, inLoop bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, op := lockCall(pass, call); op != "" {
+					switch op {
+					case "Lock", "RLock":
+						if len(*held) > 0 {
+							pass.Reportf(s.Pos(), "stripe lock %s acquired while stripe lock %s is held: visit stripes one at a time in ascending index order", recv, (*held)[len(*held)-1].recv)
+						}
+						*held = append(*held, heldLock{recv: recv, pos: s})
+					case "Unlock", "RUnlock":
+						dropLock(held, recv)
+					}
+					continue
+				}
+			}
+			if len(*held) > 0 {
+				checkBlocking(pass, s, (*held)[len(*held)-1].recv)
+			}
+		case *ast.DeferStmt:
+			if recv, op := lockCall(pass, s.Call); op == "Unlock" || op == "RUnlock" {
+				if inLoop {
+					pass.Reportf(s.Pos(), "deferred stripe unlock of %s inside a loop: every stripe stays locked until return; unlock within the iteration", recv)
+					dropLock(held, recv) // treat as released to avoid cascading reports
+				}
+				// Deferred unlock at function scope: the lock stays held
+				// for the rest of the body, so blocking checks continue.
+				continue
+			}
+			if len(*held) > 0 {
+				checkBlocking(pass, s, (*held)[len(*held)-1].recv)
+			}
+		case *ast.ForStmt:
+			if len(*held) > 0 {
+				checkBlocking(pass, s.Cond, (*held)[len(*held)-1].recv)
+			}
+			checkDescendingStripeLoop(pass, s)
+			scanLoopBody(pass, s.Body, held)
+		case *ast.RangeStmt:
+			scanLoopBody(pass, s.Body, held)
+		case *ast.IfStmt:
+			branch := append([]heldLock(nil), *held...)
+			scanSeq(pass, s.Body.List, &branch, inLoop)
+			if s.Else != nil {
+				branch = append([]heldLock(nil), *held...)
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					scanSeq(pass, e.List, &branch, inLoop)
+				case *ast.IfStmt:
+					scanSeq(pass, []ast.Stmt{e}, &branch, inLoop)
+				}
+			}
+			if len(*held) > 0 {
+				checkBlocking(pass, s.Cond, (*held)[len(*held)-1].recv)
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			body := switchBody(s)
+			for _, cs := range body {
+				branch := append([]heldLock(nil), *held...)
+				scanSeq(pass, cs, &branch, inLoop)
+			}
+			if st, ok := s.(*ast.SelectStmt); ok && len(*held) > 0 {
+				// A select blocks by construction.
+				pass.Reportf(st.Pos(), "select statement while stripe lock %s is held: stripe locks must not be held across blocking operations", (*held)[len(*held)-1].recv)
+			}
+		case *ast.BlockStmt:
+			scanSeq(pass, s.List, held, inLoop)
+		case *ast.GoStmt:
+			// The new goroutine holds nothing; its body is scanned as an
+			// independent function body by FuncBodies.
+		default:
+			if len(*held) > 0 {
+				checkBlocking(pass, stmt, (*held)[len(*held)-1].recv)
+			}
+		}
+	}
+}
+
+// scanLoopBody scans a loop body with the locks held at entry and
+// reports stripe locks the body acquires but does not release before
+// the next iteration.
+func scanLoopBody(pass *analysis.Pass, body *ast.BlockStmt, held *[]heldLock) {
+	entry := len(*held)
+	inner := append([]heldLock(nil), *held...)
+	scanSeq(pass, body.List, &inner, true)
+	for _, l := range inner[min(entry, len(inner)):] {
+		pass.Reportf(l.pos.Pos(), "stripe lock %s is not released before the next loop iteration: lock and unlock each stripe within one pass", l.recv)
+	}
+}
+
+// checkDescendingStripeLoop flags for-loops that walk stripe indices
+// downward while locking: ascending order is the deadlock-freedom
+// convention.
+func checkDescendingStripeLoop(pass *analysis.Pass, s *ast.ForStmt) {
+	dec, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || dec.Tok.String() != "--" {
+		return
+	}
+	locks := false
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, op := lockCall(pass, call); op == "Lock" || op == "RLock" {
+				locks = true
+			}
+		}
+		return !locks
+	})
+	if locks {
+		pass.Reportf(s.Pos(), "stripe locks acquired in a descending index loop: visit stripes in ascending order")
+	}
+}
+
+func dropLock(held *[]heldLock, recv string) {
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].recv == recv {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+}
+
+func switchBody(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	var list []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		list = s.Body.List
+	case *ast.TypeSwitchStmt:
+		list = s.Body.List
+	case *ast.SelectStmt:
+		list = s.Body.List
+	}
+	for _, c := range list {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// checkBlocking reports blocking operations inside node (function
+// literal bodies excluded — they do not run here) while a stripe lock
+// is held.
+func checkBlocking(pass *analysis.Pass, node ast.Node, lock string) {
+	if node == nil {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while stripe lock %s is held: stripe locks must not be held across blocking operations", lock)
+		case *ast.CallExpr:
+			fn := lintutil.Callee(pass.TypesInfo, n)
+			if lintutil.IsPkgFunc(fn, "time", "Sleep") {
+				pass.Reportf(n.Pos(), "time.Sleep while stripe lock %s is held: stripe locks must not be held across blocking operations", lock)
+				return true
+			}
+			if fn != nil && fn.Pkg() != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if isNetConnType(sig.Recv().Type()) {
+						pass.Reportf(n.Pos(), "call on net connection (%s.%s) while stripe lock %s is held: stripe locks must not be held across blocking operations", types.ExprString(unparenFunX(n)), fn.Name(), lock)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func unparenFunX(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}
+
+// isNetConnType reports whether t is net.Conn or a named type declared
+// in package net (after one pointer dereference).
+func isNetConnType(t types.Type) bool {
+	n := lintutil.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net"
+}

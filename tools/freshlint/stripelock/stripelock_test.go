@@ -1,0 +1,14 @@
+package stripelock_test
+
+import (
+	"testing"
+
+	"freshcache/tools/freshlint/analysistest"
+	"freshcache/tools/freshlint/stripelock"
+)
+
+func TestStripeLock(t *testing.T) {
+	// Stripe-locking code lives inside package kv in the real tree
+	// (authShard is unexported), so the fixture package does too.
+	analysistest.Run(t, analysistest.SharedTestData(), stripelock.Analyzer, "freshcache/internal/kv")
+}

@@ -1,0 +1,108 @@
+// borrowedview analyzer fixtures: escapes and mutations of borrowed
+// buffers, plus the blessed serve-in-scope and copy-out shapes.
+package borrowedview
+
+import (
+	"net"
+	"time"
+
+	"freshcache/internal/kv"
+	"freshcache/internal/proto"
+)
+
+type holder struct {
+	buf []byte
+}
+
+var stash []byte
+
+func storeInFieldBad(a *kv.Authority, h *holder, key string) {
+	v, _, ok := a.GetView(key)
+	if !ok {
+		return
+	}
+	h.buf = v // want "stored in a struct field"
+}
+
+func storeInMapBad(a *kv.Authority, cache map[string][]byte, key string) {
+	v, _, _, ok := a.GetViewAged(key)
+	if !ok {
+		return
+	}
+	cache[key] = v // want "stored in a map or slice element"
+}
+
+func storeInGlobalBad(a *kv.Authority, key string) {
+	v, _, ok := a.GetView(key)
+	if ok {
+		stash = v // want "stored in package-level variable"
+	}
+}
+
+func sendOnChannelBad(a *kv.Authority, ch chan []byte, key string) {
+	v, _, ok := a.GetView(key)
+	if ok {
+		ch <- v // want "sent on a channel"
+	}
+}
+
+func mutateBad(a *kv.Authority, key string) {
+	v, _, ok := a.GetView(key)
+	if ok {
+		v[0] = 0xFF // want "write into borrowed"
+	}
+}
+
+func copyIntoBad(a *kv.Authority, key string, src []byte) {
+	v, _, ok := a.GetView(key)
+	if ok {
+		copy(v, src) // want "copy into borrowed"
+	}
+}
+
+func appendBad(a *kv.Authority, key string) []byte {
+	v, _, ok := a.GetView(key)
+	if !ok {
+		return nil
+	}
+	return append(v, 0) // want "append to borrowed"
+}
+
+func batchCallbackEscapeBad(a *kv.Authority, keys []string) {
+	a.GetViewAgedBatch(keys, func(i int, value []byte, version uint64, written time.Time, ok bool) {
+		if ok {
+			stash = value // want "stored in package-level variable"
+		}
+	})
+}
+
+func frameBytesEscapeBad(f *proto.SharedFrame, h *holder) {
+	b := f.Bytes()
+	h.buf = b // want "stored in a struct field"
+}
+
+func serveInScopeGood(a *kv.Authority, conn net.Conn, key string) {
+	v, _, ok := a.GetView(key)
+	if !ok {
+		return
+	}
+	conn.Write(v)
+}
+
+func copyOutGood(a *kv.Authority, h *holder, key string) {
+	v, _, ok := a.GetView(key)
+	if !ok {
+		return
+	}
+	owned := make([]byte, len(v))
+	copy(owned, v)
+	h.buf = owned
+}
+
+func batchServeGood(a *kv.Authority, conn net.Conn, keys []string) {
+	a.GetViewAgedBatch(keys, func(i int, value []byte, version uint64, written time.Time, ok bool) {
+		if ok {
+			conn.Write(value)
+		}
+	})
+}

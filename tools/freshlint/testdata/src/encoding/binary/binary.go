@@ -1,0 +1,15 @@
+// Package binary is a minimal fixture stub so analyzer tests type-check
+// hermetically without importing GOROOT source.
+package binary
+
+type bigEndian struct{}
+
+var BigEndian bigEndian
+
+func (bigEndian) Uint16(b []byte) uint16 { return 0 }
+func (bigEndian) Uint32(b []byte) uint32 { return 0 }
+func (bigEndian) Uint64(b []byte) uint64 { return 0 }
+
+func (bigEndian) PutUint16(b []byte, v uint16) {}
+func (bigEndian) PutUint32(b []byte, v uint32) {}
+func (bigEndian) PutUint64(b []byte, v uint64) {}

@@ -1,0 +1,58 @@
+// Package kv is a fixture stub mirroring the striped-authority API of
+// the real freshcache/internal/kv package: the 16-way authShard array,
+// the borrowed GetView accessors, and the owned-copy Get. Stub bodies
+// are deliberately lock-free and trivial; stripelock fixture functions
+// live in stripe_cases.go.
+package kv
+
+import (
+	"sync"
+	"time"
+)
+
+const numShards = 16
+
+type authEntry struct {
+	value   []byte
+	version uint64
+	written time.Time
+}
+
+type authShard struct {
+	mu sync.RWMutex
+	m  map[string]authEntry
+}
+
+// Authority is the striped authoritative map.
+type Authority struct {
+	shards [numShards]authShard
+}
+
+func NewAuthority() *Authority { return &Authority{} }
+
+func (a *Authority) shard(key string) *authShard { return &a.shards[0] }
+
+// Get returns an owned copy of the value.
+func (a *Authority) Get(key string) ([]byte, uint64, bool) {
+	return nil, 0, false
+}
+
+// GetView lends the authority's own buffer: read-only, scope-bound.
+func (a *Authority) GetView(key string) ([]byte, uint64, bool) {
+	return nil, 0, false
+}
+
+// GetViewAged is GetView plus the write timestamp.
+func (a *Authority) GetViewAged(key string) ([]byte, uint64, time.Time, bool) {
+	return nil, 0, time.Time{}, false
+}
+
+// GetViewAgedBatch lends each value to fn for the duration of the call.
+func (a *Authority) GetViewAgedBatch(keys []string, fn func(i int, value []byte, version uint64, written time.Time, ok bool)) {
+	for i := range keys {
+		fn(i, nil, 0, time.Time{}, false)
+	}
+}
+
+// PutBatch stores a batch, visiting stripes in ascending order.
+func (a *Authority) PutBatch(keys []string, values [][]byte) {}

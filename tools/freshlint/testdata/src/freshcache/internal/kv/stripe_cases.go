@@ -1,0 +1,105 @@
+package kv
+
+// stripelock fixtures: stripe-locking code lives inside package kv in
+// the real repository (authShard is unexported), so the cases do too.
+
+import (
+	"net"
+	"time"
+)
+
+// ascendingGood is the blessed batch shape: one stripe at a time, in
+// index order, released before the next iteration.
+func (a *Authority) ascendingGood() int {
+	n := 0
+	for sid := 0; sid < numShards; sid++ {
+		s := &a.shards[sid]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// overlapBad holds two stripes at once.
+func (a *Authority) overlapBad(i, j int) {
+	a.shards[i].mu.Lock()
+	a.shards[j].mu.Lock() // want "acquired while stripe lock"
+	a.shards[j].mu.Unlock()
+	a.shards[i].mu.Unlock()
+}
+
+// leakIterationBad acquires each stripe but never releases it within
+// the iteration.
+func (a *Authority) leakIterationBad() {
+	for sid := 0; sid < numShards; sid++ {
+		s := &a.shards[sid]
+		s.mu.RLock() // want "not released before the next loop iteration"
+	}
+}
+
+// deferInLoopBad piles all stripes up until return.
+func (a *Authority) deferInLoopBad() {
+	for sid := 0; sid < numShards; sid++ {
+		s := &a.shards[sid]
+		s.mu.Lock()
+		defer s.mu.Unlock() // want "deferred stripe unlock"
+	}
+}
+
+// descendingBad walks the stripes backwards while locking.
+func (a *Authority) descendingBad() {
+	for sid := numShards - 1; sid >= 0; sid-- { // want "descending index loop"
+		s := &a.shards[sid]
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// sleepUnderLockBad parks the scheduler with a stripe held.
+func (a *Authority) sleepUnderLockBad(sid int) {
+	s := &a.shards[sid]
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while stripe lock"
+	s.mu.Unlock()
+}
+
+// connWriteUnderLockBad performs network I/O with a stripe held.
+func (a *Authority) connWriteUnderLockBad(sid int, conn net.Conn, frame []byte) {
+	s := &a.shards[sid]
+	s.mu.Lock()
+	conn.Write(frame) // want "call on net connection"
+	s.mu.Unlock()
+}
+
+// sendUnderLockBad blocks on a channel with a stripe held.
+func (a *Authority) sendUnderLockBad(sid int, ch chan int) {
+	s := &a.shards[sid]
+	s.mu.Lock()
+	ch <- sid // want "channel send while stripe lock"
+	s.mu.Unlock()
+}
+
+// blockAfterUnlockGood does its blocking work outside the stripe.
+func (a *Authority) blockAfterUnlockGood(sid int, conn net.Conn, ch chan int) {
+	s := &a.shards[sid]
+	s.mu.RLock()
+	n := len(s.m)
+	s.mu.RUnlock()
+	conn.Write(nil)
+	ch <- n
+	time.Sleep(time.Millisecond)
+}
+
+// branchGood releases on every path before blocking.
+func (a *Authority) branchGood(sid int, ok bool, ch chan int) {
+	s := &a.shards[sid]
+	s.mu.Lock()
+	if ok {
+		s.mu.Unlock()
+		ch <- 1
+		return
+	}
+	s.mu.Unlock()
+	ch <- 0
+}

@@ -1,0 +1,67 @@
+package proto
+
+// wirebounds fixtures that need the unexported cursor: decode paths
+// live inside the proto package in the real repository too.
+
+func decodeListBad(c *cursor) ([]uint64, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]uint64, 0, n) // want "make sized by wire-decoded n with no earlier bound check"
+	for i := uint32(0); i < n; i++ {
+		v, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func decodeListGood(c *cursor) ([]uint64, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatchOps {
+		return nil, errTooBig
+	}
+	vals := make([]uint64, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+// decodeDerivedBad shows taint propagating through a conversion.
+func decodeDerivedBad(c *cursor) ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	sz := int(n) * 8
+	return make([]byte, sz), nil // want "make sized by wire-decoded sz with no earlier bound check"
+}
+
+func decodeDerivedGood(c *cursor) ([]byte, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	sz := int(n) * 8
+	if sz > MaxFrame {
+		return nil, errTooBig
+	}
+	return make([]byte, sz), nil
+}
+
+type protoErr string
+
+func (e protoErr) Error() string { return string(e) }
+
+const errTooBig = protoErr("frame cap exceeded")

@@ -1,0 +1,35 @@
+// Package stats is a fixture stub mirroring the Registry registration
+// API of the real freshcache/internal/stats package. Bodies are no-ops;
+// only signatures and the import path matter to the metricname
+// analyzer.
+package stats
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(n uint64)  {}
+func (c *Counter) Value() uint64 { return 0 }
+
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v float64) {}
+func (h *Histogram) Count() uint64     { return 0 }
+
+type Registry struct{ _ int }
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help, statsKey string, c *Counter) {}
+func (r *Registry) LabeledCounter(name, help string, labelNames, labelVals []string, statsKey string, c *Counter) {
+}
+func (r *Registry) CounterFunc(name, help, statsKey string, fn func() float64) {}
+func (r *Registry) Gauge(name, help, statsKey string, fn func() float64)       {}
+func (r *Registry) LabeledGauge(name, help string, labelNames, labelVals []string, statsKey string, fn func() float64) {
+}
+func (r *Registry) GaugeVec(name, help, label, statsKeyFmt string, fn func() map[string]float64) {}
+func (r *Registry) Histogram(name, help string, bounds []float64, scale float64, statsKey string, h *Histogram) {
+}
+func (r *Registry) LabeledHistogram(name, help string, labelNames, labelVals []string, bounds []float64, scale float64, statsKey string, h *Histogram) {
+}
+
+var LatencySecondsBuckets = []float64{0.001, 0.01, 0.1, 1}
+var BatchSizeBuckets = []float64{1, 8, 64, 512}

@@ -1,0 +1,84 @@
+// metricname analyzer fixtures: registration-site naming violations
+// and the blessed direct and prefix-closure shapes.
+package metricname
+
+import "freshcache/internal/stats"
+
+var (
+	gets   stats.Counter
+	misses stats.Counter
+	rtt    stats.Histogram
+)
+
+func directGood(r *stats.Registry) {
+	r.Counter("freshcache_fix_gets_total", "GET requests served.", "gets", &gets)
+	r.LabeledCounter("freshcache_fix_misses_total", "GET misses by cause.",
+		[]string{"kind"}, []string{"stale"}, "stale_misses", &misses)
+	r.Gauge("freshcache_fix_resident", "Resident entries.", "resident", func() float64 { return 0 })
+	r.Histogram("freshcache_fix_fill_rtt_seconds", "Miss-fill latency.",
+		stats.LatencySecondsBuckets, 1e9, "", &rtt)
+	r.GaugeVec("freshcache_fix_lease_age_seconds", "Seconds since each store's lease renewal.",
+		"store", "lease_age[%s]", func() map[string]float64 { return nil })
+}
+
+func counterSuffixBad(r *stats.Registry) {
+	r.Counter("freshcache_fix_gets", "GET requests served.", "", &gets) // want "must end in _total"
+}
+
+func gaugeSuffixBad(r *stats.Registry) {
+	r.Gauge("freshcache_fix_resident_total", "Resident entries.", "", func() float64 { return 0 }) // want "must not end in _total"
+}
+
+func unitBad(r *stats.Registry) {
+	r.GaugeVec("freshcache_fix_lease_age_ms", "Milliseconds since lease renewal.", // want "non-base unit"
+		"store", "lease_age_ms[%s]", func() map[string]float64 { return nil })
+}
+
+func prefixBad(r *stats.Registry) {
+	r.Counter("cache_gets_total", "GET requests served.", "", &gets) // want "lacks the freshcache_ namespace prefix"
+}
+
+func caseBad(r *stats.Registry) {
+	r.Counter("freshcache_fix_GetsTotal", "GET requests served.", "", &gets) // want "not snake_case"
+}
+
+func doubleUnderscoreBad(r *stats.Registry) {
+	r.Counter("freshcache_fix__gets_total", "GET requests served.", "", &gets) // want "empty name segments"
+}
+
+func reservedSuffixBad(r *stats.Registry) {
+	r.Gauge("freshcache_fix_sample_count", "Samples observed.", "", func() float64 { return 0 }) // want "reserved suffix"
+}
+
+func histogramUnitBad(r *stats.Registry) {
+	r.Histogram("freshcache_fix_fill_rtt", "Miss-fill latency.", // want "must carry a unit suffix"
+		stats.LatencySecondsBuckets, 1e9, "", &rtt)
+}
+
+func labelBad(r *stats.Registry) {
+	r.LabeledCounter("freshcache_fix_misses_total", "GET misses by cause.",
+		[]string{"reason"}, []string{"stale"}, "", &misses) // want "not in the fixed label set"
+}
+
+func emptyHelpBad(r *stats.Registry) {
+	r.Counter("freshcache_fix_gets_total", "", "", &gets) // want "empty help text"
+}
+
+func nonConstNameBad(r *stats.Registry, name string) {
+	r.Counter(name, "GET requests served.", "", &gets) // want "not a compile-time constant"
+}
+
+func wrapperGood(r *stats.Registry) {
+	counter := func(name, help, key string, c *stats.Counter) {
+		r.Counter("freshcache_fix_"+name, help, key, c)
+	}
+	counter("gets_total", "GET requests served.", "gets", &gets)
+}
+
+func wrapperBad(r *stats.Registry) {
+	counter := func(name, help, key string, c *stats.Counter) {
+		r.Counter("freshcache_fix_"+name, help, key, c)
+	}
+	counter("gets", "GET requests served.", "gets", &gets) // want "must end in _total"
+	counter("hits_total", "", "hits", &gets)               // want "empty help text"
+}

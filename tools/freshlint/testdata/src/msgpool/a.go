@@ -1,0 +1,63 @@
+// msgpool analyzer fixtures: pooled Msg lifecycle violations and the
+// blessed ownership shapes.
+package msgpool
+
+import "freshcache/internal/proto"
+
+func useAfterReleaseBad() string {
+	m := proto.GetMsg()
+	m.Key = "k"
+	proto.PutMsg(m)
+	return m.Key // want "use of pooled Msg m after PutMsg"
+}
+
+func doubleReleaseBad() {
+	m := proto.GetMsg()
+	proto.PutMsg(m)
+	proto.PutMsg(m) // want "use of pooled Msg m after PutMsg" "released twice"
+}
+
+func leakBad() {
+	m := proto.GetMsg() // want "never released"
+	m.Type = 1
+	m.Key = "k"
+}
+
+func copyOutGood() string {
+	m := proto.GetMsg()
+	m.Key = "k"
+	key := m.Key
+	proto.PutMsg(m)
+	return key
+}
+
+func useAfterHandoffBad(q chan proto.Outgoing) uint64 {
+	m := proto.GetMsg()
+	q <- proto.Outgoing{Msg: m, Pooled: true}
+	return m.Seq // want "use of pooled Msg m after PutMsg"
+}
+
+func handoffGood(q chan proto.Outgoing) {
+	m := proto.GetMsg()
+	m.Type = 2
+	q <- proto.Outgoing{Msg: m, Pooled: true}
+}
+
+func returnGood() *proto.Msg {
+	m := proto.GetMsg()
+	m.Type = 3
+	return m
+}
+
+func rebindGood() {
+	m := proto.GetMsg()
+	proto.PutMsg(m)
+	m = proto.GetMsg()
+	m.Type = 4
+	proto.PutMsg(m)
+}
+
+func escapeToCalleeGood(sink func(*proto.Msg)) {
+	m := proto.GetMsg()
+	sink(m)
+}

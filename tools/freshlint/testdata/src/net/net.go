@@ -1,0 +1,15 @@
+// Package net is a minimal fixture stub so analyzer tests type-check
+// hermetically without importing GOROOT source.
+package net
+
+type Conn interface {
+	Read(b []byte) (n int, err error)
+	Write(b []byte) (n int, err error)
+	Close() error
+}
+
+type TCPConn struct{ _ int }
+
+func (c *TCPConn) Read(b []byte) (int, error)  { return 0, nil }
+func (c *TCPConn) Write(b []byte) (int, error) { return 0, nil }
+func (c *TCPConn) Close() error                { return nil }

@@ -1,0 +1,15 @@
+// Package sync is a minimal fixture stub so analyzer tests type-check
+// hermetically without importing GOROOT source.
+package sync
+
+type Mutex struct{ _ int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ _ int }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,19 @@
+// Package time is a minimal fixture stub so analyzer tests type-check
+// hermetically without importing GOROOT source.
+package time
+
+type Duration int64
+
+const (
+	Millisecond Duration = 1_000_000
+	Second      Duration = 1000 * Millisecond
+)
+
+type Time struct{ _ int64 }
+
+func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) IsZero() bool        { return false }
+
+func Now() Time             { return Time{} }
+func Sleep(d Duration)      {}
+func Since(t Time) Duration { return 0 }

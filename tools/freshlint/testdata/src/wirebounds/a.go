@@ -1,0 +1,54 @@
+// wirebounds analyzer fixtures: allocation sizes decoded off the wire
+// with binary.BigEndian, with and without bound checks.
+package wirebounds
+
+import (
+	"encoding/binary"
+
+	"freshcache/internal/proto"
+)
+
+func unguardedBad(frame []byte) []string {
+	n := binary.BigEndian.Uint32(frame)
+	return make([]string, n) // want "make sized by wire-decoded n with no earlier bound check"
+}
+
+func guardedGood(frame []byte) []string {
+	n := binary.BigEndian.Uint32(frame)
+	if n > proto.MaxBatchOps {
+		return nil
+	}
+	return make([]string, n)
+}
+
+func unguardedCapBad(frame []byte) []byte {
+	sz := binary.BigEndian.Uint64(frame)
+	return make([]byte, 0, sz) // want "make sized by wire-decoded sz with no earlier bound check"
+}
+
+func derivedBad(frame []byte) []uint16 {
+	n := int(binary.BigEndian.Uint16(frame))
+	count := n * 2
+	return make([]uint16, count) // want "make sized by wire-decoded count with no earlier bound check"
+}
+
+func derivedGood(frame []byte) []uint16 {
+	n := int(binary.BigEndian.Uint16(frame))
+	if n > proto.MaxNodes {
+		return nil
+	}
+	count := n * 2
+	return make([]uint16, count)
+}
+
+func lenGuardGood(frame, payload []byte) [][]byte {
+	n := binary.BigEndian.Uint32(frame)
+	if int(n) > len(payload) {
+		return nil
+	}
+	return make([][]byte, n)
+}
+
+func untaintedGood(count int) []string {
+	return make([]string, count)
+}

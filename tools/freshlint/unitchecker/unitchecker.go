@@ -1,0 +1,209 @@
+// Package unitchecker implements the command-line protocol the go
+// command speaks to vet tools (go vet -vettool=...): answer -V=full
+// with a content-addressed build ID, answer -flags with the supported
+// flag set, and analyze one compilation unit per *.cfg argument.
+//
+// It is a dependency-free reimplementation of the x/tools package of
+// the same name (see the analysis package for why), minus facts: the
+// go command hands each dependency package to the tool in VetxOnly
+// mode purely to produce fact files, so for freshlint's fact-free
+// analyzers those runs are answered immediately with an empty output
+// file and no type-checking.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"freshcache/tools/freshlint/analysis"
+	"freshcache/tools/freshlint/internal/checker"
+)
+
+// Config is the JSON the go command writes to describe one compilation
+// unit. Field set and meaning match cmd/go's internal vet config.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet-tool protocol over os.Args for the given analyzers
+// and exits. Exit status: 0 clean, 1 internal error, 2 findings —
+// mirroring x/tools so go vet treats findings as failures.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	if len(args) == 0 {
+		describe(progname, analyzers)
+		os.Exit(1)
+	}
+
+	var cfgFile string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Println(buildIDLine(progname))
+			os.Exit(0)
+		case arg == "-V" || arg == "--V":
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags: the go command passes user vet
+			// flags through only if this list declares them.
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			describe(progname, analyzers)
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		default:
+			// Tolerate unknown pass-through flags (-json etc. are never
+			// sent unless declared in -flags, but be lenient).
+			if !strings.HasPrefix(arg, "-") {
+				fmt.Fprintf(os.Stderr, "%s: unexpected argument %q\n", progname, arg)
+				os.Exit(1)
+			}
+		}
+	}
+	if cfgFile == "" {
+		describe(progname, analyzers)
+		os.Exit(1)
+	}
+
+	findings, err := runUnit(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Posn, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func describe(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s is a freshcache-specific static analysis suite.\n", progname)
+	fmt.Fprintf(os.Stderr, "Usage (via the go command): go vet -vettool=$(realpath %s) ./...\n\nAnalyzers:\n", progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+	}
+}
+
+// buildIDLine answers -V=full in the form the go command's buildid
+// parser accepts for development tools: the executable's content hash
+// keys vet's result cache, so rebuilding freshlint with changed
+// analyzers invalidates prior runs.
+func buildIDLine(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel freshlint buildID=%x", progname, h.Sum(nil))
+}
+
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]checker.Finding, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+
+	// Fact-file production for dependencies: freshlint has no facts, so
+	// just satisfy the protocol with an empty output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the export data the go command already
+	// compiled: ImportMap maps source-level paths to canonical package
+	// paths, PackageFile maps those to export data files. The stdlib gc
+	// importer handles the archive/export format.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Error:    func(error) {}, // collect into err below
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	return checker.Run(fset, files, pkg, info, analyzers)
+}

@@ -1,0 +1,263 @@
+// Package wirebounds guards allocation sizes decoded off the wire: an
+// integer read from a frame (binary.BigEndian.Uint* or a proto cursor
+// u8/u16/u32/u64 decode) is attacker-controlled, and a make/append
+// sized from it before a bounds comparison lets one crafted frame
+// allocate gigabytes. Every wire-derived length must be checked against
+// a frame-cap constant (proto.MaxBatchOps, proto.MaxFrame, MaxNodes, a
+// literal, or a trusted len()) before it sizes an allocation.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"freshcache/tools/freshlint/analysis"
+	"freshcache/tools/freshlint/internal/lintutil"
+)
+
+const protoPkg = "internal/proto"
+
+// cursorDecoders are the proto.cursor methods that yield raw wire
+// integers.
+var cursorDecoders = map[string]bool{
+	"u8": true, "u16": true, "u32": true, "u64": true,
+}
+
+// Analyzer checks that wire-decoded integers are bounds-checked before
+// sizing allocations.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebounds",
+	Doc: `check that wire-decoded lengths are bounded before sizing make/append
+
+Integers decoded from network frames (binary.BigEndian.Uint16/32/64,
+proto cursor u8/u16/u32/u64) must be compared against a cap —
+proto.MaxBatchOps, proto.MaxFrame, another named Max* constant, a
+literal, or len() of trusted data — before they size a make() or an
+append growth. An unchecked make([]T, n) with wire-controlled n is a
+remote allocation bomb: a 20-byte frame claiming 2^32 ops.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Declared bodies only: function literals are scanned as part of
+		// their enclosing declaration, sharing its taint and guard state.
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkBody tracks, within one function body, which variables hold
+// wire-decoded integers and at which positions each has been compared
+// against a bound, then flags make() sizes that use a wire variable
+// with no earlier guard.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	wire := make(map[*types.Var]token.Pos)       // var -> first decode position
+	guards := make(map[*types.Var]token.Pos)     // var -> earliest guard position
+	parents := make(map[*types.Var][]*types.Var) // derived var -> wire vars it came from
+	assignPos := make(map[*types.Var]token.Pos)  // derived var -> defining assignment
+
+	// Pass 1 (fixpoint): find wire variables. Direct decodes seed the
+	// set; assignments/conversions from a wire variable propagate taint,
+	// recording the derivation so a bound check on the source also
+	// covers the derived length.
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			taint := func(lhs ast.Expr, from []*types.Var) {
+				v := lintutil.VarOf(pass.TypesInfo, lhs)
+				if v == nil {
+					return
+				}
+				if _, known := wire[v]; !known {
+					wire[v] = as.Pos()
+					parents[v] = from
+					assignPos[v] = as.Pos()
+					grew = true
+				}
+			}
+			// n, err := c.u32(): multi-value decode taints the first LHS.
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isDecodeCall(pass, call) {
+					taint(as.Lhs[0], nil)
+				}
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if exprIsWire(pass, rhs, wire) {
+					taint(as.Lhs[i], wireVarsIn(pass, rhs, wire))
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	if len(wire) == 0 {
+		return
+	}
+
+	// Pass 2: record guard positions — any comparison mentioning a wire
+	// variable counts (the repo convention is `if n > MaxBatchOps { return err }`
+	// or `if int(n) > len(buf)`; distinguishing guard polarity is more
+	// noise than safety here, the invariant is "a bound was consulted").
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for v := range wire {
+			if lintutil.UsesVar(pass.TypesInfo, be, v) {
+				if g, ok := guards[v]; !ok || be.Pos() < g {
+					guards[v] = be.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: flag unguarded allocation sizes. A variable is guarded at
+	// position P if it was compared before P, or if every wire variable
+	// it derives from was guarded before its defining assignment.
+	var guardedAt func(v *types.Var, p token.Pos, seen map[*types.Var]bool) bool
+	guardedAt = func(v *types.Var, p token.Pos, seen map[*types.Var]bool) bool {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		if g, ok := guards[v]; ok && g < p {
+			return true
+		}
+		from := parents[v]
+		if len(from) == 0 {
+			return false
+		}
+		def := assignPos[v]
+		for _, parent := range from {
+			if !guardedAt(parent, def, seen) {
+				return false
+			}
+		}
+		return true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "make" {
+			return true
+		}
+		for _, sz := range call.Args[1:] { // len and cap arguments
+			for _, v := range wireVarsIn(pass, sz, wire) {
+				if guardedAt(v, sz.Pos(), map[*types.Var]bool{}) {
+					continue
+				}
+				pass.Reportf(sz.Pos(), "make sized by wire-decoded %s with no earlier bound check: compare against MaxBatchOps/MaxFrame (or another cap) before allocating", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// wireVarsIn returns the distinct wire variables referenced in expr.
+func wireVarsIn(pass *analysis.Pass, expr ast.Expr, wire map[*types.Var]token.Pos) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		if _, isWire := wire[v]; isWire {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// exprIsWire reports whether expr produces a wire-decoded integer:
+// a decode call, a conversion of one, arithmetic over one, or a read of
+// an already-tainted variable.
+func exprIsWire(pass *analysis.Pass, expr ast.Expr, wire map[*types.Var]token.Pos) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if isDecodeCall(pass, e) {
+			return true
+		}
+		// Conversion like int(n) or uint64(n): single-argument call whose
+		// callee is a type.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return exprIsWire(pass, e.Args[0], wire)
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return exprIsWire(pass, e.X, wire) || exprIsWire(pass, e.Y, wire)
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		_, tainted := wire[v]
+		return tainted
+	}
+	return false
+}
+
+// isDecodeCall matches binary.BigEndian.Uint16/32/64(...) and proto
+// cursor decode methods c.u8()/u16()/u32()/u64().
+func isDecodeCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Uint16", "Uint32", "Uint64":
+		if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" {
+			return true
+		}
+	}
+	if !cursorDecoders[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := lintutil.NamedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "cursor" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return lintutil.PkgPathIs(named.Obj().Pkg().Path(), protoPkg)
+}

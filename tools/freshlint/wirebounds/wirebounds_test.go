@@ -1,0 +1,15 @@
+package wirebounds_test
+
+import (
+	"testing"
+
+	"freshcache/tools/freshlint/analysistest"
+	"freshcache/tools/freshlint/wirebounds"
+)
+
+func TestWireBounds(t *testing.T) {
+	// The second fixture package exercises the unexported proto cursor
+	// decoders from inside the (stub) proto package itself.
+	analysistest.Run(t, analysistest.SharedTestData(), wirebounds.Analyzer,
+		"wirebounds", "freshcache/internal/proto")
+}
